@@ -1,0 +1,100 @@
+//! Ablations for the design choices DESIGN.md calls out: isolate eager
+//! notification, the `when_all` ready-input fast path / shared ready cell,
+//! the promise-registration elision, and the legacy extra allocation.
+//!
+//! * `conjoin_loop` per version — the full future-conjoining idiom;
+//!   2021.3.6-eager exercises all the optimizations together.
+//! * `conjoin_forced_defer` — same loop under the eager build but with
+//!   `as_defer_future`, isolating the notification mode from the other
+//!   2021.3.6 changes (the `when_all` code is identical; only deferral
+//!   remains).
+//! * `promise_loop` per version — isolates promise-registration elision
+//!   (no futures conjoined at all).
+
+use std::time::Duration;
+
+use bench::VERSIONS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upcr::{conjoin, launch, make_future, operation_cx, LibVersion, Promise, RuntimeConfig};
+
+fn time_loop<F>(version: LibVersion, iters: u64, f: F) -> Duration
+where
+    F: Fn(&upcr::Upcr, u64) + Sync,
+{
+    let rt = RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 16);
+    let out = launch(rt, move |u| {
+        u.barrier();
+        let mut elapsed = Duration::ZERO;
+        if u.rank_me() == 0 {
+            let t0 = std::time::Instant::now();
+            f(u, iters);
+            elapsed = t0.elapsed();
+        }
+        u.barrier();
+        elapsed
+    });
+    out[0]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+
+    for &version in &VERSIONS {
+        g.bench_with_input(
+            BenchmarkId::new("conjoin_loop", version),
+            &version,
+            |b, &version| {
+                b.iter_custom(|iters| {
+                    time_loop(version, iters, |u, n| {
+                        let p = u.new_::<u64>(0);
+                        let mut f = make_future();
+                        for i in 0..n {
+                            f = conjoin(f, u.rput(i, p));
+                        }
+                        f.wait();
+                        u.delete_(p);
+                    })
+                })
+            },
+        );
+    }
+
+    g.bench_function("conjoin_forced_defer/2021.3.6 eager", |b| {
+        b.iter_custom(|iters| {
+            time_loop(LibVersion::V2021_3_6Eager, iters, |u, n| {
+                let p = u.new_::<u64>(0);
+                let mut f = make_future();
+                for i in 0..n {
+                    f = conjoin(f, u.rput_with(i, p, operation_cx::as_defer_future()));
+                }
+                f.wait();
+                u.delete_(p);
+            })
+        })
+    });
+
+    for &version in &VERSIONS {
+        g.bench_with_input(
+            BenchmarkId::new("promise_loop", version),
+            &version,
+            |b, &version| {
+                b.iter_custom(|iters| {
+                    time_loop(version, iters, |u, n| {
+                        let p = u.new_::<u64>(0);
+                        let pr = Promise::new();
+                        for i in 0..n {
+                            u.rput_with(i, p, operation_cx::as_promise(&pr));
+                        }
+                        pr.finalize().wait();
+                        u.delete_(p);
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figures 2–4: on-node single-operation latency, per library version.
+//!
+//! Reproduces the paper's microbenchmark loop (`op(gp).wait()` repeated,
+//! wall time divided by count) for every operation × version cell. Runtime
+//! launch/teardown is excluded from the measurement: `micro::run` times
+//! only the operation loop on the initiating rank.
+
+use std::time::Duration;
+
+use bench::micro::{self, MicroOp};
+use bench::VERSIONS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_micro");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    for op in MicroOp::ALL {
+        for &version in &VERSIONS {
+            if !op.available_in(version) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(op.name(), version),
+                &(op, version),
+                |b, &(op, version)| b.iter_custom(|iters| micro::run(version, op, iters)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

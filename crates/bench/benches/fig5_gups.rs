@@ -1,0 +1,44 @@
+//! Figures 5–7: GUPS (HPCC RandomAccess), six variants × three versions.
+//!
+//! Each Criterion iteration is one full timed GUPS run (table setup and
+//! teardown excluded — `GupsRun.seconds` measures only the update loop, as
+//! the paper does). Sizes are scaled down from the paper's (which used
+//! most of a node's memory) to keep `cargo bench` runnable in CI; the
+//! relative ordering of the series is what carries.
+
+use std::time::Duration;
+
+use bench::VERSIONS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gups::{GupsConfig, Variant};
+
+const RANKS: usize = 8;
+// Sized so one full GUPS run takes well under a second even for the
+// slowest (deferred future-conjoining) cell on a single-core CI box.
+
+fn bench_gups(c: &mut Criterion) {
+    let cfg = GupsConfig { log2_table: 15, updates_per_word: 4, batch: 256, verify: false };
+    let mut g = c.benchmark_group("fig5_gups");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for variant in Variant::ALL {
+        for &version in &VERSIONS {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name().replace([' ', '/'], "_"), version),
+                &(variant, version),
+                |b, &(variant, version)| {
+                    b.iter_custom(|iters| {
+                        let mut total = 0.0;
+                        for _ in 0..iters {
+                            total += gups::benchmark(RANKS, version, &cfg, variant).seconds;
+                        }
+                        Duration::from_secs_f64(total)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gups);
+criterion_main!(benches);

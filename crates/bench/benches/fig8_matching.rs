@@ -1,0 +1,41 @@
+//! Figure 8: graph-matching solve time, five inputs × three versions.
+//!
+//! Graphs are generated once per input (outside the measurement); each
+//! Criterion iteration is one distributed solve, timing only the solve
+//! step, as the paper does.
+
+use std::time::Duration;
+
+use bench::VERSIONS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::Preset;
+
+const RANKS: usize = 8;
+const SCALE: f64 = 0.1;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_matching");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for preset in Preset::ALL {
+        let graph = preset.generate(SCALE);
+        for &version in &VERSIONS {
+            g.bench_with_input(
+                BenchmarkId::new(preset.name(), version),
+                &version,
+                |b, &version| {
+                    b.iter_custom(|iters| {
+                        let mut total = 0.0;
+                        for _ in 0..iters {
+                            total += matching::benchmark(RANKS, version, &graph).seconds;
+                        }
+                        Duration::from_secs_f64(total)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

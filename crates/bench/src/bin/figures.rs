@@ -1,0 +1,267 @@
+//! Regenerate every table/figure of the paper as text output.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [micro] [gups] [matching] [offnode] [ablation] [all]
+//!         [--quick]            # reduced iteration counts / sizes
+//!         [--ranks N]          # GUPS / matching rank count (default 16)
+//!         [--scale X]          # matching graph scale (default 0.25)
+//! ```
+//!
+//! Output sections correspond to: Figures 2–4 (microbenchmarks), Figures
+//! 5–7 (GUPS), Figure 8 (graph matching), the §IV-A off-node validation,
+//! and the DESIGN.md ablations.
+
+use bench::micro::MicroOp;
+use bench::{ablation, fmt_row, micro, offnode, VERSIONS};
+use graphgen::{LocalityStats, Preset};
+use gups::{GupsConfig, Variant};
+use upcr::LibVersion;
+
+struct Args {
+    sections: Vec<String>,
+    quick: bool,
+    ranks: usize,
+    scale: f64,
+    samples: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { sections: Vec::new(), quick: false, ranks: 16, scale: 0.25, samples: 5 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--ranks" => {
+                args.ranks = it.next().expect("--ranks needs a value").parse().expect("--ranks")
+            }
+            "--scale" => {
+                args.scale = it.next().expect("--scale needs a value").parse().expect("--scale")
+            }
+            "--samples" => {
+                args.samples =
+                    it.next().expect("--samples needs a value").parse().expect("--samples")
+            }
+            s => args.sections.push(s.to_string()),
+        }
+    }
+    if args.sections.is_empty() {
+        args.sections.push("all".to_string());
+    }
+    args
+}
+
+fn want(args: &Args, s: &str) -> bool {
+    args.sections.iter().any(|x| x == s || x == "all")
+}
+
+/// The paper's methodology: several samples, average of the best half
+/// ("running twenty samples, taking the average of the top ten").
+fn best_half_mean(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut v: Vec<f64> = (0..samples.max(1)).map(|_| f()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let half = &v[..v.len().div_ceil(2)];
+    half.iter().sum::<f64>() / half.len() as f64
+}
+
+fn main() {
+    let args = parse_args();
+    println!("eager-notify reproduction — paper figure regeneration");
+    println!("(single x86-64 host; compare series shapes, not absolute values)\n");
+    if want(&args, "micro") {
+        fig_2_3_4_micro(&args);
+    }
+    if want(&args, "gups") {
+        fig_5_6_7_gups(&args);
+    }
+    if want(&args, "matching") {
+        fig_8_matching(&args);
+    }
+    if want(&args, "offnode") {
+        offnode_validation(&args);
+    }
+    if want(&args, "ablation") {
+        ablations(&args);
+    }
+    if want(&args, "matching-mp") || args.sections.iter().any(|x| x == "all") {
+        matching_mp_comparison(&args);
+    }
+}
+
+/// Extension: the RMA solver vs. the message-passing (MPI-style) solver —
+/// the paper reports the application's UPC++ RMA version performs
+/// comparably to the best MPI version.
+fn matching_mp_comparison(args: &Args) {
+    let ranks = args.ranks.min(8);
+    let scale = if args.quick { 0.05 } else { 0.1 };
+    println!("== Extension: RMA solver vs message-passing solver (eager build, {ranks} ranks) ==\n");
+    for preset in Preset::ALL {
+        let g = preset.generate(scale);
+        let rma = matching::benchmark(ranks, LibVersion::V2021_3_6Eager, &g);
+        let rt = upcr::RuntimeConfig::mpi(ranks, ranks).with_segment_size(1 << 22);
+        let mp = upcr::launch(rt, |u| {
+            u.barrier();
+            let t0 = std::time::Instant::now();
+            let (m, stats) = matching::solve_mp(u, &g);
+            let secs = f64::from_bits(u.allreduce_max_u64(t0.elapsed().as_secs_f64().to_bits()));
+            (secs, m.weight, stats.messages)
+        });
+        let (mp_secs, mp_weight, msgs) = mp[0];
+        assert!((mp_weight - rma.weight).abs() < 1e-9, "solvers disagree");
+        println!(
+            "  {:<10} RMA {:>9.2}ms ({} RMA reads)   MP {:>9.2}ms ({} msgs)   same matching: yes",
+            preset.name(),
+            rma.seconds * 1e3,
+            rma.stats.rma_reads,
+            mp_secs * 1e3,
+            msgs
+        );
+    }
+    println!();
+}
+
+fn fig_2_3_4_micro(args: &Args) {
+    let iters: u64 = if args.quick { 200_000 } else { 2_000_000 };
+    println!("== Figures 2-4: microbenchmarks (ns per operation, on-node target) ==");
+    println!("   paper loop: `op(gp).wait()` x {iters} per cell\n");
+    println!(
+        "{}",
+        fmt_row("operation", &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+    );
+    for op in MicroOp::ALL {
+        let cells: Vec<String> = VERSIONS
+            .iter()
+            .map(|&v| {
+                if op.available_in(v) {
+                    format!("{:.1} ns", micro::ns_per_op(v, op, iters))
+                } else {
+                    "n/a".to_string()
+                }
+            })
+            .collect();
+        println!("{}", fmt_row(op.name(), &cells));
+    }
+    // Headline ratios the paper reports.
+    let put_defer = micro::ns_per_op(LibVersion::V2021_3_6Defer, MicroOp::Put, iters);
+    let put_eager = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::Put, iters);
+    let fa_v = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::AmoFetchAdd, iters);
+    let fa_m = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::AmoFetchAddInto, iters);
+    println!("\n  eager vs defer put speedup: {:.0}%  (paper: 92-95%)", 100.0 * (put_defer / put_eager - 1.0));
+    println!(
+        "  non-value vs value fetch-add (eager): {:.0}%  (paper: 66-90%)\n",
+        100.0 * (fa_v / fa_m - 1.0)
+    );
+}
+
+fn fig_5_6_7_gups(args: &Args) {
+    let ranks = args.ranks;
+    let samples = if args.quick { 1 } else { args.samples };
+    let cfg = if args.quick {
+        GupsConfig { log2_table: 18, updates_per_word: 4, batch: 256, verify: false }
+    } else {
+        GupsConfig { log2_table: 22, updates_per_word: 4, batch: 256, verify: false }
+    };
+    println!(
+        "== Figures 5-7: GUPS / HPCC RandomAccess ({} ranks, table 2^{} words, MUPS higher=better) ==\n",
+        ranks, cfg.log2_table
+    );
+    println!(
+        "{}",
+        fmt_row("variant", &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+    );
+    let mut table: Vec<(Variant, Vec<f64>)> = Vec::new();
+    for variant in Variant::ALL {
+        let mups: Vec<f64> = VERSIONS
+            .iter()
+            .map(|&v| {
+                let secs = best_half_mean(samples, || gups::benchmark(ranks, v, &cfg, variant).seconds);
+                cfg.total_updates() as f64 / secs / 1e6
+            })
+            .collect();
+        let cells: Vec<String> = mups.iter().map(|m| format!("{m:.1}")).collect();
+        println!("{}", fmt_row(variant.name(), &cells));
+        table.push((variant, mups));
+    }
+    let get = |v: Variant| table.iter().find(|(x, _)| *x == v).unwrap().1.clone();
+    let rp = get(Variant::RmaPromise);
+    let rf = get(Variant::RmaFuture);
+    let af = get(Variant::AmoFuture);
+    let ap = get(Variant::AmoPromise);
+    println!("\n  RMA w/promises eager/defer: {:.2}x  (paper: 1.09-1.25x)", rp[2] / rp[1]);
+    println!("  RMA w/futures  eager/defer: {:.2}x  (paper: 2.4-13.5x)", rf[2] / rf[1]);
+    println!("  AMO w/futures  eager/defer: {:.2}x  (paper: 1.5-7.1x)", af[2] / af[1]);
+    println!("  AMO w/promises eager/defer: {:.2}x  (paper: 1.01-1.04x)", ap[2] / ap[1]);
+    let manual = get(Variant::ManualLocalization);
+    println!(
+        "  manual-localization / RMA-promise-eager: {:.2}x  (paper: 1.25-1.36x)\n",
+        manual[2] / rp[2]
+    );
+}
+
+fn fig_8_matching(args: &Args) {
+    let ranks = args.ranks;
+    let scale = if args.quick { args.scale.min(0.1) } else { args.scale };
+    let samples = if args.quick { 1 } else { args.samples };
+    println!(
+        "== Figure 8: graph matching solve time ({} ranks, scale {scale}, seconds lower=better) ==\n",
+        ranks
+    );
+    println!(
+        "{}",
+        fmt_row(
+            "input (locality same-rank%)",
+            &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        )
+    );
+    for preset in Preset::ALL {
+        let g = preset.generate(scale);
+        let loc = LocalityStats::measure(&g, ranks, ranks);
+        let secs: Vec<f64> = VERSIONS
+            .iter()
+            .map(|&v| best_half_mean(samples, || matching::benchmark(ranks, v, &g).seconds))
+            .collect();
+        let cells: Vec<String> = secs.iter().map(|s| format!("{s:.4}s")).collect();
+        let label = format!("{} ({:.0}%)", preset.name(), 100.0 * loc.same_rank);
+        println!(
+            "{}  eager speedup {:+.1}%",
+            fmt_row(&label, &cells),
+            100.0 * (secs[1] / secs[2] - 1.0)
+        );
+    }
+    println!("\n  (paper: channel ~0%, venturi 2%, random 5%, delaunay 6%, youtube 11%)\n");
+}
+
+fn offnode_validation(args: &Args) {
+    let iters: u64 = if args.quick { 20_000 } else { 100_000 };
+    println!("== §IV-A validation: off-node RMA latency (2 simulated nodes, EDR-like 1.5us) ==\n");
+    let samples = if args.quick { 1 } else { args.samples };
+    for latency in [1_500u64, 5_000] {
+        let defer =
+            best_half_mean(samples, || offnode::rput_ns(LibVersion::V2021_3_6Defer, iters, latency));
+        let eager =
+            best_half_mean(samples, || offnode::rput_ns(LibVersion::V2021_3_6Eager, iters, latency));
+        println!(
+            "  network latency {:>5} ns: defer {defer:.0} ns/op, eager {eager:.0} ns/op, delta {:+.2}%",
+            latency,
+            100.0 * (eager / defer - 1.0)
+        );
+    }
+    println!("  (paper: no statistically significant difference)\n");
+}
+
+fn ablations(args: &Args) {
+    let n: u64 = if args.quick { 100_000 } else { 1_000_000 };
+    println!("== Ablations: conjoining-loop cost per op (ns), isolating each optimization ==\n");
+    for &v in &VERSIONS {
+        println!(
+            "  {v:<18} conjoin loop {:>8.1}  forced-defer {:>8.1}  promise loop {:>8.1}",
+            ablation::conjoin_loop_ns(v, n),
+            ablation::conjoin_loop_forced_defer_ns(v, n),
+            ablation::promise_loop_ns(v, n)
+        );
+    }
+    println!("\n  conjoin(eager) vs forced-defer isolates eager notification + ready-cell reuse;");
+    println!("  2021.3.6-defer vs 2021.3.0 isolates the extra-allocation removal.\n");
+}

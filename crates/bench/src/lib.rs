@@ -1,0 +1,270 @@
+//! Shared measurement harness for the paper's figures.
+//!
+//! Each figure has a module that produces its data series; the Criterion
+//! benches and the `figures` binary both drive these, so the printed tables
+//! and the benchmark timings come from the same code paths.
+
+use std::time::{Duration, Instant};
+
+use upcr::{launch, LibVersion, NetConfig, Rank, RuntimeConfig, Upcr};
+
+/// Figures 2–4: single-operation latency microbenchmarks.
+pub mod micro {
+    use super::*;
+
+    /// The operations measured in the microbenchmark figures.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum MicroOp {
+        /// 64-bit `rput` (value-less completion).
+        Put,
+        /// 64-bit `rget` (value-carrying completion).
+        Get,
+        /// 64-bit get written to memory (`copy`, value-less completion).
+        GetInto,
+        /// Non-fetching atomic add (existed in all versions).
+        AmoAdd,
+        /// Fetching atomic add, value in the completion.
+        AmoFetchAdd,
+        /// Fetching atomic add, value written to memory (§III-B; absent in
+        /// 2021.3.0).
+        AmoFetchAddInto,
+    }
+
+    impl MicroOp {
+        /// All ops in figure order.
+        pub const ALL: [MicroOp; 6] = [
+            MicroOp::Put,
+            MicroOp::Get,
+            MicroOp::GetInto,
+            MicroOp::AmoAdd,
+            MicroOp::AmoFetchAdd,
+            MicroOp::AmoFetchAddInto,
+        ];
+
+        /// Figure label.
+        pub fn name(self) -> &'static str {
+            match self {
+                MicroOp::Put => "put",
+                MicroOp::Get => "get",
+                MicroOp::GetInto => "get->memory",
+                MicroOp::AmoAdd => "atomic add",
+                MicroOp::AmoFetchAdd => "fetch-add->value",
+                MicroOp::AmoFetchAddInto => "fetch-add->memory",
+            }
+        }
+
+        /// Whether the op exists under the given version semantics.
+        pub fn available_in(self, version: LibVersion) -> bool {
+            self != MicroOp::AmoFetchAddInto || version.has_nonfetching_fetch_amos()
+        }
+    }
+
+    /// Time `iters` back-to-back `op().wait()` operations targeting
+    /// co-located on-node memory (the paper's loop), returning the total
+    /// wall time on the initiating rank.
+    ///
+    /// Runs 2 SMP ranks: rank 0 initiates against rank 1's segment (a
+    /// co-located process, reached via shared-memory bypass); rank 1 sits in
+    /// the exit barrier.
+    pub fn run(version: LibVersion, op: MicroOp, iters: u64) -> Duration {
+        assert!(op.available_in(version), "{op:?} unavailable in {version}");
+        let rt = RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 16);
+        let out = launch(rt, move |u| {
+            let mine = u.new_::<u64>(0);
+            let result = u.new_::<u64>(0);
+            let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
+            let target = targets[1 - u.rank_me()];
+            u.barrier();
+            let mut elapsed = Duration::ZERO;
+            if u.rank_me() == 0 {
+                let ad = u.atomic_domain::<u64>();
+                let t0 = Instant::now();
+                match op {
+                    MicroOp::Put => {
+                        for i in 0..iters {
+                            u.rput(i, target).wait();
+                        }
+                    }
+                    MicroOp::Get => {
+                        for _ in 0..iters {
+                            std::hint::black_box(u.rget(target).wait());
+                        }
+                    }
+                    MicroOp::GetInto => {
+                        for _ in 0..iters {
+                            u.copy(target, result, 1).wait();
+                        }
+                    }
+                    MicroOp::AmoAdd => {
+                        for _ in 0..iters {
+                            ad.add(target, 1).wait();
+                        }
+                    }
+                    MicroOp::AmoFetchAdd => {
+                        for _ in 0..iters {
+                            std::hint::black_box(ad.fetch_add(target, 1).wait());
+                        }
+                    }
+                    MicroOp::AmoFetchAddInto => {
+                        for _ in 0..iters {
+                            ad.fetch_add_into(target, 1, result).wait();
+                        }
+                    }
+                }
+                elapsed = t0.elapsed();
+            }
+            u.barrier();
+            u.delete_(mine);
+            u.delete_(result);
+            elapsed
+        });
+        out[0]
+    }
+
+    /// Nanoseconds per operation, averaged over `iters`.
+    pub fn ns_per_op(version: LibVersion, op: MicroOp, iters: u64) -> f64 {
+        run(version, op, iters).as_nanos() as f64 / iters as f64
+    }
+}
+
+/// §IV-A's off-node claim: the extra locality branch does not slow down
+/// operations that cross the (simulated) network.
+pub mod offnode {
+    use super::*;
+
+    /// Measure off-node round-trip `rput().wait()` latency between two
+    /// simulated nodes under the given version. Returns ns/op.
+    pub fn rput_ns(version: LibVersion, iters: u64, latency_ns: u64) -> f64 {
+        let rt = RuntimeConfig::udp(2, 1)
+            .with_version(version)
+            .with_segment_size(1 << 16)
+            .with_net(NetConfig { latency_ns, jitter_ns: 0 });
+        let out = launch(rt, move |u| {
+            let mine = u.new_::<u64>(0);
+            let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
+            let target = targets[1 - u.rank_me()];
+            u.barrier();
+            let mut elapsed = Duration::ZERO;
+            if u.rank_me() == 0 {
+                assert!(!u.is_local(target));
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    u.rput(i, target).wait();
+                }
+                elapsed = t0.elapsed();
+            }
+            u.barrier();
+            elapsed
+        });
+        out[0].as_nanos() as f64 / iters as f64
+    }
+}
+
+/// A convenient latency-measurement harness for ad-hoc experiments: runs
+/// `f` on rank 0 of a fresh SMP runtime and returns its duration.
+pub fn time_on_rank0<F>(ranks: usize, version: LibVersion, f: F) -> Duration
+where
+    F: Fn(&Upcr) + Sync,
+{
+    let rt = RuntimeConfig::smp(ranks).with_version(version).with_segment_size(1 << 20);
+    let out = launch(rt, move |u| {
+        u.barrier();
+        let t0 = Instant::now();
+        if u.rank_me() == 0 {
+            f(u);
+        }
+        let d = t0.elapsed();
+        u.barrier();
+        d
+    });
+    out[0]
+}
+
+/// Ablation knobs (DESIGN.md): measure the conjoining loop with individual
+/// optimizations isolated by version choice and completion factory.
+pub mod ablation {
+    use super::*;
+    use upcr::{conjoin, make_future, operation_cx};
+
+    /// Synchronization batch: operations conjoined/registered before each
+    /// wait. Mirrors the GUPS batching and keeps the dependency graph's
+    /// live working set bounded (an unbatched million-node chain measures
+    /// allocator pressure, not the notification mechanism).
+    pub const BATCH: u64 = 1024;
+
+    /// Conjoin `n` eager local rputs in [`BATCH`]-sized waves and wait per
+    /// wave; returns ns/op. Under the eager version this exercises both the
+    /// `when_all` fast path and the shared ready cell; under defer, the
+    /// full graph construction.
+    pub fn conjoin_loop_ns(version: LibVersion, n: u64) -> f64 {
+        let d = time_on_rank0(2, version, |u| {
+            let p = u.new_::<u64>(0);
+            let mut left = n;
+            while left > 0 {
+                let b = left.min(BATCH);
+                let mut f = make_future();
+                for i in 0..b {
+                    f = conjoin(f, u.rput(i, p));
+                }
+                f.wait();
+                left -= b;
+            }
+        });
+        d.as_nanos() as f64 / n as f64
+    }
+
+    /// Same loop but with explicitly deferred completion requests —
+    /// isolates the notification mode from the other 2021.3.6
+    /// optimizations.
+    pub fn conjoin_loop_forced_defer_ns(version: LibVersion, n: u64) -> f64 {
+        let d = time_on_rank0(2, version, |u| {
+            let p = u.new_::<u64>(0);
+            let mut left = n;
+            while left > 0 {
+                let b = left.min(BATCH);
+                let mut f = make_future();
+                for i in 0..b {
+                    f = conjoin(f, u.rput_with(i, p, operation_cx::as_defer_future()));
+                }
+                f.wait();
+                left -= b;
+            }
+        });
+        d.as_nanos() as f64 / n as f64
+    }
+
+    /// Promise-tracked eager/defer loop: isolates promise-registration
+    /// elision.
+    pub fn promise_loop_ns(version: LibVersion, n: u64) -> f64 {
+        let d = time_on_rank0(2, version, |u| {
+            let p = u.new_::<u64>(0);
+            let mut left = n;
+            while left > 0 {
+                let b = left.min(BATCH);
+                let pr = upcr::Promise::new();
+                for i in 0..b {
+                    u.rput_with(i, p, operation_cx::as_promise(&pr));
+                }
+                pr.finalize().wait();
+                left -= b;
+            }
+        });
+        d.as_nanos() as f64 / n as f64
+    }
+}
+
+/// Human-readable series formatting shared by the `figures` binary.
+pub fn fmt_row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<28}");
+    for c in cells {
+        s.push_str(&format!("{c:>16}"));
+    }
+    s
+}
+
+/// The version list in figure order.
+pub const VERSIONS: [LibVersion; 3] =
+    [LibVersion::V2021_3_0, LibVersion::V2021_3_6Defer, LibVersion::V2021_3_6Eager];
+
+/// Suppress unused warnings for re-exported Rank in downstream bins.
+pub type _Rank = Rank;

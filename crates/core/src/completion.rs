@@ -1,0 +1,548 @@
+//! The completions mechanism: what to signal, how, and *when*.
+//!
+//! A communication operation takes a *completions object* describing the
+//! notifications the program wants for each event (§II-A):
+//!
+//! * **source completion** — the source buffer is reusable;
+//! * **operation completion** — the whole operation finished at the
+//!   initiator;
+//! * **remote completion** — (puts only) data arrived at the target; runs an
+//!   RPC there.
+//!
+//! Individual requests come from the factory modules [`operation_cx`],
+//! [`source_cx`], and [`remote_cx`], and compose with `|` exactly as in
+//! UPC++:
+//!
+//! ```ignore
+//! let (src_done, op_done) = u.rput_with(
+//!     v, gp,
+//!     source_cx::as_future() | operation_cx::as_future(),
+//! );
+//! ```
+//!
+//! The paper's contribution lives in [`Notifier`]: when an operation's data
+//! movement completed **synchronously** at initiation and the request allows
+//! **eager** notification, the notification is delivered immediately — a
+//! ready future is returned (for `Future<()>`, the rank's shared
+//! pre-allocated cell: zero heap traffic) and promise registration is elided
+//! entirely. Otherwise the notification is routed through the deferred
+//! progress queue, as all notifications were through release 2021.3.0.
+
+use std::any::TypeId;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gasnex::EventCore;
+use parking_lot::Mutex;
+
+use crate::ctx::{Deferred, RankCtx};
+use crate::future::cell::{new_cell, new_cell_with_value};
+use crate::future::future::Future;
+use crate::future::promise::Promise;
+use crate::global_ptr::SegValue;
+use crate::stats::bump;
+use crate::version::LibVersion;
+
+/// When a requested notification may be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Follow the build's default (`UPCXX_DEFER_COMPLETION` semantics):
+    /// eager under "2021.3.6 eager", deferred otherwise.
+    Default,
+    /// Allow (not guarantee) eager delivery when the data movement completes
+    /// synchronously. Unavailable under 2021.3.0 semantics.
+    Eager,
+    /// Guarantee deferral to the next progress call (legacy behaviour).
+    Defer,
+}
+
+/// Values that can ride on a completion notification.
+///
+/// The one interesting method distinguishes `()` — whose ready futures can
+/// share the pre-allocated cell — from value-carrying types, which must
+/// allocate storage for the value ("the value must be stored somewhere",
+/// §III-B).
+pub trait CxValue: Clone + Send + 'static {
+    /// Build a ready future carrying `self` for an eagerly-completed
+    /// operation.
+    fn into_ready_future(self) -> Future<Self>;
+}
+
+impl CxValue for () {
+    #[inline]
+    fn into_ready_future(self) -> Future<()> {
+        Future::ready_unit()
+    }
+}
+
+macro_rules! impl_cxvalue_scalar {
+    ($($t:ty),*) => {$(
+        impl CxValue for $t {
+            #[inline]
+            fn into_ready_future(self) -> Future<Self> {
+                Future::ready(self)
+            }
+        }
+    )*};
+}
+impl_cxvalue_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: SegValue> CxValue for Vec<T> {
+    fn into_ready_future(self) -> Future<Self> {
+        Future::ready(self)
+    }
+}
+
+#[inline]
+fn is_unit<V: 'static>() -> bool {
+    TypeId::of::<V>() == TypeId::of::<()>()
+}
+
+/// How the data movement of an operation completed.
+pub(crate) enum Disp<V: CxValue> {
+    /// Synchronously, during initiation, producing `V` — eligible for eager
+    /// notification.
+    Sync(V),
+    /// Asynchronously: `ev` signals when done; the produced value (if any)
+    /// lands in `slot` before the signal.
+    Async { ev: Arc<EventCore>, slot: Arc<Mutex<Option<V>>> },
+}
+
+/// Routes each requested notification either eagerly or through the
+/// deferred queue, based on the operation's disposition, the request mode,
+/// and the running library version.
+///
+/// Constructed internally by communication operations; public only because
+/// it appears in [`Completions::notify`] signatures.
+pub struct Notifier<'a, V: CxValue> {
+    ctx: &'a RankCtx,
+    op: Disp<V>,
+}
+
+impl<'a, V: CxValue> Notifier<'a, V> {
+    pub(crate) fn sync(ctx: &'a RankCtx, v: V) -> Self {
+        Notifier { ctx, op: Disp::Sync(v) }
+    }
+
+    pub(crate) fn pending(ctx: &'a RankCtx, ev: Arc<EventCore>, slot: Arc<Mutex<Option<V>>>) -> Self {
+        Notifier { ctx, op: Disp::Async { ev, slot } }
+    }
+
+    /// Resolve a request mode against the running version. Panics if the
+    /// program uses an eager factory under 2021.3.0 semantics, where those
+    /// factories do not exist.
+    fn eager_requested(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Default => self.ctx.version.default_eager(),
+            Mode::Defer => false,
+            Mode::Eager => {
+                assert!(
+                    self.ctx.version.has_eager_factories(),
+                    "as_eager_* completion factories do not exist in UPC++ {}",
+                    LibVersion::V2021_3_0
+                );
+                true
+            }
+        }
+    }
+
+    /// Operation-completion notification via a future.
+    pub fn op_future(&self, mode: Mode) -> Future<V> {
+        match &self.op {
+            Disp::Sync(v) => {
+                if self.eager_requested(mode) {
+                    // The eager fast path: no cell allocation for `()`, no
+                    // progress-queue traffic.
+                    bump(&self.ctx.stats.eager_notifications);
+                    v.clone().into_ready_future()
+                } else {
+                    let cell = new_cell::<V>(1);
+                    let c = Rc::clone(&cell);
+                    let v = v.clone();
+                    self.ctx.push_deferred(Deferred::Now(Box::new(move || {
+                        c.set_value(v);
+                        c.fulfill(1);
+                    })));
+                    Future::from_cell(cell)
+                }
+            }
+            Disp::Async { ev, slot } => {
+                let cell = new_cell::<V>(1);
+                let c = Rc::clone(&cell);
+                let slot = Arc::clone(slot);
+                self.ctx.push_deferred(Deferred::OnEvent(
+                    Arc::clone(ev),
+                    Box::new(move || {
+                        let v = slot
+                            .lock()
+                            .clone()
+                            .expect("operation event signalled before its value was stored");
+                        c.set_value(v);
+                        c.fulfill(1);
+                    }),
+                ));
+                Future::from_cell(cell)
+            }
+        }
+    }
+
+    /// Operation-completion notification via a promise.
+    pub fn op_promise(&self, p: &Promise<V>, mode: Mode) {
+        match &self.op {
+            Disp::Sync(v) => {
+                if self.eager_requested(mode) {
+                    // Elide the require/fulfill pair entirely; a produced
+                    // value still has to land in the promise's result slot.
+                    bump(&self.ctx.stats.eager_notifications);
+                    if !is_unit::<V>() {
+                        p.set_value_only(v.clone());
+                    }
+                } else {
+                    p.require_anonymous(1);
+                    let p2 = p.clone();
+                    let v = v.clone();
+                    self.ctx.push_deferred(Deferred::Now(Box::new(move || {
+                        if !is_unit::<V>() {
+                            p2.set_value_only(v);
+                        }
+                        p2.fulfill_anonymous(1);
+                    })));
+                }
+            }
+            Disp::Async { ev, slot } => {
+                p.require_anonymous(1);
+                let p2 = p.clone();
+                let slot = Arc::clone(slot);
+                self.ctx.push_deferred(Deferred::OnEvent(
+                    Arc::clone(ev),
+                    Box::new(move || {
+                        if !is_unit::<V>() {
+                            let v = slot
+                                .lock()
+                                .clone()
+                                .expect("operation event signalled before its value was stored");
+                            p2.set_value_only(v);
+                        }
+                        p2.fulfill_anonymous(1);
+                    }),
+                ));
+            }
+        }
+    }
+
+    /// Operation-completion local procedure call.
+    pub fn op_lpc(&self, f: Box<dyn FnOnce(V)>, mode: Mode) {
+        match &self.op {
+            Disp::Sync(v) => {
+                if self.eager_requested(mode) {
+                    bump(&self.ctx.stats.eager_notifications);
+                    f(v.clone());
+                } else {
+                    let v = v.clone();
+                    self.ctx.push_deferred(Deferred::Now(Box::new(move || f(v))));
+                }
+            }
+            Disp::Async { ev, slot } => {
+                let slot = Arc::clone(slot);
+                self.ctx.push_deferred(Deferred::OnEvent(
+                    Arc::clone(ev),
+                    Box::new(move || {
+                        let v = slot
+                            .lock()
+                            .clone()
+                            .expect("operation event signalled before its value was stored");
+                        f(v)
+                    }),
+                ));
+            }
+        }
+    }
+
+    /// Source-completion notification via a future.
+    ///
+    /// In this implementation the source payload is always captured during
+    /// initiation (scalar by value; bulk by copy into the injected message),
+    /// so source completion is always synchronous: the only question is
+    /// whether its notification is delivered eagerly or deferred.
+    pub fn source_future(&self, mode: Mode) -> Future<()> {
+        if self.eager_requested(mode) {
+            bump(&self.ctx.stats.eager_notifications);
+            Future::ready_unit()
+        } else {
+            let cell = new_cell_with_value(1, ());
+            let c = Rc::clone(&cell);
+            self.ctx.push_deferred(Deferred::Now(Box::new(move || {
+                c.fulfill(1);
+            })));
+            Future::from_cell(cell)
+        }
+    }
+
+    /// Source-completion notification via a promise.
+    pub fn source_promise(&self, p: &Promise<()>, mode: Mode) {
+        if self.eager_requested(mode) {
+            bump(&self.ctx.stats.eager_notifications);
+        } else {
+            p.require_anonymous(1);
+            let p2 = p.clone();
+            self.ctx.push_deferred(Deferred::Now(Box::new(move || p2.fulfill_anonymous(1))));
+        }
+    }
+}
+
+/// A remote-completion RPC payload (runs on the target after data arrival).
+pub(crate) type RemoteFn = Box<dyn FnOnce() + Send>;
+
+/// A composed set of completion requests for one operation producing `V`.
+///
+/// Implemented by the factory products and by [`CxPair`], whose `Out` is the
+/// tuple of the parts' outputs (a future per `as_future` request; `()` for
+/// promise/LPC/RPC requests).
+pub trait Completions<V: CxValue> {
+    /// What the initiating call returns.
+    type Out;
+    /// Drain any remote-completion RPCs into `sink` (the operation attaches
+    /// them to the data transfer).
+    fn take_remote(&mut self, sink: &mut Vec<RemoteFn>);
+    /// Wire up the local notifications and produce the call's return value.
+    fn notify(self, n: &Notifier<'_, V>) -> Self::Out;
+}
+
+/// Requested operation-completion future.
+pub struct OpFuture {
+    mode: Mode,
+}
+/// Requested operation-completion promise notification.
+pub struct OpPromise<V: CxValue> {
+    p: Promise<V>,
+    mode: Mode,
+}
+/// Requested operation-completion local procedure call.
+pub struct OpLpc<F> {
+    f: F,
+    mode: Mode,
+}
+/// Requested source-completion future.
+pub struct SrcFuture {
+    mode: Mode,
+}
+/// Requested source-completion promise notification.
+pub struct SrcPromise {
+    p: Promise<()>,
+    mode: Mode,
+}
+/// Requested remote-completion RPC.
+pub struct RemoteRpc {
+    f: Option<RemoteFn>,
+}
+/// Two composed completion requests (`a | b`).
+pub struct CxPair<A, B>(A, B);
+
+impl<V: CxValue> Completions<V> for OpFuture {
+    type Out = Future<V>;
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) -> Future<V> {
+        n.op_future(self.mode)
+    }
+}
+
+impl<V: CxValue> Completions<V> for OpPromise<V> {
+    type Out = ();
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) {
+        n.op_promise(&self.p, self.mode)
+    }
+}
+
+impl<V: CxValue, F: FnOnce(V) + 'static> Completions<V> for OpLpc<F> {
+    type Out = ();
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) {
+        n.op_lpc(Box::new(self.f), self.mode)
+    }
+}
+
+impl<V: CxValue> Completions<V> for SrcFuture {
+    type Out = Future<()>;
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) -> Future<()> {
+        n.source_future(self.mode)
+    }
+}
+
+impl<V: CxValue> Completions<V> for SrcPromise {
+    type Out = ();
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) {
+        n.source_promise(&self.p, self.mode)
+    }
+}
+
+impl<V: CxValue> Completions<V> for RemoteRpc {
+    type Out = ();
+    fn take_remote(&mut self, sink: &mut Vec<RemoteFn>) {
+        sink.extend(self.f.take());
+    }
+    fn notify(self, _n: &Notifier<'_, V>) {}
+}
+
+impl<V: CxValue, A: Completions<V>, B: Completions<V>> Completions<V> for CxPair<A, B> {
+    type Out = (A::Out, B::Out);
+    fn take_remote(&mut self, sink: &mut Vec<RemoteFn>) {
+        self.0.take_remote(sink);
+        self.1.take_remote(sink);
+    }
+    fn notify(self, n: &Notifier<'_, V>) -> Self::Out {
+        (self.0.notify(n), self.1.notify(n))
+    }
+}
+
+macro_rules! impl_bitor {
+    ($ty:ty $(, $gen:ident $(: $bound:path)?)*) => {
+        impl<Rhs $(, $gen $(: $bound)?)*> std::ops::BitOr<Rhs> for $ty {
+            type Output = CxPair<Self, Rhs>;
+            fn bitor(self, rhs: Rhs) -> Self::Output {
+                CxPair(self, rhs)
+            }
+        }
+    };
+}
+impl_bitor!(OpFuture);
+impl_bitor!(OpPromise<V>, V: CxValue);
+impl_bitor!(OpLpc<F>, F);
+impl_bitor!(SrcFuture);
+impl_bitor!(SrcPromise);
+impl_bitor!(RemoteRpc);
+impl_bitor!(CxPair<A, B>, A, B);
+
+/// Factories for operation-completion notifications.
+pub mod operation_cx {
+    use super::*;
+
+    /// Future notification with the build's default eager/defer semantics.
+    pub fn as_future() -> OpFuture {
+        OpFuture { mode: Mode::Default }
+    }
+    /// Future notification, eager when the operation completes
+    /// synchronously (§III-A).
+    pub fn as_eager_future() -> OpFuture {
+        OpFuture { mode: Mode::Eager }
+    }
+    /// Future notification, always deferred to a progress call.
+    pub fn as_defer_future() -> OpFuture {
+        OpFuture { mode: Mode::Defer }
+    }
+    /// Promise notification with the build's default semantics.
+    pub fn as_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
+        OpPromise { p: p.clone(), mode: Mode::Default }
+    }
+    /// Promise notification, eager when possible.
+    pub fn as_eager_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
+        OpPromise { p: p.clone(), mode: Mode::Eager }
+    }
+    /// Promise notification, always deferred.
+    pub fn as_defer_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
+        OpPromise { p: p.clone(), mode: Mode::Defer }
+    }
+    /// Local procedure call on operation completion.
+    pub fn as_lpc<V: CxValue, F: FnOnce(V) + 'static>(f: F) -> OpLpc<F> {
+        OpLpc { f, mode: Mode::Default }
+    }
+}
+
+/// Factories for source-completion notifications.
+pub mod source_cx {
+    use super::*;
+
+    /// Future notification with the build's default semantics.
+    pub fn as_future() -> SrcFuture {
+        SrcFuture { mode: Mode::Default }
+    }
+    /// Future notification, eager when possible.
+    pub fn as_eager_future() -> SrcFuture {
+        SrcFuture { mode: Mode::Eager }
+    }
+    /// Future notification, always deferred.
+    pub fn as_defer_future() -> SrcFuture {
+        SrcFuture { mode: Mode::Defer }
+    }
+    /// Promise notification with the build's default semantics.
+    pub fn as_promise(p: &Promise<()>) -> SrcPromise {
+        SrcPromise { p: p.clone(), mode: Mode::Default }
+    }
+    /// Promise notification, eager when possible.
+    pub fn as_eager_promise(p: &Promise<()>) -> SrcPromise {
+        SrcPromise { p: p.clone(), mode: Mode::Eager }
+    }
+    /// Promise notification, always deferred.
+    pub fn as_defer_promise(p: &Promise<()>) -> SrcPromise {
+        SrcPromise { p: p.clone(), mode: Mode::Defer }
+    }
+}
+
+/// Factories for remote-completion notifications (puts only).
+pub mod remote_cx {
+    use super::*;
+
+    /// Run `f` on the target rank after the data has arrived.
+    pub fn as_rpc(f: impl FnOnce() + Send + 'static) -> RemoteRpc {
+        RemoteRpc { f: Some(Box::new(f)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{launch, RuntimeConfig};
+
+    #[test]
+    fn cxvalue_unit_ready_future_is_ready() {
+        let f = ().into_ready_future();
+        assert!(f.is_ready());
+        let g = 42u64.into_ready_future();
+        assert_eq!(g.result(), 42);
+        let v = vec![1u8, 2].into_ready_future();
+        assert_eq!(v.result(), vec![1, 2]);
+    }
+
+    #[test]
+    fn is_unit_discriminates() {
+        assert!(is_unit::<()>());
+        assert!(!is_unit::<u64>());
+        assert!(!is_unit::<Vec<u8>>());
+    }
+
+    #[test]
+    fn composition_produces_nested_tuples() {
+        // Type-level check: (src | (op | rpc)) yields (Future<()>, (Future<()>, ())).
+        launch(RuntimeConfig::smp(1).with_segment_size(1 << 16), |u| {
+            let p = u.new_::<u64>(0);
+            let (src, (op, ())) = u.rput_with(
+                1,
+                p,
+                source_cx::as_future() | (operation_cx::as_future() | remote_cx::as_rpc(|| {})),
+            );
+            assert!(src.is_ready() && op.is_ready());
+            u.progress(); // drain the self-targeted rpc
+        });
+    }
+
+    #[test]
+    fn mode_default_tracks_version() {
+        for (version, expect_ready) in [
+            (LibVersion::V2021_3_0, false),
+            (LibVersion::V2021_3_6Defer, false),
+            (LibVersion::V2021_3_6Eager, true),
+        ] {
+            launch(
+                RuntimeConfig::smp(1).with_version(version).with_segment_size(1 << 16),
+                move |u| {
+                    let p = u.new_::<u64>(0);
+                    let f = u.rput_with(1, p, operation_cx::as_future());
+                    assert_eq!(f.is_ready(), expect_ready, "{version}");
+                    f.wait();
+                },
+            );
+        }
+    }
+}

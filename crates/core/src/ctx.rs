@@ -1,0 +1,404 @@
+//! Per-rank runtime context, thread-local access, and the progress engine.
+//!
+//! Every SPMD rank thread owns a [`RankCtx`]: its gasnex identity, the
+//! configured library version, the deferred-notification queue (the paper's
+//! "internal queue to be readied later by the progress engine"), the
+//! RPC-reply continuation table, the shared ready unit cell, and statistics.
+//!
+//! The context is installed in thread-local storage for the duration of the
+//! SPMD region so that futures (`wait`), free functions, and callbacks can
+//! reach the progress engine without threading a handle everywhere.
+
+use std::any::Any;
+use std::cell::{Cell as StdCell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gasnex::{Conduit, EventCore, Rank, World};
+
+use crate::future::cell::{shared_ready_unit_cell, Cell};
+use crate::stats::{bump, Stats};
+use crate::version::LibVersion;
+
+/// A rank-local continuation fed by a type-erased RPC reply payload.
+pub(crate) type ReplyContinuation = Box<dyn FnOnce(Box<dyn Any + Send>)>;
+
+/// A notification waiting for delivery by the progress engine.
+pub(crate) enum Deferred {
+    /// The operation already completed synchronously, but the requested
+    /// semantics defer its notification to the next progress call (legacy
+    /// behaviour, and the explicit `as_defer_*` factories).
+    Now(Box<dyn FnOnce()>),
+    /// The operation is in flight; deliver the notification once its event
+    /// signals.
+    OnEvent(Arc<EventCore>, Box<dyn FnOnce()>),
+    /// Deliver once an arbitrary condition holds (asynchronous collectives:
+    /// the progress engine polls the predicate).
+    OnCheck(Box<dyn Fn() -> bool>, Box<dyn FnOnce()>),
+}
+
+pub(crate) struct RankCtx {
+    pub world: Arc<World>,
+    pub me: Rank,
+    pub version: LibVersion,
+    /// `is_local` is compile-time-true: SMP conduit under a version with the
+    /// constexpr optimization.
+    pub assume_all_local: bool,
+    pub deferred: RefCell<VecDeque<Deferred>>,
+    /// RPC continuations keyed by reply id; executed when the reply AM
+    /// arrives on this thread.
+    pub replies: RefCell<HashMap<u64, ReplyContinuation>>,
+    pub next_reply_id: StdCell<u64>,
+    /// The pre-allocated ready cell shared by every ready `Future<()>`
+    /// (when the version has the elision).
+    pub ready_unit: Rc<Cell<()>>,
+    pub stats: Stats,
+    /// Re-entrancy guard: progress calls from inside progress are no-ops.
+    in_progress: StdCell<bool>,
+}
+
+impl RankCtx {
+    pub fn new(world: Arc<World>, me: Rank, version: LibVersion) -> Rc<RankCtx> {
+        let assume_all_local =
+            world.config().conduit == Conduit::Smp && version.has_constexpr_is_local();
+        Rc::new(RankCtx {
+            world,
+            me,
+            version,
+            assume_all_local,
+            deferred: RefCell::new(VecDeque::new()),
+            replies: RefCell::new(HashMap::new()),
+            next_reply_id: StdCell::new(0),
+            ready_unit: shared_ready_unit_cell(),
+            stats: Stats::default(),
+            in_progress: StdCell::new(false),
+        })
+    }
+
+    /// Whether `target`'s segment is directly addressable from this rank.
+    #[inline]
+    pub fn addressable(&self, target: Rank) -> bool {
+        if self.assume_all_local {
+            return true;
+        }
+        self.world.directly_addressable(self.me, target)
+    }
+
+    /// Allocate a fresh RPC reply id and register its continuation.
+    pub fn register_reply(&self, k: ReplyContinuation) -> u64 {
+        let id = self.next_reply_id.get();
+        self.next_reply_id.set(id + 1);
+        self.replies.borrow_mut().insert(id, k);
+        id
+    }
+
+    /// Enqueue a deferred notification.
+    pub fn push_deferred(&self, d: Deferred) {
+        bump(&self.stats.deferred_enqueued);
+        self.deferred.borrow_mut().push_back(d);
+    }
+
+    /// One progress quantum: drain incoming AMs and network deliveries, then
+    /// deliver due deferred notifications. Returns the number of work items
+    /// processed. Re-entrant calls (from callbacks running inside progress)
+    /// return 0 immediately, mirroring UPC++'s non-re-entrant progress
+    /// engine.
+    pub fn progress_quantum(&self) -> usize {
+        if self.in_progress.get() {
+            return 0;
+        }
+        if self.world.is_aborted() {
+            panic!("another rank panicked; aborting rank {}", self.me);
+        }
+        self.in_progress.set(true);
+        bump(&self.stats.progress_calls);
+        let mut n = self.world.poll_rank(self.me, 64);
+
+        // Deliver deferred notifications. Process at most the entries
+        // present at entry (callbacks may enqueue more, handled next
+        // quantum); keep un-signalled event waiters, preserving their order.
+        let quota = self.deferred.borrow().len();
+        let mut kept: Vec<Deferred> = Vec::new();
+        for _ in 0..quota {
+            let Some(item) = self.deferred.borrow_mut().pop_front() else { break };
+            match item {
+                Deferred::Now(f) => {
+                    f();
+                    n += 1;
+                }
+                Deferred::OnEvent(ev, f) => {
+                    if ev.is_done() {
+                        f();
+                        n += 1;
+                    } else {
+                        kept.push(Deferred::OnEvent(ev, f));
+                    }
+                }
+                Deferred::OnCheck(pred, f) => {
+                    if pred() {
+                        f();
+                        n += 1;
+                    } else {
+                        kept.push(Deferred::OnCheck(pred, f));
+                    }
+                }
+            }
+        }
+        if !kept.is_empty() {
+            let mut q = self.deferred.borrow_mut();
+            for item in kept.into_iter().rev() {
+                q.push_front(item);
+            }
+        }
+        self.in_progress.set(false);
+        n
+    }
+
+    /// Whether this rank has locally visible outstanding work.
+    pub fn locally_idle(&self) -> bool {
+        self.deferred.borrow().is_empty()
+            && self.replies.borrow().is_empty()
+            && self.world.ams_queued(self.me) == 0
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Rc<RankCtx>>> = const { RefCell::new(None) };
+}
+
+/// Install `ctx` as the thread's active rank context; restores the previous
+/// one (normally `None`) on drop.
+pub(crate) struct CtxGuard {
+    prev: Option<Rc<RankCtx>>,
+}
+
+impl CtxGuard {
+    pub fn install(ctx: Rc<RankCtx>) -> CtxGuard {
+        let prev = CTX.with(|c| c.borrow_mut().replace(ctx));
+        CtxGuard { prev }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Run `f` with the active context; panics if none (i.e. outside `launch`).
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&RankCtx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("this operation requires an active upcr runtime (inside Runtime::launch)");
+        f(ctx)
+    })
+}
+
+/// Run `f` with the active context if one exists.
+pub(crate) fn try_with_ctx<R>(f: impl FnOnce(&RankCtx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| f(ctx)))
+}
+
+/// A clone of the active context handle; panics outside a `launch` region.
+pub(crate) fn clone_current() -> Rc<RankCtx> {
+    CTX.with(|c| {
+        Rc::clone(c.borrow().as_ref().expect(
+            "this operation requires an active upcr runtime (inside Runtime::launch)",
+        ))
+    })
+}
+
+/// Drive one progress quantum on the active context. Returns `None` when no
+/// runtime is active (so `Future::wait` can give a precise error), otherwise
+/// the number of work items processed.
+pub(crate) fn progress_with_work() -> Option<usize> {
+    try_with_ctx(|ctx| ctx.progress_quantum())
+}
+
+/// Record an internal promise-cell allocation (no-op outside a runtime).
+#[inline]
+pub(crate) fn note_cell_alloc() {
+    let _ = try_with_ctx(|ctx| bump(&ctx.stats.cell_allocs));
+}
+
+/// Whether the running version applies the `when_all` ready-input
+/// optimization. Outside a runtime (pure future unit tests) the optimization
+/// is on — the semantics are identical either way.
+#[inline]
+pub(crate) fn when_all_opt_enabled() -> bool {
+    try_with_ctx(|ctx| ctx.version.has_when_all_opt()).unwrap_or(true)
+}
+
+#[inline]
+pub(crate) fn note_when_all_fast() {
+    let _ = try_with_ctx(|ctx| bump(&ctx.stats.when_all_fast));
+}
+
+#[inline]
+pub(crate) fn note_when_all_node() {
+    let _ = try_with_ctx(|ctx| bump(&ctx.stats.when_all_nodes));
+}
+
+/// The cell behind a ready `Future<()>`: the shared pre-allocated cell when
+/// the version elides the allocation, a fresh heap cell otherwise. Outside a
+/// runtime, a fresh (uncounted) cell.
+pub(crate) fn ready_unit_future_cell() -> Rc<Cell<()>> {
+    try_with_ctx(|ctx| {
+        if ctx.version.has_ready_cell_elision() {
+            Rc::clone(&ctx.ready_unit)
+        } else {
+            crate::future::cell::new_ready_cell(())
+        }
+    })
+    .unwrap_or_else(shared_ready_unit_cell)
+}
+
+/// Deliver an RPC reply payload to its registered continuation. Called from
+/// the reply AM, which gasnex executes on the initiating thread during its
+/// progress — so the continuation (which touches rank-local futures) runs on
+/// the right thread.
+pub(crate) fn deliver_reply(id: u64, payload: Box<dyn Any + Send>) {
+    let k = with_ctx(|ctx| ctx.replies.borrow_mut().remove(&id))
+        .unwrap_or_else(|| panic!("RPC reply {id} has no registered continuation"));
+    k(payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gasnex::GasnexConfig;
+
+    fn test_ctx() -> Rc<RankCtx> {
+        let world = World::new(GasnexConfig::smp(1).with_segment_size(1 << 12));
+        RankCtx::new(world, Rank(0), LibVersion::V2021_3_6Eager)
+    }
+
+    #[test]
+    fn guard_installs_and_restores() {
+        assert!(try_with_ctx(|_| ()).is_none());
+        {
+            let _g = CtxGuard::install(test_ctx());
+            assert!(try_with_ctx(|_| ()).is_some());
+        }
+        assert!(try_with_ctx(|_| ()).is_none());
+    }
+
+    #[test]
+    fn deferred_now_runs_on_next_quantum() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let hit = Rc::new(StdCell::new(false));
+        let h = Rc::clone(&hit);
+        ctx.push_deferred(Deferred::Now(Box::new(move || h.set(true))));
+        assert!(!hit.get());
+        ctx.progress_quantum();
+        assert!(hit.get());
+        assert!(ctx.locally_idle());
+    }
+
+    #[test]
+    fn deferred_on_event_waits_for_signal() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let core = EventCore::new();
+        let hit = Rc::new(StdCell::new(false));
+        let h = Rc::clone(&hit);
+        ctx.push_deferred(Deferred::OnEvent(Arc::clone(&core), Box::new(move || h.set(true))));
+        ctx.progress_quantum();
+        assert!(!hit.get(), "notification before event signal");
+        core.signal();
+        ctx.progress_quantum();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn notification_order_preserved_across_quanta() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let core = EventCore::new();
+        for i in 0..4 {
+            let log = Rc::clone(&log);
+            if i == 1 {
+                ctx.push_deferred(Deferred::OnEvent(
+                    Arc::clone(&core),
+                    Box::new(move || log.borrow_mut().push(i)),
+                ));
+            } else {
+                ctx.push_deferred(Deferred::Now(Box::new(move || log.borrow_mut().push(i))));
+            }
+        }
+        ctx.progress_quantum();
+        // 1 is blocked on the event; everything else delivered in order.
+        assert_eq!(*log.borrow(), vec![0, 2, 3]);
+        core.signal();
+        ctx.progress_quantum();
+        assert_eq!(*log.borrow(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn progress_is_not_reentrant() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let ctx2 = Rc::clone(&ctx);
+        let nested = Rc::new(StdCell::new(usize::MAX));
+        let n2 = Rc::clone(&nested);
+        ctx.push_deferred(Deferred::Now(Box::new(move || {
+            n2.set(ctx2.progress_quantum());
+        })));
+        ctx.progress_quantum();
+        assert_eq!(nested.get(), 0, "nested progress must be a no-op");
+    }
+
+    #[test]
+    fn callback_enqueueing_deferred_is_deferred_to_next_quantum() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let ctx2 = Rc::clone(&ctx);
+        let hit = Rc::new(StdCell::new(0));
+        let h1 = Rc::clone(&hit);
+        ctx.push_deferred(Deferred::Now(Box::new(move || {
+            h1.set(1);
+            let h2 = Rc::clone(&h1);
+            ctx2.push_deferred(Deferred::Now(Box::new(move || h2.set(2))));
+        })));
+        ctx.progress_quantum();
+        assert_eq!(hit.get(), 1);
+        ctx.progress_quantum();
+        assert_eq!(hit.get(), 2);
+    }
+
+    #[test]
+    fn ready_unit_cell_shared_under_eager() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let a = ready_unit_future_cell();
+        let b = ready_unit_future_cell();
+        assert!(Rc::ptr_eq(&a, &b), "elided ready cells must be the shared singleton");
+        assert_eq!(ctx.stats.snapshot().cell_allocs, 0);
+    }
+
+    #[test]
+    fn ready_unit_cell_fresh_under_legacy() {
+        let world = World::new(GasnexConfig::smp(1).with_segment_size(1 << 12));
+        let ctx = RankCtx::new(world, Rank(0), LibVersion::V2021_3_0);
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let a = ready_unit_future_cell();
+        let b = ready_unit_future_cell();
+        assert!(!Rc::ptr_eq(&a, &b), "2021.3.0 allocates each ready cell");
+        assert_eq!(ctx.stats.snapshot().cell_allocs, 2);
+    }
+
+    #[test]
+    fn assume_all_local_only_on_smp_with_new_version() {
+        let smp = World::new(GasnexConfig::smp(2).with_segment_size(1 << 12));
+        assert!(RankCtx::new(Arc::clone(&smp), Rank(0), LibVersion::V2021_3_6Eager).assume_all_local);
+        assert!(!RankCtx::new(smp, Rank(0), LibVersion::V2021_3_0).assume_all_local);
+        let udp = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12));
+        assert!(!RankCtx::new(udp, Rank(0), LibVersion::V2021_3_6Eager).assume_all_local);
+    }
+}

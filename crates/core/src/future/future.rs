@@ -1,0 +1,241 @@
+//! Futures: the consumer side of asynchronous results.
+
+use std::rc::Rc;
+
+use super::cell::{new_cell, new_ready_cell, Cell};
+use crate::ctx::{progress_with_work, ready_unit_future_cell};
+
+/// A handle to an asynchronous result of type `T`.
+///
+/// Futures are rank-local (not `Send`): like UPC++ futures they may only be
+/// consumed by the rank (thread) that created them. Copies are cheap
+/// reference-count bumps; all copies observe the same readiness and value.
+///
+/// `T` defaults to `()` — the value-less `future<>` whose ready instances
+/// the paper's optimization constructs without heap allocation.
+pub struct Future<T: Clone + 'static = ()> {
+    pub(crate) cell: Rc<Cell<T>>,
+}
+
+impl<T: Clone + 'static> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future { cell: Rc::clone(&self.cell) }
+    }
+}
+
+impl<T: Clone + 'static> Future<T> {
+    pub(crate) fn from_cell(cell: Rc<Cell<T>>) -> Self {
+        Future { cell }
+    }
+
+    /// A ready future holding `value`. Always allocates an internal cell —
+    /// the value has to live somewhere (the paper notes this elision is
+    /// impossible for value-carrying futures).
+    pub fn ready(value: T) -> Self {
+        Future { cell: new_ready_cell(value) }
+    }
+
+    /// Whether the result is available.
+    #[inline]
+    pub fn is_ready(&self) -> bool {
+        self.cell.is_ready()
+    }
+
+    /// The result; panics if not yet ready (use [`wait`](Self::wait) to
+    /// block).
+    pub fn result(&self) -> T {
+        self.cell.get()
+    }
+
+    /// Block until ready, driving the progress engine, and return the
+    /// result.
+    ///
+    /// Must not be called from inside a progress callback (an RPC handler or
+    /// a `then` continuation executing during progress): progress is not
+    /// re-entrant, so such a wait could never complete. This mirrors the
+    /// UPC++ restriction.
+    pub fn wait(&self) -> T {
+        let mut idle_streak = 0u32;
+        while !self.cell.is_ready() {
+            match progress_with_work() {
+                None => panic!(
+                    "Future::wait outside an active runtime on a future that \
+                     is not ready: it can never become ready"
+                ),
+                Some(0) => {
+                    idle_streak += 1;
+                    // Waiting on another rank (e.g. an RPC reply) while
+                    // oversubscribed: yield so the producer can run. The
+                    // threshold keeps short waits (e.g. simulated-network
+                    // latency the waiter itself can deliver) spinning, so
+                    // latency measurements stay scheduler-independent.
+                    if idle_streak > 16 {
+                        std::thread::yield_now();
+                    }
+                }
+                Some(_) => idle_streak = 0,
+            }
+        }
+        self.cell.get()
+    }
+
+    /// Attach a continuation: returns a future for `f(result)`.
+    ///
+    /// If this future is already ready the continuation executes
+    /// *immediately* in the caller's context (as in UPC++); otherwise it
+    /// runs when the notification is delivered — under deferred completion,
+    /// that is inside a later progress call.
+    pub fn then<U: Clone + 'static>(&self, f: impl FnOnce(T) -> U + 'static) -> Future<U> {
+        // Fast path: ready input runs the callback now; the output future is
+        // constructed directly in the ready state.
+        if self.cell.is_ready() {
+            return Future::ready(f(self.cell.get()));
+        }
+        let out = new_cell::<U>(1);
+        let out2 = Rc::clone(&out);
+        self.cell.add_cb(move |v| {
+            out2.set_value(f(v));
+            out2.fulfill(1);
+        });
+        Future { cell: out }
+    }
+
+    /// Attach a future-returning continuation, flattening the result (the
+    /// UPC++ `then` behaviour for callbacks that return futures).
+    pub fn then_fut<U: Clone + 'static>(
+        &self,
+        f: impl FnOnce(T) -> Future<U> + 'static,
+    ) -> Future<U> {
+        if self.cell.is_ready() {
+            return f(self.cell.get());
+        }
+        let out = new_cell::<U>(1);
+        let out2 = Rc::clone(&out);
+        self.cell.add_cb(move |v| {
+            let inner = f(v);
+            let out3 = Rc::clone(&out2);
+            inner.cell.add_cb(move |u| {
+                out3.set_value(u);
+                out3.fulfill(1);
+            });
+        });
+        Future { cell: out }
+    }
+
+    /// Register a side-effect callback to run with the result on readiness
+    /// (immediately if already ready).
+    pub fn on_ready(&self, f: impl FnOnce(T) + 'static) {
+        self.cell.add_cb(f);
+    }
+}
+
+impl Future<()> {
+    /// A ready value-less future.
+    ///
+    /// Under versions with the ready-cell elision this reuses the rank's
+    /// shared pre-allocated ready cell (no heap allocation); under 2021.3.0
+    /// semantics it allocates a fresh cell, as the release did.
+    pub fn ready_unit() -> Self {
+        Future { cell: ready_unit_future_cell() }
+    }
+}
+
+/// Construct a ready value-less future — the UPC++ `make_future()` idiom
+/// used as the base case when conjoining futures in a loop.
+pub fn make_future() -> Future<()> {
+    Future::ready_unit()
+}
+
+/// Construct a ready future carrying `value` (UPC++ `make_future(v)`).
+pub fn make_future_with<T: Clone + 'static>(value: T) -> Future<T> {
+    Future::ready(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::cell::new_cell_with_value;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn ready_future_result() {
+        let f = Future::ready(7u32);
+        assert!(f.is_ready());
+        assert_eq!(f.result(), 7);
+        assert_eq!(f.wait(), 7);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let cell = new_cell_with_value(1, 5u64);
+        let f = Future::from_cell(cell.clone());
+        let g = f.clone();
+        assert!(!g.is_ready());
+        cell.fulfill(1);
+        assert!(f.is_ready() && g.is_ready());
+        assert_eq!(g.result(), 5);
+    }
+
+    #[test]
+    fn then_on_ready_runs_immediately() {
+        let hit = Rc::new(StdCell::new(false));
+        let h = Rc::clone(&hit);
+        let f = Future::ready(3u32).then(move |v| {
+            h.set(true);
+            v * 2
+        });
+        assert!(hit.get(), "continuation on ready future must run inline");
+        assert_eq!(f.result(), 6);
+    }
+
+    #[test]
+    fn then_on_pending_runs_at_notification() {
+        let cell = new_cell::<u32>(1);
+        let f = Future::from_cell(cell.clone());
+        let hit = Rc::new(StdCell::new(false));
+        let h = Rc::clone(&hit);
+        let g = f.then(move |v| {
+            h.set(true);
+            v + 1
+        });
+        assert!(!hit.get());
+        cell.set_value(9);
+        cell.fulfill(1);
+        assert!(hit.get());
+        assert_eq!(g.result(), 10);
+    }
+
+    #[test]
+    fn then_fut_flattens() {
+        let inner_cell = new_cell::<u32>(1);
+        let inner = Future::from_cell(inner_cell.clone());
+        let outer = Future::ready(()).then_fut(move |_| inner);
+        assert!(!outer.is_ready());
+        inner_cell.set_value(11);
+        inner_cell.fulfill(1);
+        assert_eq!(outer.result(), 11);
+    }
+
+    #[test]
+    fn then_chain_on_pending() {
+        let cell = new_cell_with_value(1, ());
+        let f = Future::from_cell(cell.clone());
+        let g = f.then(|_| 1u32).then(|v| v + 1).then(|v| v * 10);
+        assert!(!g.is_ready());
+        cell.fulfill(1);
+        assert_eq!(g.result(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never become ready")]
+    fn wait_without_runtime_on_pending_panics() {
+        let cell = new_cell::<u32>(1);
+        Future::from_cell(cell).wait();
+    }
+
+    #[test]
+    fn make_future_helpers() {
+        assert!(make_future().is_ready());
+        assert_eq!(make_future_with(4u8).result(), 4);
+    }
+}

@@ -1,0 +1,11 @@
+//! Futures, promises, and conjoining.
+
+pub(crate) mod cell;
+#[allow(clippy::module_inception)]
+pub(crate) mod future;
+pub(crate) mod promise;
+pub(crate) mod when_all;
+
+pub use future::{make_future, make_future_with, Future};
+pub use promise::Promise;
+pub use when_all::{conjoin, conjoin_all, join2, join3, join4, when_all_value};

@@ -1,0 +1,238 @@
+//! Typed reductions: the `upcxx::reduce_one` / `reduce_all` family.
+//!
+//! Scalar reductions ride the substrate's exchange buffers; vector
+//! reductions are built *on top of the public RMA API* (bulk puts into the
+//! root's shared segment, reduce, broadcast back) — the same structure
+//! RMA-based collective implementations use, which means they exercise the
+//! eager/deferred completion machinery like any application traffic.
+
+use crate::global_ptr::SegValue;
+use crate::runtime::Upcr;
+use gasnex::Team;
+
+/// The reduction operators of `upcxx::op_fast_*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum.
+    Plus,
+    /// Product.
+    Mult,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise AND (integer types only).
+    BitAnd,
+    /// Bitwise OR (integer types only).
+    BitOr,
+    /// Bitwise XOR (integer types only).
+    BitXor,
+}
+
+/// Values reducible with [`ReduceOp`].
+pub trait ReduceVal: SegValue + PartialEq + std::fmt::Debug {
+    /// Apply `op` to two values.
+    fn apply(op: ReduceOp, a: Self, b: Self) -> Self;
+    /// The identity element of `op`.
+    fn identity(op: ReduceOp) -> Self;
+}
+
+macro_rules! impl_reduceval_int {
+    ($($t:ty),*) => {$(
+        impl ReduceVal for $t {
+            fn apply(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Plus => a.wrapping_add(b),
+                    ReduceOp::Mult => a.wrapping_mul(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::BitAnd => a & b,
+                    ReduceOp::BitOr => a | b,
+                    ReduceOp::BitXor => a ^ b,
+                }
+            }
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Plus | ReduceOp::BitOr | ReduceOp::BitXor => 0,
+                    ReduceOp::Mult => 1,
+                    ReduceOp::Min => <$t>::MAX,
+                    ReduceOp::Max => <$t>::MIN,
+                    ReduceOp::BitAnd => !0,
+                }
+            }
+        }
+    )*};
+}
+impl_reduceval_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_reduceval_float {
+    ($($t:ty),*) => {$(
+        impl ReduceVal for $t {
+            fn apply(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Plus => a + b,
+                    ReduceOp::Mult => a * b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    _ => panic!("bitwise reduction on a floating-point type"),
+                }
+            }
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Plus => 0.0,
+                    ReduceOp::Mult => 1.0,
+                    ReduceOp::Min => <$t>::INFINITY,
+                    ReduceOp::Max => <$t>::NEG_INFINITY,
+                    _ => panic!("bitwise reduction on a floating-point type"),
+                }
+            }
+        }
+    )*};
+}
+impl_reduceval_float!(f32, f64);
+
+impl Upcr {
+    /// Reduce one scalar per rank with `op`; every rank receives the result
+    /// (`upcxx::reduce_all`).
+    ///
+    /// ```
+    /// use upcr::{launch, ReduceOp, RuntimeConfig};
+    /// launch(RuntimeConfig::smp(4), |u| {
+    ///     let max = u.reduce_all(u.rank_me() as u64, ReduceOp::Max);
+    ///     assert_eq!(max, 3);
+    /// });
+    /// ```
+    pub fn reduce_all<T: ReduceVal>(&self, v: T, op: ReduceOp) -> T {
+        let team = self.world_team();
+        self.reduce_all_team(&team, v, op)
+    }
+
+    /// Team-scoped scalar reduce-to-all.
+    pub fn reduce_all_team<T: ReduceVal>(&self, team: &Team, v: T, op: ReduceOp) -> T {
+        let contributions = self.gather_all_team(team, v.to_bits());
+        let mut acc = T::identity(op);
+        for bits in contributions {
+            acc = T::apply(op, acc, T::from_bits(bits));
+        }
+        acc
+    }
+
+    /// Reduce one scalar per rank with `op`; only team-member `root`
+    /// receives a meaningful result (`upcxx::reduce_one`). Other ranks get
+    /// the identity element.
+    pub fn reduce_one<T: ReduceVal>(&self, v: T, op: ReduceOp, root: usize) -> T {
+        let team = self.world_team();
+        let all = self.reduce_all_team(&team, v, op);
+        if team.rank_of(self.me()) == Some(root) {
+            all
+        } else {
+            T::identity(op)
+        }
+    }
+
+    /// Element-wise vector reduction: every rank contributes `vals`
+    /// (identical lengths) and receives the element-wise reduction.
+    ///
+    /// Implemented over the public RMA API: each rank bulk-puts its
+    /// contribution into the root's shared segment, the root reduces, and
+    /// the result is broadcast back.
+    pub fn reduce_all_vec<T: ReduceVal>(&self, vals: &[T], op: ReduceOp) -> Vec<T> {
+        let team = self.world_team();
+        self.reduce_all_vec_team(&team, vals, op)
+    }
+
+    /// Team-scoped element-wise vector reduction.
+    pub fn reduce_all_vec_team<T: ReduceVal>(
+        &self,
+        team: &Team,
+        vals: &[T],
+        op: ReduceOp,
+    ) -> Vec<T> {
+        let me_idx = team.rank_of(self.me()).expect("reduction caller must be a team member");
+        let len = vals.len();
+        // Length agreement check (cheap collective sanity).
+        let max_len = {
+            let lens = self.gather_all_team(team, len as u64);
+            assert!(
+                lens.iter().all(|&l| l == len as u64),
+                "reduce_all_vec: ranks disagree on vector length"
+            );
+            len
+        };
+        if max_len == 0 {
+            self.barrier_team(team);
+            return Vec::new();
+        }
+        // Root allocates the gather area and shares its pointer.
+        let root_buf = if me_idx == 0 {
+            self.new_array::<T>(len * team.size())
+        } else {
+            crate::GlobalPtr::null()
+        };
+        let root_buf = self.broadcast_team(team, root_buf.encode(), 0);
+        let root_buf = crate::GlobalPtr::<T>::decode(root_buf);
+        // Everyone bulk-puts its contribution into its slot.
+        self.rput_slice(vals, root_buf.add(me_idx * len)).wait();
+        self.barrier_team(team);
+        // Root reduces element-wise and broadcasts the result.
+        let result = if me_idx == 0 {
+            let all = self.rget_vec(root_buf, len * team.size()).wait();
+            let mut out = vec![T::identity(op); len];
+            for (i, v) in all.into_iter().enumerate() {
+                let e = i % len;
+                out[e] = T::apply(op, out[e], v);
+            }
+            Some(out)
+        } else {
+            None
+        };
+        let out = {
+            let val = result.unwrap_or_default();
+            self.broadcast_team(team, val, 0)
+        };
+        self.barrier_team(team);
+        if me_idx == 0 {
+            self.delete_(root_buf);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_identities() {
+        for op in [ReduceOp::Plus, ReduceOp::Mult, ReduceOp::Min, ReduceOp::Max,
+                   ReduceOp::BitAnd, ReduceOp::BitOr, ReduceOp::BitXor] {
+            for v in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(u64::apply(op, u64::identity(op), v), v, "{op:?} identity on {v}");
+            }
+        }
+        for op in [ReduceOp::Plus, ReduceOp::Mult, ReduceOp::Min, ReduceOp::Max] {
+            for v in [0.0f64, 1.5, -3.25] {
+                assert_eq!(f64::apply(op, f64::identity(op), v), v, "{op:?} identity on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_min_max() {
+        assert_eq!(i64::apply(ReduceOp::Min, -5, 3), -5);
+        assert_eq!(i64::apply(ReduceOp::Max, -5, 3), 3);
+        assert_eq!(i64::identity(ReduceOp::Min), i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "floating-point")]
+    fn bitwise_on_float_panics() {
+        let _ = f64::apply(ReduceOp::BitXor, 1.0, 2.0);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(u8::apply(ReduceOp::Plus, 200, 100), 44);
+        assert_eq!(u8::apply(ReduceOp::Mult, 100, 100), (100u8).wrapping_mul(100));
+    }
+}

@@ -1,0 +1,542 @@
+//! Runtime launch and the per-rank handle.
+//!
+//! [`launch`] runs an SPMD closure on `ranks` threads, each modelling one
+//! UPC++ process. The closure receives an [`Upcr`] handle carrying that
+//! rank's identity and configuration; communication operations are methods
+//! on it (see [`crate::rma`], [`crate::atomics`], [`crate::rpc`]).
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use gasnex::{GasnexConfig, NetConfig, Rank, Team, World};
+
+use crate::ctx::{CtxGuard, RankCtx};
+use crate::future::Future;
+use crate::global_ptr::{GlobalPtr, LocalRef, SegValue};
+use crate::stats::StatsSnapshot;
+use crate::version::LibVersion;
+
+/// Configuration of a `upcr` runtime: substrate layout plus which UPC++
+/// build semantics to follow.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Substrate (conduit, ranks, nodes, segments, network).
+    pub gasnex: GasnexConfig,
+    /// Library version semantics (defaults to "2021.3.6 eager").
+    pub version: LibVersion,
+}
+
+impl RuntimeConfig {
+    /// Single-node SMP runtime with `ranks` ranks.
+    pub fn smp(ranks: usize) -> Self {
+        RuntimeConfig { gasnex: GasnexConfig::smp(ranks), version: LibVersion::V2021_3_6Eager }
+    }
+
+    /// Multi-node UDP-conduit runtime.
+    pub fn udp(ranks: usize, ranks_per_node: usize) -> Self {
+        RuntimeConfig {
+            gasnex: GasnexConfig::udp(ranks, ranks_per_node),
+            version: LibVersion::V2021_3_6Eager,
+        }
+    }
+
+    /// Multi-node MPI-conduit runtime.
+    pub fn mpi(ranks: usize, ranks_per_node: usize) -> Self {
+        RuntimeConfig {
+            gasnex: GasnexConfig::mpi(ranks, ranks_per_node),
+            version: LibVersion::V2021_3_6Eager,
+        }
+    }
+
+    /// Select the library version semantics.
+    pub fn with_version(mut self, v: LibVersion) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// Override the per-rank segment size in bytes.
+    pub fn with_segment_size(mut self, bytes: usize) -> Self {
+        self.gasnex = self.gasnex.with_segment_size(bytes);
+        self
+    }
+
+    /// Override the simulated network parameters.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.gasnex = self.gasnex.with_net(net);
+        self
+    }
+}
+
+/// The per-rank runtime handle. Not `Send`: it belongs to its rank's thread,
+/// like a UPC++ persona.
+pub struct Upcr {
+    pub(crate) ctx: Rc<RankCtx>,
+}
+
+/// Run `f` as an SPMD program over the configured ranks and return every
+/// rank's result, indexed by rank.
+///
+/// Ranks synchronize on entry; on exit the runtime quiesces (drains all
+/// outstanding AMs, network deliveries, and deferred notifications) before
+/// tearing down, so fire-and-forget traffic cannot be lost.
+///
+/// Panics in any rank propagate out of `launch`.
+pub fn launch<F, R>(cfg: RuntimeConfig, f: F) -> Vec<R>
+where
+    F: Fn(&Upcr) -> R + Sync,
+    R: Send,
+{
+    cfg.gasnex.validate();
+    let world = World::new(cfg.gasnex.clone());
+    let version = cfg.version;
+    let ranks = cfg.gasnex.ranks;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            let world = Arc::clone(&world);
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let ctx = RankCtx::new(Arc::clone(&world), Rank::from_idx(r), version);
+                let _guard = CtxGuard::install(Rc::clone(&ctx));
+                let u = Upcr { ctx };
+                u.barrier();
+                // A panicking rank marks the world aborted so peers bail out
+                // of barriers and waits instead of deadlocking.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&u))) {
+                    Ok(out) => {
+                        u.quiesce();
+                        crate::dist_object::reset_registry();
+                        out
+                    }
+                    Err(payload) => {
+                        world.abort();
+                        crate::dist_object::reset_registry();
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+impl Upcr {
+    // ---- identity -----------------------------------------------------------
+
+    /// This rank's index in the world.
+    #[inline]
+    pub fn rank_me(&self) -> usize {
+        self.ctx.me.idx()
+    }
+
+    /// This rank as a [`Rank`].
+    #[inline]
+    pub fn me(&self) -> Rank {
+        self.ctx.me
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn rank_n(&self) -> usize {
+        self.ctx.world.ranks()
+    }
+
+    /// The library version semantics in force.
+    pub fn version(&self) -> LibVersion {
+        self.ctx.version
+    }
+
+    /// The underlying substrate world (topology, network, segments).
+    pub fn world(&self) -> &Arc<World> {
+        &self.ctx.world
+    }
+
+    /// The team of all ranks.
+    pub fn world_team(&self) -> Team {
+        self.ctx.world.world_team()
+    }
+
+    /// The team of ranks sharing this rank's simulated node.
+    pub fn local_team(&self) -> Team {
+        self.ctx.world.local_team(self.ctx.me)
+    }
+
+    // ---- progress and synchronization ----------------------------------------
+
+    /// Run one user-level progress quantum: execute incoming RPCs, poll the
+    /// network, and deliver due deferred notifications.
+    pub fn progress(&self) {
+        self.ctx.progress_quantum();
+    }
+
+    /// Barrier over all ranks (drives progress while waiting).
+    pub fn barrier(&self) {
+        let team = self.world_team();
+        self.barrier_team(&team);
+    }
+
+    /// Barrier over `team`.
+    pub fn barrier_team(&self, team: &Team) {
+        let ctx = Rc::clone(&self.ctx);
+        self.ctx.world.barrier(team, &mut || {
+            ctx.progress_quantum();
+        });
+    }
+
+    /// Asynchronous barrier over all ranks (`upcxx::barrier_async`):
+    /// returns a future readied — during a later progress call — once every
+    /// rank has entered the same barrier epoch. Unlike [`barrier`], the
+    /// caller keeps running and may overlap work with the synchronization.
+    pub fn barrier_async(&self) -> Future<()> {
+        let team = self.world_team();
+        self.barrier_async_team(&team)
+    }
+
+    /// Asynchronous barrier over `team`.
+    pub fn barrier_async_team(&self, team: &Team) -> Future<()> {
+        let idx = team
+            .rank_of(self.ctx.me)
+            .expect("barrier_async caller must be a team member");
+        let epoch = team.async_arrive(idx);
+        let team2 = team.clone();
+        // Completion is inherently asynchronous (it depends on other
+        // ranks), so it always routes through the progress engine —
+        // matching UPC++, where collectives never complete eagerly.
+        let cell = crate::future::cell::new_cell_with_value(1, ());
+        let c2 = Rc::clone(&cell);
+        self.ctx.push_deferred(crate::ctx::Deferred::OnCheck(
+            Box::new(move || team2.async_epoch_complete(epoch)),
+            Box::new(move || c2.fulfill(1)),
+        ));
+        Future::from_cell(cell)
+    }
+
+    /// Collectively split the world team by `color`, ordering members by
+    /// `(key, rank)` — `upcxx::team::split`.
+    pub fn split(&self, color: u64, key: u64) -> Team {
+        let team = self.world_team();
+        self.split_team(&team, color, key)
+    }
+
+    /// Collectively split `team` by `color`.
+    pub fn split_team(&self, team: &Team, color: u64, key: u64) -> Team {
+        let ctx = Rc::clone(&self.ctx);
+        self.ctx.world.split_team(team, self.ctx.me, color, key, &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    /// All-gather of one `u64` per member of `team`, indexed by team rank.
+    pub fn gather_all_team(&self, team: &Team, v: u64) -> Vec<u64> {
+        let ctx = Rc::clone(&self.ctx);
+        self.ctx.world.gather_all(team, self.ctx.me, v, &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    /// All-gather of one `u64` per rank, indexed by rank.
+    pub fn gather_all(&self, v: u64) -> Vec<u64> {
+        let team = self.world_team();
+        self.gather_all_team(&team, v)
+    }
+
+    /// Broadcast over `team` from team-member index `root`.
+    pub fn broadcast_team<T: Clone + Send + 'static>(
+        &self,
+        team: &Team,
+        val: T,
+        root: usize,
+    ) -> T {
+        let ctx = Rc::clone(&self.ctx);
+        let me_idx = team.rank_of(self.ctx.me).expect("broadcast caller must be a team member");
+        let root_val = (me_idx == root).then_some(val);
+        self.ctx.world.broadcast(team, root_val, &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    /// Team-scoped sum reduction.
+    pub fn allreduce_sum_u64_team(&self, team: &Team, v: u64) -> u64 {
+        let ctx = Rc::clone(&self.ctx);
+        self.ctx.world.allreduce(team, self.ctx.me, v, &|a, b| a.wrapping_add(b), &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    /// Broadcast `val` from `root` to every rank (synchronous collective).
+    pub fn broadcast<T: Clone + Send + 'static>(&self, val: T, root: usize) -> T {
+        let team = self.world_team();
+        let ctx = Rc::clone(&self.ctx);
+        let root_val = (self.rank_me() == root).then_some(val);
+        self.ctx.world.broadcast(&team, root_val, &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    fn allreduce_bits(&self, bits: u64, f: &dyn Fn(u64, u64) -> u64) -> u64 {
+        let team = self.world_team();
+        let ctx = Rc::clone(&self.ctx);
+        self.ctx.world.allreduce(&team, self.ctx.me, bits, f, &mut || {
+            ctx.progress_quantum();
+        })
+    }
+
+    /// Sum of `v` across all ranks.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.allreduce_bits(v, &|a, b| a.wrapping_add(b))
+    }
+
+    /// Maximum of `v` across all ranks.
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        self.allreduce_bits(v, &|a, b| a.max(b))
+    }
+
+    /// Minimum of `v` across all ranks.
+    pub fn allreduce_min_u64(&self, v: u64) -> u64 {
+        self.allreduce_bits(v, &|a, b| a.min(b))
+    }
+
+    /// Sum of `v` across all ranks (floating point).
+    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
+        f64::from_bits(self.allreduce_bits(v.to_bits(), &|a, b| {
+            (f64::from_bits(a) + f64::from_bits(b)).to_bits()
+        }))
+    }
+
+    /// Drain all globally outstanding work, then barrier. Called
+    /// automatically at the end of `launch` so fire-and-forget traffic is
+    /// never lost.
+    ///
+    /// Termination detection: a round is *clean* when this rank is locally
+    /// idle, the global sent/executed and injected/delivered counters agree,
+    /// and every rank reports the same. Two consecutive clean rounds
+    /// (separated by the allreduce, which acts as a barrier) rule out
+    /// in-flight work racing the counter samples.
+    pub(crate) fn quiesce(&self) {
+        const MAX_ROUNDS: usize = 1_000_000;
+        let mut clean_rounds = 0;
+        for _ in 0..MAX_ROUNDS {
+            while self.ctx.progress_quantum() > 0 {}
+            let busy =
+                u64::from(!self.ctx.locally_idle() || !self.ctx.world.substrate_quiet());
+            if self.allreduce_sum_u64(busy) == 0 {
+                clean_rounds += 1;
+                if clean_rounds >= 2 {
+                    self.barrier();
+                    return;
+                }
+            } else {
+                clean_rounds = 0;
+            }
+        }
+        panic!("quiesce: outstanding work failed to drain (deadlocked notification?)");
+    }
+
+    // ---- shared-memory management ---------------------------------------------
+
+    /// Allocate one `T` in this rank's shared segment, initialized to `v`
+    /// (the `upcxx::new_<T>(v)` idiom).
+    pub fn new_<T: SegValue>(&self, v: T) -> GlobalPtr<T> {
+        let p = self.new_array::<T>(1);
+        self.ctx.world.segment(p.rank()).write_scalar(p.offset(), T::SIZE, v.to_bits());
+        p
+    }
+
+    /// Allocate `n` zero-initialized `T`s in this rank's shared segment.
+    pub fn new_array<T: SegValue>(&self, n: usize) -> GlobalPtr<T> {
+        let bytes = n * T::SIZE;
+        let off = self
+            .ctx
+            .world
+            .seg_alloc(self.ctx.me)
+            .alloc(bytes, T::SIZE.max(8))
+            .unwrap_or_else(|e| panic!("shared allocation of {bytes} bytes failed: {e}"));
+        // Allocator may return recycled memory; fresh allocations are
+        // expected zeroed (matching `upcxx::new_array`'s value-init of
+        // scalars in this reproduction).
+        let seg = self.ctx.world.segment(self.ctx.me);
+        for i in 0..bytes.div_ceil(8) {
+            seg.write_u64(off + i * 8, 0);
+        }
+        GlobalPtr::from_parts(self.ctx.me, off)
+    }
+
+    /// Free a shared object allocated by [`new_`](Self::new_) or
+    /// [`new_array`](Self::new_array). May be called by any rank that can
+    /// address the owner's segment.
+    pub fn delete_<T: SegValue>(&self, p: GlobalPtr<T>) {
+        assert!(!p.is_null(), "delete_ of null global pointer");
+        self.ctx.world.seg_alloc(p.rank()).dealloc(p.offset());
+    }
+
+    // ---- locality -----------------------------------------------------------
+
+    /// Whether `p` can be downcast to a direct reference from this rank.
+    /// Compile-time-true on the SMP conduit under 2021.3.6 semantics (the
+    /// constexpr `is_local` optimization).
+    #[inline]
+    pub fn is_local<T: SegValue>(&self, p: GlobalPtr<T>) -> bool {
+        self.ctx.addressable(p.rank())
+    }
+
+    /// Downcast a local global pointer to a direct reference (the
+    /// `global_ptr::local()` idiom). Panics if `p` is not local.
+    #[inline]
+    pub fn local<T: SegValue>(&self, p: GlobalPtr<T>) -> LocalRef<'_, T> {
+        assert!(self.is_local(p), "local() downcast of non-local pointer {p:?}");
+        LocalRef { seg: self.ctx.world.segment(p.rank()), off: p.offset(), _marker: PhantomData }
+    }
+
+    /// Direct view of `len` 64-bit words behind a local pointer, for
+    /// manually-localized bulk access (the raw-GUPS table).
+    pub fn local_slice_u64(&self, p: GlobalPtr<u64>, len: usize) -> &[AtomicU64] {
+        assert!(self.is_local(p), "local_slice_u64 of non-local pointer {p:?}");
+        self.ctx.world.segment(p.rank()).atomic_slice_u64(p.offset(), len)
+    }
+
+    // ---- misc ----------------------------------------------------------------
+
+    /// A ready value-less future (`upcxx::make_future()`), using the shared
+    /// pre-allocated cell when the version elides the allocation.
+    pub fn make_future(&self) -> Future<()> {
+        Future::ready_unit()
+    }
+
+    /// Snapshot of this rank's runtime statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.ctx.stats.snapshot()
+    }
+
+    /// Reset this rank's runtime statistics to zero.
+    pub fn reset_stats(&self) {
+        self.ctx.stats.reset();
+    }
+}
+
+/// Free-function conveniences mirroring the UPC++ global API; usable from
+/// anywhere inside a `launch` region on the calling rank's context —
+/// including from `then` continuations and RPC bodies, where no borrowed
+/// [`Upcr`] handle can be captured.
+pub mod api {
+    use super::Upcr;
+    use crate::completion::CxValue;
+    use crate::ctx::with_ctx;
+    use crate::future::Future;
+    use crate::global_ptr::{GlobalPtr, SegValue};
+
+    /// Build an ephemeral handle for the calling rank.
+    fn current() -> Upcr {
+        Upcr { ctx: crate::ctx::clone_current() }
+    }
+
+    /// The calling rank's index.
+    pub fn rank_me() -> usize {
+        with_ctx(|c| c.me.idx())
+    }
+
+    /// Total number of ranks.
+    pub fn rank_n() -> usize {
+        with_ctx(|c| c.world.ranks())
+    }
+
+    /// One user-level progress quantum.
+    pub fn progress() {
+        with_ctx(|c| {
+            c.progress_quantum();
+        });
+    }
+
+    /// Asynchronous scalar put on the calling rank's context
+    /// ([`Upcr::rput`]).
+    pub fn rput<T: SegValue>(val: T, dst: GlobalPtr<T>) -> Future<()> {
+        current().rput(val, dst)
+    }
+
+    /// Asynchronous scalar get on the calling rank's context
+    /// ([`Upcr::rget`]).
+    pub fn rget<T: SegValue + CxValue>(src: GlobalPtr<T>) -> Future<T> {
+        current().rget(src)
+    }
+
+    /// RPC from the calling rank's context ([`Upcr::rpc`]).
+    pub fn rpc<F, R>(target: gasnex::Rank, f: F) -> Future<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: CxValue,
+    {
+        current().rpc(target, f)
+    }
+
+    /// Direct load through a local (directly addressable) global pointer —
+    /// the downcast-and-read idiom, usable inside RPC bodies where no
+    /// borrowed handle is available. Panics if `p` is not local.
+    pub fn local_load<T: SegValue>(p: GlobalPtr<T>) -> T {
+        with_ctx(|c| {
+            assert!(c.addressable(p.rank()), "local_load of non-local pointer {p:?}");
+            T::from_bits(c.world.segment(p.rank()).read_scalar(p.offset(), T::SIZE))
+        })
+    }
+
+    /// Direct store through a local global pointer (see [`local_load`]).
+    pub fn local_store<T: SegValue>(p: GlobalPtr<T>, v: T) {
+        with_ctx(|c| {
+            assert!(c.addressable(p.rank()), "local_store of non-local pointer {p:?}");
+            c.world.segment(p.rank()).write_scalar(p.offset(), T::SIZE, v.to_bits());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_compose() {
+        let c = RuntimeConfig::udp(8, 4)
+            .with_version(LibVersion::V2021_3_0)
+            .with_segment_size(1 << 14)
+            .with_net(NetConfig { latency_ns: 9, jitter_ns: 1 });
+        assert_eq!(c.version, LibVersion::V2021_3_0);
+        assert_eq!(c.gasnex.ranks, 8);
+        assert_eq!(c.gasnex.ranks_per_node, 4);
+        assert_eq!(c.gasnex.segment_size, 1 << 14);
+        assert_eq!(c.gasnex.net.latency_ns, 9);
+        assert!(matches!(RuntimeConfig::smp(2).gasnex.conduit, gasnex::Conduit::Smp));
+        assert!(matches!(RuntimeConfig::mpi(2, 2).gasnex.conduit, gasnex::Conduit::Mpi));
+    }
+
+    #[test]
+    fn default_version_is_eager() {
+        assert_eq!(RuntimeConfig::smp(1).version, LibVersion::V2021_3_6Eager);
+    }
+
+    #[test]
+    fn launch_installs_identity_and_free_functions() {
+        let out = launch(RuntimeConfig::smp(3).with_segment_size(1 << 16), |u| {
+            assert_eq!(api::rank_me(), u.rank_me());
+            assert_eq!(api::rank_n(), 3);
+            api::progress();
+            (u.rank_me(), u.rank_n(), u.version())
+        });
+        assert_eq!(out.len(), 3);
+        for (r, (me, n, v)) in out.into_iter().enumerate() {
+            assert_eq!(me, r);
+            assert_eq!(n, 3);
+            assert_eq!(v, LibVersion::V2021_3_6Eager);
+        }
+    }
+
+    #[test]
+    fn local_load_store_free_functions() {
+        launch(RuntimeConfig::smp(1).with_segment_size(1 << 16), |u| {
+            let p = u.new_::<u64>(0);
+            api::local_store(p, 31);
+            assert_eq!(api::local_load::<u64>(p), 31);
+        });
+    }
+}

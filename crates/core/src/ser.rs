@@ -1,0 +1,326 @@
+//! Serialization for RPC payloads.
+//!
+//! UPC++ ships RPC callables as a function identifier plus *serialized*
+//! arguments, and returns serialized results. Within this reproduction's
+//! single process, plain `rpc` ships boxed closures (documented in
+//! DESIGN.md); this module provides the faithful byte-level path used by
+//! [`Upcr::rpc_args`](crate::Upcr::rpc_args): a self-describing little-
+//! endian wire format with length-prefixed containers, so cross-node RPC
+//! arguments genuinely cross the simulated network as bytes.
+//!
+//! The format is deliberately simple (no schema evolution): fixed-width
+//! scalars, `u64` length prefixes, UTF-8 strings, element-wise containers.
+
+use std::fmt;
+
+use crate::global_ptr::{GlobalPtr, SegValue};
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerError {
+    /// Input ended before the value was complete.
+    Truncated { needed: usize, have: usize },
+    /// An enum/option tag byte had an invalid value.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded the remaining input (corrupt or hostile).
+    BadLength(u64),
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerError::Truncated { needed, have } => {
+                write!(f, "truncated payload: needed {needed} bytes, have {have}")
+            }
+            SerError::BadTag(t) => write!(f, "invalid tag byte {t:#x}"),
+            SerError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            SerError::BadLength(n) => write!(f, "length prefix {n} exceeds remaining payload"),
+        }
+    }
+}
+
+impl std::error::Error for SerError {}
+
+/// Types that can cross the (simulated) network as bytes.
+///
+/// ```
+/// use upcr::SerDe;
+/// let v = (7u64, vec![1u8, 2], String::from("hi"));
+/// let bytes = v.to_bytes();
+/// let back = <(u64, Vec<u8>, String)>::from_bytes(&bytes).unwrap();
+/// assert_eq!(back, v);
+/// ```
+pub trait SerDe: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn serialize(&self, out: &mut Vec<u8>);
+    /// Decode a value from the front of `inp`, advancing it.
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.serialize(&mut v);
+        v
+    }
+
+    /// Decode from a complete buffer, requiring full consumption.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SerError> {
+        let v = Self::deserialize(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(SerError::BadLength(bytes.len() as u64));
+        }
+        Ok(v)
+    }
+}
+
+fn take<'a>(inp: &mut &'a [u8], n: usize) -> Result<&'a [u8], SerError> {
+    if inp.len() < n {
+        return Err(SerError::Truncated { needed: n, have: inp.len() });
+    }
+    let (head, tail) = inp.split_at(n);
+    *inp = tail;
+    Ok(head)
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl SerDe for $t {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+                let b = take(inp, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl SerDe for usize {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize(out);
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        Ok(u64::deserialize(inp)? as usize)
+    }
+}
+
+impl SerDe for bool {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        match take(inp, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(SerError::BadTag(t)),
+        }
+    }
+}
+
+impl SerDe for () {
+    fn serialize(&self, _out: &mut Vec<u8>) {}
+    fn deserialize(_inp: &mut &[u8]) -> Result<Self, SerError> {
+        Ok(())
+    }
+}
+
+impl SerDe for char {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u32).serialize(out);
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        let c = u32::deserialize(inp)?;
+        char::from_u32(c).ok_or(SerError::BadTag((c & 0xFF) as u8))
+    }
+}
+
+impl SerDe for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        let len = u64::deserialize(inp)?;
+        if len as usize > inp.len() {
+            return Err(SerError::BadLength(len));
+        }
+        let b = take(inp, len as usize)?;
+        String::from_utf8(b.to_vec()).map_err(|_| SerError::BadUtf8)
+    }
+}
+
+impl<T: SerDe> SerDe for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        for v in self {
+            v.serialize(out);
+        }
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        let len = u64::deserialize(inp)?;
+        // Elements are at least one byte; a longer claim is corrupt.
+        if len as usize > inp.len() && std::mem::size_of::<T>() > 0 {
+            return Err(SerError::BadLength(len));
+        }
+        let mut v = Vec::with_capacity((len as usize).min(inp.len()));
+        for _ in 0..len {
+            v.push(T::deserialize(inp)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: SerDe> SerDe for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize(out);
+            }
+        }
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        match take(inp, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(inp)?)),
+            t => Err(SerError::BadTag(t)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: SerDe),+> SerDe for ($($name,)+) {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.serialize(out);)+
+            }
+            fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+                Ok(($($name::deserialize(inp)?,)+))
+            }
+        }
+    };
+}
+impl_serde_tuple!(A);
+impl_serde_tuple!(A, B);
+impl_serde_tuple!(A, B, C);
+impl_serde_tuple!(A, B, C, D);
+impl_serde_tuple!(A, B, C, D, E);
+
+impl<T: SegValue> SerDe for GlobalPtr<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.encode().serialize(out);
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        Ok(GlobalPtr::decode(u64::deserialize(inp)?))
+    }
+}
+
+impl SerDe for gasnex::Rank {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.0.serialize(out);
+    }
+    fn deserialize(inp: &mut &[u8]) -> Result<Self, SerError> {
+        Ok(gasnex::Rank(u32::deserialize(inp)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: SerDe + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-12345i32);
+        roundtrip(u64::MAX);
+        roundtrip(i128::MIN);
+        roundtrip(3.25f64);
+        roundtrip(f32::NEG_INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip('é');
+        roundtrip(());
+        roundtrip(12345usize);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("hello, 世界"));
+        roundtrip(String::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+        roundtrip(Some(42u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u8, -2i64, String::from("x")));
+        roundtrip((1u8, 2u16, 3u32, 4u64, 5i8));
+    }
+
+    #[test]
+    fn global_ptr_and_rank_roundtrip() {
+        roundtrip(gasnex::Rank(77));
+        let p = GlobalPtr::<u64>::decode((3u64 << 40) | 1024);
+        roundtrip(p);
+        roundtrip(GlobalPtr::<u64>::null());
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let bytes = 0xDEAD_BEEFu64.to_bytes();
+        assert!(matches!(
+            u64::from_bytes(&bytes[..4]),
+            Err(SerError::Truncated { needed: 8, have: 4 })
+        ));
+        let s = String::from("hello").to_bytes();
+        assert!(String::from_bytes(&s[..s.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(u32::from_bytes(&bytes), Err(SerError::BadLength(1))));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(matches!(bool::from_bytes(&[2]), Err(SerError::BadTag(2))));
+        assert!(matches!(Option::<u8>::from_bytes(&[9]), Err(SerError::BadTag(9))));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A Vec claiming u64::MAX elements must fail fast, not allocate.
+        let bytes = u64::MAX.to_bytes();
+        assert!(matches!(Vec::<u64>::from_bytes(&bytes), Err(SerError::BadLength(_))));
+        let bytes = u64::MAX.to_bytes();
+        assert!(String::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = (2u64).to_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(String::from_bytes(&bytes), Err(SerError::BadUtf8)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SerError::Truncated { needed: 8, have: 2 }.to_string().contains("8"));
+        assert!(SerError::BadTag(7).to_string().contains("0x7"));
+    }
+}

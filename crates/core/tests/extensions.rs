@@ -1,0 +1,457 @@
+//! Tests for the extended runtime API: distributed objects, team splitting,
+//! asynchronous barriers, and vector-index-strided RMA.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use upcr::{launch, DistObject, LibVersion, Rank, RuntimeConfig, Strided};
+
+fn smp(ranks: usize) -> RuntimeConfig {
+    RuntimeConfig::smp(ranks).with_segment_size(1 << 20)
+}
+
+// ---------------------------------------------------------------------------
+// dist_object
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dist_object_fetch_roundtrip() {
+    launch(smp(4), |u| {
+        let d = DistObject::new(u, 100 + u.rank_me() as u64);
+        u.barrier(); // all constructed
+        for r in 0..4 {
+            let v = d.fetch(u, Rank(r)).wait();
+            assert_eq!(v, 100 + r as u64);
+        }
+        assert_eq!(*d.local(), 100 + u.rank_me() as u64);
+        u.barrier();
+    });
+}
+
+#[test]
+fn dist_object_fetch_is_asynchronous_even_locally() {
+    launch(smp(2), |u| {
+        let d = DistObject::new(u, 5u64);
+        u.barrier();
+        let f = d.fetch(u, u.me());
+        assert!(!f.is_ready(), "fetch must be an RPC, never synchronous");
+        assert_eq!(f.wait(), 5);
+        u.barrier();
+    });
+}
+
+#[test]
+fn multiple_dist_objects_share_creation_order_ids() {
+    launch(smp(3), |u| {
+        let a = DistObject::new(u, u.rank_me() as u64);
+        let b = DistObject::new(u, (u.rank_me() * 2) as u64);
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        u.barrier();
+        // Fetching through either handle hits the right directory entry.
+        assert_eq!(a.fetch(u, Rank(2)).wait(), 2);
+        assert_eq!(b.fetch(u, Rank(2)).wait(), 4);
+        u.barrier();
+    });
+}
+
+#[test]
+fn dist_object_bootstraps_global_pointers() {
+    // The canonical UPC++ idiom: exchange global pointers via dist_object
+    // instead of broadcast.
+    launch(smp(4), |u| {
+        let mine = u.new_::<u64>(0);
+        let dir = DistObject::new(u, mine.encode());
+        u.barrier();
+        let next = (u.rank_me() + 1) % 4;
+        let theirs = upcr::GlobalPtr::<u64>::decode(dir.fetch(u, Rank(next as u32)).wait());
+        u.rput(u.rank_me() as u64 + 1, theirs).wait();
+        u.barrier();
+        assert_eq!(u.local(mine).get(), ((u.rank_me() + 3) % 4) as u64 + 1);
+        u.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// team split
+// ---------------------------------------------------------------------------
+
+#[test]
+fn split_by_parity_forms_two_teams() {
+    launch(smp(6), |u| {
+        let color = (u.rank_me() % 2) as u64;
+        let team = u.split(color, u.rank_me() as u64);
+        assert_eq!(team.size(), 3);
+        let expected: Vec<Rank> = (0..6)
+            .filter(|r| r % 2 == u.rank_me() % 2)
+            .map(|r| Rank(r as u32))
+            .collect();
+        let members: Vec<Rank> = team.iter().collect();
+        assert_eq!(members, expected);
+        // Team-scoped collective works.
+        let sum = u.allreduce_sum_u64_team(&team, u.rank_me() as u64);
+        let expect: u64 = expected.iter().map(|r| r.idx() as u64).sum();
+        assert_eq!(sum, expect);
+        u.barrier();
+    });
+}
+
+#[test]
+fn split_key_controls_member_order() {
+    launch(smp(4), |u| {
+        // Reverse order: key = -rank.
+        let key = (100 - u.rank_me()) as u64;
+        let team = u.split(0, key);
+        let members: Vec<Rank> = team.iter().collect();
+        assert_eq!(members, vec![Rank(3), Rank(2), Rank(1), Rank(0)]);
+        assert_eq!(team.rank_of(u.me()), Some(3 - u.rank_me()));
+        u.barrier();
+    });
+}
+
+#[test]
+fn repeated_and_nested_splits() {
+    launch(smp(8), |u| {
+        let me = u.rank_me();
+        // First split: quadrants.
+        let quad = u.split((me / 4) as u64, me as u64);
+        assert_eq!(quad.size(), 4);
+        // Nested split of the quadrant by parity.
+        let pair = u.split_team(&quad, (me % 2) as u64, me as u64);
+        assert_eq!(pair.size(), 2);
+        let sum = u.allreduce_sum_u64_team(&pair, 1);
+        assert_eq!(sum, 2);
+        // A second independent split of the world team must not collide
+        // with the first (epoch advanced).
+        let all = u.split(7, me as u64);
+        assert_eq!(all.size(), 8);
+        u.barrier();
+    });
+}
+
+#[test]
+fn team_broadcast_and_gather() {
+    launch(smp(6), |u| {
+        let team = u.split((u.rank_me() % 3) as u64, u.rank_me() as u64);
+        assert_eq!(team.size(), 2);
+        let v = u.broadcast_team(&team, u.rank_me() as u64 * 10, 0);
+        assert_eq!(v, (u.rank_me() % 3) as u64 * 10, "root is the lowest rank of the color");
+        let gathered = u.gather_all_team(&team, u.rank_me() as u64);
+        assert_eq!(gathered.len(), 2);
+        assert_eq!(gathered[team.rank_of(u.me()).unwrap()], u.rank_me() as u64);
+        u.barrier();
+    });
+}
+
+#[test]
+fn world_gather_all() {
+    launch(smp(5), |u| {
+        let g = u.gather_all(u.rank_me() as u64 * 3);
+        assert_eq!(g, vec![0, 3, 6, 9, 12]);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// barrier_async
+// ---------------------------------------------------------------------------
+
+#[test]
+fn barrier_async_overlaps_work() {
+    static ENTERED: AtomicU64 = AtomicU64::new(0);
+    launch(smp(4), |u| {
+        ENTERED.fetch_add(1, Ordering::SeqCst);
+        let f = u.barrier_async();
+        assert!(!f.is_ready(), "async barrier never completes synchronously");
+        // Overlappable work while the barrier completes.
+        let p = u.new_::<u64>(0);
+        u.rput(9, p).wait();
+        f.wait();
+        // Once the future is ready, every rank must have entered.
+        assert_eq!(ENTERED.load(Ordering::SeqCst), 4);
+        u.barrier();
+    });
+}
+
+#[test]
+fn consecutive_async_barriers_use_distinct_epochs() {
+    launch(smp(3), |u| {
+        for _ in 0..10 {
+            let f = u.barrier_async();
+            f.wait();
+        }
+        u.barrier();
+    });
+}
+
+#[test]
+fn async_barrier_on_split_team() {
+    launch(smp(4), |u| {
+        let team = u.split((u.rank_me() % 2) as u64, u.rank_me() as u64);
+        let f = u.barrier_async_team(&team);
+        f.wait();
+        u.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// VIS: strided and fragmented RMA
+// ---------------------------------------------------------------------------
+
+#[test]
+fn strided_put_get_roundtrip_local() {
+    launch(smp(2), |u| {
+        // A 4x8 "matrix" at rank 1; write a 4x3 sub-block starting at
+        // column 2 (stride 8, block_len 3, blocks 4).
+        let arr = u.new_array::<u64>(32);
+        let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
+        u.barrier();
+        if u.rank_me() == 0 {
+            let shape = Strided { block_len: 3, stride: 8, blocks: 4 };
+            let data: Vec<u64> = (1..=12).collect();
+            let f = u.rput_strided(&data, ptrs[1].add(2), shape);
+            assert!(f.is_ready(), "local strided put completes eagerly");
+            let back = u.rget_strided(ptrs[1].add(2), shape).wait();
+            assert_eq!(back, data);
+        }
+        u.barrier();
+        if u.rank_me() == 1 {
+            // Row r, columns 2..5 hold r*3+1 .. r*3+3; everything else 0.
+            for row in 0..4 {
+                for col in 0..8 {
+                    let expect = if (2..5).contains(&col) { (row * 3 + col - 1) as u64 } else { 0 };
+                    assert_eq!(u.local(arr.add(row * 8 + col)).get(), expect, "({row},{col})");
+                }
+            }
+        }
+        u.barrier();
+    });
+}
+
+#[test]
+fn strided_transfer_cross_node() {
+    let cfg = RuntimeConfig::udp(2, 1).with_segment_size(1 << 20);
+    launch(cfg, |u| {
+        let arr = u.new_array::<u64>(64);
+        let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
+        u.barrier();
+        if u.rank_me() == 0 {
+            let shape = Strided { block_len: 2, stride: 4, blocks: 8 };
+            let data: Vec<u64> = (100..116).collect();
+            let f = u.rput_strided(&data, ptrs[1], shape);
+            assert!(!f.is_ready(), "cross-node strided put is asynchronous");
+            f.wait();
+            assert_eq!(u.rget_strided(ptrs[1], shape).wait(), data);
+        }
+        u.barrier();
+    });
+}
+
+#[test]
+fn fragmented_put_scatters_under_one_completion() {
+    launch(smp(4), |u| {
+        let mine = u.new_array::<u64>(4);
+        let ptrs: Vec<_> = (0..4).map(|r| u.broadcast(mine, r)).collect();
+        u.barrier();
+        if u.rank_me() == 0 {
+            // One element into slot 0 of every rank's array.
+            let dsts: Vec<_> = (0..4).map(|r| ptrs[r].add(0)).collect();
+            let vals: Vec<u64> = (0..4).map(|r| 1000 + r as u64).collect();
+            u.rput_fragmented(&dsts, &vals).wait();
+        }
+        u.barrier();
+        assert_eq!(u.local(mine).get(), 1000 + u.rank_me() as u64);
+        u.barrier();
+    });
+}
+
+#[test]
+fn fragmented_put_mixed_locality() {
+    let cfg = RuntimeConfig::udp(4, 2).with_segment_size(1 << 20);
+    launch(cfg, |u| {
+        let mine = u.new_array::<u64>(4);
+        let ptrs: Vec<_> = (0..4).map(|r| u.broadcast(mine, r)).collect();
+        u.barrier();
+        if u.rank_me() == 0 {
+            // Targets span both nodes: completion must be deferred and
+            // still cover every fragment.
+            let dsts: Vec<_> = (0..4).map(|r| ptrs[r].add(1)).collect();
+            let vals: Vec<u64> = (0..4).map(|r| 2000 + r as u64).collect();
+            let f = u.rput_fragmented(&dsts, &vals);
+            assert!(!f.is_ready(), "remote fragments force asynchronous completion");
+            f.wait();
+        }
+        u.barrier();
+        assert_eq!(u.local(mine.add(1)).get(), 2000 + u.rank_me() as u64);
+        u.barrier();
+    });
+}
+
+#[test]
+fn strided_shape_validation() {
+    let r = std::panic::catch_unwind(|| {
+        launch(smp(1), |u| {
+            let arr = u.new_array::<u64>(16);
+            let bad = Strided { block_len: 4, stride: 2, blocks: 2 }; // overlapping
+            let _ = u.rput_strided(&[0u64; 8], arr, bad);
+        });
+    });
+    assert!(r.is_err());
+}
+
+#[test]
+fn version_semantics_apply_to_vis_ops() {
+    let cfg = smp(2).with_version(LibVersion::V2021_3_6Defer);
+    launch(cfg, |u| {
+        if u.rank_me() == 0 {
+            let arr = u.new_array::<u64>(8);
+            let shape = Strided { block_len: 2, stride: 4, blocks: 2 };
+            let f = u.rput_strided(&[1, 2, 3, 4u64], arr, shape);
+            assert!(!f.is_ready(), "deferred build defers local VIS completions too");
+            f.wait();
+        }
+        u.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// rpc_args: function + serialized arguments
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rpc_args_roundtrips_serialized_payloads() {
+    fn work(args: (u64, Vec<u32>)) -> u64 {
+        args.0 + args.1.iter().map(|&x| x as u64).sum::<u64>()
+    }
+    launch(smp(3), |u| {
+        let target = Rank(((u.rank_me() + 1) % 3) as u32);
+        let v = u.rpc_args(target, work, (100, vec![1, 2, 3])).wait();
+        assert_eq!(v, 106);
+        u.barrier();
+    });
+}
+
+#[test]
+fn rpc_args_crosses_simulated_network_as_bytes() {
+    fn double(x: u64) -> u64 {
+        2 * x
+    }
+    let cfg = RuntimeConfig::udp(2, 1).with_segment_size(1 << 20);
+    launch(cfg, |u| {
+        if u.rank_me() == 0 {
+            let f = u.rpc_args(Rank(1), double, 21u64);
+            assert!(!f.is_ready());
+            assert_eq!(f.wait(), 42);
+        }
+        u.barrier();
+    });
+}
+
+#[test]
+fn rpc_args_with_global_ptr_argument() {
+    fn write_there(args: (upcr::GlobalPtr<u64>, u64)) -> u64 {
+        // Executes on the target rank: the pointer is local there.
+        upcr::api::rput(args.1, args.0).wait();
+        args.1 + 1
+    }
+    launch(smp(2), |u| {
+        let mine = u.new_::<u64>(0);
+        u.barrier();
+        if u.rank_me() == 0 {
+            // Ask rank 1 to write into rank 0's memory via a shipped pointer.
+            let r = u.rpc_args(Rank(1), write_there, (mine, 55u64)).wait();
+            assert_eq!(r, 56);
+            assert_eq!(u.local(mine).get(), 55);
+        }
+        u.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// reductions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scalar_reductions_all_ops() {
+    use upcr::ReduceOp;
+    launch(smp(4), |u| {
+        let me = u.rank_me() as u64 + 1; // 1..=4
+        assert_eq!(u.reduce_all(me, ReduceOp::Plus), 10);
+        assert_eq!(u.reduce_all(me, ReduceOp::Mult), 24);
+        assert_eq!(u.reduce_all(me, ReduceOp::Min), 1);
+        assert_eq!(u.reduce_all(me, ReduceOp::Max), 4);
+        assert_eq!(u.reduce_all(0b11u64 << u.rank_me(), ReduceOp::BitOr), 0b11111);
+        assert_eq!(u.reduce_all(me, ReduceOp::BitXor), 4);
+        // Floats.
+        let f = u.reduce_all(0.5f64 * me as f64, ReduceOp::Plus);
+        assert!((f - 5.0).abs() < 1e-12);
+        // Signed.
+        let s = u.reduce_all(-(me as i64), ReduceOp::Min);
+        assert_eq!(s, -4);
+    });
+}
+
+#[test]
+fn reduce_one_delivers_to_root_only() {
+    use upcr::ReduceOp;
+    launch(smp(3), |u| {
+        let r = u.reduce_one(u.rank_me() as u64 + 1, ReduceOp::Plus, 1);
+        if u.rank_me() == 1 {
+            assert_eq!(r, 6);
+        } else {
+            assert_eq!(r, 0, "non-roots get the identity");
+        }
+    });
+}
+
+#[test]
+fn vector_reduction_elementwise() {
+    use upcr::ReduceOp;
+    launch(smp(4), |u| {
+        let me = u.rank_me() as u64;
+        let vals: Vec<u64> = (0..100).map(|i| i + me).collect();
+        let sum = u.reduce_all_vec(&vals, ReduceOp::Plus);
+        for (i, &v) in sum.iter().enumerate() {
+            assert_eq!(v, 4 * i as u64 + 6);
+        }
+        let max = u.reduce_all_vec(&vals, ReduceOp::Max);
+        for (i, &v) in max.iter().enumerate() {
+            assert_eq!(v, i as u64 + 3);
+        }
+        u.barrier();
+    });
+}
+
+#[test]
+fn vector_reduction_on_split_team() {
+    use upcr::ReduceOp;
+    launch(smp(4), |u| {
+        let team = u.split((u.rank_me() % 2) as u64, u.rank_me() as u64);
+        let vals = vec![u.rank_me() as u64; 8];
+        let sum = u.reduce_all_vec_team(&team, &vals, ReduceOp::Plus);
+        // Parity teams: {0,2} sums to 2, {1,3} sums to 4, element-wise.
+        let expect = if u.rank_me() % 2 == 0 { 2 } else { 4 };
+        assert!(sum.iter().all(|&v| v == expect));
+        u.barrier();
+    });
+}
+
+#[test]
+fn empty_vector_reduction() {
+    use upcr::ReduceOp;
+    launch(smp(2), |u| {
+        let out = u.reduce_all_vec::<u64>(&[], ReduceOp::Plus);
+        assert!(out.is_empty());
+        u.barrier();
+    });
+}
+
+#[test]
+fn mismatched_vector_lengths_panic() {
+    use upcr::ReduceOp;
+    let r = std::panic::catch_unwind(|| {
+        launch(smp(2), |u| {
+            let vals = vec![0u64; 4 + u.rank_me()];
+            let _ = u.reduce_all_vec(&vals, ReduceOp::Plus);
+        });
+    });
+    assert!(r.is_err());
+}

@@ -1,0 +1,229 @@
+//! Offset allocator for shared segments.
+//!
+//! A first-fit free-list allocator over byte offsets, with coalescing on
+//! free. Metadata lives outside the segment (in a [`parking_lot::Mutex`]),
+//! so allocator state can never be corrupted by application RMA traffic —
+//! convenient for a simulator that deliberately runs racy workloads.
+//!
+//! All blocks are aligned to at least [`MIN_ALIGN`] (8 bytes) so that every
+//! allocation can serve as a target for 64-bit remote atomics.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Minimum alignment (and granularity) of all allocations, in bytes.
+pub const MIN_ALIGN: usize = 8;
+
+/// Error returned when a segment cannot satisfy an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfSegmentMemory {
+    /// Bytes requested (after rounding).
+    pub requested: usize,
+    /// Size of the largest free block at the time of the request.
+    pub largest_free: usize,
+}
+
+impl std::fmt::Display for OutOfSegmentMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared segment exhausted: requested {} bytes, largest free block {} bytes",
+            self.requested, self.largest_free
+        )
+    }
+}
+
+impl std::error::Error for OutOfSegmentMemory {}
+
+struct AllocState {
+    /// Free blocks: offset -> size. Invariant: no two entries are adjacent
+    /// (they would have been coalesced) and none overlap.
+    free: BTreeMap<usize, usize>,
+    /// Live blocks: offset -> size, for dealloc validation and leak checks.
+    live: BTreeMap<usize, usize>,
+    capacity: usize,
+}
+
+/// Thread-safe allocator handing out byte offsets within a segment.
+pub struct SegAlloc {
+    state: Mutex<AllocState>,
+}
+
+impl SegAlloc {
+    /// Create an allocator over `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity - capacity % MIN_ALIGN;
+        let mut free = BTreeMap::new();
+        if cap > 0 {
+            free.insert(0, cap);
+        }
+        SegAlloc {
+            state: Mutex::new(AllocState { free, live: BTreeMap::new(), capacity: cap }),
+        }
+    }
+
+    /// Allocate `size` bytes aligned to `align` (a power of two, at most
+    /// forced up to [`MIN_ALIGN`]). Zero-size requests are rounded up to one
+    /// granule so every allocation has a distinct offset.
+    pub fn alloc(&self, size: usize, align: usize) -> Result<usize, OutOfSegmentMemory> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align.max(MIN_ALIGN);
+        let size = round_up(size.max(1), MIN_ALIGN);
+        let mut st = self.state.lock();
+        // First fit: smallest offset whose block can hold an aligned range.
+        let mut found = None;
+        for (&off, &blk) in st.free.iter() {
+            let aligned = round_up(off, align);
+            let pad = aligned - off;
+            if blk >= pad + size {
+                found = Some((off, blk, aligned, pad));
+                break;
+            }
+        }
+        let Some((off, blk, aligned, pad)) = found else {
+            let largest = st.free.values().copied().max().unwrap_or(0);
+            return Err(OutOfSegmentMemory { requested: size, largest_free: largest });
+        };
+        st.free.remove(&off);
+        if pad > 0 {
+            st.free.insert(off, pad);
+        }
+        let rest = blk - pad - size;
+        if rest > 0 {
+            st.free.insert(aligned + size, rest);
+        }
+        st.live.insert(aligned, size);
+        Ok(aligned)
+    }
+
+    /// Free the block previously returned by [`alloc`](Self::alloc) at
+    /// `offset`. Panics on a double free or a bogus offset.
+    pub fn dealloc(&self, offset: usize) {
+        let mut st = self.state.lock();
+        let size = st
+            .live
+            .remove(&offset)
+            .unwrap_or_else(|| panic!("dealloc of unallocated offset {offset}"));
+        // Coalesce with the previous free block if adjacent.
+        let mut off = offset;
+        let mut sz = size;
+        if let Some((&poff, &psz)) = st.free.range(..offset).next_back() {
+            if poff + psz == offset {
+                st.free.remove(&poff);
+                off = poff;
+                sz += psz;
+            }
+        }
+        // Coalesce with the next free block if adjacent.
+        if let Some(&nsz) = st.free.get(&(offset + size)) {
+            st.free.remove(&(offset + size));
+            sz += nsz;
+        }
+        st.free.insert(off, sz);
+    }
+
+    /// Total bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.state.lock().live.values().sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_blocks(&self) -> usize {
+        self.state.lock().live.len()
+    }
+
+    /// Total free bytes (may be fragmented).
+    pub fn free_bytes(&self) -> usize {
+        self.state.lock().free.values().sum()
+    }
+
+    /// Capacity managed by this allocator.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+}
+
+#[inline]
+fn round_up(v: usize, align: usize) -> usize {
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_offsets() {
+        let a = SegAlloc::new(1024);
+        let x = a.alloc(16, 8).unwrap();
+        let y = a.alloc(16, 8).unwrap();
+        assert_ne!(x, y);
+        assert!(x.is_multiple_of(8) && y.is_multiple_of(8));
+        assert_eq!(a.live_blocks(), 2);
+        assert_eq!(a.live_bytes(), 32);
+    }
+
+    #[test]
+    fn zero_size_allocs_get_distinct_offsets() {
+        let a = SegAlloc::new(256);
+        let x = a.alloc(0, 1).unwrap();
+        let y = a.alloc(0, 1).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn large_alignment_respected() {
+        let a = SegAlloc::new(4096);
+        let _ = a.alloc(8, 8).unwrap();
+        let x = a.alloc(64, 64).unwrap();
+        assert_eq!(x % 64, 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_free() {
+        let a = SegAlloc::new(128);
+        a.alloc(64, 8).unwrap();
+        let err = a.alloc(128, 8).unwrap_err();
+        assert_eq!(err.requested, 128);
+        assert_eq!(err.largest_free, 64);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn free_coalesces_and_allows_reuse() {
+        let a = SegAlloc::new(96);
+        let x = a.alloc(32, 8).unwrap();
+        let y = a.alloc(32, 8).unwrap();
+        let z = a.alloc(32, 8).unwrap();
+        // Full.
+        assert!(a.alloc(8, 8).is_err());
+        a.dealloc(x);
+        a.dealloc(z);
+        a.dealloc(y); // coalesces with both neighbours
+        let big = a.alloc(96, 8).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dealloc of unallocated offset")]
+    fn double_free_panics() {
+        let a = SegAlloc::new(128);
+        let x = a.alloc(8, 8).unwrap();
+        a.dealloc(x);
+        a.dealloc(x);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let a = SegAlloc::new(1 << 12);
+        let cap = a.capacity();
+        let offs: Vec<_> = (0..10).map(|_| a.alloc(40, 8).unwrap()).collect();
+        assert_eq!(a.live_bytes() + a.free_bytes(), cap);
+        for o in offs {
+            a.dealloc(o);
+        }
+        assert_eq!(a.live_blocks(), 0);
+        assert_eq!(a.free_bytes(), cap);
+    }
+}

@@ -1,0 +1,255 @@
+//! Remote atomic memory operations (AMOs).
+//!
+//! The analogue of `gex_AD_OpNB`. All operations act on a 64-bit word in a
+//! shared segment using hardware atomics; coherency with direct CPU access
+//! holds because every simulated node lives in one address space — the same
+//! guarantee GASNet-EX atomic domains provide on real systems (where it may
+//! require routing through NIC offload, which is why application code cannot
+//! "manually localize" atomics, as the paper notes).
+//!
+//! Signed comparisons for `Min`/`Max` reinterpret the word as `i64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::segment::Segment;
+
+/// The operation kinds of an atomic domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// Atomic read; returns the value.
+    Get,
+    /// Atomic write.
+    Set,
+    /// Non-fetching arithmetic/bitwise update.
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Min,
+    Max,
+    /// Fetching variants: perform the update and return the prior value.
+    FetchAdd,
+    FetchSub,
+    FetchAnd,
+    FetchOr,
+    FetchXor,
+    FetchMin,
+    FetchMax,
+    /// Swap in `operand`, returning the prior value.
+    Swap,
+    /// Compare-and-swap: if current == `operand`, store `operand2`;
+    /// returns the prior value either way.
+    CompareSwap,
+}
+
+impl AmoOp {
+    /// Whether the operation produces a value the initiator consumes.
+    pub fn is_fetching(self) -> bool {
+        matches!(
+            self,
+            AmoOp::Get
+                | AmoOp::FetchAdd
+                | AmoOp::FetchSub
+                | AmoOp::FetchAnd
+                | AmoOp::FetchOr
+                | AmoOp::FetchXor
+                | AmoOp::FetchMin
+                | AmoOp::FetchMax
+                | AmoOp::Swap
+                | AmoOp::CompareSwap
+        )
+    }
+
+    /// The non-fetching counterpart of a fetching op, if any. (`Get`,
+    /// `Swap`, and `CompareSwap` have none.)
+    pub fn non_fetching(self) -> Option<AmoOp> {
+        Some(match self {
+            AmoOp::FetchAdd => AmoOp::Add,
+            AmoOp::FetchSub => AmoOp::Sub,
+            AmoOp::FetchAnd => AmoOp::And,
+            AmoOp::FetchOr => AmoOp::Or,
+            AmoOp::FetchXor => AmoOp::Xor,
+            AmoOp::FetchMin => AmoOp::Min,
+            AmoOp::FetchMax => AmoOp::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Execute `op` on the word at `off` in `seg`. `operand2` is only used by
+/// [`AmoOp::CompareSwap`]. `signed` selects signed comparison for min/max.
+/// Returns the *prior* value of the word (for `Get`, the loaded value).
+pub fn execute(seg: &Segment, off: usize, op: AmoOp, operand: u64, operand2: u64, signed: bool) -> u64 {
+    let a: &AtomicU64 = seg.atomic_u64(off);
+    // Acquire/release so an AMO can be used to publish data written via RMA.
+    const ORD: Ordering = Ordering::AcqRel;
+    match op {
+        AmoOp::Get => a.load(Ordering::Acquire),
+        AmoOp::Set => {
+            // `swap` rather than `store` so we can return the prior value
+            // uniformly; the initiator ignores it for non-fetching ops.
+            a.swap(operand, ORD)
+        }
+        AmoOp::Add | AmoOp::FetchAdd => a.fetch_add(operand, ORD),
+        AmoOp::Sub | AmoOp::FetchSub => a.fetch_sub(operand, ORD),
+        AmoOp::And | AmoOp::FetchAnd => a.fetch_and(operand, ORD),
+        AmoOp::Or | AmoOp::FetchOr => a.fetch_or(operand, ORD),
+        AmoOp::Xor | AmoOp::FetchXor => a.fetch_xor(operand, ORD),
+        AmoOp::Min | AmoOp::FetchMin => fetch_min(a, operand, signed),
+        AmoOp::Max | AmoOp::FetchMax => fetch_max(a, operand, signed),
+        AmoOp::Swap => a.swap(operand, ORD),
+        AmoOp::CompareSwap => match a.compare_exchange(operand, operand2, ORD, Ordering::Acquire) {
+            Ok(prev) | Err(prev) => prev,
+        },
+    }
+}
+
+fn fetch_min(a: &AtomicU64, v: u64, signed: bool) -> u64 {
+    let res = a.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+        let keep = if signed { (cur as i64) <= (v as i64) } else { cur <= v };
+        if keep { None } else { Some(v) }
+    });
+    match res {
+        Ok(prev) | Err(prev) => prev,
+    }
+}
+
+fn fetch_max(a: &AtomicU64, v: u64, signed: bool) -> u64 {
+    let res = a.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+        let keep = if signed { (cur as i64) >= (v as i64) } else { cur >= v };
+        if keep { None } else { Some(v) }
+    });
+    match res {
+        Ok(prev) | Err(prev) => prev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment::new(64)
+    }
+
+    #[test]
+    fn get_set_swap() {
+        let s = seg();
+        assert_eq!(execute(&s, 0, AmoOp::Get, 0, 0, false), 0);
+        execute(&s, 0, AmoOp::Set, 7, 0, false);
+        assert_eq!(execute(&s, 0, AmoOp::Get, 0, 0, false), 7);
+        let prev = execute(&s, 0, AmoOp::Swap, 9, 0, false);
+        assert_eq!(prev, 7);
+        assert_eq!(s.read_u64(0), 9);
+    }
+
+    #[test]
+    fn arithmetic_ops_return_prior() {
+        let s = seg();
+        s.write_u64(8, 10);
+        assert_eq!(execute(&s, 8, AmoOp::FetchAdd, 5, 0, false), 10);
+        assert_eq!(execute(&s, 8, AmoOp::FetchSub, 3, 0, false), 15);
+        assert_eq!(s.read_u64(8), 12);
+        // Non-fetching flavours have identical memory effects.
+        execute(&s, 8, AmoOp::Add, 8, 0, false);
+        assert_eq!(s.read_u64(8), 20);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let s = seg();
+        s.write_u64(0, 0b1100);
+        assert_eq!(execute(&s, 0, AmoOp::FetchAnd, 0b1010, 0, false), 0b1100);
+        assert_eq!(s.read_u64(0), 0b1000);
+        execute(&s, 0, AmoOp::Or, 0b0011, 0, false);
+        assert_eq!(s.read_u64(0), 0b1011);
+        execute(&s, 0, AmoOp::Xor, 0b1111, 0, false);
+        assert_eq!(s.read_u64(0), 0b0100);
+    }
+
+    #[test]
+    fn min_max_unsigned_and_signed() {
+        let s = seg();
+        s.write_u64(0, 100);
+        execute(&s, 0, AmoOp::Min, 50, 0, false);
+        assert_eq!(s.read_u64(0), 50);
+        execute(&s, 0, AmoOp::Min, 80, 0, false);
+        assert_eq!(s.read_u64(0), 50);
+        execute(&s, 0, AmoOp::Max, 75, 0, false);
+        assert_eq!(s.read_u64(0), 75);
+
+        // Signed: -1 (as u64::MAX) is less than 5 under signed comparison.
+        s.write_u64(8, 5);
+        execute(&s, 8, AmoOp::Min, (-1i64) as u64, 0, true);
+        assert_eq!(s.read_u64(8) as i64, -1);
+        // Unsigned would have kept 5.
+        s.write_u64(16, 5);
+        execute(&s, 16, AmoOp::Min, (-1i64) as u64, 0, false);
+        assert_eq!(s.read_u64(16), 5);
+    }
+
+    #[test]
+    fn compare_swap_success_and_failure() {
+        let s = seg();
+        s.write_u64(0, 42);
+        let prev = execute(&s, 0, AmoOp::CompareSwap, 42, 99, false);
+        assert_eq!(prev, 42);
+        assert_eq!(s.read_u64(0), 99);
+        let prev = execute(&s, 0, AmoOp::CompareSwap, 42, 7, false);
+        assert_eq!(prev, 99, "failed CAS returns current value");
+        assert_eq!(s.read_u64(0), 99, "failed CAS leaves memory unchanged");
+    }
+
+    #[test]
+    fn fetching_classification() {
+        assert!(AmoOp::FetchAdd.is_fetching());
+        assert!(AmoOp::Get.is_fetching());
+        assert!(AmoOp::CompareSwap.is_fetching());
+        assert!(!AmoOp::Add.is_fetching());
+        assert!(!AmoOp::Set.is_fetching());
+        assert_eq!(AmoOp::FetchAdd.non_fetching(), Some(AmoOp::Add));
+        assert_eq!(AmoOp::FetchXor.non_fetching(), Some(AmoOp::Xor));
+        assert_eq!(AmoOp::Get.non_fetching(), None);
+        assert_eq!(AmoOp::Swap.non_fetching(), None);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        use std::sync::Arc;
+        let s = Arc::new(Segment::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    execute(&s, 0, AmoOp::Add, 1, 0, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_u64(0), 80_000);
+    }
+
+    #[test]
+    fn concurrent_min_converges() {
+        use std::sync::Arc;
+        let s = Arc::new(Segment::new(8));
+        s.write_u64(0, u64::MAX);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    execute(&s, 0, AmoOp::Min, t * 1000 + i, 0, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_u64(0), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Team collectives: barrier, broadcast, reductions.
+//!
+//! These serve the roles the paper's applications delegate to MPI
+//! collectives (data initialization, timing fences, result verification).
+//! All collectives poll a caller-supplied progress closure while waiting, so
+//! outstanding AMs and network deliveries continue to drain — required to
+//! avoid deadlock when a rank enters a barrier while peers still depend on
+//! its progress engine.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Collective state for one team.
+pub struct TeamColl {
+    /// Generation-counting sense barrier.
+    bar_gen: AtomicU64,
+    bar_count: AtomicUsize,
+    /// Broadcast slot (valid between the two barriers of a broadcast).
+    bcast: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Per-member reduction contributions (u64 bit patterns).
+    contrib: Box<[AtomicU64]>,
+    /// Number of completed splits of this team (see `World::split_team`).
+    split_epoch: AtomicU64,
+    /// Per-member asynchronous-barrier arrival counts (monotonic epochs).
+    async_arrivals: Box<[AtomicU64]>,
+}
+
+impl TeamColl {
+    pub fn new(size: usize) -> Self {
+        TeamColl {
+            bar_gen: AtomicU64::new(0),
+            bar_count: AtomicUsize::new(0),
+            bcast: Mutex::new(None),
+            contrib: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            split_epoch: AtomicU64::new(0),
+            async_arrivals: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one asynchronous-barrier arrival for member `me_idx`,
+    /// returning the epoch this arrival belongs to (1-based).
+    pub fn async_arrive(&self, me_idx: usize) -> u64 {
+        self.async_arrivals[me_idx].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Whether every member has arrived at async-barrier epoch `epoch`.
+    pub fn async_epoch_complete(&self, size: usize, epoch: u64) -> bool {
+        self.async_arrivals[..size].iter().all(|a| a.load(Ordering::Acquire) >= epoch)
+    }
+
+    /// Current split epoch (advanced once per completed collective split).
+    pub fn split_epoch(&self) -> u64 {
+        self.split_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the split epoch (exactly one member, barrier-protected).
+    pub fn advance_split_epoch(&self) {
+        self.split_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// All-gather of u64 bit patterns: returns every member's contribution
+    /// indexed by team rank. `me_idx` is the caller's index in the team.
+    pub fn exchange(&self, size: usize, me_idx: usize, bits: u64, poll: &mut dyn FnMut()) -> Vec<u64> {
+        self.contrib[me_idx].store(bits, Ordering::Release);
+        self.barrier(size, poll);
+        let out: Vec<u64> = self.contrib[..size].iter().map(|c| c.load(Ordering::Acquire)).collect();
+        self.barrier(size, poll);
+        out
+    }
+
+    /// Barrier across `size` participants. `poll` is invoked while waiting.
+    pub fn barrier(&self, size: usize, poll: &mut dyn FnMut()) {
+        let gen = self.bar_gen.load(Ordering::Acquire);
+        if self.bar_count.fetch_add(1, Ordering::AcqRel) + 1 == size {
+            // Last arriver releases everyone and resets for the next round.
+            self.bar_count.store(0, Ordering::Relaxed);
+            self.bar_gen.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            while self.bar_gen.load(Ordering::Acquire) == gen {
+                poll();
+                // Yield between polls: with ranks oversubscribed on few
+                // cores (the common CI case), pure spinning starves the
+                // ranks that could release the barrier.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Broadcast `val` from the team member with `is_root` set. Every member
+    /// must call with the same `size`; exactly one may pass `Some(val)`.
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &self,
+        size: usize,
+        root_val: Option<T>,
+        poll: &mut dyn FnMut(),
+    ) -> T {
+        if let Some(v) = root_val {
+            *self.bcast.lock() = Some(Box::new(v));
+        }
+        self.barrier(size, poll);
+        let out = {
+            let slot = self.bcast.lock();
+            let any = slot.as_ref().expect("broadcast: no root provided a value");
+            any.downcast_ref::<T>().expect("broadcast type mismatch").clone()
+        };
+        // Second barrier: nobody may start the next broadcast (overwriting
+        // the slot) until everyone has copied out.
+        self.barrier(size, poll);
+        out
+    }
+
+    /// All-reduce over u64 bit patterns with a caller-supplied fold.
+    /// `me_idx` is the caller's index within the team.
+    pub fn allreduce(
+        &self,
+        size: usize,
+        me_idx: usize,
+        bits: u64,
+        f: &dyn Fn(u64, u64) -> u64,
+        poll: &mut dyn FnMut(),
+    ) -> u64 {
+        self.contrib[me_idx].store(bits, Ordering::Release);
+        self.barrier(size, poll);
+        let mut acc = self.contrib[0].load(Ordering::Acquire);
+        for c in &self.contrib[1..size] {
+            acc = f(acc, c.load(Ordering::Acquire));
+        }
+        // Keep contributions stable until everyone has folded.
+        self.barrier(size, poll);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_threads() {
+        let coll = Arc::new(TeamColl::new(4));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let coll = Arc::clone(&coll);
+            let flag = Arc::clone(&flag);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..100 {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                    coll.barrier(4, &mut || std::thread::yield_now());
+                    // After the barrier, all four increments of this round
+                    // must be visible.
+                    assert!(flag.load(Ordering::SeqCst) >= 4 * (round + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(flag.load(Ordering::SeqCst), 400);
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let coll = Arc::new(TeamColl::new(3));
+        let mut handles = Vec::new();
+        for t in 0..3usize {
+            let coll = Arc::clone(&coll);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for round in 0..10u64 {
+                    let root_val = (t == (round % 3) as usize).then(|| round * 100);
+                    got.push(coll.broadcast(3, root_val, &mut || std::thread::yield_now()));
+                }
+                got
+            }));
+        }
+        let results: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            assert_eq!(*r, (0..10u64).map(|x| x * 100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let coll = Arc::new(TeamColl::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let coll = Arc::clone(&coll);
+            handles.push(std::thread::spawn(move || {
+                let sum = coll.allreduce(4, t as usize, t + 1, &|a, b| a + b, &mut || {});
+                let max = coll.allreduce(4, t as usize, t * 7, &|a, b| a.max(b), &mut || {});
+                (sum, max)
+            }));
+        }
+        for h in handles {
+            let (sum, max) = h.join().unwrap();
+            assert_eq!(sum, 10);
+            assert_eq!(max, 21);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Configuration for a `gasnex` world: conduit selection, process layout,
+//! segment sizing, and simulated-network parameters.
+
+/// Which conduit flavor the world runs over.
+///
+/// In the real GASNet-EX these select genuinely different transports. In this
+/// single-process reproduction all transports are shared memory; the conduit
+/// still matters because it controls what the layered runtime may assume:
+///
+/// * [`Conduit::Smp`] supports only a single (simulated) node, which lets the
+///   runtime treat every global pointer as directly addressable (the
+///   "constexpr `is_local`" optimization the paper describes for 2021.3.6).
+/// * [`Conduit::Udp`] and [`Conduit::Mpi`] permit multiple simulated nodes;
+///   co-located ranks communicate through process-shared memory while ranks
+///   on different simulated nodes go through the [`SimNetwork`] delay queue.
+///
+/// [`SimNetwork`]: crate::net::SimNetwork
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Conduit {
+    /// Shared-memory conduit: exactly one node.
+    Smp,
+    /// UDP conduit stand-in: multi-node capable, process-shared memory
+    /// within a node.
+    Udp,
+    /// MPI conduit stand-in: as `Udp`, plus the collective bootstrap the
+    /// graph-matching application relies on.
+    Mpi,
+}
+
+impl Conduit {
+    /// Whether this conduit guarantees that every rank is on the same node,
+    /// making every global pointer directly addressable.
+    pub fn single_node_only(self) -> bool {
+        matches!(self, Conduit::Smp)
+    }
+}
+
+/// Parameters of the simulated inter-node network.
+///
+/// Operations between ranks on different simulated nodes are injected into a
+/// delay queue and delivered no earlier than `latency_ns` (± up to
+/// `jitter_ns`, deterministic per message) after injection. A latency of zero
+/// still forces asynchronous completion: delivery happens at a later progress
+/// poll, never synchronously during initiation — exactly the property the
+/// paper's off-node operations have.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Base one-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Maximum additional deterministic jitter in nanoseconds.
+    pub jitter_ns: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Roughly EDR InfiniBand-scale small-message latency.
+        NetConfig { latency_ns: 1_500, jitter_ns: 0 }
+    }
+}
+
+/// Configuration of a `gasnex` world.
+#[derive(Clone, Debug)]
+pub struct GasnexConfig {
+    /// Total number of ranks (SPMD "processes", realized as threads).
+    pub ranks: usize,
+    /// Number of ranks per simulated node. Ranks `[k*n, (k+1)*n)` form node
+    /// `k`. Must evenly divide or exceed `ranks` shape constraints are not
+    /// required; the last node may be ragged.
+    pub ranks_per_node: usize,
+    /// Size in bytes of each rank's shared segment.
+    pub segment_size: usize,
+    /// Conduit flavor.
+    pub conduit: Conduit,
+    /// Simulated network parameters (only used when more than one node).
+    pub net: NetConfig,
+}
+
+impl GasnexConfig {
+    /// Single-node SMP configuration with `ranks` ranks and a default
+    /// 8 MiB-per-rank segment.
+    pub fn smp(ranks: usize) -> Self {
+        GasnexConfig {
+            ranks,
+            ranks_per_node: ranks.max(1),
+            segment_size: 8 << 20,
+            conduit: Conduit::Smp,
+            net: NetConfig::default(),
+        }
+    }
+
+    /// Multi-node configuration over the UDP conduit stand-in.
+    pub fn udp(ranks: usize, ranks_per_node: usize) -> Self {
+        GasnexConfig {
+            ranks,
+            ranks_per_node: ranks_per_node.max(1),
+            segment_size: 8 << 20,
+            conduit: Conduit::Udp,
+            net: NetConfig::default(),
+        }
+    }
+
+    /// Multi-node configuration over the MPI conduit stand-in.
+    pub fn mpi(ranks: usize, ranks_per_node: usize) -> Self {
+        GasnexConfig { conduit: Conduit::Mpi, ..Self::udp(ranks, ranks_per_node) }
+    }
+
+    /// Override the per-rank segment size in bytes.
+    pub fn with_segment_size(mut self, bytes: usize) -> Self {
+        self.segment_size = bytes;
+        self
+    }
+
+    /// Override the simulated network parameters.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Number of simulated nodes implied by this configuration.
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Validate the configuration, panicking with a descriptive message on
+    /// nonsensical parameters.
+    pub fn validate(&self) {
+        assert!(self.ranks > 0, "gasnex: world must have at least one rank");
+        assert!(self.ranks_per_node > 0, "gasnex: ranks_per_node must be positive");
+        assert!(
+            self.segment_size >= 64,
+            "gasnex: segment must be at least 64 bytes, got {}",
+            self.segment_size
+        );
+        if self.conduit.single_node_only() {
+            assert!(
+                self.nodes() == 1,
+                "gasnex: SMP conduit supports a single node, but {} ranks with \
+                 {} ranks/node gives {} nodes",
+                self.ranks,
+                self.ranks_per_node,
+                self.nodes()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smp_is_one_node() {
+        let c = GasnexConfig::smp(16);
+        c.validate();
+        assert_eq!(c.nodes(), 1);
+        assert!(c.conduit.single_node_only());
+    }
+
+    #[test]
+    fn udp_node_count_rounds_up() {
+        let c = GasnexConfig::udp(10, 4);
+        c.validate();
+        assert_eq!(c.nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "SMP conduit supports a single node")]
+    fn smp_multinode_rejected() {
+        let mut c = GasnexConfig::smp(8);
+        c.ranks_per_node = 2;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        GasnexConfig::smp(0).validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = GasnexConfig::udp(4, 2)
+            .with_segment_size(1 << 16)
+            .with_net(NetConfig { latency_ns: 10, jitter_ns: 5 });
+        assert_eq!(c.segment_size, 1 << 16);
+        assert_eq!(c.net.latency_ns, 10);
+        assert_eq!(c.net.jitter_ns, 5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Completion events, modelled on `gex_Event_t`.
+//!
+//! An operation that completes synchronously during initiation returns
+//! [`Event::Complete`] (the analogue of `GEX_EVENT_INVALID` /
+//! `GASNET_INVALID_HANDLE` — "already done"). An asynchronous operation
+//! returns [`Event::Pending`] holding a shared [`EventCore`] that the
+//! network (or the target rank) signals when the operation finishes.
+//!
+//! Detecting the `Complete` case cheaply at initiation is the substrate
+//! hook the paper's eager-notification work builds on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared completion flag for an in-flight operation.
+///
+/// Signalled (with release ordering) by whichever thread finishes the
+/// operation; observed (with acquire ordering) by the initiator, so any data
+/// written before the signal — e.g. an `rget` result landing in its slot —
+/// is visible after a successful test.
+#[derive(Debug, Default)]
+pub struct EventCore {
+    done: AtomicBool,
+}
+
+impl EventCore {
+    /// A fresh, unsignalled event.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EventCore { done: AtomicBool::new(false) })
+    }
+
+    /// Mark the operation complete. May be called from any thread; calling
+    /// it more than once is idempotent.
+    #[inline]
+    pub fn signal(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether the operation has completed.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// A completion handle for one communication operation.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The operation completed synchronously during initiation.
+    Complete,
+    /// The operation is in flight; the core will be signalled on completion.
+    Pending(Arc<EventCore>),
+}
+
+impl Event {
+    /// Create a pending event, returning the handle and the core to signal.
+    pub fn pending() -> (Event, Arc<EventCore>) {
+        let core = EventCore::new();
+        (Event::Pending(Arc::clone(&core)), core)
+    }
+
+    /// Non-blocking completion test (like `gex_Event_Test`).
+    #[inline]
+    pub fn test(&self) -> bool {
+        match self {
+            Event::Complete => true,
+            Event::Pending(core) => core.is_done(),
+        }
+    }
+
+    /// Whether this event was complete at initiation — the property that
+    /// makes eager notification possible.
+    #[inline]
+    pub fn completed_synchronously(&self) -> bool {
+        matches!(self, Event::Complete)
+    }
+
+    /// Spin until complete, invoking `poll` between tests (like
+    /// `gex_Event_Wait` with progress).
+    pub fn wait(&self, mut poll: impl FnMut()) {
+        let mut spins = 0u32;
+        while !self.test() {
+            poll();
+            spins += 1;
+            if spins > 4 {
+                // Oversubscribed ranks must let the signaller run.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_event_tests_true() {
+        let e = Event::Complete;
+        assert!(e.test());
+        assert!(e.completed_synchronously());
+        let mut polls = 0;
+        e.wait(|| polls += 1);
+        assert_eq!(polls, 0);
+    }
+
+    #[test]
+    fn pending_event_lifecycle() {
+        let (e, core) = Event::pending();
+        assert!(!e.test());
+        assert!(!e.completed_synchronously());
+        core.signal();
+        assert!(e.test());
+        // Idempotent.
+        core.signal();
+        assert!(e.test());
+    }
+
+    #[test]
+    fn wait_polls_until_signalled() {
+        let (e, core) = Event::pending();
+        let mut polls = 0;
+        e.wait(|| {
+            polls += 1;
+            if polls == 3 {
+                core.signal();
+            }
+        });
+        assert_eq!(polls, 3);
+    }
+
+    #[test]
+    fn signal_is_visible_across_threads() {
+        let (e, core) = Event::pending();
+        let t = std::thread::spawn(move || core.signal());
+        e.wait(std::thread::yield_now);
+        t.join().unwrap();
+        assert!(e.test());
+    }
+}

@@ -1,0 +1,53 @@
+//! # gasnex — a GASNet-EX-like communication substrate
+//!
+//! This crate is the from-scratch stand-in for GASNet-EX in the
+//! reproduction of *"Optimization of Asynchronous Communication Operations
+//! through Eager Notifications"* (Kamil & Bonachea, SC 2021). It provides
+//! the substrate layers the UPC++-like runtime (`upcr`) is built on:
+//!
+//! * **Shared segments** ([`segment::Segment`]) — one per rank, addressable
+//!   by every rank, with race-tolerant word-atomic storage and a free-list
+//!   offset allocator ([`alloc::SegAlloc`]).
+//! * **Conduits & topology** ([`config`], [`rank`]) — SMP / UDP / MPI
+//!   conduit flavors; ranks grouped into simulated nodes, where same-node
+//!   access is direct (process-shared memory) and cross-node operations go
+//!   through the network.
+//! * **Events** ([`event::Event`]) — per-operation completion handles that
+//!   distinguish *synchronous* completion at initiation from asynchronous
+//!   completion, the hook eager notification builds on.
+//! * **Active messages** ([`am`]) — handlers executed on the target rank
+//!   during its progress calls, used for RPC and remote completions.
+//! * **Simulated network** ([`net::SimNetwork`]) — a global delay queue
+//!   modelling NIC-offloaded delivery for cross-node operations; injected
+//!   operations never complete synchronously.
+//! * **Remote atomics** ([`amo`]) — the `gex_AD`-style atomic operation set
+//!   over 64-bit words, including the fetching/non-fetching split the paper
+//!   exploits.
+//! * **Collectives** ([`collectives`], surfaced via [`world::World`]) —
+//!   progress-polling barrier, broadcast, and reductions.
+//!
+//! Everything is deliberately single-process: SPMD ranks are threads, which
+//! reproduces the addressability and synchronization structure of the
+//! paper's single-node runs (GASNet process-shared memory) while remaining
+//! runnable anywhere. See `DESIGN.md` at the repository root for the full
+//! substitution argument.
+
+pub mod alloc;
+pub mod am;
+pub mod amo;
+pub mod collectives;
+pub mod config;
+pub mod event;
+pub mod net;
+pub mod rank;
+pub mod segment;
+pub mod world;
+
+pub use alloc::{OutOfSegmentMemory, SegAlloc};
+pub use am::AmCtx;
+pub use amo::AmoOp;
+pub use config::{Conduit, GasnexConfig, NetConfig};
+pub use event::{Event, EventCore};
+pub use rank::{Rank, Team, Topology};
+pub use segment::Segment;
+pub use world::World;

@@ -1,0 +1,242 @@
+//! Ranks, node topology, and teams.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The identity of an SPMD process ("rank") in the world.
+///
+/// A compact `u32` index, cheap to copy and embed in global pointers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    #[inline]
+    pub fn from_idx(i: usize) -> Self {
+        Rank(u32::try_from(i).expect("rank index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rank({})", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The mapping from ranks to simulated nodes.
+///
+/// Ranks are laid out block-wise: with `ranks_per_node = n`, node `k` owns
+/// ranks `[k*n, min((k+1)*n, ranks))`. Two ranks on the same node can address
+/// each other's segments directly (the process-shared-memory case from the
+/// paper); ranks on different nodes communicate through the simulated
+/// network.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    ranks: u32,
+    ranks_per_node: u32,
+}
+
+impl Topology {
+    /// Build a topology for `ranks` total ranks, `ranks_per_node` per node.
+    pub fn new(ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks > 0 && ranks_per_node > 0);
+        Topology {
+            ranks: ranks as u32,
+            ranks_per_node: ranks_per_node as u32,
+        }
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.ranks as usize
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node) as usize
+    }
+
+    /// The node a rank lives on.
+    #[inline]
+    pub fn node_of(&self, r: Rank) -> usize {
+        debug_assert!(r.0 < self.ranks, "rank {r} out of range");
+        (r.0 / self.ranks_per_node) as usize
+    }
+
+    /// Whether two ranks share a node (and thus physical memory).
+    #[inline]
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The contiguous range of ranks on `node`.
+    pub fn node_ranks(&self, node: usize) -> Range<u32> {
+        let lo = node as u32 * self.ranks_per_node;
+        let hi = (lo + self.ranks_per_node).min(self.ranks);
+        lo..hi
+    }
+
+    /// Whether the whole world is a single node.
+    #[inline]
+    pub fn single_node(&self) -> bool {
+        self.ranks_per_node >= self.ranks
+    }
+}
+
+/// An ordered set of ranks participating in collectives together.
+///
+/// A team carries its own collective state (barrier generation, exchange
+/// buffers), so any number of teams — the world team, per-node local teams,
+/// and arbitrary [`split`](crate::world::World::split_team) products — can
+/// synchronize independently. Handles are cheap to clone (two `Arc`s).
+#[derive(Clone)]
+pub struct Team {
+    /// Member world ranks, in team order.
+    members: Arc<Vec<Rank>>,
+    /// This team's collective state.
+    pub(crate) coll: Arc<crate::collectives::TeamColl>,
+    /// Stable identifier (unique per distinct team in a world).
+    uid: u64,
+}
+
+impl Team {
+    pub(crate) fn from_members(members: Vec<Rank>, uid: u64) -> Self {
+        assert!(!members.is_empty(), "team must be non-empty");
+        let coll = Arc::new(crate::collectives::TeamColl::new(members.len()));
+        Team { members: Arc::new(members), coll, uid }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Stable identifier of this team within its world.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The world rank of team member `i`.
+    pub fn member(&self, i: usize) -> Rank {
+        assert!(i < self.size(), "team member index {i} out of range");
+        self.members[i]
+    }
+
+    /// This world rank's index within the team, if it is a member.
+    pub fn rank_of(&self, r: Rank) -> Option<usize> {
+        // Member lists are small and usually sorted; linear scan keeps
+        // arbitrary orderings (split by key) correct.
+        self.members.iter().position(|&m| m == r)
+    }
+
+    /// Whether `r` is a member.
+    pub fn contains(&self, r: Rank) -> bool {
+        self.members.contains(&r)
+    }
+
+    /// Iterate over member world ranks.
+    pub fn iter(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Record one asynchronous-barrier arrival for team-member `me_idx`,
+    /// returning the 1-based epoch the arrival belongs to.
+    pub fn async_arrive(&self, me_idx: usize) -> u64 {
+        assert!(me_idx < self.size());
+        self.coll.async_arrive(me_idx)
+    }
+
+    /// Whether every member has arrived at async-barrier `epoch`.
+    pub fn async_epoch_complete(&self, epoch: u64) -> bool {
+        self.coll.async_epoch_complete(self.size(), epoch)
+    }
+}
+
+impl fmt::Debug for Team {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Team(uid={}, members={:?})", self.uid, self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mapping_block_layout() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(t.node_of(Rank(0)), 0);
+        assert_eq!(t.node_of(Rank(3)), 0);
+        assert_eq!(t.node_of(Rank(4)), 1);
+        assert_eq!(t.node_of(Rank(9)), 2);
+        assert!(t.same_node(Rank(4), Rank(7)));
+        assert!(!t.same_node(Rank(3), Rank(4)));
+    }
+
+    #[test]
+    fn ragged_last_node() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.node_ranks(0), 0..4);
+        assert_eq!(t.node_ranks(2), 8..10);
+    }
+
+    #[test]
+    fn single_node_detection() {
+        assert!(Topology::new(8, 8).single_node());
+        assert!(Topology::new(8, 16).single_node());
+        assert!(!Topology::new(8, 4).single_node());
+    }
+
+    #[test]
+    fn team_membership() {
+        let team = Team::from_members(vec![Rank(4), Rank(5), Rank(6), Rank(7)], 1);
+        assert_eq!(team.size(), 4);
+        assert_eq!(team.member(0), Rank(4));
+        assert_eq!(team.member(3), Rank(7));
+        assert_eq!(team.rank_of(Rank(5)), Some(1));
+        assert_eq!(team.rank_of(Rank(8)), None);
+        assert!(team.contains(Rank(4)));
+        assert!(!team.contains(Rank(3)));
+        assert_eq!(team.uid(), 1);
+        let members: Vec<_> = team.iter().collect();
+        assert_eq!(members, vec![Rank(4), Rank(5), Rank(6), Rank(7)]);
+    }
+
+    #[test]
+    fn non_contiguous_team_in_key_order() {
+        let team = Team::from_members(vec![Rank(9), Rank(2), Rank(5)], 7);
+        assert_eq!(team.member(0), Rank(9));
+        assert_eq!(team.rank_of(Rank(5)), Some(2));
+        assert!(!team.contains(Rank(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_team_rejected() {
+        Team::from_members(vec![], 0);
+    }
+
+    #[test]
+    fn rank_display_and_conversion() {
+        let r = Rank::from_idx(7);
+        assert_eq!(r.idx(), 7);
+        assert_eq!(format!("{r}"), "7");
+        assert_eq!(format!("{r:?}"), "Rank(7)");
+    }
+}

@@ -1,0 +1,328 @@
+//! Shared memory segments.
+//!
+//! Each rank owns one segment; every rank in the world can read and write
+//! every segment (this models GASNet's process-shared memory on a node, and
+//! doubles as the target memory for simulated-network deliveries).
+//!
+//! # Memory model
+//!
+//! Segment storage is an array of `AtomicU64` words. All access goes through
+//! relaxed (or, for synchronizing operations, acquire/release) atomic word
+//! operations, so concurrent conflicting accesses from different ranks are
+//! *races with well-defined outcomes* (lost updates, torn multi-word
+//! transfers) rather than undefined behaviour — exactly the semantics the
+//! HPCC RandomAccess benchmark's "unsynchronized one-sided operations, some
+//! lost updates permitted" mode requires. On x86-64 a relaxed atomic load or
+//! store compiles to a plain `mov`, so this costs nothing on the critical
+//! paths the paper measures.
+//!
+//! Sub-word and unaligned accesses splice bytes into the containing word
+//! with a compare-exchange loop; aligned word-multiple transfers (the common
+//! case — everything the paper benchmarks is 64-bit) take the fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single rank's shared segment.
+pub struct Segment {
+    words: Box<[AtomicU64]>,
+}
+
+// Number of bytes per storage word.
+const W: usize = 8;
+
+impl Segment {
+    /// Allocate a zeroed segment of at least `bytes` bytes (rounded up to a
+    /// whole number of words).
+    pub fn new(bytes: usize) -> Self {
+        let nwords = bytes.div_ceil(W);
+        let mut v = Vec::with_capacity(nwords);
+        v.resize_with(nwords, || AtomicU64::new(0));
+        Segment { words: v.into_boxed_slice() }
+    }
+
+    /// Segment capacity in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len() * W
+    }
+
+    /// Whether the segment has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    #[inline]
+    fn word(&self, off: usize) -> &AtomicU64 {
+        &self.words[off / W]
+    }
+
+    /// Read the aligned 64-bit word at byte offset `off` (relaxed).
+    #[inline]
+    pub fn read_u64(&self, off: usize) -> u64 {
+        debug_assert!(off.is_multiple_of(W), "unaligned u64 read at offset {off}");
+        self.word(off).load(Ordering::Relaxed)
+    }
+
+    /// Write the aligned 64-bit word at byte offset `off` (relaxed).
+    #[inline]
+    pub fn write_u64(&self, off: usize, val: u64) {
+        debug_assert!(off.is_multiple_of(W), "unaligned u64 write at offset {off}");
+        self.word(off).store(val, Ordering::Relaxed);
+    }
+
+    /// Direct access to the atomic word containing byte offset `off`
+    /// (which must be 8-byte aligned). This is the hook for hardware remote
+    /// atomics and for "manual localization" application code.
+    #[inline]
+    pub fn atomic_u64(&self, off: usize) -> &AtomicU64 {
+        assert!(off.is_multiple_of(W), "atomic access requires 8-byte alignment, got offset {off}");
+        self.word(off)
+    }
+
+    /// A view of `len` consecutive 64-bit words starting at byte offset
+    /// `off` (8-byte aligned), for bulk direct access after a downcast.
+    pub fn atomic_slice_u64(&self, off: usize, len: usize) -> &[AtomicU64] {
+        assert!(off.is_multiple_of(W), "atomic slice requires 8-byte alignment, got offset {off}");
+        let start = off / W;
+        &self.words[start..start + len]
+    }
+
+    /// Read a scalar of `size` bytes (1, 2, 4, or 8) at byte offset `off`,
+    /// which must be aligned to `size`. Returns the value zero-extended.
+    #[inline]
+    pub fn read_scalar(&self, off: usize, size: usize) -> u64 {
+        debug_assert!(size.is_power_of_two() && size <= W);
+        debug_assert!(off.is_multiple_of(size), "scalar read misaligned: off {off} size {size}");
+        if size == W {
+            return self.read_u64(off);
+        }
+        let word = self.word(off).load(Ordering::Relaxed);
+        let shift = (off % W) * 8;
+        let mask = mask_for(size);
+        (word >> shift) & mask
+    }
+
+    /// Write a scalar of `size` bytes (1, 2, 4, or 8) at byte offset `off`,
+    /// which must be aligned to `size`.
+    #[inline]
+    pub fn write_scalar(&self, off: usize, size: usize, val: u64) {
+        debug_assert!(size.is_power_of_two() && size <= W);
+        debug_assert!(off.is_multiple_of(size), "scalar write misaligned: off {off} size {size}");
+        if size == W {
+            return self.write_u64(off, val);
+        }
+        let shift = (off % W) * 8;
+        let mask = mask_for(size) << shift;
+        let bits = (val << shift) & mask;
+        let w = self.word(off);
+        // Splice the bytes into the containing word. A CAS loop keeps
+        // concurrent writers to *different* bytes of the word from clobbering
+        // each other.
+        let mut cur = w.load(Ordering::Relaxed);
+        loop {
+            let next = (cur & !mask) | bits;
+            match w.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Copy `src` into the segment starting at byte offset `off`.
+    pub fn copy_in(&self, off: usize, src: &[u8]) {
+        self.for_each_chunk(off, src.len(), |kind| match kind {
+            Chunk::Word { seg_off, buf_range } => {
+                let mut b = [0u8; W];
+                b.copy_from_slice(&src[buf_range]);
+                self.write_u64(seg_off, u64::from_le_bytes(b));
+            }
+            Chunk::Bytes { seg_off, buf_range } => {
+                for (i, &byte) in src[buf_range.clone()].iter().enumerate() {
+                    self.write_scalar(seg_off + i, 1, byte as u64);
+                }
+            }
+        });
+    }
+
+    /// Copy `dst.len()` bytes out of the segment starting at byte offset
+    /// `off`.
+    pub fn copy_out(&self, off: usize, dst: &mut [u8]) {
+        self.for_each_chunk(off, dst.len(), |kind| match kind {
+            Chunk::Word { seg_off, buf_range } => {
+                let w = self.read_u64(seg_off);
+                dst[buf_range].copy_from_slice(&w.to_le_bytes());
+            }
+            Chunk::Bytes { seg_off, buf_range } => {
+                let start = buf_range.start;
+                for i in 0..buf_range.len() {
+                    dst[start + i] = self.read_scalar(seg_off + i, 1) as u8;
+                }
+            }
+        });
+    }
+
+    /// Decompose a (possibly unaligned) byte range into an unaligned head,
+    /// aligned full words, and an unaligned tail.
+    fn for_each_chunk(&self, off: usize, len: usize, mut f: impl FnMut(Chunk)) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len()),
+            "segment access out of bounds: off {off} len {len} capacity {}",
+            self.len()
+        );
+        let mut seg = off;
+        let mut buf = 0usize;
+        let end = off + len;
+        // Head: bytes up to the next word boundary.
+        let head = (W - seg % W) % W;
+        let head = head.min(len);
+        if head > 0 {
+            f(Chunk::Bytes { seg_off: seg, buf_range: buf..buf + head });
+            seg += head;
+            buf += head;
+        }
+        // Middle: full words.
+        while seg + W <= end {
+            f(Chunk::Word { seg_off: seg, buf_range: buf..buf + W });
+            seg += W;
+            buf += W;
+        }
+        // Tail.
+        if seg < end {
+            f(Chunk::Bytes { seg_off: seg, buf_range: buf..buf + (end - seg) });
+        }
+    }
+}
+
+enum Chunk {
+    Word { seg_off: usize, buf_range: std::ops::Range<usize> },
+    Bytes { seg_off: usize, buf_range: std::ops::Range<usize> },
+}
+
+#[inline]
+fn mask_for(size: usize) -> u64 {
+    if size >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (size * 8)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let s = Segment::new(64);
+        s.write_u64(8, 0xdead_beef_cafe_f00d);
+        assert_eq!(s.read_u64(8), 0xdead_beef_cafe_f00d);
+        assert_eq!(s.read_u64(0), 0);
+        assert_eq!(s.read_u64(16), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_words() {
+        let s = Segment::new(13);
+        assert_eq!(s.len(), 16);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scalar_sizes_roundtrip() {
+        let s = Segment::new(64);
+        s.write_scalar(3, 1, 0xAB);
+        s.write_scalar(4, 4, 0x1234_5678);
+        assert_eq!(s.read_scalar(3, 1), 0xAB);
+        assert_eq!(s.read_scalar(4, 4), 0x1234_5678);
+        // A 2-byte write at offset 2 covers bytes 2..4, overwriting byte 3.
+        s.write_scalar(2, 2, 0xBEEF);
+        assert_eq!(s.read_scalar(2, 2), 0xBEEF);
+        assert_eq!(s.read_scalar(3, 1), 0xBE);
+        assert_eq!(s.read_scalar(4, 4), 0x1234_5678);
+    }
+
+    #[test]
+    fn sub_word_writes_do_not_clobber_neighbors() {
+        let s = Segment::new(16);
+        s.write_u64(0, u64::MAX);
+        s.write_scalar(2, 2, 0);
+        assert_eq!(s.read_u64(0), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn copy_roundtrip_aligned() {
+        let s = Segment::new(128);
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        s.copy_in(16, &data);
+        let mut out = vec![0u8; 64];
+        s.copy_out(16, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn copy_roundtrip_unaligned_head_tail() {
+        let s = Segment::new(128);
+        let data: Vec<u8> = (0..29).map(|i| (i * 7) as u8).collect();
+        s.copy_in(3, &data);
+        let mut out = vec![0u8; 29];
+        s.copy_out(3, &mut out);
+        assert_eq!(out, data);
+        // Bytes outside the range are untouched.
+        assert_eq!(s.read_scalar(2, 1), 0);
+        assert_eq!(s.read_scalar(32, 1), 0);
+    }
+
+    #[test]
+    fn copy_empty_is_noop() {
+        let s = Segment::new(16);
+        s.copy_in(5, &[]);
+        let mut out = [];
+        s.copy_out(5, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_out_of_bounds_panics() {
+        let s = Segment::new(16);
+        s.copy_in(10, &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte alignment")]
+    fn atomic_unaligned_panics() {
+        let s = Segment::new(16);
+        s.atomic_u64(4);
+    }
+
+    #[test]
+    fn atomic_view_shares_storage() {
+        let s = Segment::new(32);
+        s.atomic_u64(8).store(42, Ordering::Relaxed);
+        assert_eq!(s.read_u64(8), 42);
+        let slice = s.atomic_slice_u64(0, 4);
+        assert_eq!(slice[1].load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn concurrent_byte_splicing_is_lossless() {
+        // Two threads write disjoint bytes of the same word concurrently;
+        // the CAS splice must not lose either.
+        use std::sync::Arc;
+        let s = Arc::new(Segment::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.write_scalar(t as usize * 2, 2, 0x0100u64 + t as u64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u8 {
+            assert_eq!(s.read_scalar(t as usize * 2, 2), 0x0100 + t as u64);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Seeded synthetic graph generators.
+//!
+//! Each generator is deterministic in its parameters and seed, and is
+//! designed to reproduce a *locality profile* — the fraction of edges whose
+//! endpoints land on the same rank / same node under a block partition —
+//! matching one of the paper's graph-matching inputs (see
+//! [`presets`](crate::presets)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+
+/// 3D mesh with 6-point stencil connectivity, indexed lexicographically —
+/// extremely high locality under a block partition (the `channel` profile).
+pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> Graph {
+    let n = nx * ny * nz;
+    assert!(n > 0, "mesh must be non-empty");
+    let id = |x: usize, y: usize, z: usize| (x + nx * (y + ny * z)) as u32;
+    let mut edges = Vec::with_capacity(3 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y, z), id(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y, z), id(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((id(x, y, z), id(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+/// 2D mesh with 4-point connectivity where a fraction of edges is randomly
+/// removed and a small number of medium-range diagonals added — moderately
+/// irregular with good locality (the `venturi` profile).
+pub fn mesh2d_irregular(nx: usize, ny: usize, drop_prob: f64, seed: u64) -> Graph {
+    let n = nx * ny;
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (x + nx * y) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx && rng.gen::<f64>() >= drop_prob {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < ny && rng.gen::<f64>() >= drop_prob {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            // Sparse medium-range diagonal, reaching a few rows away.
+            if rng.gen::<f64>() < 0.05 {
+                let dx = rng.gen_range(0..8usize);
+                let dy = rng.gen_range(1..4usize);
+                if x + dx < nx && y + dy < ny {
+                    edges.push((id(x, y), id(x + dx, y + dy)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+/// Points on a unit square connected within a cutoff radius, vertex ids
+/// assigned in row-major spatial order, plus `extra_per_100` random
+/// long-range edges per 100 cutoff edges — the graph-matching application's
+/// own `--n/--p` generator (the `random` input uses `p = 15`).
+pub fn geometric(n: usize, neighbors_target: f64, extra_per_100: usize, seed: u64) -> Graph {
+    assert!(n > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Choose the radius so the expected degree is about `neighbors_target`:
+    // E[deg] = n * pi * r^2.
+    let r = (neighbors_target / (std::f64::consts::PI * n as f64)).sqrt();
+    // Spatial binning: grid cells of side >= r; vertex ids follow cell
+    // order so nearby points get nearby ids (locality under block
+    // partitioning, like the application's input ordering).
+    let cells = ((1.0 / r).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64, y: f64| {
+        let cx = ((x * cells as f64) as usize).min(cells - 1);
+        let cy = ((y * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    // Sort points into row-major cell order for id locality.
+    pts.sort_by(|a, b| {
+        let ca = cell_of(a.0, a.1);
+        let cb = cell_of(b.0, b.1);
+        (ca.1, ca.0, a.1.to_bits(), a.0.to_bits()).cmp(&(cb.1, cb.0, b.1.to_bits(), b.0.to_bits()))
+    });
+    // Bin points.
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        bins[cy * cells + cx].push(i as u32);
+    }
+    let mut edges = Vec::new();
+    let r2 = r * r;
+    for cy in 0..cells {
+        for cx in 0..cells {
+            for &i in &bins[cy * cells + cx] {
+                let (xi, yi) = pts[i as usize];
+                // Scan this cell and forward neighbor cells.
+                for (dx, dy) in [(0i64, 0i64), (1, 0), (-1, 1), (0, 1), (1, 1)] {
+                    let nxc = cx as i64 + dx;
+                    let nyc = cy as i64 + dy;
+                    if nxc < 0 || nyc < 0 || nxc >= cells as i64 || nyc >= cells as i64 {
+                        continue;
+                    }
+                    for &j in &bins[nyc as usize * cells + nxc as usize] {
+                        if j <= i && dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let (xj, yj) = pts[j as usize];
+                        let d2 = (xi - xj) * (xi - xj) + (yi - yj) * (yi - yj);
+                        if d2 <= r2 {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Long-range edges: `extra_per_100` per 100 cutoff edges, uniformly
+    // random endpoints (the application's "not close together" edges).
+    let extra = edges.len() * extra_per_100 / 100;
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+/// k-nearest-neighbour graph over random points in spatial id order — a
+/// planar-ish near-triangulation (the `delaunay` profile).
+pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n > k && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = ((n as f64 / 4.0).sqrt() as usize).clamp(1, 2048);
+    let cell_of = |x: f64, y: f64| {
+        let cx = ((x * cells as f64) as usize).min(cells - 1);
+        let cy = ((y * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    pts.sort_by(|a, b| {
+        let ca = cell_of(a.0, a.1);
+        let cb = cell_of(b.0, b.1);
+        (ca.1, ca.0, a.1.to_bits(), a.0.to_bits()).cmp(&(cb.1, cb.0, b.1.to_bits(), b.0.to_bits()))
+    });
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        bins[cy * cells + cx].push(i as u32);
+    }
+    let mut edges = Vec::with_capacity(n * k);
+    let mut cand: Vec<(f64, u32)> = Vec::new();
+    for (i, &(xi, yi)) in pts.iter().enumerate() {
+        cand.clear();
+        let (cx, cy) = cell_of(xi, yi);
+        // Expand rings of cells until we have enough candidates.
+        let mut ring = 1i64;
+        loop {
+            cand.clear();
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    let nxc = cx as i64 + dx;
+                    let nyc = cy as i64 + dy;
+                    if nxc < 0 || nyc < 0 || nxc >= cells as i64 || nyc >= cells as i64 {
+                        continue;
+                    }
+                    for &j in &bins[nyc as usize * cells + nxc as usize] {
+                        if j as usize == i {
+                            continue;
+                        }
+                        let (xj, yj) = pts[j as usize];
+                        let d2 = (xi - xj) * (xi - xj) + (yi - yj) * (yi - yj);
+                        cand.push((d2, j));
+                    }
+                }
+            }
+            if cand.len() >= k || ring as usize >= cells {
+                break;
+            }
+            ring += 1;
+        }
+        cand.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &(_, j) in cand.iter().take(k) {
+            edges.push((i as u32, j));
+        }
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+/// Barabási–Albert preferential attachment with `m` edges per new vertex,
+/// followed by a uniform random relabeling of all vertices — a power-law
+/// graph with essentially no id locality (the `youtube` profile).
+pub fn powerlaw(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > m && m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Endpoint pool: each edge endpoint appears once, giving
+    // degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    // Seed clique over the first m+1 vertices.
+    for a in 0..=(m as u32) {
+        for b in (a + 1)..=(m as u32) {
+            edges.push((a, b));
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    for v in (m + 1)..n {
+        // Small sorted Vec instead of a HashSet: HashSet iteration order is
+        // seeded per-instance and would break seed-determinism.
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t as usize != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((v as u32, t));
+            pool.push(v as u32);
+            pool.push(t);
+        }
+    }
+    // Shuffle labels to destroy locality.
+    let mut relabel: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        relabel.swap(i, j);
+    }
+    for e in &mut edges {
+        *e = (relabel[e.0 as usize], relabel[e.1 as usize]);
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh3d_structure() {
+        let g = mesh3d(4, 3, 2);
+        g.validate();
+        assert_eq!(g.n, 24);
+        // Edge count: x-edges 3*3*2 + y-edges 4*2*2 + z-edges 4*3*1.
+        assert_eq!(g.edges(), 18 + 16 + 12);
+        // Interior-ish vertex degree between 3 and 6.
+        assert!((3..=6).contains(&g.degree(5)));
+    }
+
+    #[test]
+    fn mesh2d_irregular_deterministic() {
+        let a = mesh2d_irregular(20, 20, 0.1, 7);
+        let b = mesh2d_irregular(20, 20, 0.1, 7);
+        a.validate();
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.adj, b.adj);
+        // Dropping edges must reduce the count below the full mesh.
+        let full = mesh2d_irregular(20, 20, 0.0, 7);
+        assert!(a.edges() < full.edges() + 50, "sanity");
+        assert!(a.edges() > 300, "not degenerate");
+    }
+
+    #[test]
+    fn geometric_degree_near_target() {
+        let g = geometric(4000, 8.0, 0, 42);
+        g.validate();
+        let avg = 2.0 * g.edges() as f64 / g.n as f64;
+        assert!((4.0..14.0).contains(&avg), "average degree {avg} far from target 8");
+    }
+
+    #[test]
+    fn geometric_extra_edges_increase_count() {
+        let base = geometric(2000, 8.0, 0, 1);
+        let extra = geometric(2000, 8.0, 15, 1);
+        assert!(extra.edges() > base.edges());
+        let ratio = extra.edges() as f64 / base.edges() as f64;
+        assert!((1.05..1.30).contains(&ratio), "extra ratio {ratio} should be ~1.15");
+    }
+
+    #[test]
+    fn knn_degrees() {
+        let g = knn(2000, 6, 3);
+        g.validate();
+        // Every vertex proposed k edges; mutual proposals merge, so degree
+        // is at least k for most vertices and bounded by a small multiple.
+        let avg = 2.0 * g.edges() as f64 / g.n as f64;
+        assert!((6.0..13.0).contains(&avg), "avg degree {avg}");
+        assert!((0..g.n).all(|v| g.degree(v) >= 1));
+    }
+
+    #[test]
+    fn powerlaw_has_hubs() {
+        let g = powerlaw(3000, 4, 9);
+        g.validate();
+        let max_deg = (0..g.n).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 50, "power-law graph should have hubs, max degree {max_deg}");
+        assert!(g.edges() >= 3000 * 4 - 4 * 4);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(powerlaw(500, 3, 5).adj, powerlaw(500, 3, 5).adj);
+        assert_eq!(geometric(500, 6.0, 10, 5).adj, geometric(500, 6.0, 10, 5).adj);
+        assert_eq!(knn(500, 4, 5).adj, knn(500, 4, 5).adj);
+        // Different seeds give different graphs.
+        assert_ne!(powerlaw(500, 3, 5).adj, powerlaw(500, 3, 6).adj);
+    }
+}

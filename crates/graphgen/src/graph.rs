@@ -1,0 +1,181 @@
+//! Undirected weighted graphs in CSR form.
+
+/// An undirected graph with symmetric edge weights, stored as CSR with both
+/// directions materialized (the layout the distributed matching code
+/// partitions row-wise).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// CSR row offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Neighbor vertex ids, length `xadj[n]`.
+    pub adj: Vec<u32>,
+    /// Per-entry edge weight; symmetric (`w(u,v) == w(v,u)`).
+    pub weight: Vec<f64>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list. Self-loops are dropped and
+    /// duplicate edges collapsed. Weights are derived deterministically from
+    /// the endpoint pair (symmetric, effectively distinct), unless
+    /// `weights` supplies one per input edge.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)], weights: Option<&[f64]>) -> Graph {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), edges.len(), "one weight per edge required");
+        }
+        // Canonicalize, drop self-loops, dedup.
+        let mut canon: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len());
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            let w = weights.map_or_else(|| pair_weight(u, v), |ws| ws[i]);
+            canon.push((u, v, w));
+        }
+        canon.sort_unstable_by_key(|x| (x.0, x.1));
+        canon.dedup_by_key(|e| (e.0, e.1));
+
+        // Degree count, both directions.
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &canon {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for d in &deg {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let m2 = xadj[n];
+        let mut adj = vec![0u32; m2];
+        let mut weight = vec![0f64; m2];
+        let mut cursor = xadj[..n].to_vec();
+        for &(u, v, w) in &canon {
+            adj[cursor[u as usize]] = v;
+            weight[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            weight[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        Graph { n, xadj, adj, weight }
+    }
+
+    /// Number of undirected edges.
+    pub fn edges(&self) -> usize {
+        self.xadj[self.n] / 2
+    }
+
+    /// Neighbors of `v` with weights.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.xadj[v]..self.xadj[v + 1];
+        self.adj[r.clone()].iter().copied().zip(self.weight[r].iter().copied())
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// The weight of edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.neighbors(u).find(|&(w, _)| w as usize == v).map(|(_, wt)| wt)
+    }
+
+    /// Total weight over undirected edges.
+    pub fn total_weight(&self) -> f64 {
+        self.weight.iter().sum::<f64>() / 2.0
+    }
+
+    /// Structural sanity checks: symmetric adjacency, symmetric weights, no
+    /// self-loops, sorted-free duplicates. Used by tests and debug builds.
+    pub fn validate(&self) {
+        assert_eq!(self.xadj.len(), self.n + 1);
+        assert_eq!(self.adj.len(), *self.xadj.last().unwrap());
+        assert_eq!(self.adj.len(), self.weight.len());
+        for v in 0..self.n {
+            for (u, w) in self.neighbors(v) {
+                assert_ne!(u as usize, v, "self-loop at {v}");
+                let back = self
+                    .edge_weight(u as usize, v)
+                    .unwrap_or_else(|| panic!("edge ({v},{u}) missing reverse direction"));
+                assert_eq!(back.to_bits(), w.to_bits(), "asymmetric weight on ({v},{u})");
+            }
+        }
+    }
+}
+
+/// Deterministic symmetric edge weight in (0, 1), effectively unique per
+/// endpoint pair (64-bit mix of the canonical pair).
+pub fn pair_weight(u: u32, v: u32) -> f64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let mixed = splitmix64(((a as u64) << 32) | b as u64);
+    // Map to (0,1), avoiding exactly 0.
+    (mixed >> 11) as f64 / (1u64 << 53) as f64 + f64::MIN_POSITIVE
+}
+
+/// SplitMix64, the crate's deterministic mixing primitive.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], None);
+        g.validate();
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.edge_weight(0, 1).is_some());
+        assert_eq!(g.edge_weight(0, 1), g.edge_weight(1, 0));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1)], None);
+        g.validate();
+        assert_eq!(g.edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn explicit_weights_respected() {
+        let g = Graph::from_edges(2, &[(0, 1)], Some(&[2.5]));
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.total_weight(), 2.5);
+    }
+
+    #[test]
+    fn pair_weights_symmetric_and_distinct() {
+        assert_eq!(pair_weight(3, 7), pair_weight(7, 3));
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..50u32 {
+            for v in (u + 1)..50u32 {
+                assert!(seen.insert(pair_weight(u, v).to_bits()), "collision at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(4, &[], None);
+        g.validate();
+        assert_eq!(g.edges(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 5)], None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Graph file I/O.
+//!
+//! The paper's random input was produced by running the application's
+//! generator once, *saving the graph to a file*, and reusing it across all
+//! runs (§IV-C). This module provides that workflow: a simple text format
+//! (one `u v w` edge per line after an `n m` header, weights as exact hex
+//! bit patterns so roundtrips are bitwise) plus save/load helpers.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::graph::Graph;
+
+/// Errors from reading a graph file.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph file I/O error: {e}"),
+            GraphIoError::Parse { line, msg } => {
+                write!(f, "graph file parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Write `g` to `path` in the text edge-list format.
+pub fn save(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{} {}", g.n, g.edges())?;
+    for v in 0..g.n {
+        for (u, wt) in g.neighbors(v) {
+            if (v as u32) < u {
+                // Exact bit pattern: weights roundtrip losslessly.
+                writeln!(w, "{} {} {:016x}", v, u, wt.to_bits())?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a graph previously written by [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
+    let f = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(f).lines();
+    let header = lines
+        .next()
+        .ok_or(GraphIoError::Parse { line: 1, msg: "empty file".into() })??;
+    let mut it = header.split_whitespace();
+    let n: usize = parse_field(&mut it, 1, "vertex count")?;
+    let m: usize = parse_field(&mut it, 1, "edge count")?;
+    let mut edges = Vec::with_capacity(m);
+    let mut weights = Vec::with_capacity(m);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = parse_field(&mut it, lineno, "source vertex")?;
+        let v: u32 = parse_field(&mut it, lineno, "target vertex")?;
+        let wbits = it.next().ok_or_else(|| GraphIoError::Parse {
+            line: lineno,
+            msg: "missing weight".into(),
+        })?;
+        let bits = u64::from_str_radix(wbits, 16).map_err(|e| GraphIoError::Parse {
+            line: lineno,
+            msg: format!("bad weight {wbits:?}: {e}"),
+        })?;
+        edges.push((u, v));
+        weights.push(f64::from_bits(bits));
+    }
+    if edges.len() != m {
+        return Err(GraphIoError::Parse {
+            line: 1,
+            msg: format!("header claims {m} edges, file has {}", edges.len()),
+        });
+    }
+    Ok(Graph::from_edges(n, &edges, Some(&weights)))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphIoError>
+where
+    T::Err: std::fmt::Display,
+{
+    let s = it
+        .next()
+        .ok_or_else(|| GraphIoError::Parse { line, msg: format!("missing {what}") })?;
+    s.parse().map_err(|e| GraphIoError::Parse { line, msg: format!("bad {what} {s:?}: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geometric;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphgen-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_exactly() {
+        let g = geometric(500, 8.0, 15, 42);
+        let path = tmpfile("roundtrip.txt");
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.n, h.n);
+        assert_eq!(g.xadj, h.xadj);
+        assert_eq!(g.adj, h.adj);
+        // Weights roundtrip bitwise.
+        assert_eq!(
+            g.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            h.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let path = tmpfile("truncated.txt");
+        std::fs::write(&path, "10 5\n0 1 3ff0000000000000\n").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("claims 5 edges"));
+    }
+
+    #[test]
+    fn load_rejects_garbage_weight() {
+        let path = tmpfile("garbage.txt");
+        std::fs::write(&path, "4 1\n0 1 zzzz\n").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, GraphIoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load("/nonexistent/definitely/missing.graph").unwrap_err();
+        assert!(matches!(err, GraphIoError::Io(_)));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = crate::graph::Graph::from_edges(3, &[], None);
+        let path = tmpfile("empty.txt");
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(h.n, 3);
+        assert_eq!(h.edges(), 0);
+    }
+}

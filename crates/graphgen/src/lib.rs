@@ -1,0 +1,23 @@
+//! # graphgen — deterministic synthetic graphs with locality statistics
+//!
+//! Generates the graph-matching inputs for the reproduction of *"Optimization
+//! of Asynchronous Communication Operations through Eager Notifications"*
+//! (SC 2021). The paper evaluates on four SuiteSparse graphs plus one
+//! application-generated random geometric graph; offline, this crate
+//! substitutes seeded synthetic generators that preserve each input's
+//! **edge-locality profile** under a block partition — the property the
+//! paper identifies as determining the speedup (§IV-C). See
+//! [`presets::Preset`] for the mapping and `DESIGN.md` §5 for the
+//! substitution argument.
+
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod presets;
+
+pub use gen::{geometric, knn, mesh2d_irregular, mesh3d, powerlaw};
+pub use graph::{pair_weight, splitmix64, Graph};
+pub use io::{load, save, GraphIoError};
+pub use partition::{BlockPartition, LocalityStats};
+pub use presets::Preset;

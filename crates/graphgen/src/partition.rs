@@ -1,0 +1,193 @@
+//! Block vertex partitions and edge-locality statistics.
+//!
+//! The graph-matching application partitions vertices block-wise over
+//! ranks. The paper attributes its per-input speedups to the fraction of
+//! edges that cross ranks (same-process edges are manually optimized;
+//! co-located-process edges take the RMA path that eager notification
+//! accelerates). [`LocalityStats`] measures exactly that, and is printed by
+//! the benchmark harness next to each stand-in graph.
+
+use crate::graph::Graph;
+
+/// A block (contiguous-range) partition of `n` vertices over `ranks` ranks.
+/// The first `n % ranks` ranks get one extra vertex.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPartition {
+    n: usize,
+    ranks: usize,
+}
+
+impl BlockPartition {
+    /// Create a partition of `n` vertices over `ranks` ranks.
+    pub fn new(n: usize, ranks: usize) -> Self {
+        assert!(ranks > 0 && n > 0);
+        BlockPartition { n, ranks }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The rank owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: usize) -> usize {
+        debug_assert!(v < self.n);
+        let base = self.n / self.ranks;
+        let rem = self.n % self.ranks;
+        let cutoff = rem * (base + 1);
+        if v < cutoff {
+            v / (base + 1)
+        } else {
+            rem + (v - cutoff) / base
+        }
+    }
+
+    /// The contiguous vertex range owned by `rank`.
+    pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
+        assert!(rank < self.ranks);
+        let base = self.n / self.ranks;
+        let rem = self.n % self.ranks;
+        let lo = if rank < rem {
+            rank * (base + 1)
+        } else {
+            rem * (base + 1) + (rank - rem) * base
+        };
+        let len = base + usize::from(rank < rem);
+        lo..lo + len
+    }
+
+    /// Vertex `v`'s index within its owner's range.
+    #[inline]
+    pub fn local_index(&self, v: usize) -> usize {
+        v - self.range(self.owner(v)).start
+    }
+}
+
+/// Fractions of undirected edges by endpoint placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalityStats {
+    /// Both endpoints on the same rank (manually-optimized path).
+    pub same_rank: f64,
+    /// Different ranks on the same node (the RMA path eager notification
+    /// accelerates).
+    pub same_node: f64,
+    /// Different nodes (network path).
+    pub cross_node: f64,
+}
+
+impl LocalityStats {
+    /// Measure `g` under a block partition over `ranks` ranks grouped
+    /// `ranks_per_node` per node.
+    pub fn measure(g: &Graph, ranks: usize, ranks_per_node: usize) -> LocalityStats {
+        let part = BlockPartition::new(g.n, ranks);
+        let (mut same_rank, mut same_node, mut cross_node) = (0u64, 0u64, 0u64);
+        for v in 0..g.n {
+            for (u, _) in g.neighbors(v) {
+                let u = u as usize;
+                if u < v {
+                    continue; // count each undirected edge once
+                }
+                let (rv, ru) = (part.owner(v), part.owner(u));
+                if rv == ru {
+                    same_rank += 1;
+                } else if rv / ranks_per_node == ru / ranks_per_node {
+                    same_node += 1;
+                } else {
+                    cross_node += 1;
+                }
+            }
+        }
+        let total = (same_rank + same_node + cross_node).max(1) as f64;
+        LocalityStats {
+            same_rank: same_rank as f64 / total,
+            same_node: same_node as f64 / total,
+            cross_node: cross_node as f64 / total,
+        }
+    }
+
+    /// Fraction of edges on paths the eager-notification work can affect
+    /// (not same-rank: those are manually optimized by the application).
+    pub fn rma_eligible(&self) -> f64 {
+        self.same_node + self.cross_node
+    }
+}
+
+impl std::fmt::Display for LocalityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "same-rank {:5.1}%  co-located {:5.1}%  cross-node {:5.1}%",
+            100.0 * self.same_rank,
+            100.0 * self.same_node,
+            100.0 * self.cross_node
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{mesh3d, powerlaw};
+
+    #[test]
+    fn block_partition_covers_everything_once() {
+        for (n, ranks) in [(10, 3), (16, 16), (7, 2), (100, 16), (5, 8)] {
+            if ranks > n {
+                continue;
+            }
+            let p = BlockPartition::new(n, ranks);
+            let mut seen = vec![false; n];
+            for r in 0..ranks {
+                for v in p.range(r) {
+                    assert!(!seen[v], "vertex {v} in two ranges");
+                    seen[v] = true;
+                    assert_eq!(p.owner(v), r, "owner mismatch for {v}");
+                    assert_eq!(p.local_index(v), v - p.range(r).start);
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn range_sizes_balanced() {
+        let p = BlockPartition::new(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|r| p.range(r).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn stats_sum_to_one() {
+        let g = powerlaw(500, 3, 1);
+        let s = LocalityStats::measure(&g, 16, 16);
+        assert!((s.same_rank + s.same_node + s.cross_node - 1.0).abs() < 1e-9);
+        assert!((s.rma_eligible() - (1.0 - s.same_rank)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_is_local_powerlaw_is_not() {
+        // Thin extruded mesh: per-rank blocks span several cross-section
+        // planes, so almost all edges stay on-rank.
+        let mesh = mesh3d(8, 8, 64);
+        let pl = powerlaw(4000, 4, 2);
+        let sm = LocalityStats::measure(&mesh, 16, 16);
+        let sp = LocalityStats::measure(&pl, 16, 16);
+        assert!(sm.same_rank > 0.85, "mesh same-rank fraction {}", sm.same_rank);
+        assert!(sp.same_rank < 0.25, "shuffled power-law same-rank fraction {}", sp.same_rank);
+    }
+
+    #[test]
+    fn single_node_has_no_cross_node_edges() {
+        let g = powerlaw(300, 3, 1);
+        let s = LocalityStats::measure(&g, 16, 16);
+        assert_eq!(s.cross_node, 0.0);
+        let s2 = LocalityStats::measure(&g, 16, 4);
+        assert!(s2.cross_node > 0.0);
+    }
+}

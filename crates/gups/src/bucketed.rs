@@ -1,0 +1,157 @@
+//! Bucketed GUPS — an extension beyond the paper's six variants.
+//!
+//! The paper's conclusion anticipates "additional optimizations ... that
+//! should transparently further reduce overheads"; at the application
+//! level, the classic next step for RandomAccess is *aggregation*: instead
+//! of one communication operation per update, updates destined for the
+//! same rank are buffered and shipped in batches, applied at the target by
+//! an active message. Updates become exact (the owner applies them
+//! serially on its own thread) and the per-update runtime overhead
+//! amortizes across the bucket — at the cost of the latency/lookahead the
+//! HPCC rules bound.
+//!
+//! Not part of Figures 5–7; reported separately by the demo harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use upcr::{api, Rank, Upcr};
+
+use crate::rng::Stream;
+use crate::table::GupsTable;
+
+/// Updates buffered per destination rank before shipping.
+pub const BUCKET: usize = 512;
+
+thread_local! {
+    /// Updates applied on this rank by incoming buckets (reset per run).
+    static APPLIED: AtomicU64 = const { AtomicU64::new(0) };
+}
+
+/// Run this rank's updates with destination bucketing. Exact: every update
+/// lands (AMO-grade correctness without atomics, because only the owner
+/// writes its table block).
+pub fn run_bucketed(u: &Upcr, table: &GupsTable, start_pos: i64, count: usize) {
+    let n = u.rank_n();
+    let me = u.rank_me();
+    APPLIED.with(|c| c.store(0, Ordering::Relaxed));
+    u.barrier(); // counters reset everywhere before any bucket can arrive
+
+    let mut sent_remote: u64 = 0;
+    let mut buckets: Vec<Vec<u64>> = (0..n).map(|_| Vec::with_capacity(BUCKET)).collect();
+
+    let mut flush = |u: &Upcr, owner: usize, bucket: &mut Vec<u64>| {
+        if bucket.is_empty() {
+            return;
+        }
+        sent_remote += bucket.len() as u64;
+        let rans = std::mem::take(bucket);
+        let base = table.bases[owner];
+        let local_mask = table.local_size as u64 - 1;
+        let mask = table.mask;
+        u.rpc_ff(Rank(owner as u32), move || {
+            // Runs on the owner thread: serial with every other writer of
+            // this block, hence exact.
+            let applied = rans.len() as u64;
+            for ran in rans {
+                let idx = ((ran & mask) & local_mask) as usize;
+                let p = base.add(idx);
+                api::local_store(p, api::local_load::<u64>(p) ^ ran);
+            }
+            APPLIED.with(|c| c.fetch_add(applied, Ordering::Relaxed));
+        });
+    };
+
+    for ran in Stream::at(start_pos).take(count) {
+        let owner = table.owner_of(ran);
+        if owner == me {
+            // Same-process manual optimization (serial with incoming
+            // buckets, which also run on this thread).
+            let p = table.gptr_of(ran);
+            let r = u.local(p);
+            r.set(r.get() ^ ran);
+        } else {
+            buckets[owner].push(ran);
+            if buckets[owner].len() >= BUCKET {
+                let mut b = std::mem::take(&mut buckets[owner]);
+                flush(u, owner, &mut b);
+                buckets[owner] = b; // reuse the (now empty) allocation
+            }
+        }
+        // Keep draining incoming buckets while generating.
+        if (ran & 0xFF) == 0 {
+            u.progress();
+        }
+    }
+    for (owner, bucket) in buckets.iter_mut().enumerate() {
+        let mut b = std::mem::take(bucket);
+        flush(u, owner, &mut b);
+    }
+
+    // Termination: globally, updates applied must catch up with updates
+    // shipped. The allreduce keeps ranks in lockstep; progress in between
+    // applies whatever is queued.
+    loop {
+        u.progress();
+        let sent = u.allreduce_sum_u64(sent_remote);
+        let applied = u.allreduce_sum_u64(APPLIED.with(|c| c.load(Ordering::Relaxed)));
+        if sent == applied {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    u.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GupsConfig;
+    use upcr::{launch, LibVersion, RuntimeConfig};
+
+    fn run(ranks: usize, cfg: &GupsConfig) -> usize {
+        let cfg = *cfg;
+        let out = launch(
+            RuntimeConfig::smp(ranks).with_segment_size(1 << 22),
+            move |u| {
+                let table = GupsTable::setup(u, &cfg);
+                let per_rank = cfg.total_updates() / u.rank_n();
+                let start = (u.rank_me() * per_rank) as i64;
+                u.barrier();
+                run_bucketed(u, &table, start, per_rank);
+                // Verify exactly like the harness does.
+                let errors = super::super::harness::verify_public(u, &table, &cfg);
+                table.free(u);
+                errors
+            },
+        );
+        out[0]
+    }
+
+    #[test]
+    fn bucketed_is_exact() {
+        let cfg = GupsConfig { log2_table: 14, updates_per_word: 4, batch: 64, verify: true };
+        for ranks in [1usize, 2, 4] {
+            assert_eq!(run(ranks, &cfg), 0, "bucketed GUPS must lose no updates ({ranks} ranks)");
+        }
+    }
+
+    #[test]
+    fn bucketed_exact_under_all_versions() {
+        let cfg = GupsConfig { log2_table: 12, updates_per_word: 4, batch: 64, verify: true };
+        for version in LibVersion::ALL {
+            let cfg2 = cfg;
+            let out = launch(
+                RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 22),
+                move |u| {
+                    let table = GupsTable::setup(u, &cfg2);
+                    let per_rank = cfg2.total_updates() / u.rank_n();
+                    run_bucketed(u, &table, (u.rank_me() * per_rank) as i64, per_rank);
+                    let errors = super::super::harness::verify_public(u, &table, &cfg2);
+                    table.free(u);
+                    errors
+                },
+            );
+            assert_eq!(out[0], 0, "{version}");
+        }
+    }
+}

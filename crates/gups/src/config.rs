@@ -1,0 +1,113 @@
+//! GUPS benchmark configuration.
+
+/// Which benchmark variant to run (§IV-B of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Pure Rust updates after a one-time downcast of every rank's table
+    /// slice — the "raw C++" upper bound. Single-node only.
+    Raw,
+    /// Per-update locality check and downcast, RMA for remote targets.
+    ManualLocalization,
+    /// UPC++ RMA on every target regardless of locality, completion tracked
+    /// by a promise.
+    RmaPromise,
+    /// UPC++ RMA on every target, completion tracked by conjoined futures.
+    RmaFuture,
+    /// Remote atomic XOR on every target, completion tracked by a promise.
+    AmoPromise,
+    /// Remote atomic XOR on every target, completion tracked by conjoined
+    /// futures.
+    AmoFuture,
+}
+
+impl Variant {
+    /// All variants, in the paper's Figure 5–7 order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Raw,
+        Variant::ManualLocalization,
+        Variant::RmaPromise,
+        Variant::RmaFuture,
+        Variant::AmoPromise,
+        Variant::AmoFuture,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Raw => "raw C++",
+            Variant::ManualLocalization => "manual localization",
+            Variant::RmaPromise => "pure RMA w/promises",
+            Variant::RmaFuture => "pure RMA w/futures",
+            Variant::AmoPromise => "atomics w/promises",
+            Variant::AmoFuture => "atomics w/futures",
+        }
+    }
+}
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsConfig {
+    /// log2 of the total table size in 64-bit words, summed over ranks.
+    pub log2_table: u32,
+    /// Updates per table word (HPCC specifies 4).
+    pub updates_per_word: usize,
+    /// Batch size: updates issued before synchronizing (the paper's code
+    /// batches gets, waits, then issues puts).
+    pub batch: usize,
+    /// Whether to run the correctness check after the timed region.
+    pub verify: bool,
+}
+
+impl Default for GupsConfig {
+    fn default() -> Self {
+        GupsConfig { log2_table: 20, updates_per_word: 4, batch: 256, verify: false }
+    }
+}
+
+impl GupsConfig {
+    /// Table size in words.
+    pub fn table_size(&self) -> usize {
+        1usize << self.log2_table
+    }
+
+    /// Total updates across all ranks.
+    pub fn total_updates(&self) -> usize {
+        self.table_size() * self.updates_per_word
+    }
+
+    /// Validate against a rank count (HPCC block mapping requires the rank
+    /// count to divide the table size as a power of two).
+    pub fn validate(&self, ranks: usize) {
+        assert!(ranks.is_power_of_two(), "GUPS requires a power-of-two rank count, got {ranks}");
+        assert!(
+            self.table_size() >= ranks,
+            "table of 2^{} words cannot be split over {ranks} ranks",
+            self.log2_table
+        );
+        assert!(self.batch > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_hpcc_like() {
+        let c = GupsConfig::default();
+        assert_eq!(c.updates_per_word, 4);
+        assert_eq!(c.total_updates(), 4 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_ranks_rejected() {
+        GupsConfig::default().validate(3);
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        assert_eq!(Variant::RmaFuture.name(), "pure RMA w/futures");
+        assert_eq!(Variant::ALL.len(), 6);
+    }
+}

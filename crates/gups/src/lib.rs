@@ -1,0 +1,30 @@
+//! # gups — HPC Challenge RandomAccess over the `upcr` runtime
+//!
+//! Reproduces the GUPS evaluation of *"Optimization of Asynchronous
+//! Communication Operations through Eager Notifications"* (SC 2021,
+//! Figures 5–7): randomized fine-grained XOR updates on a distributed
+//! table, in six variants that differ only in how communication is
+//! expressed and synchronized —
+//!
+//! * [`Variant::Raw`] — pure Rust after hoisting all runtime machinery out
+//!   of the loop (single-node upper bound);
+//! * [`Variant::ManualLocalization`] — per-update `is_local` check and
+//!   downcast;
+//! * [`Variant::RmaPromise`] / [`Variant::RmaFuture`] — locality-oblivious
+//!   one-sided RMA, synchronized by a promise or by conjoined futures;
+//! * [`Variant::AmoPromise`] / [`Variant::AmoFuture`] — remote atomic XOR
+//!   updates (exact), same two synchronization styles.
+//!
+//! [`harness::benchmark`] runs any variant under any of the three library
+//! versions, returning MUPS and a verification error count.
+
+pub mod bucketed;
+pub mod config;
+pub mod harness;
+pub mod rng;
+pub mod table;
+pub mod variants;
+
+pub use config::{GupsConfig, Variant};
+pub use harness::{benchmark, run, GupsRun};
+pub use table::GupsTable;

@@ -1,0 +1,136 @@
+//! The HPC Challenge RandomAccess pseudo-random stream.
+//!
+//! The benchmark-specified LCG over GF(2): `ran = (ran << 1) ^ (POLY if the
+//! top bit was set)`, with `starts(n)` computing the stream value at
+//! position `n` in O(log n) via GF(2) matrix squaring — each rank jumps
+//! directly to its slice of the global update stream.
+
+/// The HPCC RandomAccess polynomial.
+pub const POLY: u64 = 0x7;
+/// Period of the generator (from the HPCC specification).
+pub const PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// One step of the generator.
+#[inline]
+pub fn next(ran: u64) -> u64 {
+    (ran << 1) ^ if (ran as i64) < 0 { POLY } else { 0 }
+}
+
+/// The value of the stream at position `n` (with `starts(0) == 1`), in
+/// O(log n): the HPCC `HPCC_starts` routine.
+pub fn starts(n: i64) -> u64 {
+    let mut n = n;
+    while n < 0 {
+        n += PERIOD;
+    }
+    while n > PERIOD {
+        n -= PERIOD;
+    }
+    if n == 0 {
+        return 0x1;
+    }
+    // m2[i] = x^(2^i) steps of the generator, as a GF(2) linear map applied
+    // to the state bits.
+    let mut m2 = [0u64; 64];
+    let mut temp: u64 = 0x1;
+    for slot in m2.iter_mut() {
+        *slot = temp;
+        temp = next(next(temp));
+    }
+    let mut i: i32 = 62;
+    while i >= 0 {
+        if (n >> i) & 1 == 1 {
+            break;
+        }
+        i -= 1;
+    }
+    let mut ran: u64 = 0x2;
+    while i > 0 {
+        let mut temp = 0u64;
+        for (j, &m) in m2.iter().enumerate() {
+            if (ran >> j) & 1 == 1 {
+                temp ^= m;
+            }
+        }
+        ran = temp;
+        i -= 1;
+        if (n >> i) & 1 == 1 {
+            ran = next(ran);
+        }
+    }
+    ran
+}
+
+/// Iterator over the stream starting at position `start`.
+pub struct Stream {
+    ran: u64,
+}
+
+impl Stream {
+    /// Stream positioned at global index `start`.
+    pub fn at(start: i64) -> Stream {
+        Stream { ran: starts(start) }
+    }
+}
+
+impl Iterator for Stream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        self.ran = next(self.ran);
+        Some(self.ran)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_matches_stepping() {
+        // starts(k) must equal k applications of `next` to starts(0) == 1.
+        let mut ran = 1u64;
+        for k in 1..=1000i64 {
+            ran = next(ran);
+            assert_eq!(starts(k), ran, "mismatch at position {k}");
+        }
+    }
+
+    #[test]
+    fn starts_jumps_far() {
+        // Jump to a far position and check consistency between two jumps.
+        let a = starts(1 << 40);
+        let mut b = starts((1 << 40) - 5);
+        for _ in 0..5 {
+            b = next(b);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn starts_zero_is_one() {
+        assert_eq!(starts(0), 1);
+    }
+
+    #[test]
+    fn negative_positions_wrap() {
+        assert_eq!(starts(-PERIOD), starts(0));
+    }
+
+    #[test]
+    fn stream_iterator_matches_starts() {
+        let v: Vec<u64> = Stream::at(100).take(3).collect();
+        assert_eq!(v, vec![starts(101), starts(102), starts(103)]);
+    }
+
+    #[test]
+    fn stream_values_spread_over_table() {
+        // The low bits index the table; make sure they spread reasonably.
+        let mask = (1 << 10) - 1;
+        let mut hits = vec![0u32; 1 << 10];
+        for v in Stream::at(0).take(100_000) {
+            hits[(v & mask) as usize] += 1;
+        }
+        let nonzero = hits.iter().filter(|&&h| h > 0).count();
+        assert!(nonzero > 1000, "only {nonzero} of 1024 buckets hit");
+    }
+}

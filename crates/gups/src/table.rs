@@ -1,0 +1,109 @@
+//! The distributed RandomAccess table.
+
+use std::sync::atomic::Ordering;
+
+use upcr::{GlobalPtr, Upcr};
+
+use crate::config::GupsConfig;
+
+/// A table of `2^log2_table` 64-bit words, block-distributed over ranks.
+/// Word `i` initially holds `i` (the HPCC convention).
+pub struct GupsTable {
+    /// Base pointer of each rank's block.
+    pub bases: Vec<GlobalPtr<u64>>,
+    /// Words per rank (a power of two).
+    pub local_size: usize,
+    /// `table_size - 1`, for masking stream values into indices.
+    pub mask: u64,
+    log_local: u32,
+}
+
+impl GupsTable {
+    /// Collectively allocate and initialize the table.
+    pub fn setup(u: &Upcr, cfg: &GupsConfig) -> GupsTable {
+        cfg.validate(u.rank_n());
+        let local_size = cfg.table_size() / u.rank_n();
+        let mine = u.new_array::<u64>(local_size);
+        let slice = u.local_slice_u64(mine, local_size);
+        let base = (u.rank_me() * local_size) as u64;
+        for (i, w) in slice.iter().enumerate() {
+            w.store(base + i as u64, Ordering::Relaxed);
+        }
+        let bases = (0..u.rank_n()).map(|r| u.broadcast(mine, r)).collect();
+        u.barrier();
+        GupsTable {
+            bases,
+            local_size,
+            mask: (cfg.table_size() - 1) as u64,
+            log_local: local_size.trailing_zeros(),
+        }
+    }
+
+    /// Map a stream value to the global pointer of its table word.
+    #[inline]
+    pub fn gptr_of(&self, ran: u64) -> GlobalPtr<u64> {
+        let idx = ran & self.mask;
+        let owner = (idx >> self.log_local) as usize;
+        let local = (idx & (self.local_size as u64 - 1)) as usize;
+        self.bases[owner].add(local)
+    }
+
+    /// The owning rank of a stream value's table word.
+    #[inline]
+    pub fn owner_of(&self, ran: u64) -> usize {
+        ((ran & self.mask) >> self.log_local) as usize
+    }
+
+    /// Index within the owner's block.
+    #[inline]
+    pub fn local_index_of(&self, ran: u64) -> usize {
+        ((ran & self.mask) & (self.local_size as u64 - 1)) as usize
+    }
+
+    /// Collectively free the table.
+    pub fn free(&self, u: &Upcr) {
+        u.barrier();
+        u.delete_(self.bases[u.rank_me()]);
+        u.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upcr::{launch, RuntimeConfig};
+
+    #[test]
+    fn setup_initializes_identity() {
+        let cfg = GupsConfig { log2_table: 10, ..Default::default() };
+        launch(RuntimeConfig::smp(4).with_segment_size(1 << 20), |u| {
+            let t = GupsTable::setup(u, &cfg);
+            assert_eq!(t.local_size, 256);
+            // Every word of every block holds its global index.
+            for r in 0..4 {
+                let slice = u.local_slice_u64(t.bases[r], t.local_size);
+                for (i, w) in slice.iter().enumerate() {
+                    assert_eq!(w.load(Ordering::Relaxed), (r * 256 + i) as u64);
+                }
+            }
+            t.free(u);
+        });
+    }
+
+    #[test]
+    fn gptr_mapping_roundtrips() {
+        let cfg = GupsConfig { log2_table: 12, ..Default::default() };
+        launch(RuntimeConfig::smp(8).with_segment_size(1 << 20), |u| {
+            let t = GupsTable::setup(u, &cfg);
+            for ran in [0u64, 1, 4095, 0xdeadbeef, u64::MAX] {
+                let idx = ran & t.mask;
+                let owner = t.owner_of(ran);
+                assert_eq!(owner, (idx as usize) / t.local_size);
+                let g = t.gptr_of(ran);
+                assert_eq!(g.rank().idx(), owner);
+                assert_eq!(g.index_from(&t.bases[owner]), t.local_index_of(ran));
+            }
+            t.free(u);
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! The six GUPS update-loop implementations (§IV-B).
+//!
+//! Every variant performs the same update stream — `table[ran & mask] ^=
+//! ran` over this rank's slice of the HPCC random stream — differing only
+//! in how the communication is expressed and synchronized. That difference
+//! is exactly what the paper measures.
+
+use std::sync::atomic::Ordering;
+
+use upcr::{conjoin, make_future, operation_cx, Promise, Upcr};
+
+use crate::config::{GupsConfig, Variant};
+use crate::rng::Stream;
+use crate::table::GupsTable;
+
+/// Run this rank's share of updates using `variant`. `start_pos` is the
+/// rank's starting position in the global stream; `count` its update count.
+pub fn run_updates(
+    u: &Upcr,
+    table: &GupsTable,
+    cfg: &GupsConfig,
+    variant: Variant,
+    start_pos: i64,
+    count: usize,
+) {
+    match variant {
+        Variant::Raw => raw(u, table, start_pos, count),
+        Variant::ManualLocalization => manual(u, table, start_pos, count),
+        Variant::RmaPromise => rma_promise(u, table, cfg, start_pos, count),
+        Variant::RmaFuture => rma_future(u, table, cfg, start_pos, count),
+        Variant::AmoPromise => amo_promise(u, table, cfg, start_pos, count),
+        Variant::AmoFuture => amo_future(u, table, cfg, start_pos, count),
+    }
+}
+
+/// Raw variant: all locality checks, downcasts, and UPC++ machinery are
+/// hoisted out of the loop; updates are plain load/xor/store pairs (lossy
+/// under races, as the benchmark permits). Only valid when every rank is
+/// directly addressable — the paper's single-node case.
+fn raw(u: &Upcr, table: &GupsTable, start_pos: i64, count: usize) {
+    assert!(
+        (0..u.rank_n()).all(|r| u.is_local(table.bases[r])),
+        "raw variant requires a single (simulated) node"
+    );
+    let slices: Vec<&[std::sync::atomic::AtomicU64]> =
+        (0..u.rank_n()).map(|r| u.local_slice_u64(table.bases[r], table.local_size)).collect();
+    for ran in Stream::at(start_pos).take(count) {
+        let w = &slices[table.owner_of(ran)][table.local_index_of(ran)];
+        // Plain (non-RMW) update: load and store compile to bare movs.
+        w.store(w.load(Ordering::Relaxed) ^ ran, Ordering::Relaxed);
+    }
+}
+
+/// Manual localization: the paper's
+/// `if (dest.is_local()) *dest.local() ^= val; else <RMA>` idiom, with the
+/// locality check and downcast paid on every update.
+fn manual(u: &Upcr, table: &GupsTable, start_pos: i64, count: usize) {
+    for ran in Stream::at(start_pos).take(count) {
+        let dest = table.gptr_of(ran);
+        if u.is_local(dest) {
+            let r = u.local(dest);
+            r.set(r.get() ^ ran);
+        } else {
+            // Off-node fallback (never taken in single-node runs).
+            let old = u.rget(dest).wait();
+            u.rput(old ^ ran, dest).wait();
+        }
+    }
+}
+
+/// Pure RMA with a promise tracking each batch (§IV-B "pure RMA
+/// w/promises"): per batch, launch one-sided gets of the current values
+/// into a shared scratch block, synchronize on one promise, then launch
+/// puts of the xored values and synchronize on another. Ignores locality —
+/// every access is an RMA call, the case eager notification accelerates.
+fn rma_promise(u: &Upcr, table: &GupsTable, cfg: &GupsConfig, start_pos: i64, count: usize) {
+    let scratch = u.new_array::<u64>(cfg.batch);
+    let words = u.local_slice_u64(scratch, cfg.batch);
+    let mut rans: Vec<u64> = Vec::with_capacity(cfg.batch);
+    let mut stream = Stream::at(start_pos);
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(cfg.batch);
+        rans.clear();
+        rans.extend((&mut stream).take(b));
+        let gets = Promise::new();
+        for (j, &ran) in rans.iter().enumerate() {
+            u.copy_with(table.gptr_of(ran), scratch.add(j), 1, operation_cx::as_promise(&gets));
+        }
+        gets.finalize().wait();
+        let puts = Promise::new();
+        for (j, &ran) in rans.iter().enumerate() {
+            let val = words[j].load(Ordering::Relaxed) ^ ran;
+            u.rput_with(val, table.gptr_of(ran), operation_cx::as_promise(&puts));
+        }
+        puts.finalize().wait();
+        remaining -= b;
+    }
+    u.delete_(scratch);
+}
+
+/// Pure RMA with future conjoining (§IV-B "pure RMA w/futures"): identical
+/// data movement, but each batch's completion is the `when_all`-conjoined
+/// future of its operations — the idiom whose dependency graph the paper's
+/// `when_all` optimization collapses.
+fn rma_future(u: &Upcr, table: &GupsTable, cfg: &GupsConfig, start_pos: i64, count: usize) {
+    let scratch = u.new_array::<u64>(cfg.batch);
+    let words = u.local_slice_u64(scratch, cfg.batch);
+    let mut rans: Vec<u64> = Vec::with_capacity(cfg.batch);
+    let mut stream = Stream::at(start_pos);
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(cfg.batch);
+        rans.clear();
+        rans.extend((&mut stream).take(b));
+        let mut f = make_future();
+        for (j, &ran) in rans.iter().enumerate() {
+            f = conjoin(f, u.copy(table.gptr_of(ran), scratch.add(j), 1));
+        }
+        f.wait();
+        let mut f = make_future();
+        for (j, &ran) in rans.iter().enumerate() {
+            let val = words[j].load(Ordering::Relaxed) ^ ran;
+            f = conjoin(f, u.rput(val, table.gptr_of(ran)));
+        }
+        f.wait();
+        remaining -= b;
+    }
+    u.delete_(scratch);
+}
+
+/// Remote atomics with a promise per batch (§IV-B "atomics w/promises"):
+/// the update is a single non-fetching atomic XOR, so no scratch space and
+/// no read-modify-write race — results are exact.
+fn amo_promise(u: &Upcr, table: &GupsTable, cfg: &GupsConfig, start_pos: i64, count: usize) {
+    let ad = u.atomic_domain::<u64>();
+    let mut stream = Stream::at(start_pos);
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(cfg.batch);
+        let p = Promise::new();
+        for ran in (&mut stream).take(b) {
+            ad.bit_xor_with(table.gptr_of(ran), ran, operation_cx::as_promise(&p));
+        }
+        p.finalize().wait();
+        remaining -= b;
+    }
+}
+
+/// Remote atomics with future conjoining (§IV-B "atomics w/futures").
+fn amo_future(u: &Upcr, table: &GupsTable, cfg: &GupsConfig, start_pos: i64, count: usize) {
+    let ad = u.atomic_domain::<u64>();
+    let mut stream = Stream::at(start_pos);
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(cfg.batch);
+        let mut f = make_future();
+        for ran in (&mut stream).take(b) {
+            f = conjoin(f, ad.bit_xor(table.gptr_of(ran), ran));
+        }
+        f.wait();
+        remaining -= b;
+    }
+}

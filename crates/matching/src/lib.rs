@@ -1,0 +1,24 @@
+//! # matching — half-approximate maximum-weight graph matching
+//!
+//! Reproduces the graph-matching application from *"Optimization of
+//! Asynchronous Communication Operations through Eager Notifications"*
+//! (SC 2021, §IV-C / Figure 8): the ExaGraph locally-dominant matching,
+//! with vertices block-partitioned over ranks and availability/proposal
+//! state read through one-sided RMA. Same-rank targets are manually
+//! optimized (as in the original application); co-located-rank targets take
+//! the runtime RMA path that eager notification accelerates.
+//!
+//! [`sequential::greedy`] is the reference: on totally-ordered edge
+//! weights the distributed result equals it exactly, which the tests
+//! verify along with validity, symmetry, maximality, and the
+//! ½-approximation bound.
+
+pub mod dist;
+pub mod dist_mp;
+pub mod harness;
+pub mod sequential;
+
+pub use dist::{DistMatcher, SolveStats};
+pub use dist_mp::{solve_mp, MpStats};
+pub use harness::{benchmark, benchmark_preset, run, MatchRun};
+pub use sequential::{brute_force_optimum, edge_beats, greedy, Matching, UNMATCHED};

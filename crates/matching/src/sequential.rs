@@ -1,0 +1,215 @@
+//! Sequential reference: greedy maximum-weight matching.
+//!
+//! The locally-dominant algorithm (Preis; Manne & Bisseling) computes
+//! exactly the greedy matching when edge weights are totally ordered, so
+//! this is both the ½-approximation baseline and the ground truth the
+//! distributed implementation must reproduce bit-for-bit.
+
+use graphgen::Graph;
+
+/// Vertex states in a matching: `mate[v]` is the partner, or `UNMATCHED`.
+pub const UNMATCHED: u32 = u32::MAX;
+
+/// A matching: partner per vertex plus its total weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matching {
+    /// `mate[v]` is `v`'s partner, or [`UNMATCHED`].
+    pub mate: Vec<u32>,
+    /// Sum of matched edge weights.
+    pub weight: f64,
+}
+
+impl Matching {
+    /// Number of matched edges.
+    pub fn edges(&self) -> usize {
+        self.mate.iter().filter(|&&m| m != UNMATCHED).count() / 2
+    }
+
+    /// Check structural validity against `g`: symmetry and edge existence.
+    /// Panics with a description on violation.
+    pub fn validate(&self, g: &Graph) {
+        assert_eq!(self.mate.len(), g.n);
+        let mut weight = 0.0;
+        for v in 0..g.n {
+            let m = self.mate[v];
+            if m == UNMATCHED {
+                continue;
+            }
+            assert_ne!(m as usize, v, "vertex {v} matched to itself");
+            assert_eq!(
+                self.mate[m as usize] as usize, v,
+                "mate asymmetry: mate[{v}]={m} but mate[{m}]={}",
+                self.mate[m as usize]
+            );
+            let w = g
+                .edge_weight(v, m as usize)
+                .unwrap_or_else(|| panic!("matched pair ({v},{m}) is not an edge"));
+            if v < m as usize {
+                weight += w;
+            }
+        }
+        assert!(
+            (weight - self.weight).abs() <= 1e-9 * weight.abs().max(1.0),
+            "weight mismatch: recomputed {weight}, recorded {}",
+            self.weight
+        );
+    }
+
+    /// Check maximality: no edge remains with both endpoints unmatched
+    /// (greedy/locally-dominant matchings are maximal).
+    pub fn assert_maximal(&self, g: &Graph) {
+        for v in 0..g.n {
+            if self.mate[v] != UNMATCHED {
+                continue;
+            }
+            for (u, _) in g.neighbors(v) {
+                assert!(
+                    self.mate[u as usize] != UNMATCHED,
+                    "edge ({v},{u}) has both endpoints unmatched"
+                );
+            }
+        }
+    }
+}
+
+/// The strict total order on edges used by both implementations: weight
+/// first, canonical endpoint pair as the tiebreak. Returns whether edge
+/// `(a1,b1,w1)` beats `(a2,b2,w2)`.
+#[inline]
+pub fn edge_beats(w1: f64, a1: u32, b1: u32, w2: f64, a2: u32, b2: u32) -> bool {
+    let k1 = (w1, a1.min(b1), a1.max(b1));
+    let k2 = (w2, a2.min(b2), a2.max(b2));
+    k1 > k2
+}
+
+/// Greedy maximum-weight matching: repeatedly take the heaviest remaining
+/// edge whose endpoints are both free. ½-approximation of the optimum.
+pub fn greedy(g: &Graph) -> Matching {
+    let mut edges: Vec<(f64, u32, u32)> = Vec::with_capacity(g.edges());
+    for v in 0..g.n {
+        for (u, w) in g.neighbors(v) {
+            if (v as u32) < u {
+                edges.push((w, v as u32, u));
+            }
+        }
+    }
+    // Heaviest first, with the same tiebreak order as `edge_beats`.
+    edges.sort_by(|a, b| {
+        let ka = (b.0, b.1, b.2); // note: reversed for descending sort
+        let kb = (a.0, a.1, a.2);
+        ka.partial_cmp(&kb).expect("NaN edge weight")
+    });
+    let mut mate = vec![UNMATCHED; g.n];
+    let mut weight = 0.0;
+    for (w, a, b) in edges {
+        if mate[a as usize] == UNMATCHED && mate[b as usize] == UNMATCHED {
+            mate[a as usize] = b;
+            mate[b as usize] = a;
+            weight += w;
+        }
+    }
+    Matching { mate, weight }
+}
+
+/// Exact maximum-weight matching by brute force (exponential; tiny graphs
+/// only). Used by tests to confirm the ½-approximation bound.
+pub fn brute_force_optimum(g: &Graph) -> f64 {
+    assert!(g.n <= 20, "brute force is exponential");
+    let mut edges: Vec<(f64, u32, u32)> = Vec::new();
+    for v in 0..g.n {
+        for (u, w) in g.neighbors(v) {
+            if (v as u32) < u {
+                edges.push((w, v as u32, u));
+            }
+        }
+    }
+    fn rec(edges: &[(f64, u32, u32)], used: u32) -> f64 {
+        let Some((&(w, a, b), rest)) = edges.split_first() else { return 0.0 };
+        let skip = rec(rest, used);
+        if used & (1 << a) == 0 && used & (1 << b) == 0 {
+            let take = w + rec(rest, used | (1 << a) | (1 << b));
+            if take > skip {
+                return take;
+            }
+        }
+        skip
+    }
+    rec(&edges, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::Graph;
+
+    #[test]
+    fn path_graph_greedy() {
+        // Path 0-1-2-3 with weights 1, 3, 1: greedy takes the middle edge.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 3.0, 1.0]));
+        let m = greedy(&g);
+        m.validate(&g);
+        assert_eq!(m.weight, 3.0);
+        assert_eq!(m.mate[1], 2);
+        assert_eq!(m.mate[0], UNMATCHED);
+        assert_eq!(m.edges(), 1);
+    }
+
+    #[test]
+    fn path_graph_increasing_weights() {
+        // 0-1 (1), 1-2 (2), 2-3 (3): greedy takes 2-3 then 0-1.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 2.0, 3.0]));
+        let m = greedy(&g);
+        m.validate(&g);
+        m.assert_maximal(&g);
+        assert_eq!(m.weight, 4.0);
+        assert_eq!(m.edges(), 2);
+    }
+
+    #[test]
+    fn greedy_is_half_approximate() {
+        for seed in 0..10u64 {
+            let g = graphgen::powerlaw(16, 2, seed);
+            let m = greedy(&g);
+            m.validate(&g);
+            m.assert_maximal(&g);
+            let opt = brute_force_optimum(&g);
+            assert!(
+                m.weight >= 0.5 * opt - 1e-12,
+                "seed {seed}: greedy {} below half of optimum {opt}",
+                m.weight
+            );
+            assert!(m.weight <= opt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = Graph::from_edges(3, &[], None);
+        let m = greedy(&g);
+        assert_eq!(m.edges(), 0);
+        assert_eq!(m.weight, 0.0);
+
+        let g = Graph::from_edges(2, &[(0, 1)], Some(&[5.0]));
+        let m = greedy(&g);
+        assert_eq!(m.edges(), 1);
+        assert_eq!(m.weight, 5.0);
+    }
+
+    #[test]
+    fn edge_beats_is_total_order_with_ties() {
+        // Same weight: canonical pair breaks the tie deterministically.
+        assert!(edge_beats(1.0, 5, 2, 1.0, 1, 3));
+        assert!(!edge_beats(1.0, 1, 3, 1.0, 5, 2));
+        assert!(edge_beats(2.0, 0, 1, 1.0, 5, 9));
+        // Symmetric endpoint order does not matter.
+        assert_eq!(edge_beats(1.0, 2, 5, 1.0, 1, 3), edge_beats(1.0, 5, 2, 1.0, 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetry")]
+    fn validate_catches_asymmetry() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], None);
+        let m = Matching { mate: vec![1, 2, 1], weight: 0.0 };
+        m.validate(&g);
+    }
+}

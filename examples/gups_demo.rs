@@ -1,0 +1,60 @@
+//! GUPS demo: run all six RandomAccess variants under all three library
+//! versions on a small table and print the MUPS matrix with verification.
+//!
+//! Run with: `cargo run --release --example gups_demo`
+//! (a scaled-down version of the paper's Figures 5-7; the full sweep lives
+//! in `cargo run --release -p bench --bin figures -- gups`)
+
+use gups::{GupsConfig, Variant};
+use upcr::LibVersion;
+
+fn main() {
+    let ranks = 4;
+    let cfg = GupsConfig { log2_table: 16, updates_per_word: 4, batch: 256, verify: true };
+    println!(
+        "GUPS: table 2^{} words over {ranks} ranks, {} updates, batch {}\n",
+        cfg.log2_table,
+        cfg.total_updates(),
+        cfg.batch
+    );
+    println!(
+        "{:<24}{:>18}{:>18}{:>18}",
+        "variant", "2021.3.0", "2021.3.6 defer", "2021.3.6 eager"
+    );
+    for variant in Variant::ALL {
+        let mut cells = Vec::new();
+        for version in LibVersion::ALL {
+            let r = gups::benchmark(ranks, version, &cfg, variant);
+            cells.push(format!("{:.1} MUPS ({:.2}%)", r.mups(), 100.0 * r.error_rate()));
+        }
+        println!("{:<24}{:>18}{:>18}{:>18}", variant.name(), cells[0], cells[1], cells[2]);
+    }
+
+    // Extension beyond the paper: destination-bucketed aggregation (exact).
+    let mut cells = Vec::new();
+    for version in LibVersion::ALL {
+        let cfg2 = cfg;
+        let out = upcr::launch(
+            upcr::RuntimeConfig::smp(ranks).with_version(version).with_segment_size(1 << 22),
+            move |u| {
+                let table = gups::GupsTable::setup(u, &cfg2);
+                let per_rank = cfg2.total_updates() / u.rank_n();
+                u.barrier();
+                let t0 = std::time::Instant::now();
+                gups::bucketed::run_bucketed(u, &table, (u.rank_me() * per_rank) as i64, per_rank);
+                u.barrier();
+                let secs = f64::from_bits(
+                    u.allreduce_max_u64(t0.elapsed().as_secs_f64().to_bits()),
+                );
+                let errors = gups::harness::verify_public(u, &table, &cfg2);
+                table.free(u);
+                (secs, errors)
+            },
+        );
+        let (secs, errors) = out[0];
+        let mups = cfg.total_updates() as f64 / secs / 1e6;
+        cells.push(format!("{mups:.1} MUPS ({errors} err)"));
+    }
+    println!("{:<24}{:>18}{:>18}{:>18}", "bucketed (extension)", cells[0], cells[1], cells[2]);
+    println!("\n(percentages are lost-update rates; atomics and bucketed must be exact)");
+}

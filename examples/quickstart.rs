@@ -1,0 +1,71 @@
+//! Quickstart: the APGAS model in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Four SPMD ranks allocate shared objects, exchange global pointers, and
+//! communicate with one-sided puts/gets, futures, promises, atomics, and
+//! RPC — the API surface of the paper's runtime.
+
+use upcr::{launch, RuntimeConfig, Rank};
+
+fn main() {
+    let ranks = 4;
+    println!("launching {ranks} ranks (threads), one shared segment each\n");
+
+    launch(RuntimeConfig::smp(ranks), |u| {
+        let me = u.rank_me();
+        let n = u.rank_n();
+
+        // --- shared allocation and global pointers ------------------------
+        // Each rank allocates a u64 in its own shared segment.
+        let mine = u.new_::<u64>(1000 + me as u64);
+        // Broadcast every rank's pointer so everyone can address everyone.
+        let ptrs: Vec<_> = (0..n).map(|r| u.broadcast(mine, r)).collect();
+        u.barrier();
+
+        // --- one-sided RMA with futures -----------------------------------
+        // Read the right neighbor's cell, add one, write it back.
+        let right = ptrs[(me + 1) % n];
+        let v = u.rget(right).wait();
+        u.rput(v + 1, right).wait();
+        u.barrier();
+        if me == 0 {
+            println!("after rget/rput chain, rank 0 sees its own cell = {}", u.rget(mine).wait());
+        }
+
+        // --- continuation chaining -----------------------------------------
+        // The paper's §II example: get, then put the incremented value.
+        let target = ptrs[(me + 2) % n];
+        let done = u.rget(target).then_fut(move |val| upcr::api::rput(val * 2, target));
+        done.wait();
+        u.barrier();
+
+        // --- promises: one allocation tracking many operations -------------
+        let pr = upcr::Promise::new();
+        for (r, p) in ptrs.iter().enumerate() {
+            u.rput_with((me * 10 + r) as u64, p.add(0), upcr::operation_cx::as_promise(&pr));
+        }
+        pr.finalize().wait();
+        u.barrier();
+
+        // --- remote atomics -------------------------------------------------
+        let counter = u.broadcast(u.new_::<u64>(0), 0);
+        let ad = u.atomic_domain::<u64>();
+        ad.add(counter, 1 + me as u64).wait();
+        u.barrier();
+        if me == 0 {
+            println!("atomic sum over ranks 1..={n}: {}", u.rget(counter).wait());
+        }
+
+        // --- RPC -------------------------------------------------------------
+        let neighbor = Rank(((me + 1) % n) as u32);
+        let sum = u.rpc(neighbor, move || (me * me) as u64).wait();
+        u.barrier();
+        if me == 0 {
+            println!("rpc({neighbor}) returned {sum}");
+        }
+        u.barrier();
+    });
+
+    println!("\nquickstart complete");
+}

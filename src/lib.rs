@@ -1,0 +1,11 @@
+//! # eager-notify — reproduction of "Optimization of Asynchronous
+//! # Communication Operations through Eager Notifications" (SC 2021)
+//!
+//! Umbrella crate re-exporting the workspace members; see the README for
+//! the repository map and `DESIGN.md` for the reproduction plan.
+
+pub use gasnex;
+pub use graphgen;
+pub use gups;
+pub use matching;
+pub use upcr;
