@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate, runnable locally and from the GitHub Actions workflow.
+# The workspace has no external dependencies, so everything here works
+# fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI green."

@@ -13,15 +13,17 @@
 
 use std::time::Duration;
 
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::VERSIONS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use upcr::{conjoin, launch, make_future, operation_cx, LibVersion, Promise, RuntimeConfig};
 
 fn time_loop<F>(version: LibVersion, iters: u64, f: F) -> Duration
 where
     F: Fn(&upcr::Upcr, u64) + Sync,
 {
-    let rt = RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 16);
+    let rt = RuntimeConfig::smp(2)
+        .with_version(version)
+        .with_segment_size(1 << 16);
     let out = launch(rt, move |u| {
         u.barrier();
         let mut elapsed = Duration::ZERO;
@@ -38,7 +40,9 @@ where
 
 fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
 
     for &version in &VERSIONS {
         g.bench_with_input(

@@ -7,13 +7,15 @@
 
 use std::time::Duration;
 
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::micro::{self, MicroOp};
 use bench::VERSIONS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_micro");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for op in MicroOp::ALL {
         for &version in &VERSIONS {
             if !op.available_in(version) {

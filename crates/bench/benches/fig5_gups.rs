@@ -8,8 +8,8 @@
 
 use std::time::Duration;
 
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::VERSIONS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gups::{GupsConfig, Variant};
 
 const RANKS: usize = 8;
@@ -17,9 +17,16 @@ const RANKS: usize = 8;
 // slowest (deferred future-conjoining) cell on a single-core CI box.
 
 fn bench_gups(c: &mut Criterion) {
-    let cfg = GupsConfig { log2_table: 15, updates_per_word: 4, batch: 256, verify: false };
+    let cfg = GupsConfig {
+        log2_table: 15,
+        updates_per_word: 4,
+        batch: 256,
+        verify: false,
+    };
     let mut g = c.benchmark_group("fig5_gups");
-    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for variant in Variant::ALL {
         for &version in &VERSIONS {
             g.bench_with_input(

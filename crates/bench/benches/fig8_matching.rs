@@ -6,8 +6,8 @@
 
 use std::time::Duration;
 
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::VERSIONS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphgen::Preset;
 
 const RANKS: usize = 8;
@@ -15,7 +15,9 @@ const SCALE: f64 = 0.1;
 
 fn bench_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_matching");
-    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for preset in Preset::ALL {
         let graph = preset.generate(SCALE);
         for &version in &VERSIONS {

@@ -7,39 +7,48 @@
 
 use std::time::Duration;
 
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::VERSIONS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use upcr::{launch, NetConfig, RuntimeConfig};
 
 fn bench_offnode(c: &mut Criterion) {
     let mut g = c.benchmark_group("offnode_rput");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     for &version in &VERSIONS {
-        g.bench_with_input(BenchmarkId::from_parameter(version), &version, |b, &version| {
-            b.iter_custom(|iters| {
-                let rt = RuntimeConfig::udp(2, 1)
-                    .with_version(version)
-                    .with_segment_size(1 << 16)
-                    .with_net(NetConfig { latency_ns: 1_500, jitter_ns: 0 });
-                let out = launch(rt, move |u| {
-                    let mine = u.new_::<u64>(0);
-                    let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
-                    let target = targets[1 - u.rank_me()];
-                    u.barrier();
-                    let mut elapsed = Duration::ZERO;
-                    if u.rank_me() == 0 {
-                        let t0 = std::time::Instant::now();
-                        for i in 0..iters {
-                            u.rput(i, target).wait();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(version),
+            &version,
+            |b, &version| {
+                b.iter_custom(|iters| {
+                    let rt = RuntimeConfig::udp(2, 1)
+                        .with_version(version)
+                        .with_segment_size(1 << 16)
+                        .with_net(NetConfig {
+                            latency_ns: 1_500,
+                            jitter_ns: 0,
+                        });
+                    let out = launch(rt, move |u| {
+                        let mine = u.new_::<u64>(0);
+                        let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
+                        let target = targets[1 - u.rank_me()];
+                        u.barrier();
+                        let mut elapsed = Duration::ZERO;
+                        if u.rank_me() == 0 {
+                            let t0 = std::time::Instant::now();
+                            for i in 0..iters {
+                                u.rput(i, target).wait();
+                            }
+                            elapsed = t0.elapsed();
                         }
-                        elapsed = t0.elapsed();
-                    }
-                    u.barrier();
-                    elapsed
-                });
-                out[0]
-            })
-        });
+                        u.barrier();
+                        elapsed
+                    });
+                    out[0]
+                })
+            },
+        );
     }
     g.finish();
 }

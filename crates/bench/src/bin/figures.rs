@@ -28,21 +28,37 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { sections: Vec::new(), quick: false, ranks: 16, scale: 0.25, samples: 5 };
+    let mut args = Args {
+        sections: Vec::new(),
+        quick: false,
+        ranks: 16,
+        scale: 0.25,
+        samples: 5,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--ranks" => {
-                args.ranks = it.next().expect("--ranks needs a value").parse().expect("--ranks")
+                args.ranks = it
+                    .next()
+                    .expect("--ranks needs a value")
+                    .parse()
+                    .expect("--ranks")
             }
             "--scale" => {
-                args.scale = it.next().expect("--scale needs a value").parse().expect("--scale")
+                args.scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale")
             }
             "--samples" => {
-                args.samples =
-                    it.next().expect("--samples needs a value").parse().expect("--samples")
+                args.samples = it
+                    .next()
+                    .expect("--samples needs a value")
+                    .parse()
+                    .expect("--samples")
             }
             s => args.sections.push(s.to_string()),
         }
@@ -96,7 +112,9 @@ fn main() {
 fn matching_mp_comparison(args: &Args) {
     let ranks = args.ranks.min(8);
     let scale = if args.quick { 0.05 } else { 0.1 };
-    println!("== Extension: RMA solver vs message-passing solver (eager build, {ranks} ranks) ==\n");
+    println!(
+        "== Extension: RMA solver vs message-passing solver (eager build, {ranks} ranks) ==\n"
+    );
     for preset in Preset::ALL {
         let g = preset.generate(scale);
         let rma = matching::benchmark(ranks, LibVersion::V2021_3_6Eager, &g);
@@ -128,7 +146,10 @@ fn fig_2_3_4_micro(args: &Args) {
     println!("   paper loop: `op(gp).wait()` x {iters} per cell\n");
     println!(
         "{}",
-        fmt_row("operation", &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+        fmt_row(
+            "operation",
+            &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        )
     );
     for op in MicroOp::ALL {
         let cells: Vec<String> = VERSIONS
@@ -148,7 +169,10 @@ fn fig_2_3_4_micro(args: &Args) {
     let put_eager = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::Put, iters);
     let fa_v = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::AmoFetchAdd, iters);
     let fa_m = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::AmoFetchAddInto, iters);
-    println!("\n  eager vs defer put speedup: {:.0}%  (paper: 92-95%)", 100.0 * (put_defer / put_eager - 1.0));
+    println!(
+        "\n  eager vs defer put speedup: {:.0}%  (paper: 92-95%)",
+        100.0 * (put_defer / put_eager - 1.0)
+    );
     println!(
         "  non-value vs value fetch-add (eager): {:.0}%  (paper: 66-90%)\n",
         100.0 * (fa_v / fa_m - 1.0)
@@ -159,9 +183,19 @@ fn fig_5_6_7_gups(args: &Args) {
     let ranks = args.ranks;
     let samples = if args.quick { 1 } else { args.samples };
     let cfg = if args.quick {
-        GupsConfig { log2_table: 18, updates_per_word: 4, batch: 256, verify: false }
+        GupsConfig {
+            log2_table: 18,
+            updates_per_word: 4,
+            batch: 256,
+            verify: false,
+        }
     } else {
-        GupsConfig { log2_table: 22, updates_per_word: 4, batch: 256, verify: false }
+        GupsConfig {
+            log2_table: 22,
+            updates_per_word: 4,
+            batch: 256,
+            verify: false,
+        }
     };
     println!(
         "== Figures 5-7: GUPS / HPCC RandomAccess ({} ranks, table 2^{} words, MUPS higher=better) ==\n",
@@ -169,14 +203,18 @@ fn fig_5_6_7_gups(args: &Args) {
     );
     println!(
         "{}",
-        fmt_row("variant", &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+        fmt_row(
+            "variant",
+            &VERSIONS.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        )
     );
     let mut table: Vec<(Variant, Vec<f64>)> = Vec::new();
     for variant in Variant::ALL {
         let mups: Vec<f64> = VERSIONS
             .iter()
             .map(|&v| {
-                let secs = best_half_mean(samples, || gups::benchmark(ranks, v, &cfg, variant).seconds);
+                let secs =
+                    best_half_mean(samples, || gups::benchmark(ranks, v, &cfg, variant).seconds);
                 cfg.total_updates() as f64 / secs / 1e6
             })
             .collect();
@@ -189,10 +227,22 @@ fn fig_5_6_7_gups(args: &Args) {
     let rf = get(Variant::RmaFuture);
     let af = get(Variant::AmoFuture);
     let ap = get(Variant::AmoPromise);
-    println!("\n  RMA w/promises eager/defer: {:.2}x  (paper: 1.09-1.25x)", rp[2] / rp[1]);
-    println!("  RMA w/futures  eager/defer: {:.2}x  (paper: 2.4-13.5x)", rf[2] / rf[1]);
-    println!("  AMO w/futures  eager/defer: {:.2}x  (paper: 1.5-7.1x)", af[2] / af[1]);
-    println!("  AMO w/promises eager/defer: {:.2}x  (paper: 1.01-1.04x)", ap[2] / ap[1]);
+    println!(
+        "\n  RMA w/promises eager/defer: {:.2}x  (paper: 1.09-1.25x)",
+        rp[2] / rp[1]
+    );
+    println!(
+        "  RMA w/futures  eager/defer: {:.2}x  (paper: 2.4-13.5x)",
+        rf[2] / rf[1]
+    );
+    println!(
+        "  AMO w/futures  eager/defer: {:.2}x  (paper: 1.5-7.1x)",
+        af[2] / af[1]
+    );
+    println!(
+        "  AMO w/promises eager/defer: {:.2}x  (paper: 1.01-1.04x)",
+        ap[2] / ap[1]
+    );
     let manual = get(Variant::ManualLocalization);
     println!(
         "  manual-localization / RMA-promise-eager: {:.2}x  (paper: 1.25-1.36x)\n",
@@ -202,7 +252,11 @@ fn fig_5_6_7_gups(args: &Args) {
 
 fn fig_8_matching(args: &Args) {
     let ranks = args.ranks;
-    let scale = if args.quick { args.scale.min(0.1) } else { args.scale };
+    let scale = if args.quick {
+        args.scale.min(0.1)
+    } else {
+        args.scale
+    };
     let samples = if args.quick { 1 } else { args.samples };
     println!(
         "== Figure 8: graph matching solve time ({} ranks, scale {scale}, seconds lower=better) ==\n",
@@ -238,10 +292,12 @@ fn offnode_validation(args: &Args) {
     println!("== §IV-A validation: off-node RMA latency (2 simulated nodes, EDR-like 1.5us) ==\n");
     let samples = if args.quick { 1 } else { args.samples };
     for latency in [1_500u64, 5_000] {
-        let defer =
-            best_half_mean(samples, || offnode::rput_ns(LibVersion::V2021_3_6Defer, iters, latency));
-        let eager =
-            best_half_mean(samples, || offnode::rput_ns(LibVersion::V2021_3_6Eager, iters, latency));
+        let defer = best_half_mean(samples, || {
+            offnode::rput_ns(LibVersion::V2021_3_6Defer, iters, latency)
+        });
+        let eager = best_half_mean(samples, || {
+            offnode::rput_ns(LibVersion::V2021_3_6Eager, iters, latency)
+        });
         println!(
             "  network latency {:>5} ns: defer {defer:.0} ns/op, eager {eager:.0} ns/op, delta {:+.2}%",
             latency,

@@ -1,0 +1,266 @@
+//! Minimal benchmark harness with a criterion-compatible surface.
+//!
+//! The workspace builds fully offline, so the `criterion` crate is replaced
+//! by this drop-in subset: benchmark groups, per-input benches with
+//! `iter_custom` timing, and the `criterion_group!`/`criterion_main!`
+//! macros. Sampling is simpler than criterion's (no outlier analysis or
+//! bootstrap): each bench warms up, calibrates an iteration count that
+//! fills the configured measurement time, then reports the min / mean /
+//! max per-iteration time over `sample_size` samples. That is enough for
+//! the figures here, which compare series against each other rather than
+//! against nanosecond-accurate baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state passed to every registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Print a one-line run summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.benches_run);
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total time spent in timed samples per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target time spent warming up / calibrating per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.new_bencher();
+        f(&mut b, input);
+        self.report(&id.0, &b);
+        self
+    }
+
+    /// Run one benchmark with no input.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.new_bencher();
+        f(&mut b);
+        self.report(&name.to_string(), &b);
+        self
+    }
+
+    /// End the group (parity with criterion; reporting happens per bench).
+    pub fn finish(&mut self) {}
+
+    fn new_bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        self.c.benches_run += 1;
+        if b.samples.is_empty() {
+            println!("{}/{id:<40} no samples", self.name);
+            return;
+        }
+        let min = b.samples.iter().min().unwrap();
+        let max = b.samples.iter().max().unwrap();
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        println!(
+            "{}/{id:<40} time: [{} {} {}]",
+            self.name,
+            fmt_time(*min),
+            fmt_time(mean),
+            fmt_time(*max),
+        );
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only id, for groups benching one function over inputs.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured code.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Per-iteration time of each collected sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f(iters)` batches, where `f` returns the measured duration for
+    /// exactly `iters` iterations (setup/teardown excluded by the callee).
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        // Warm-up and calibration: grow the batch until one batch is long
+        // enough to estimate the per-iteration cost reliably.
+        let warm_target = self.warm_up_time.max(Duration::from_millis(1));
+        let mut iters = 1u64;
+        let mut elapsed = f(iters).max(Duration::from_nanos(1));
+        let mut spent = elapsed;
+        while spent < warm_target && elapsed < warm_target / 4 && iters < (1 << 30) {
+            iters = iters.saturating_mul(2);
+            elapsed = f(iters).max(Duration::from_nanos(1));
+            spent += elapsed;
+        }
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        // Pick a per-sample batch that fills the measurement budget.
+        let target_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let sample_iters = ((target_sample / per_iter).ceil() as u64).clamp(1, 1 << 30);
+        for _ in 0..self.sample_size {
+            let d = f(sample_iters);
+            self.samples.push(Duration::from_secs_f64(
+                d.as_secs_f64() / sample_iters as f64,
+            ));
+        }
+    }
+
+    /// Time repeated calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed()
+        });
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect bench functions into a single registration function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::criterion::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+// Make the macros importable alongside the types:
+// `use bench::criterion::{criterion_group, criterion_main, Criterion, ...}`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_custom_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(30))
+                .warm_up_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::new("noop", 1), &1u64, |b, &x| {
+                b.iter_custom(|iters| Duration::from_nanos(iters * x.max(1)))
+            });
+            g.bench_function("spin", |b| b.iter(|| std::hint::black_box(7u64).pow(3)));
+            g.finish();
+        }
+        assert_eq!(c.benches_run, 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("op", "v1").0, "op/v1");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_time(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(fmt_time(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_time(Duration::from_secs(50)), "50.00 s");
+    }
+}

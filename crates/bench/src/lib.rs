@@ -8,6 +8,8 @@ use std::time::{Duration, Instant};
 
 use upcr::{launch, LibVersion, NetConfig, Rank, RuntimeConfig, Upcr};
 
+pub mod criterion;
+
 /// Figures 2–4: single-operation latency microbenchmarks.
 pub mod micro {
     use super::*;
@@ -68,7 +70,9 @@ pub mod micro {
     /// the exit barrier.
     pub fn run(version: LibVersion, op: MicroOp, iters: u64) -> Duration {
         assert!(op.available_in(version), "{op:?} unavailable in {version}");
-        let rt = RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 16);
+        let rt = RuntimeConfig::smp(2)
+            .with_version(version)
+            .with_segment_size(1 << 16);
         let out = launch(rt, move |u| {
             let mine = u.new_::<u64>(0);
             let result = u.new_::<u64>(0);
@@ -138,7 +142,10 @@ pub mod offnode {
         let rt = RuntimeConfig::udp(2, 1)
             .with_version(version)
             .with_segment_size(1 << 16)
-            .with_net(NetConfig { latency_ns, jitter_ns: 0 });
+            .with_net(NetConfig {
+                latency_ns,
+                jitter_ns: 0,
+            });
         let out = launch(rt, move |u| {
             let mine = u.new_::<u64>(0);
             let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
@@ -166,7 +173,9 @@ pub fn time_on_rank0<F>(ranks: usize, version: LibVersion, f: F) -> Duration
 where
     F: Fn(&Upcr) + Sync,
 {
-    let rt = RuntimeConfig::smp(ranks).with_version(version).with_segment_size(1 << 20);
+    let rt = RuntimeConfig::smp(ranks)
+        .with_version(version)
+        .with_segment_size(1 << 20);
     let out = launch(rt, move |u| {
         u.barrier();
         let t0 = Instant::now();
@@ -263,8 +272,11 @@ pub fn fmt_row(label: &str, cells: &[String]) -> String {
 }
 
 /// The version list in figure order.
-pub const VERSIONS: [LibVersion; 3] =
-    [LibVersion::V2021_3_0, LibVersion::V2021_3_6Defer, LibVersion::V2021_3_6Eager];
+pub const VERSIONS: [LibVersion; 3] = [
+    LibVersion::V2021_3_0,
+    LibVersion::V2021_3_6Defer,
+    LibVersion::V2021_3_6Eager,
+];
 
 /// Suppress unused warnings for re-exported Rank in downstream bins.
 pub type _Rank = Rank;

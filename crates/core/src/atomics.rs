@@ -19,7 +19,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use gasnex::{AmoOp, EventCore, Rank};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::completion::{operation_cx, Completions, CxValue, Notifier};
 use crate::ctx::RankCtx;
@@ -51,7 +51,10 @@ pub struct AtomicDomain<T: AtomicValue> {
 impl Upcr {
     /// Construct an atomic domain for `T` (`u64` or `i64`).
     pub fn atomic_domain<T: AtomicValue>(&self) -> AtomicDomain<T> {
-        AtomicDomain { ctx: Rc::clone(&self.ctx), _marker: PhantomData }
+        AtomicDomain {
+            ctx: Rc::clone(&self.ctx),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -92,7 +95,7 @@ macro_rules! fetch_family {
         }
 
         #[doc = concat!("New non-value overload (§III-B): ", $doc,
-            ", writing the prior value to `result` instead of the completion. \
+                            ", writing the prior value to `result` instead of the completion. \
              Unavailable under 2021.3.0 semantics.")]
         pub fn $into(&self, p: GlobalPtr<T>, v: T, result: GlobalPtr<T>) -> Future<()> {
             self.$into_with(p, v, result, operation_cx::as_future())
@@ -107,9 +110,19 @@ macro_rules! fetch_family {
             cx: C,
         ) -> C::Out {
             self.check_into_available();
-            assert_eq!(result.offset() % 8, 0, "atomic result target must be 8-byte aligned");
-            self.issue_unit(p, $op_fetch, v.to_bits(), 0,
-                FetchDest::Memory(result.rank(), result.offset()), cx)
+            assert_eq!(
+                result.offset() % 8,
+                0,
+                "atomic result target must be 8-byte aligned"
+            );
+            self.issue_unit(
+                p,
+                $op_fetch,
+                v.to_bits(),
+                0,
+                FetchDest::Memory(result.rank(), result.offset()),
+                cx,
+            )
         }
     };
 }
@@ -130,11 +143,18 @@ impl<T: AtomicValue> AtomicDomain<T> {
     ) -> C::Out {
         let ctx = &*self.ctx;
         debug_assert!(!target.is_null(), "atomic on null global pointer");
-        assert_eq!(target.offset() % 8, 0, "atomic target must be 8-byte aligned");
+        assert_eq!(
+            target.offset() % 8,
+            0,
+            "atomic target must be 8-byte aligned"
+        );
         bump(&ctx.stats.amos);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
-        assert!(rpcs.is_empty(), "remote_cx completions are not supported on atomics");
+        assert!(
+            rpcs.is_empty(),
+            "remote_cx completions are not supported on atomics"
+        );
         if ctx.addressable(target.rank()) {
             let prior = gasnex::amo::execute(
                 ctx.world.segment(target.rank()),
@@ -157,11 +177,12 @@ impl<T: AtomicValue> AtomicDomain<T> {
             let slot2 = Arc::clone(&slot);
             let signed = T::SIGNED;
             ctx.world.net_inject(Box::new(move |w| {
-                let prior = gasnex::amo::execute(w.segment(rank), off, op, operand, operand2, signed);
+                let prior =
+                    gasnex::amo::execute(w.segment(rank), off, op, operand, operand2, signed);
                 if let FetchDest::Memory(r, roff) = dest {
                     w.segment(r).write_u64(roff, prior);
                 }
-                *slot2.lock() = Some(wrap(prior));
+                *slot2.lock().unwrap() = Some(wrap(prior));
                 core2.signal();
             }));
             cx.notify(&Notifier::pending(ctx, core, slot))
@@ -188,7 +209,15 @@ impl<T: AtomicValue> AtomicDomain<T> {
         operand2: u64,
         cx: C,
     ) -> C::Out {
-        self.issue(target, op, operand, operand2, FetchDest::Notification, T::from_bits, cx)
+        self.issue(
+            target,
+            op,
+            operand,
+            operand2,
+            FetchDest::Notification,
+            T::from_bits,
+            cx,
+        )
     }
 
     fn check_into_available(&self) {
@@ -243,25 +272,94 @@ impl<T: AtomicValue> AtomicDomain<T> {
         desired: T,
         cx: C,
     ) -> C::Out {
-        self.issue_fetch(p, AmoOp::CompareSwap, expected.to_bits(), desired.to_bits(), cx)
+        self.issue_fetch(
+            p,
+            AmoOp::CompareSwap,
+            expected.to_bits(),
+            desired.to_bits(),
+            cx,
+        )
     }
 
     // ---- fetching and non-fetching arithmetic ------------------------------
 
-    fetch_family!(add, add_with, fetch_add, fetch_add_with, fetch_add_into, fetch_add_into_with,
-        AmoOp::Add, AmoOp::FetchAdd, "add `v` to the word");
-    fetch_family!(sub, sub_with, fetch_sub, fetch_sub_with, fetch_sub_into, fetch_sub_into_with,
-        AmoOp::Sub, AmoOp::FetchSub, "subtract `v` from the word");
-    fetch_family!(bit_and, bit_and_with, fetch_bit_and, fetch_bit_and_with, fetch_bit_and_into,
-        fetch_bit_and_into_with, AmoOp::And, AmoOp::FetchAnd, "bitwise-AND `v` into the word");
-    fetch_family!(bit_or, bit_or_with, fetch_bit_or, fetch_bit_or_with, fetch_bit_or_into,
-        fetch_bit_or_into_with, AmoOp::Or, AmoOp::FetchOr, "bitwise-OR `v` into the word");
-    fetch_family!(bit_xor, bit_xor_with, fetch_bit_xor, fetch_bit_xor_with, fetch_bit_xor_into,
-        fetch_bit_xor_into_with, AmoOp::Xor, AmoOp::FetchXor, "bitwise-XOR `v` into the word");
-    fetch_family!(min, min_with, fetch_min, fetch_min_with, fetch_min_into, fetch_min_into_with,
-        AmoOp::Min, AmoOp::FetchMin, "lower the word to `v` if smaller");
-    fetch_family!(max, max_with, fetch_max, fetch_max_with, fetch_max_into, fetch_max_into_with,
-        AmoOp::Max, AmoOp::FetchMax, "raise the word to `v` if larger");
+    fetch_family!(
+        add,
+        add_with,
+        fetch_add,
+        fetch_add_with,
+        fetch_add_into,
+        fetch_add_into_with,
+        AmoOp::Add,
+        AmoOp::FetchAdd,
+        "add `v` to the word"
+    );
+    fetch_family!(
+        sub,
+        sub_with,
+        fetch_sub,
+        fetch_sub_with,
+        fetch_sub_into,
+        fetch_sub_into_with,
+        AmoOp::Sub,
+        AmoOp::FetchSub,
+        "subtract `v` from the word"
+    );
+    fetch_family!(
+        bit_and,
+        bit_and_with,
+        fetch_bit_and,
+        fetch_bit_and_with,
+        fetch_bit_and_into,
+        fetch_bit_and_into_with,
+        AmoOp::And,
+        AmoOp::FetchAnd,
+        "bitwise-AND `v` into the word"
+    );
+    fetch_family!(
+        bit_or,
+        bit_or_with,
+        fetch_bit_or,
+        fetch_bit_or_with,
+        fetch_bit_or_into,
+        fetch_bit_or_into_with,
+        AmoOp::Or,
+        AmoOp::FetchOr,
+        "bitwise-OR `v` into the word"
+    );
+    fetch_family!(
+        bit_xor,
+        bit_xor_with,
+        fetch_bit_xor,
+        fetch_bit_xor_with,
+        fetch_bit_xor_into,
+        fetch_bit_xor_into_with,
+        AmoOp::Xor,
+        AmoOp::FetchXor,
+        "bitwise-XOR `v` into the word"
+    );
+    fetch_family!(
+        min,
+        min_with,
+        fetch_min,
+        fetch_min_with,
+        fetch_min_into,
+        fetch_min_into_with,
+        AmoOp::Min,
+        AmoOp::FetchMin,
+        "lower the word to `v` if smaller"
+    );
+    fetch_family!(
+        max,
+        max_with,
+        fetch_max,
+        fetch_max_with,
+        fetch_max_into,
+        fetch_max_into_with,
+        AmoOp::Max,
+        AmoOp::FetchMax,
+        "raise the word to `v` if larger"
+    );
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use gasnex::EventCore;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::ctx::{Deferred, RankCtx};
 use crate::future::cell::{new_cell, new_cell_with_value};
@@ -105,7 +105,10 @@ pub(crate) enum Disp<V: CxValue> {
     Sync(V),
     /// Asynchronously: `ev` signals when done; the produced value (if any)
     /// lands in `slot` before the signal.
-    Async { ev: Arc<EventCore>, slot: Arc<Mutex<Option<V>>> },
+    Async {
+        ev: Arc<EventCore>,
+        slot: Arc<Mutex<Option<V>>>,
+    },
 }
 
 /// Routes each requested notification either eagerly or through the
@@ -121,11 +124,21 @@ pub struct Notifier<'a, V: CxValue> {
 
 impl<'a, V: CxValue> Notifier<'a, V> {
     pub(crate) fn sync(ctx: &'a RankCtx, v: V) -> Self {
-        Notifier { ctx, op: Disp::Sync(v) }
+        Notifier {
+            ctx,
+            op: Disp::Sync(v),
+        }
     }
 
-    pub(crate) fn pending(ctx: &'a RankCtx, ev: Arc<EventCore>, slot: Arc<Mutex<Option<V>>>) -> Self {
-        Notifier { ctx, op: Disp::Async { ev, slot } }
+    pub(crate) fn pending(
+        ctx: &'a RankCtx,
+        ev: Arc<EventCore>,
+        slot: Arc<Mutex<Option<V>>>,
+    ) -> Self {
+        Notifier {
+            ctx,
+            op: Disp::Async { ev, slot },
+        }
     }
 
     /// Resolve a request mode against the running version. Panics if the
@@ -170,17 +183,20 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                 let cell = new_cell::<V>(1);
                 let c = Rc::clone(&cell);
                 let slot = Arc::clone(slot);
-                self.ctx.push_deferred(Deferred::OnEvent(
-                    Arc::clone(ev),
+                // Signal-driven: the completion token wakes this exact
+                // notification; the progress engine never re-tests the event.
+                self.ctx.register_on_event(
+                    ev,
                     Box::new(move || {
                         let v = slot
                             .lock()
+                            .unwrap()
                             .clone()
                             .expect("operation event signalled before its value was stored");
                         c.set_value(v);
                         c.fulfill(1);
                     }),
-                ));
+                );
                 Future::from_cell(cell)
             }
         }
@@ -213,19 +229,19 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                 p.require_anonymous(1);
                 let p2 = p.clone();
                 let slot = Arc::clone(slot);
-                self.ctx.push_deferred(Deferred::OnEvent(
-                    Arc::clone(ev),
+                self.ctx.register_on_event(
+                    ev,
                     Box::new(move || {
                         if !is_unit::<V>() {
-                            let v = slot
-                                .lock()
-                                .clone()
-                                .expect("operation event signalled before its value was stored");
+                            let v =
+                                slot.lock().unwrap().clone().expect(
+                                    "operation event signalled before its value was stored",
+                                );
                             p2.set_value_only(v);
                         }
                         p2.fulfill_anonymous(1);
                     }),
-                ));
+                );
             }
         }
     }
@@ -239,21 +255,23 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                     f(v.clone());
                 } else {
                     let v = v.clone();
-                    self.ctx.push_deferred(Deferred::Now(Box::new(move || f(v))));
+                    self.ctx
+                        .push_deferred(Deferred::Now(Box::new(move || f(v))));
                 }
             }
             Disp::Async { ev, slot } => {
                 let slot = Arc::clone(slot);
-                self.ctx.push_deferred(Deferred::OnEvent(
-                    Arc::clone(ev),
+                self.ctx.register_on_event(
+                    ev,
                     Box::new(move || {
                         let v = slot
                             .lock()
+                            .unwrap()
                             .clone()
                             .expect("operation event signalled before its value was stored");
                         f(v)
                     }),
-                ));
+                );
             }
         }
     }
@@ -285,7 +303,8 @@ impl<'a, V: CxValue> Notifier<'a, V> {
         } else {
             p.require_anonymous(1);
             let p2 = p.clone();
-            self.ctx.push_deferred(Deferred::Now(Box::new(move || p2.fulfill_anonymous(1))));
+            self.ctx
+                .push_deferred(Deferred::Now(Box::new(move || p2.fulfill_anonymous(1))));
         }
     }
 }
@@ -421,7 +440,9 @@ pub mod operation_cx {
 
     /// Future notification with the build's default eager/defer semantics.
     pub fn as_future() -> OpFuture {
-        OpFuture { mode: Mode::Default }
+        OpFuture {
+            mode: Mode::Default,
+        }
     }
     /// Future notification, eager when the operation completes
     /// synchronously (§III-A).
@@ -434,19 +455,31 @@ pub mod operation_cx {
     }
     /// Promise notification with the build's default semantics.
     pub fn as_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
-        OpPromise { p: p.clone(), mode: Mode::Default }
+        OpPromise {
+            p: p.clone(),
+            mode: Mode::Default,
+        }
     }
     /// Promise notification, eager when possible.
     pub fn as_eager_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
-        OpPromise { p: p.clone(), mode: Mode::Eager }
+        OpPromise {
+            p: p.clone(),
+            mode: Mode::Eager,
+        }
     }
     /// Promise notification, always deferred.
     pub fn as_defer_promise<V: CxValue>(p: &Promise<V>) -> OpPromise<V> {
-        OpPromise { p: p.clone(), mode: Mode::Defer }
+        OpPromise {
+            p: p.clone(),
+            mode: Mode::Defer,
+        }
     }
     /// Local procedure call on operation completion.
     pub fn as_lpc<V: CxValue, F: FnOnce(V) + 'static>(f: F) -> OpLpc<F> {
-        OpLpc { f, mode: Mode::Default }
+        OpLpc {
+            f,
+            mode: Mode::Default,
+        }
     }
 }
 
@@ -456,7 +489,9 @@ pub mod source_cx {
 
     /// Future notification with the build's default semantics.
     pub fn as_future() -> SrcFuture {
-        SrcFuture { mode: Mode::Default }
+        SrcFuture {
+            mode: Mode::Default,
+        }
     }
     /// Future notification, eager when possible.
     pub fn as_eager_future() -> SrcFuture {
@@ -468,15 +503,24 @@ pub mod source_cx {
     }
     /// Promise notification with the build's default semantics.
     pub fn as_promise(p: &Promise<()>) -> SrcPromise {
-        SrcPromise { p: p.clone(), mode: Mode::Default }
+        SrcPromise {
+            p: p.clone(),
+            mode: Mode::Default,
+        }
     }
     /// Promise notification, eager when possible.
     pub fn as_eager_promise(p: &Promise<()>) -> SrcPromise {
-        SrcPromise { p: p.clone(), mode: Mode::Eager }
+        SrcPromise {
+            p: p.clone(),
+            mode: Mode::Eager,
+        }
     }
     /// Promise notification, always deferred.
     pub fn as_defer_promise(p: &Promise<()>) -> SrcPromise {
-        SrcPromise { p: p.clone(), mode: Mode::Defer }
+        SrcPromise {
+            p: p.clone(),
+            mode: Mode::Defer,
+        }
     }
 }
 
@@ -486,7 +530,9 @@ pub mod remote_cx {
 
     /// Run `f` on the target rank after the data has arrived.
     pub fn as_rpc(f: impl FnOnce() + Send + 'static) -> RemoteRpc {
-        RemoteRpc { f: Some(Box::new(f)) }
+        RemoteRpc {
+            f: Some(Box::new(f)),
+        }
     }
 }
 
@@ -535,7 +581,9 @@ mod tests {
             (LibVersion::V2021_3_6Eager, true),
         ] {
             launch(
-                RuntimeConfig::smp(1).with_version(version).with_segment_size(1 << 16),
+                RuntimeConfig::smp(1)
+                    .with_version(version)
+                    .with_segment_size(1 << 16),
                 move |u| {
                     let p = u.new_::<u64>(0);
                     let f = u.rput_with(1, p, operation_cx::as_future());

@@ -24,15 +24,17 @@ use crate::version::LibVersion;
 /// A rank-local continuation fed by a type-erased RPC reply payload.
 pub(crate) type ReplyContinuation = Box<dyn FnOnce(Box<dyn Any + Send>)>;
 
-/// A notification waiting for delivery by the progress engine.
+/// A rank-local notification waiting for delivery by the progress engine.
+///
+/// In-flight events are *not* represented here: the signal-driven engine
+/// registers them as event waiters whose completion tokens arrive on the
+/// rank's ready queue (see [`RankCtx::register_on_event`]), so the deferred
+/// queue never holds anything that would need re-polling against an event.
 pub(crate) enum Deferred {
     /// The operation already completed synchronously, but the requested
     /// semantics defer its notification to the next progress call (legacy
     /// behaviour, and the explicit `as_defer_*` factories).
     Now(Box<dyn FnOnce()>),
-    /// The operation is in flight; deliver the notification once its event
-    /// signals.
-    OnEvent(Arc<EventCore>, Box<dyn FnOnce()>),
     /// Deliver once an arbitrary condition holds (asynchronous collectives:
     /// the progress engine polls the predicate).
     OnCheck(Box<dyn Fn() -> bool>, Box<dyn FnOnce()>),
@@ -46,6 +48,15 @@ pub(crate) struct RankCtx {
     /// constexpr optimization.
     pub assume_all_local: bool,
     pub deferred: RefCell<VecDeque<Deferred>>,
+    /// Notification callbacks for in-flight events, keyed by the completion
+    /// token routed through this rank's ready queue. The callback is
+    /// inserted *before* the waiter is registered on the event, so a token
+    /// surfacing from the ready queue always finds its callback.
+    pub event_waiters: RefCell<HashMap<u64, Box<dyn FnOnce()>>>,
+    pub next_token: StdCell<u64>,
+    /// Reusable drain buffer for ready-queue tokens (one allocation per
+    /// rank, not per quantum).
+    ready_buf: RefCell<Vec<u64>>,
     /// RPC continuations keyed by reply id; executed when the reply AM
     /// arrives on this thread.
     pub replies: RefCell<HashMap<u64, ReplyContinuation>>,
@@ -68,6 +79,9 @@ impl RankCtx {
             version,
             assume_all_local,
             deferred: RefCell::new(VecDeque::new()),
+            event_waiters: RefCell::new(HashMap::new()),
+            next_token: StdCell::new(0),
+            ready_buf: RefCell::new(Vec::new()),
             replies: RefCell::new(HashMap::new()),
             next_reply_id: StdCell::new(0),
             ready_unit: shared_ready_unit_cell(),
@@ -93,17 +107,50 @@ impl RankCtx {
         id
     }
 
-    /// Enqueue a deferred notification.
+    /// Enqueue a rank-local deferred notification (`Now` or `OnCheck`).
     pub fn push_deferred(&self, d: Deferred) {
         bump(&self.stats.deferred_enqueued);
         self.deferred.borrow_mut().push_back(d);
+        self.note_pending_highwater();
     }
 
-    /// One progress quantum: drain incoming AMs and network deliveries, then
-    /// deliver due deferred notifications. Returns the number of work items
-    /// processed. Re-entrant calls (from callbacks running inside progress)
-    /// return 0 immediately, mirroring UPC++'s non-re-entrant progress
-    /// engine.
+    /// Register `f` to be delivered by this rank's progress engine once `ev`
+    /// signals. Mints a completion token, files `f` under it, then asks the
+    /// world to route the event's signal to this rank's ready queue. The
+    /// callback is filed *before* the waiter is registered: an event that is
+    /// already done runs the waiter on this thread immediately, depositing
+    /// the token for the next quantum — exactly the poll-scan engine's
+    /// "deliver at the next progress call" semantics.
+    pub fn register_on_event(&self, ev: &Arc<EventCore>, f: Box<dyn FnOnce()>) {
+        bump(&self.stats.deferred_enqueued);
+        let token = self.next_token.get();
+        self.next_token.set(token + 1);
+        self.event_waiters.borrow_mut().insert(token, f);
+        self.note_pending_highwater();
+        self.world.route_signal(ev, self.me, token);
+    }
+
+    fn note_pending_highwater(&self) {
+        let pending = (self.event_waiters.borrow().len() + self.deferred.borrow().len()) as u64;
+        if pending > self.stats.pending_highwater.get() {
+            self.stats.pending_highwater.set(pending);
+        }
+    }
+
+    /// One progress quantum of the signal-driven engine:
+    ///
+    /// 1. Drain incoming AMs and network deliveries (which may signal events
+    ///    and thereby deposit completion tokens — including into this rank's
+    ///    own ready queue).
+    /// 2. Drain the ready queue: each token wakes exactly the notification
+    ///    whose event signalled, in signal order — O(ready), not O(pending).
+    /// 3. Deliver rank-local deferred entries: `Now` unconditionally,
+    ///    `OnCheck` when its predicate holds (the only residual polling,
+    ///    used by asynchronous collectives).
+    ///
+    /// Returns the number of work items processed. Re-entrant calls (from
+    /// callbacks running inside progress) return 0 immediately, mirroring
+    /// UPC++'s non-re-entrant progress engine.
     pub fn progress_quantum(&self) -> usize {
         if self.in_progress.get() {
             return 0;
@@ -115,25 +162,39 @@ impl RankCtx {
         bump(&self.stats.progress_calls);
         let mut n = self.world.poll_rank(self.me, 64);
 
-        // Deliver deferred notifications. Process at most the entries
-        // present at entry (callbacks may enqueue more, handled next
-        // quantum); keep un-signalled event waiters, preserving their order.
+        // Ready-queue drain: bounded to the tokens present now (callbacks
+        // may complete further operations, handled next quantum).
+        let mut tokens = self.ready_buf.take();
+        self.world.drain_ready(self.me, &mut tokens);
+        for t in tokens.drain(..) {
+            let f = self.event_waiters.borrow_mut().remove(&t);
+            if let Some(f) = f {
+                bump(&self.stats.event_wakeups);
+                f();
+                n += 1;
+            }
+        }
+        self.ready_buf.replace(tokens);
+        // Every waiter still pending is one event the poll-scan engine
+        // would have re-tested (and re-queued) this quantum.
+        let residual = self.event_waiters.borrow().len() as u64;
+        self.stats
+            .polls_elided
+            .set(self.stats.polls_elided.get() + residual);
+
+        // Deliver rank-local deferred notifications. Process at most the
+        // entries present at entry (callbacks may enqueue more, handled next
+        // quantum); keep unsatisfied checks, preserving their order.
         let quota = self.deferred.borrow().len();
         let mut kept: Vec<Deferred> = Vec::new();
         for _ in 0..quota {
-            let Some(item) = self.deferred.borrow_mut().pop_front() else { break };
+            let Some(item) = self.deferred.borrow_mut().pop_front() else {
+                break;
+            };
             match item {
                 Deferred::Now(f) => {
                     f();
                     n += 1;
-                }
-                Deferred::OnEvent(ev, f) => {
-                    if ev.is_done() {
-                        f();
-                        n += 1;
-                    } else {
-                        kept.push(Deferred::OnEvent(ev, f));
-                    }
                 }
                 Deferred::OnCheck(pred, f) => {
                     if pred() {
@@ -158,6 +219,8 @@ impl RankCtx {
     /// Whether this rank has locally visible outstanding work.
     pub fn locally_idle(&self) -> bool {
         self.deferred.borrow().is_empty()
+            && self.event_waiters.borrow().is_empty()
+            && self.world.ready_queued(self.me) == 0
             && self.replies.borrow().is_empty()
             && self.world.ams_queued(self.me) == 0
     }
@@ -206,9 +269,11 @@ pub(crate) fn try_with_ctx<R>(f: impl FnOnce(&RankCtx) -> R) -> Option<R> {
 /// A clone of the active context handle; panics outside a `launch` region.
 pub(crate) fn clone_current() -> Rc<RankCtx> {
     CTX.with(|c| {
-        Rc::clone(c.borrow().as_ref().expect(
-            "this operation requires an active upcr runtime (inside Runtime::launch)",
-        ))
+        Rc::clone(
+            c.borrow()
+                .as_ref()
+                .expect("this operation requires an active upcr runtime (inside Runtime::launch)"),
+        )
     })
 }
 
@@ -301,16 +366,35 @@ mod tests {
     }
 
     #[test]
-    fn deferred_on_event_waits_for_signal() {
+    fn registered_event_waits_for_signal() {
         let ctx = test_ctx();
         let _g = CtxGuard::install(Rc::clone(&ctx));
         let core = EventCore::new();
         let hit = Rc::new(StdCell::new(false));
         let h = Rc::clone(&hit);
-        ctx.push_deferred(Deferred::OnEvent(Arc::clone(&core), Box::new(move || h.set(true))));
+        ctx.register_on_event(&core, Box::new(move || h.set(true)));
         ctx.progress_quantum();
         assert!(!hit.get(), "notification before event signal");
+        assert!(!ctx.locally_idle(), "a pending waiter is outstanding work");
         core.signal();
+        ctx.progress_quantum();
+        assert!(hit.get());
+        assert!(ctx.locally_idle());
+    }
+
+    #[test]
+    fn already_signalled_event_delivers_next_quantum_not_inline() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let core = EventCore::new();
+        core.signal();
+        let hit = Rc::new(StdCell::new(false));
+        let h = Rc::clone(&hit);
+        ctx.register_on_event(&core, Box::new(move || h.set(true)));
+        assert!(
+            !hit.get(),
+            "deferred semantics: never inline at registration"
+        );
         ctx.progress_quantum();
         assert!(hit.get());
     }
@@ -324,10 +408,7 @@ mod tests {
         for i in 0..4 {
             let log = Rc::clone(&log);
             if i == 1 {
-                ctx.push_deferred(Deferred::OnEvent(
-                    Arc::clone(&core),
-                    Box::new(move || log.borrow_mut().push(i)),
-                ));
+                ctx.register_on_event(&core, Box::new(move || log.borrow_mut().push(i)));
             } else {
                 ctx.push_deferred(Deferred::Now(Box::new(move || log.borrow_mut().push(i))));
             }
@@ -338,6 +419,65 @@ mod tests {
         core.signal();
         ctx.progress_quantum();
         assert_eq!(*log.borrow(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn wakeups_follow_signal_order_not_registration_order() {
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let evs: Vec<_> = (0..4).map(|_| EventCore::new()).collect();
+        for (i, ev) in evs.iter().enumerate() {
+            let log = Rc::clone(&log);
+            ctx.register_on_event(ev, Box::new(move || log.borrow_mut().push(i)));
+        }
+        evs[3].signal();
+        evs[1].signal();
+        ctx.progress_quantum();
+        assert_eq!(*log.borrow(), vec![3, 1]);
+        evs[0].signal();
+        evs[2].signal();
+        ctx.progress_quantum();
+        assert_eq!(*log.borrow(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn one_signal_among_many_pending_wakes_exactly_one() {
+        // The structural claim of the signal-driven engine: with K pending
+        // operations and one completed, a quantum delivers that one
+        // notification via a ready token — it does not re-test the other K.
+        const K: usize = 64;
+        let ctx = test_ctx();
+        let _g = CtxGuard::install(Rc::clone(&ctx));
+        let evs: Vec<_> = (0..=K).map(|_| EventCore::new()).collect();
+        let fired = Rc::new(StdCell::new(0usize));
+        for ev in &evs {
+            let f = Rc::clone(&fired);
+            ctx.register_on_event(ev, Box::new(move || f.set(f.get() + 1)));
+        }
+        assert_eq!(ctx.stats.snapshot().pending_highwater, (K + 1) as u64);
+        evs[7].signal();
+        let before = ctx.stats.snapshot();
+        ctx.progress_quantum();
+        let d = ctx.stats.snapshot().since(&before);
+        assert_eq!(fired.get(), 1);
+        assert_eq!(d.event_wakeups, 1, "exactly the signalled op woke");
+        assert_eq!(
+            d.polls_elided, K as u64,
+            "the K pending ops were not re-tested"
+        );
+        // An idle quantum with K pending still tests nothing.
+        let before = ctx.stats.snapshot();
+        ctx.progress_quantum();
+        let d = ctx.stats.snapshot().since(&before);
+        assert_eq!(d.event_wakeups, 0);
+        assert_eq!(d.polls_elided, K as u64);
+        for ev in &evs {
+            ev.signal();
+        }
+        ctx.progress_quantum();
+        assert_eq!(fired.get(), K + 1);
+        assert!(ctx.locally_idle());
     }
 
     #[test]
@@ -378,7 +518,10 @@ mod tests {
         let _g = CtxGuard::install(Rc::clone(&ctx));
         let a = ready_unit_future_cell();
         let b = ready_unit_future_cell();
-        assert!(Rc::ptr_eq(&a, &b), "elided ready cells must be the shared singleton");
+        assert!(
+            Rc::ptr_eq(&a, &b),
+            "elided ready cells must be the shared singleton"
+        );
         assert_eq!(ctx.stats.snapshot().cell_allocs, 0);
     }
 
@@ -396,7 +539,9 @@ mod tests {
     #[test]
     fn assume_all_local_only_on_smp_with_new_version() {
         let smp = World::new(GasnexConfig::smp(2).with_segment_size(1 << 12));
-        assert!(RankCtx::new(Arc::clone(&smp), Rank(0), LibVersion::V2021_3_6Eager).assume_all_local);
+        assert!(
+            RankCtx::new(Arc::clone(&smp), Rank(0), LibVersion::V2021_3_6Eager).assume_all_local
+        );
         assert!(!RankCtx::new(smp, Rank(0), LibVersion::V2021_3_0).assume_all_local);
         let udp = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12));
         assert!(!RankCtx::new(udp, Rank(0), LibVersion::V2021_3_6Eager).assume_all_local);

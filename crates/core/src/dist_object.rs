@@ -75,7 +75,11 @@ impl<T: CxValue> DistObject<T> {
             assert!(prev.is_none(), "dist_object id {id} registered twice");
         });
         let _ = u; // collective by convention; id assignment is local
-        DistObject { id, local, _not_send: std::marker::PhantomData }
+        DistObject {
+            id,
+            local,
+            _not_send: std::marker::PhantomData,
+        }
     }
 
     /// The identifier shared by all ranks' instances of this object.
@@ -123,7 +127,9 @@ pub fn dist_fetch<T: CxValue>(id: u64, rank: Rank) -> Future<T> {
     let cell = new_cell::<T>(1);
     let c2 = Rc::clone(&cell);
     let reply_id = ctx.register_reply(Box::new(move |payload| {
-        let v = *payload.downcast::<T>().expect("dist_fetch reply type mismatch");
+        let v = *payload
+            .downcast::<T>()
+            .expect("dist_fetch reply type mismatch");
         c2.set_value(v);
         c2.fulfill(1);
     }));
@@ -143,13 +149,16 @@ pub fn dist_fetch<T: CxValue>(id: u64, rank: Rank) -> Future<T> {
         if amctx.world.topology().same_node(me2, src) {
             amctx.world.send_am(src, me2, reply);
         } else {
-            amctx.world.net_inject(Box::new(move |w| w.send_am(src, me2, reply)));
+            amctx
+                .world
+                .net_inject(Box::new(move |w| w.send_am(src, me2, reply)));
         }
     };
     if direct {
         ctx.world.send_am(rank, me, handler);
     } else {
-        ctx.world.net_inject(Box::new(move |w| w.send_am(rank, me, handler)));
+        ctx.world
+            .net_inject(Box::new(move |w| w.send_am(rank, me, handler)));
     }
     with_ctx(|c| crate::stats::bump(&c.stats.rpcs));
     Future::from_cell(cell)

@@ -17,7 +17,11 @@ use crate::ctx::note_cell_alloc;
 type Callback<T> = Box<dyn FnOnce(T)>;
 
 enum State<T> {
-    Pending { deps: usize, value: Option<T>, cbs: Vec<Callback<T>> },
+    Pending {
+        deps: usize,
+        value: Option<T>,
+        cbs: Vec<Callback<T>>,
+    },
     Ready(T),
 }
 
@@ -31,23 +35,38 @@ pub(crate) struct Cell<T: Clone> {
 /// Allocate a pending cell with `deps` outstanding dependencies and no value.
 pub(crate) fn new_cell<T: Clone + 'static>(deps: usize) -> Rc<Cell<T>> {
     note_cell_alloc();
-    Rc::new(Cell { state: RefCell::new(State::Pending { deps, value: None, cbs: Vec::new() }) })
+    Rc::new(Cell {
+        state: RefCell::new(State::Pending {
+            deps,
+            value: None,
+            cbs: Vec::new(),
+        }),
+    })
 }
 
 /// Allocate a pending cell that already holds its value (used for value-less
 /// results, where "the value" is `()` and only dependencies gate readiness).
 pub(crate) fn new_cell_with_value<T: Clone + 'static>(deps: usize, value: T) -> Rc<Cell<T>> {
-    assert!(deps > 0, "a pre-valued cell with zero deps should be a ready cell");
+    assert!(
+        deps > 0,
+        "a pre-valued cell with zero deps should be a ready cell"
+    );
     note_cell_alloc();
     Rc::new(Cell {
-        state: RefCell::new(State::Pending { deps, value: Some(value), cbs: Vec::new() }),
+        state: RefCell::new(State::Pending {
+            deps,
+            value: Some(value),
+            cbs: Vec::new(),
+        }),
     })
 }
 
 /// Allocate an already-ready cell holding `value`.
 pub(crate) fn new_ready_cell<T: Clone + 'static>(value: T) -> Rc<Cell<T>> {
     note_cell_alloc();
-    Rc::new(Cell { state: RefCell::new(State::Ready(value)) })
+    Rc::new(Cell {
+        state: RefCell::new(State::Ready(value)),
+    })
 }
 
 /// The shared ready unit cell: allocated once per rank and reused for every
@@ -55,7 +74,9 @@ pub(crate) fn new_ready_cell<T: Clone + 'static>(value: T) -> Rc<Cell<T>> {
 /// Constructed without touching statistics (it is the allocation that
 /// *doesn't* happen).
 pub(crate) fn shared_ready_unit_cell() -> Rc<Cell<()>> {
-    Rc::new(Cell { state: RefCell::new(State::Ready(())) })
+    Rc::new(Cell {
+        state: RefCell::new(State::Ready(())),
+    })
 }
 
 impl<T: Clone> Cell<T> {
@@ -115,9 +136,9 @@ impl<T: Clone> Cell<T> {
                     if *deps > 0 {
                         None
                     } else {
-                        let v = value
-                            .take()
-                            .expect("promise readied with no value (finalize before fulfill_result?)");
+                        let v = value.take().expect(
+                            "promise readied with no value (finalize before fulfill_result?)",
+                        );
                         let cbs = std::mem::take(cbs);
                         *st = State::Ready(v.clone());
                         Some((v, cbs))

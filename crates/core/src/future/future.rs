@@ -19,7 +19,9 @@ pub struct Future<T: Clone + 'static = ()> {
 
 impl<T: Clone + 'static> Clone for Future<T> {
     fn clone(&self) -> Self {
-        Future { cell: Rc::clone(&self.cell) }
+        Future {
+            cell: Rc::clone(&self.cell),
+        }
     }
 }
 
@@ -32,7 +34,9 @@ impl<T: Clone + 'static> Future<T> {
     /// the value has to live somewhere (the paper notes this elision is
     /// impossible for value-carrying futures).
     pub fn ready(value: T) -> Self {
-        Future { cell: new_ready_cell(value) }
+        Future {
+            cell: new_ready_cell(value),
+        }
     }
 
     /// Whether the result is available.
@@ -136,7 +140,9 @@ impl Future<()> {
     /// shared pre-allocated ready cell (no heap allocation); under 2021.3.0
     /// semantics it allocates a fresh cell, as the release did.
     pub fn ready_unit() -> Self {
-        Future { cell: ready_unit_future_cell() }
+        Future {
+            cell: ready_unit_future_cell(),
+        }
     }
 }
 

@@ -40,7 +40,10 @@ pub struct Promise<T: Clone + 'static = ()> {
 
 impl<T: Clone + 'static> Clone for Promise<T> {
     fn clone(&self) -> Self {
-        Promise { cell: Rc::clone(&self.cell), finalized: Rc::clone(&self.finalized) }
+        Promise {
+            cell: Rc::clone(&self.cell),
+            finalized: Rc::clone(&self.finalized),
+        }
     }
 }
 
@@ -53,7 +56,10 @@ impl Default for Promise<()> {
 impl Promise<()> {
     /// A new value-less promise with one (finalize) dependency.
     pub fn new() -> Self {
-        Promise { cell: new_cell_with_value(1, ()), finalized: Rc::new(StdCell::new(false)) }
+        Promise {
+            cell: new_cell_with_value(1, ()),
+            finalized: Rc::new(StdCell::new(false)),
+        }
     }
 }
 
@@ -62,13 +68,19 @@ impl<T: Clone + 'static> Promise<T> {
     /// value must be supplied by [`fulfill_result`](Self::fulfill_result)
     /// before all dependencies are discharged.
     pub fn with_value() -> Self {
-        Promise { cell: new_cell::<T>(1), finalized: Rc::new(StdCell::new(false)) }
+        Promise {
+            cell: new_cell::<T>(1),
+            finalized: Rc::new(StdCell::new(false)),
+        }
     }
 
     /// Register `n` additional anonymous dependencies. Panics after
     /// finalization (UPC++ forbids registration on a finalized promise).
     pub fn require_anonymous(&self, n: usize) {
-        assert!(!self.finalized.get(), "require_anonymous on a finalized promise");
+        assert!(
+            !self.finalized.get(),
+            "require_anonymous on a finalized promise"
+        );
         self.cell.add_deps(n);
     }
 

@@ -242,7 +242,10 @@ mod tests {
         // b first, then a.
         let ac = new_cell::<u32>(1);
         let bc = new_cell::<&'static str>(1);
-        let f = join2(Future::from_cell(Rc::clone(&ac)), Future::from_cell(Rc::clone(&bc)));
+        let f = join2(
+            Future::from_cell(Rc::clone(&ac)),
+            Future::from_cell(Rc::clone(&bc)),
+        );
         bc.set_value("hi");
         bc.fulfill(1);
         assert!(!f.is_ready());
@@ -259,9 +262,18 @@ mod tests {
 
     #[test]
     fn join3_and_join4() {
-        let f = join3(Future::ready(1u8), Future::ready("x"), Future::ready(2.5f64));
+        let f = join3(
+            Future::ready(1u8),
+            Future::ready("x"),
+            Future::ready(2.5f64),
+        );
         assert_eq!(f.result(), (1, "x", 2.5));
-        let g = join4(Future::ready(1u8), Future::ready(2u8), Future::ready(3u8), Future::ready(4u8));
+        let g = join4(
+            Future::ready(1u8),
+            Future::ready(2u8),
+            Future::ready(3u8),
+            Future::ready(4u8),
+        );
         assert_eq!(g.result(), (1, 2, 3, 4));
     }
 

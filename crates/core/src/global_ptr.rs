@@ -112,7 +112,11 @@ pub struct GlobalPtr<T: SegValue> {
 
 impl<T: SegValue> GlobalPtr<T> {
     pub(crate) fn from_parts(rank: Rank, off: usize) -> Self {
-        GlobalPtr { rank, off, _marker: PhantomData }
+        GlobalPtr {
+            rank,
+            off,
+            _marker: PhantomData,
+        }
     }
 
     /// The null global pointer.
@@ -197,7 +201,13 @@ impl<T: SegValue> fmt::Debug for GlobalPtr<T> {
         if self.is_null() {
             write!(f, "GlobalPtr<{}>(null)", std::any::type_name::<T>())
         } else {
-            write!(f, "GlobalPtr<{}>({}:{:#x})", std::any::type_name::<T>(), self.rank, self.off)
+            write!(
+                f,
+                "GlobalPtr<{}>({}:{:#x})",
+                std::any::type_name::<T>(),
+                self.rank,
+                self.off
+            )
         }
     }
 }
@@ -233,7 +243,11 @@ impl<T: SegValue> LocalRef<'_, T> {
     /// Advance by `n` elements.
     #[inline]
     pub fn add(&self, n: usize) -> Self {
-        LocalRef { seg: self.seg, off: self.off + n * T::SIZE, _marker: PhantomData }
+        LocalRef {
+            seg: self.seg,
+            off: self.off + n * T::SIZE,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -307,7 +321,11 @@ mod tests {
     #[test]
     fn local_ref_views_segment() {
         let seg = Segment::new(64);
-        let r = LocalRef::<u64> { seg: &seg, off: 8, _marker: PhantomData };
+        let r = LocalRef::<u64> {
+            seg: &seg,
+            off: 8,
+            _marker: PhantomData,
+        };
         r.set(77);
         assert_eq!(r.get(), 77);
         assert_eq!(seg.read_u64(8), 77);
@@ -322,7 +340,11 @@ mod tests {
     #[test]
     fn narrow_local_ref() {
         let seg = Segment::new(64);
-        let r = LocalRef::<i16> { seg: &seg, off: 2, _marker: PhantomData };
+        let r = LocalRef::<i16> {
+            seg: &seg,
+            off: 2,
+            _marker: PhantomData,
+        };
         r.set(-123);
         assert_eq!(r.get(), -123);
     }

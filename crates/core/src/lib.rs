@@ -48,8 +48,8 @@
 
 pub mod atomics;
 pub mod completion;
-pub mod dist_object;
 mod ctx;
+pub mod dist_object;
 pub mod future;
 pub mod global_ptr;
 pub mod reduce;
@@ -62,17 +62,19 @@ pub mod version;
 pub mod vis;
 
 pub use atomics::{AtomicDomain, AtomicValue};
-pub use dist_object::DistObject;
 pub use completion::{operation_cx, remote_cx, source_cx, Completions, CxValue, Mode};
-pub use future::{conjoin, conjoin_all, join2, join3, join4, make_future, make_future_with,
-    when_all_value, Future, Promise};
+pub use dist_object::DistObject;
+pub use future::{
+    conjoin, conjoin_all, join2, join3, join4, make_future, make_future_with, when_all_value,
+    Future, Promise,
+};
 pub use global_ptr::{GlobalPtr, LocalRef, SegValue};
 pub use reduce::{ReduceOp, ReduceVal};
 pub use runtime::{api, launch, RuntimeConfig, Upcr};
 pub use ser::{SerDe, SerError};
 pub use stats::StatsSnapshot;
-pub use vis::Strided;
 pub use version::LibVersion;
+pub use vis::Strided;
 
 // Re-export the substrate types that appear in public signatures.
 pub use gasnex::{Conduit, GasnexConfig, NetConfig, Rank, Team};

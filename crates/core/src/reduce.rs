@@ -148,7 +148,9 @@ impl Upcr {
         vals: &[T],
         op: ReduceOp,
     ) -> Vec<T> {
-        let me_idx = team.rank_of(self.me()).expect("reduction caller must be a team member");
+        let me_idx = team
+            .rank_of(self.me())
+            .expect("reduction caller must be a team member");
         let len = vals.len();
         // Length agreement check (cheap collective sanity).
         let max_len = {
@@ -204,15 +206,30 @@ mod tests {
 
     #[test]
     fn identities_are_identities() {
-        for op in [ReduceOp::Plus, ReduceOp::Mult, ReduceOp::Min, ReduceOp::Max,
-                   ReduceOp::BitAnd, ReduceOp::BitOr, ReduceOp::BitXor] {
+        for op in [
+            ReduceOp::Plus,
+            ReduceOp::Mult,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::BitAnd,
+            ReduceOp::BitOr,
+            ReduceOp::BitXor,
+        ] {
             for v in [0u64, 1, 42, u64::MAX] {
-                assert_eq!(u64::apply(op, u64::identity(op), v), v, "{op:?} identity on {v}");
+                assert_eq!(
+                    u64::apply(op, u64::identity(op), v),
+                    v,
+                    "{op:?} identity on {v}"
+                );
             }
         }
         for op in [ReduceOp::Plus, ReduceOp::Mult, ReduceOp::Min, ReduceOp::Max] {
             for v in [0.0f64, 1.5, -3.25] {
-                assert_eq!(f64::apply(op, f64::identity(op), v), v, "{op:?} identity on {v}");
+                assert_eq!(
+                    f64::apply(op, f64::identity(op), v),
+                    v,
+                    "{op:?} identity on {v}"
+                );
             }
         }
     }
@@ -233,6 +250,9 @@ mod tests {
     #[test]
     fn wrapping_semantics() {
         assert_eq!(u8::apply(ReduceOp::Plus, 200, 100), 44);
-        assert_eq!(u8::apply(ReduceOp::Mult, 100, 100), (100u8).wrapping_mul(100));
+        assert_eq!(
+            u8::apply(ReduceOp::Mult, 100, 100),
+            (100u8).wrapping_mul(100)
+        );
     }
 }

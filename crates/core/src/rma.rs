@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::completion::{operation_cx, Completions, CxValue, Notifier, RemoteFn};
 use crate::ctx::RankCtx;
@@ -69,7 +69,9 @@ impl Upcr {
             if !ctx.version.has_alloc_elision() {
                 legacy_extra_alloc(ctx);
             }
-            ctx.world.segment(dst.rank()).write_scalar(dst.offset(), T::SIZE, val.to_bits());
+            ctx.world
+                .segment(dst.rank())
+                .write_scalar(dst.offset(), T::SIZE, val.to_bits());
             post_remote_rpcs_local(ctx, dst.rank(), rpcs);
             cx.notify(&Notifier::sync(ctx, ()))
         } else {
@@ -85,7 +87,11 @@ impl Upcr {
                 }
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, Arc::new(Mutex::new(Some(())))))
+            cx.notify(&Notifier::pending(
+                ctx,
+                core,
+                Arc::new(Mutex::new(Some(()))),
+            ))
         }
     }
 
@@ -105,12 +111,19 @@ impl Upcr {
         bump(&ctx.stats.rgets);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
-        assert!(rpcs.is_empty(), "remote_cx completions are not supported on rget");
+        assert!(
+            rpcs.is_empty(),
+            "remote_cx completions are not supported on rget"
+        );
         if ctx.addressable(src.rank()) {
             if !ctx.version.has_alloc_elision() {
                 legacy_extra_alloc(ctx);
             }
-            let v = T::from_bits(ctx.world.segment(src.rank()).read_scalar(src.offset(), T::SIZE));
+            let v = T::from_bits(
+                ctx.world
+                    .segment(src.rank())
+                    .read_scalar(src.offset(), T::SIZE),
+            );
             cx.notify(&Notifier::sync(ctx, v))
         } else {
             bump(&ctx.stats.net_injected);
@@ -121,7 +134,7 @@ impl Upcr {
             let slot2 = Arc::clone(&slot);
             ctx.world.net_inject(Box::new(move |w| {
                 let v = T::from_bits(w.segment(rank).read_scalar(off, T::SIZE));
-                *slot2.lock() = Some(v);
+                *slot2.lock().unwrap() = Some(v);
                 core2.signal();
             }));
             cx.notify(&Notifier::pending(ctx, core, slot))
@@ -173,7 +186,11 @@ impl Upcr {
                 }
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, Arc::new(Mutex::new(Some(())))))
+            cx.notify(&Notifier::pending(
+                ctx,
+                core,
+                Arc::new(Mutex::new(Some(()))),
+            ))
         }
     }
 
@@ -194,12 +211,7 @@ impl Upcr {
     ///     assert_eq!(u.rget_vec(b, 4).wait(), vec![1, 2, 3, 4]);
     /// });
     /// ```
-    pub fn copy<T: SegValue>(
-        &self,
-        src: GlobalPtr<T>,
-        dst: GlobalPtr<T>,
-        n: usize,
-    ) -> Future<()> {
+    pub fn copy<T: SegValue>(&self, src: GlobalPtr<T>, dst: GlobalPtr<T>, n: usize) -> Future<()> {
         self.copy_with(src, dst, n, operation_cx::as_future())
     }
 
@@ -242,7 +254,11 @@ impl Upcr {
                 }
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, Arc::new(Mutex::new(Some(())))))
+            cx.notify(&Notifier::pending(
+                ctx,
+                core,
+                Arc::new(Mutex::new(Some(()))),
+            ))
         }
     }
 
@@ -263,7 +279,10 @@ impl Upcr {
         bump(&ctx.stats.rgets);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
-        assert!(rpcs.is_empty(), "remote_cx completions are not supported on rget");
+        assert!(
+            rpcs.is_empty(),
+            "remote_cx completions are not supported on rget"
+        );
         if ctx.addressable(src.rank()) {
             if !ctx.version.has_alloc_elision() {
                 legacy_extra_alloc(ctx);
@@ -282,9 +301,10 @@ impl Upcr {
             let slot2 = Arc::clone(&slot);
             ctx.world.net_inject(Box::new(move |w| {
                 let seg = w.segment(rank);
-                let data: Vec<T> =
-                    (0..n).map(|i| T::from_bits(seg.read_scalar(off + i * T::SIZE, T::SIZE))).collect();
-                *slot2.lock() = Some(data);
+                let data: Vec<T> = (0..n)
+                    .map(|i| T::from_bits(seg.read_scalar(off + i * T::SIZE, T::SIZE)))
+                    .collect();
+                *slot2.lock().unwrap() = Some(data);
                 core2.signal();
             }));
             cx.notify(&Notifier::pending(ctx, core, slot))

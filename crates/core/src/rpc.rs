@@ -52,7 +52,9 @@ impl Upcr {
         let cell = new_cell::<R>(1);
         let c2 = Rc::clone(&cell);
         let id = ctx.register_reply(Box::new(move |payload| {
-            let v = *payload.downcast::<R>().expect("rpc reply payload type mismatch");
+            let v = *payload
+                .downcast::<R>()
+                .expect("rpc reply payload type mismatch");
             c2.set_value(v);
             c2.fulfill(1);
         }));
@@ -68,7 +70,9 @@ impl Upcr {
             if amctx.world.topology().same_node(me, src) {
                 amctx.world.send_am(src, me, reply);
             } else {
-                amctx.world.net_inject(Box::new(move |w| w.send_am(src, me, reply)));
+                amctx
+                    .world
+                    .net_inject(Box::new(move |w| w.send_am(src, me, reply)));
             }
         });
         Future::from_cell(cell)
@@ -115,7 +119,9 @@ impl Upcr {
             if amctx.world.topology().same_node(me, src) {
                 amctx.world.send_am(src, me, reply);
             } else {
-                amctx.world.net_inject(Box::new(move |w| w.send_am(src, me, reply)));
+                amctx
+                    .world
+                    .net_inject(Box::new(move |w| w.send_am(src, me, reply)));
             }
         });
         Future::from_cell(cell)
@@ -163,7 +169,9 @@ mod tests {
                 let p0 = ptrs[0];
                 // The body runs on rank 1 and reads rank 0's cell via an
                 // eager local rget (both on one node).
-                let v = u.rpc(Rank(1), move || crate::runtime::api::rget(p0).wait()).wait();
+                let v = u
+                    .rpc(Rank(1), move || crate::runtime::api::rget(p0).wait())
+                    .wait();
                 assert_eq!(v, 7);
             }
             u.barrier();

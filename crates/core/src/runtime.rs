@@ -31,7 +31,10 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Single-node SMP runtime with `ranks` ranks.
     pub fn smp(ranks: usize) -> Self {
-        RuntimeConfig { gasnex: GasnexConfig::smp(ranks), version: LibVersion::V2021_3_6Eager }
+        RuntimeConfig {
+            gasnex: GasnexConfig::smp(ranks),
+            version: LibVersion::V2021_3_6Eager,
+        }
     }
 
     /// Multi-node UDP-conduit runtime.
@@ -226,9 +229,11 @@ impl Upcr {
     /// Collectively split `team` by `color`.
     pub fn split_team(&self, team: &Team, color: u64, key: u64) -> Team {
         let ctx = Rc::clone(&self.ctx);
-        self.ctx.world.split_team(team, self.ctx.me, color, key, &mut || {
-            ctx.progress_quantum();
-        })
+        self.ctx
+            .world
+            .split_team(team, self.ctx.me, color, key, &mut || {
+                ctx.progress_quantum();
+            })
     }
 
     /// All-gather of one `u64` per member of `team`, indexed by team rank.
@@ -246,14 +251,11 @@ impl Upcr {
     }
 
     /// Broadcast over `team` from team-member index `root`.
-    pub fn broadcast_team<T: Clone + Send + 'static>(
-        &self,
-        team: &Team,
-        val: T,
-        root: usize,
-    ) -> T {
+    pub fn broadcast_team<T: Clone + Send + 'static>(&self, team: &Team, val: T, root: usize) -> T {
         let ctx = Rc::clone(&self.ctx);
-        let me_idx = team.rank_of(self.ctx.me).expect("broadcast caller must be a team member");
+        let me_idx = team
+            .rank_of(self.ctx.me)
+            .expect("broadcast caller must be a team member");
         let root_val = (me_idx == root).then_some(val);
         self.ctx.world.broadcast(team, root_val, &mut || {
             ctx.progress_quantum();
@@ -263,9 +265,11 @@ impl Upcr {
     /// Team-scoped sum reduction.
     pub fn allreduce_sum_u64_team(&self, team: &Team, v: u64) -> u64 {
         let ctx = Rc::clone(&self.ctx);
-        self.ctx.world.allreduce(team, self.ctx.me, v, &|a, b| a.wrapping_add(b), &mut || {
-            ctx.progress_quantum();
-        })
+        self.ctx
+            .world
+            .allreduce(team, self.ctx.me, v, &|a, b| a.wrapping_add(b), &mut || {
+                ctx.progress_quantum();
+            })
     }
 
     /// Broadcast `val` from `root` to every rank (synchronous collective).
@@ -281,9 +285,11 @@ impl Upcr {
     fn allreduce_bits(&self, bits: u64, f: &dyn Fn(u64, u64) -> u64) -> u64 {
         let team = self.world_team();
         let ctx = Rc::clone(&self.ctx);
-        self.ctx.world.allreduce(&team, self.ctx.me, bits, f, &mut || {
-            ctx.progress_quantum();
-        })
+        self.ctx
+            .world
+            .allreduce(&team, self.ctx.me, bits, f, &mut || {
+                ctx.progress_quantum();
+            })
     }
 
     /// Sum of `v` across all ranks.
@@ -322,8 +328,7 @@ impl Upcr {
         let mut clean_rounds = 0;
         for _ in 0..MAX_ROUNDS {
             while self.ctx.progress_quantum() > 0 {}
-            let busy =
-                u64::from(!self.ctx.locally_idle() || !self.ctx.world.substrate_quiet());
+            let busy = u64::from(!self.ctx.locally_idle() || !self.ctx.world.substrate_quiet());
             if self.allreduce_sum_u64(busy) == 0 {
                 clean_rounds += 1;
                 if clean_rounds >= 2 {
@@ -343,7 +348,10 @@ impl Upcr {
     /// (the `upcxx::new_<T>(v)` idiom).
     pub fn new_<T: SegValue>(&self, v: T) -> GlobalPtr<T> {
         let p = self.new_array::<T>(1);
-        self.ctx.world.segment(p.rank()).write_scalar(p.offset(), T::SIZE, v.to_bits());
+        self.ctx
+            .world
+            .segment(p.rank())
+            .write_scalar(p.offset(), T::SIZE, v.to_bits());
         p
     }
 
@@ -388,15 +396,28 @@ impl Upcr {
     /// `global_ptr::local()` idiom). Panics if `p` is not local.
     #[inline]
     pub fn local<T: SegValue>(&self, p: GlobalPtr<T>) -> LocalRef<'_, T> {
-        assert!(self.is_local(p), "local() downcast of non-local pointer {p:?}");
-        LocalRef { seg: self.ctx.world.segment(p.rank()), off: p.offset(), _marker: PhantomData }
+        assert!(
+            self.is_local(p),
+            "local() downcast of non-local pointer {p:?}"
+        );
+        LocalRef {
+            seg: self.ctx.world.segment(p.rank()),
+            off: p.offset(),
+            _marker: PhantomData,
+        }
     }
 
     /// Direct view of `len` 64-bit words behind a local pointer, for
     /// manually-localized bulk access (the raw-GUPS table).
     pub fn local_slice_u64(&self, p: GlobalPtr<u64>, len: usize) -> &[AtomicU64] {
-        assert!(self.is_local(p), "local_slice_u64 of non-local pointer {p:?}");
-        self.ctx.world.segment(p.rank()).atomic_slice_u64(p.offset(), len)
+        assert!(
+            self.is_local(p),
+            "local_slice_u64 of non-local pointer {p:?}"
+        );
+        self.ctx
+            .world
+            .segment(p.rank())
+            .atomic_slice_u64(p.offset(), len)
     }
 
     // ---- misc ----------------------------------------------------------------
@@ -431,7 +452,9 @@ pub mod api {
 
     /// Build an ephemeral handle for the calling rank.
     fn current() -> Upcr {
-        Upcr { ctx: crate::ctx::clone_current() }
+        Upcr {
+            ctx: crate::ctx::clone_current(),
+        }
     }
 
     /// The calling rank's index.
@@ -477,7 +500,10 @@ pub mod api {
     /// borrowed handle is available. Panics if `p` is not local.
     pub fn local_load<T: SegValue>(p: GlobalPtr<T>) -> T {
         with_ctx(|c| {
-            assert!(c.addressable(p.rank()), "local_load of non-local pointer {p:?}");
+            assert!(
+                c.addressable(p.rank()),
+                "local_load of non-local pointer {p:?}"
+            );
             T::from_bits(c.world.segment(p.rank()).read_scalar(p.offset(), T::SIZE))
         })
     }
@@ -485,8 +511,13 @@ pub mod api {
     /// Direct store through a local global pointer (see [`local_load`]).
     pub fn local_store<T: SegValue>(p: GlobalPtr<T>, v: T) {
         with_ctx(|c| {
-            assert!(c.addressable(p.rank()), "local_store of non-local pointer {p:?}");
-            c.world.segment(p.rank()).write_scalar(p.offset(), T::SIZE, v.to_bits());
+            assert!(
+                c.addressable(p.rank()),
+                "local_store of non-local pointer {p:?}"
+            );
+            c.world
+                .segment(p.rank())
+                .write_scalar(p.offset(), T::SIZE, v.to_bits());
         });
     }
 }
@@ -500,14 +531,23 @@ mod tests {
         let c = RuntimeConfig::udp(8, 4)
             .with_version(LibVersion::V2021_3_0)
             .with_segment_size(1 << 14)
-            .with_net(NetConfig { latency_ns: 9, jitter_ns: 1 });
+            .with_net(NetConfig {
+                latency_ns: 9,
+                jitter_ns: 1,
+            });
         assert_eq!(c.version, LibVersion::V2021_3_0);
         assert_eq!(c.gasnex.ranks, 8);
         assert_eq!(c.gasnex.ranks_per_node, 4);
         assert_eq!(c.gasnex.segment_size, 1 << 14);
         assert_eq!(c.gasnex.net.latency_ns, 9);
-        assert!(matches!(RuntimeConfig::smp(2).gasnex.conduit, gasnex::Conduit::Smp));
-        assert!(matches!(RuntimeConfig::mpi(2, 2).gasnex.conduit, gasnex::Conduit::Mpi));
+        assert!(matches!(
+            RuntimeConfig::smp(2).gasnex.conduit,
+            gasnex::Conduit::Smp
+        ));
+        assert!(matches!(
+            RuntimeConfig::mpi(2, 2).gasnex.conduit,
+            gasnex::Conduit::Mpi
+        ));
     }
 
     #[test]

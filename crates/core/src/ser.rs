@@ -77,7 +77,10 @@ pub trait SerDe: Sized {
 
 fn take<'a>(inp: &mut &'a [u8], n: usize) -> Result<&'a [u8], SerError> {
     if inp.len() < n {
-        return Err(SerError::Truncated { needed: n, have: inp.len() });
+        return Err(SerError::Truncated {
+            needed: n,
+            have: inp.len(),
+        });
     }
     let (head, tail) = inp.split_at(n);
     *inp = tail;
@@ -293,20 +296,29 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = 7u32.to_bytes();
         bytes.push(0);
-        assert!(matches!(u32::from_bytes(&bytes), Err(SerError::BadLength(1))));
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(SerError::BadLength(1))
+        ));
     }
 
     #[test]
     fn bad_tags_rejected() {
         assert!(matches!(bool::from_bytes(&[2]), Err(SerError::BadTag(2))));
-        assert!(matches!(Option::<u8>::from_bytes(&[9]), Err(SerError::BadTag(9))));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9]),
+            Err(SerError::BadTag(9))
+        ));
     }
 
     #[test]
     fn hostile_length_prefix_rejected() {
         // A Vec claiming u64::MAX elements must fail fast, not allocate.
         let bytes = u64::MAX.to_bytes();
-        assert!(matches!(Vec::<u64>::from_bytes(&bytes), Err(SerError::BadLength(_))));
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(SerError::BadLength(_))
+        ));
         let bytes = u64::MAX.to_bytes();
         assert!(String::from_bytes(&bytes).is_err());
     }
@@ -320,7 +332,9 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(SerError::Truncated { needed: 8, have: 2 }.to_string().contains("8"));
+        assert!(SerError::Truncated { needed: 8, have: 2 }
+            .to_string()
+            .contains("8"));
         assert!(SerError::BadTag(7).to_string().contains("0x7"));
     }
 }

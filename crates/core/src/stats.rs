@@ -23,6 +23,9 @@ pub(crate) struct Stats {
     pub when_all_fast: Cell<u64>,
     pub when_all_nodes: Cell<u64>,
     pub progress_calls: Cell<u64>,
+    pub event_wakeups: Cell<u64>,
+    pub polls_elided: Cell<u64>,
+    pub pending_highwater: Cell<u64>,
 }
 
 impl Stats {
@@ -40,6 +43,9 @@ impl Stats {
             when_all_fast: self.when_all_fast.get(),
             when_all_nodes: self.when_all_nodes.get(),
             progress_calls: self.progress_calls.get(),
+            event_wakeups: self.event_wakeups.get(),
+            polls_elided: self.polls_elided.get(),
+            pending_highwater: self.pending_highwater.get(),
         }
     }
 
@@ -56,6 +62,9 @@ impl Stats {
         self.when_all_fast.set(0);
         self.when_all_nodes.set(0);
         self.progress_calls.set(0);
+        self.event_wakeups.set(0);
+        self.polls_elided.set(0);
+        self.pending_highwater.set(0);
     }
 }
 
@@ -91,6 +100,16 @@ pub struct StatsSnapshot {
     pub when_all_nodes: u64,
     /// Progress-engine quanta executed.
     pub progress_calls: u64,
+    /// Deferred notifications delivered via a ready-queue token (the
+    /// signal-driven engine): each is one wakeup that replaced a poll scan.
+    pub event_wakeups: u64,
+    /// Event re-tests the signal-driven engine skipped: per quantum, the
+    /// number of still-pending event waiters the poll-scan engine would
+    /// have re-tested and re-queued.
+    pub polls_elided: u64,
+    /// High-water mark of simultaneously pending notifications (registered
+    /// event waiters plus queued rank-local deferred entries).
+    pub pending_highwater: u64,
 }
 
 impl StatsSnapshot {
@@ -98,9 +117,15 @@ impl StatsSnapshot {
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             cell_allocs: self.cell_allocs.saturating_sub(earlier.cell_allocs),
-            legacy_extra_allocs: self.legacy_extra_allocs.saturating_sub(earlier.legacy_extra_allocs),
-            deferred_enqueued: self.deferred_enqueued.saturating_sub(earlier.deferred_enqueued),
-            eager_notifications: self.eager_notifications.saturating_sub(earlier.eager_notifications),
+            legacy_extra_allocs: self
+                .legacy_extra_allocs
+                .saturating_sub(earlier.legacy_extra_allocs),
+            deferred_enqueued: self
+                .deferred_enqueued
+                .saturating_sub(earlier.deferred_enqueued),
+            eager_notifications: self
+                .eager_notifications
+                .saturating_sub(earlier.eager_notifications),
             net_injected: self.net_injected.saturating_sub(earlier.net_injected),
             rputs: self.rputs.saturating_sub(earlier.rputs),
             rgets: self.rgets.saturating_sub(earlier.rgets),
@@ -109,6 +134,11 @@ impl StatsSnapshot {
             when_all_fast: self.when_all_fast.saturating_sub(earlier.when_all_fast),
             when_all_nodes: self.when_all_nodes.saturating_sub(earlier.when_all_nodes),
             progress_calls: self.progress_calls.saturating_sub(earlier.progress_calls),
+            event_wakeups: self.event_wakeups.saturating_sub(earlier.event_wakeups),
+            polls_elided: self.polls_elided.saturating_sub(earlier.polls_elided),
+            // A high-water mark is a gauge, not a count; `since` reports the
+            // later sample unchanged so callers see the peak over the run.
+            pending_highwater: self.pending_highwater,
         }
     }
 }

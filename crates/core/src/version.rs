@@ -32,8 +32,11 @@ pub enum LibVersion {
 
 impl LibVersion {
     /// All versions, in the order the paper's figures present them.
-    pub const ALL: [LibVersion; 3] =
-        [LibVersion::V2021_3_0, LibVersion::V2021_3_6Defer, LibVersion::V2021_3_6Eager];
+    pub const ALL: [LibVersion; 3] = [
+        LibVersion::V2021_3_0,
+        LibVersion::V2021_3_6Defer,
+        LibVersion::V2021_3_6Eager,
+    ];
 
     /// Whether the plain `as_future` / `as_promise` factories request eager
     /// notification.

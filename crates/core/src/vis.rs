@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::completion::{operation_cx, Completions, Notifier};
 use crate::future::Future;
@@ -40,7 +40,10 @@ impl Strided {
 
     /// Validate basic shape.
     fn check(&self) {
-        assert!(self.block_len > 0 && self.blocks > 0, "strided shape must be non-empty");
+        assert!(
+            self.block_len > 0 && self.blocks > 0,
+            "strided shape must be non-empty"
+        );
         assert!(
             self.stride >= self.block_len,
             "stride {} shorter than block length {} would overlap runs",
@@ -71,7 +74,11 @@ impl Upcr {
         mut cx: C,
     ) -> C::Out {
         shape.check();
-        assert_eq!(src.len(), shape.total(), "source length must match the strided shape");
+        assert_eq!(
+            src.len(),
+            shape.total(),
+            "source length must match the strided shape"
+        );
         let ctx = &*self.ctx;
         bump(&ctx.stats.rputs);
         let mut rpcs = Vec::new();
@@ -106,7 +113,11 @@ impl Upcr {
                 }
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, Arc::new(Mutex::new(Some(())))))
+            cx.notify(&Notifier::pending(
+                ctx,
+                core,
+                Arc::new(Mutex::new(Some(()))),
+            ))
         }
     }
 
@@ -128,14 +139,19 @@ impl Upcr {
         bump(&ctx.stats.rgets);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
-        assert!(rpcs.is_empty(), "remote_cx completions are not supported on gets");
+        assert!(
+            rpcs.is_empty(),
+            "remote_cx completions are not supported on gets"
+        );
         let read_all = move |w: &gasnex::World| -> Vec<T> {
             let seg = w.segment(src.rank());
             let mut out = Vec::with_capacity(shape.total());
             for b in 0..shape.blocks {
                 let run_off = src.offset() + b * shape.stride * T::SIZE;
                 for e in 0..shape.block_len {
-                    out.push(T::from_bits(seg.read_scalar(run_off + e * T::SIZE, T::SIZE)));
+                    out.push(T::from_bits(
+                        seg.read_scalar(run_off + e * T::SIZE, T::SIZE),
+                    ));
                 }
             }
             out
@@ -150,7 +166,7 @@ impl Upcr {
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
             ctx.world.net_inject(Box::new(move |w| {
-                *slot2.lock() = Some(read_all(w));
+                *slot2.lock().unwrap() = Some(read_all(w));
                 core2.signal();
             }));
             cx.notify(&Notifier::pending(ctx, core, slot))
@@ -161,11 +177,7 @@ impl Upcr {
     /// completion. Destinations may mix local and remote targets; the
     /// completion is eager-eligible only when *every* target completed
     /// synchronously (i.e. all were directly addressable).
-    pub fn rput_fragmented<T: SegValue>(
-        &self,
-        dsts: &[GlobalPtr<T>],
-        vals: &[T],
-    ) -> Future<()> {
+    pub fn rput_fragmented<T: SegValue>(&self, dsts: &[GlobalPtr<T>], vals: &[T]) -> Future<()> {
         self.rput_fragmented_with(dsts, vals, operation_cx::as_future())
     }
 
@@ -181,13 +193,18 @@ impl Upcr {
         bump(&ctx.stats.rputs);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
-        assert!(rpcs.is_empty(), "remote_cx is not supported on fragmented puts (no single target)");
+        assert!(
+            rpcs.is_empty(),
+            "remote_cx is not supported on fragmented puts (no single target)"
+        );
         // Local fragments transfer immediately; remote fragments are
         // grouped into one network operation.
         let mut remote: Vec<(gasnex::Rank, usize, u64)> = Vec::new();
         for (&d, &v) in dsts.iter().zip(vals) {
             if ctx.addressable(d.rank()) {
-                ctx.world.segment(d.rank()).write_scalar(d.offset(), T::SIZE, v.to_bits());
+                ctx.world
+                    .segment(d.rank())
+                    .write_scalar(d.offset(), T::SIZE, v.to_bits());
             } else {
                 remote.push((d.rank(), d.offset(), v.to_bits()));
             }
@@ -205,7 +222,11 @@ impl Upcr {
                 }
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, Arc::new(Mutex::new(Some(())))))
+            cx.notify(&Notifier::pending(
+                ctx,
+                core,
+                Arc::new(Mutex::new(Some(()))),
+            ))
         }
     }
 }
@@ -217,7 +238,11 @@ mod tests {
 
     #[test]
     fn strided_shape_total() {
-        let s = Strided { block_len: 3, stride: 8, blocks: 4 };
+        let s = Strided {
+            block_len: 3,
+            stride: 8,
+            blocks: 4,
+        };
         assert_eq!(s.total(), 12);
     }
 
@@ -226,7 +251,15 @@ mod tests {
     fn empty_shape_rejected() {
         launch(RuntimeConfig::smp(1).with_segment_size(1 << 16), |u| {
             let arr = u.new_array::<u64>(8);
-            let _ = u.rput_strided(&[], arr, Strided { block_len: 0, stride: 1, blocks: 0 });
+            let _ = u.rput_strided(
+                &[],
+                arr,
+                Strided {
+                    block_len: 0,
+                    stride: 1,
+                    blocks: 0,
+                },
+            );
         });
     }
 
@@ -237,7 +270,16 @@ mod tests {
             let b = u.new_array::<u64>(8);
             let data: Vec<u64> = (0..8).collect();
             u.rput_slice(&data, a).wait();
-            u.rput_strided(&data, b, Strided { block_len: 8, stride: 8, blocks: 1 }).wait();
+            u.rput_strided(
+                &data,
+                b,
+                Strided {
+                    block_len: 8,
+                    stride: 8,
+                    blocks: 1,
+                },
+            )
+            .wait();
             assert_eq!(u.rget_vec(a, 8).wait(), u.rget_vec(b, 8).wait());
         });
     }

@@ -191,7 +191,10 @@ fn copy_between_two_remote_ranks() {
 fn jittered_network_still_completes_everything() {
     let cfg = RuntimeConfig::udp(2, 1)
         .with_segment_size(1 << 20)
-        .with_net(NetConfig { latency_ns: 2_000, jitter_ns: 2_000 });
+        .with_net(NetConfig {
+            latency_ns: 2_000,
+            jitter_ns: 2_000,
+        });
     launch(cfg, |u| {
         let arr = u.new_array::<u64>(256);
         let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
@@ -217,7 +220,10 @@ fn jittered_network_still_completes_everything() {
 fn many_outstanding_remote_gets_resolve_in_any_order() {
     let cfg = RuntimeConfig::udp(2, 1)
         .with_segment_size(1 << 20)
-        .with_net(NetConfig { latency_ns: 1_000, jitter_ns: 5_000 });
+        .with_net(NetConfig {
+            latency_ns: 1_000,
+            jitter_ns: 5_000,
+        });
     launch(cfg, |u| {
         let arr = u.new_array::<u64>(64);
         let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
@@ -267,9 +273,10 @@ fn bulk_put_with_source_and_remote_completions() {
                 &data,
                 ptrs[1],
                 upcr::source_cx::as_future()
-                    | (operation_cx::as_future() | remote_cx::as_rpc(|| {
-                        ARRIVED.fetch_add(1, Ordering::SeqCst);
-                    })),
+                    | (operation_cx::as_future()
+                        | remote_cx::as_rpc(|| {
+                            ARRIVED.fetch_add(1, Ordering::SeqCst);
+                        })),
             );
             src.wait();
             op.wait();
@@ -309,7 +316,9 @@ fn results_identical_across_versions() {
                 ad.add(other.add(i), 1).wait();
             }
             u.barrier();
-            (0..64usize).map(|i| u.local(arr.add(i)).get()).collect::<Vec<u64>>()
+            (0..64usize)
+                .map(|i| u.local(arr.add(i)).get())
+                .collect::<Vec<u64>>()
         });
         final_tables.push(table[0].clone());
     }

@@ -134,7 +134,11 @@ fn team_broadcast_and_gather() {
         let team = u.split((u.rank_me() % 3) as u64, u.rank_me() as u64);
         assert_eq!(team.size(), 2);
         let v = u.broadcast_team(&team, u.rank_me() as u64 * 10, 0);
-        assert_eq!(v, (u.rank_me() % 3) as u64 * 10, "root is the lowest rank of the color");
+        assert_eq!(
+            v,
+            (u.rank_me() % 3) as u64 * 10,
+            "root is the lowest rank of the color"
+        );
         let gathered = u.gather_all_team(&team, u.rank_me() as u64);
         assert_eq!(gathered.len(), 2);
         assert_eq!(gathered[team.rank_of(u.me()).unwrap()], u.rank_me() as u64);
@@ -205,7 +209,11 @@ fn strided_put_get_roundtrip_local() {
         let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
         u.barrier();
         if u.rank_me() == 0 {
-            let shape = Strided { block_len: 3, stride: 8, blocks: 4 };
+            let shape = Strided {
+                block_len: 3,
+                stride: 8,
+                blocks: 4,
+            };
             let data: Vec<u64> = (1..=12).collect();
             let f = u.rput_strided(&data, ptrs[1].add(2), shape);
             assert!(f.is_ready(), "local strided put completes eagerly");
@@ -217,8 +225,16 @@ fn strided_put_get_roundtrip_local() {
             // Row r, columns 2..5 hold r*3+1 .. r*3+3; everything else 0.
             for row in 0..4 {
                 for col in 0..8 {
-                    let expect = if (2..5).contains(&col) { (row * 3 + col - 1) as u64 } else { 0 };
-                    assert_eq!(u.local(arr.add(row * 8 + col)).get(), expect, "({row},{col})");
+                    let expect = if (2..5).contains(&col) {
+                        (row * 3 + col - 1) as u64
+                    } else {
+                        0
+                    };
+                    assert_eq!(
+                        u.local(arr.add(row * 8 + col)).get(),
+                        expect,
+                        "({row},{col})"
+                    );
                 }
             }
         }
@@ -234,7 +250,11 @@ fn strided_transfer_cross_node() {
         let ptrs: Vec<_> = (0..2).map(|r| u.broadcast(arr, r)).collect();
         u.barrier();
         if u.rank_me() == 0 {
-            let shape = Strided { block_len: 2, stride: 4, blocks: 8 };
+            let shape = Strided {
+                block_len: 2,
+                stride: 4,
+                blocks: 8,
+            };
             let data: Vec<u64> = (100..116).collect();
             let f = u.rput_strided(&data, ptrs[1], shape);
             assert!(!f.is_ready(), "cross-node strided put is asynchronous");
@@ -276,7 +296,10 @@ fn fragmented_put_mixed_locality() {
             let dsts: Vec<_> = (0..4).map(|r| ptrs[r].add(1)).collect();
             let vals: Vec<u64> = (0..4).map(|r| 2000 + r as u64).collect();
             let f = u.rput_fragmented(&dsts, &vals);
-            assert!(!f.is_ready(), "remote fragments force asynchronous completion");
+            assert!(
+                !f.is_ready(),
+                "remote fragments force asynchronous completion"
+            );
             f.wait();
         }
         u.barrier();
@@ -290,7 +313,11 @@ fn strided_shape_validation() {
     let r = std::panic::catch_unwind(|| {
         launch(smp(1), |u| {
             let arr = u.new_array::<u64>(16);
-            let bad = Strided { block_len: 4, stride: 2, blocks: 2 }; // overlapping
+            let bad = Strided {
+                block_len: 4,
+                stride: 2,
+                blocks: 2,
+            }; // overlapping
             let _ = u.rput_strided(&[0u64; 8], arr, bad);
         });
     });
@@ -303,9 +330,16 @@ fn version_semantics_apply_to_vis_ops() {
     launch(cfg, |u| {
         if u.rank_me() == 0 {
             let arr = u.new_array::<u64>(8);
-            let shape = Strided { block_len: 2, stride: 4, blocks: 2 };
+            let shape = Strided {
+                block_len: 2,
+                stride: 4,
+                blocks: 2,
+            };
             let f = u.rput_strided(&[1, 2, 3, 4u64], arr, shape);
-            assert!(!f.is_ready(), "deferred build defers local VIS completions too");
+            assert!(
+                !f.is_ready(),
+                "deferred build defers local VIS completions too"
+            );
             f.wait();
         }
         u.barrier();
@@ -378,7 +412,10 @@ fn scalar_reductions_all_ops() {
         assert_eq!(u.reduce_all(me, ReduceOp::Mult), 24);
         assert_eq!(u.reduce_all(me, ReduceOp::Min), 1);
         assert_eq!(u.reduce_all(me, ReduceOp::Max), 4);
-        assert_eq!(u.reduce_all(0b11u64 << u.rank_me(), ReduceOp::BitOr), 0b11111);
+        assert_eq!(
+            u.reduce_all(0b11u64 << u.rank_me(), ReduceOp::BitOr),
+            0b11111
+        );
         assert_eq!(u.reduce_all(me, ReduceOp::BitXor), 4);
         // Floats.
         let f = u.reduce_all(0.5f64 * me as f64, ReduceOp::Plus);

@@ -15,7 +15,10 @@ fn smp(ranks: usize) -> RuntimeConfig {
 fn two_nodes(ranks: usize) -> RuntimeConfig {
     RuntimeConfig::udp(ranks, ranks / 2)
         .with_segment_size(1 << 20)
-        .with_net(upcr::NetConfig { latency_ns: 0, jitter_ns: 0 })
+        .with_net(upcr::NetConfig {
+            latency_ns: 0,
+            jitter_ns: 0,
+        })
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn eager_local_rput_is_immediately_ready_with_zero_allocs() {
         let f = u.rput(7, p);
         assert!(f.is_ready(), "eager local rput must return a ready future");
         let s = u.stats();
-        assert_eq!(s.cell_allocs, 0, "ready future<()> must reuse the shared cell");
+        assert_eq!(
+            s.cell_allocs, 0,
+            "ready future<()> must reuse the shared cell"
+        );
         assert_eq!(s.deferred_enqueued, 0);
         assert_eq!(s.eager_notifications, 1);
         assert_eq!(s.legacy_extra_allocs, 0);
@@ -60,9 +66,16 @@ fn defer_version_defers_until_progress() {
         u.barrier();
         u.reset_stats();
         let f = u.rput(7, p);
-        assert!(!f.is_ready(), "deferred completion must not be ready at initiation");
+        assert!(
+            !f.is_ready(),
+            "deferred completion must not be ready at initiation"
+        );
         // The data itself has already moved (shared-memory bypass).
-        assert_eq!(u.local(p).get(), 7, "data moved despite deferred notification");
+        assert_eq!(
+            u.local(p).get(),
+            7,
+            "data moved despite deferred notification"
+        );
         f.wait();
         let s = u.stats();
         assert_eq!(s.deferred_enqueued, 1);
@@ -95,7 +108,10 @@ fn explicit_eager_factory_works_under_defer_default() {
     launch(cfg, |u| {
         let p = u.new_::<u64>(0);
         let f = u.rput_with(5, p, operation_cx::as_eager_future());
-        assert!(f.is_ready(), "as_eager_future must be honored in the 2021.3.6 snapshot");
+        assert!(
+            f.is_ready(),
+            "as_eager_future must be honored in the 2021.3.6 snapshot"
+        );
         let g = u.rput_with(6, p, operation_cx::as_defer_future());
         assert!(!g.is_ready());
         g.wait();
@@ -107,7 +123,10 @@ fn explicit_defer_factory_works_under_eager_default() {
     launch(smp(1), |u| {
         let p = u.new_::<u64>(0);
         let f = u.rput_with(5, p, operation_cx::as_defer_future());
-        assert!(!f.is_ready(), "as_defer_future must defer even under eager default");
+        assert!(
+            !f.is_ready(),
+            "as_defer_future must defer even under eager default"
+        );
         f.wait();
         assert_eq!(u.rget(p).wait(), 5);
     });
@@ -122,7 +141,10 @@ fn eager_factory_panics_under_2021_3_0() {
             let _ = u.rput_with(5, p, operation_cx::as_eager_future());
         });
     });
-    assert!(result.is_err(), "as_eager_* must not exist under 2021.3.0 semantics");
+    assert!(
+        result.is_err(),
+        "as_eager_* must not exist under 2021.3.0 semantics"
+    );
 }
 
 #[test]
@@ -169,11 +191,12 @@ fn remote_cx_rpc_runs_on_target_after_data_arrival() {
             u.rput_with(
                 42,
                 ptrs[1],
-                operation_cx::as_future() | remote_cx::as_rpc(|| {
-                    // Runs on rank 1; by remote-completion semantics the
-                    // data must already be visible.
-                    HITS.fetch_add(1, Ordering::SeqCst);
-                }),
+                operation_cx::as_future()
+                    | remote_cx::as_rpc(|| {
+                        // Runs on rank 1; by remote-completion semantics the
+                        // data must already be visible.
+                        HITS.fetch_add(1, Ordering::SeqCst);
+                    }),
             )
             .0
             .wait();
@@ -196,8 +219,7 @@ fn remote_cx_rpc_runs_on_target_after_data_arrival() {
 fn source_and_operation_futures_compose() {
     launch(smp(1), |u| {
         let p = u.new_::<u64>(0);
-        let (src, op) =
-            u.rput_with(3, p, source_cx::as_future() | operation_cx::as_future());
+        let (src, op) = u.rput_with(3, p, source_cx::as_future() | operation_cx::as_future());
         assert!(src.is_ready() && op.is_ready());
         // Deferred flavours of both.
         let (src, op) = u.rput_with(
@@ -246,7 +268,11 @@ fn eager_promise_elides_registration() {
         for _ in 0..5 {
             u.rput_with(1, p, operation_cx::as_promise(&pr));
         }
-        assert_eq!(pr.deps(), 1, "eager completion must elide promise registration");
+        assert_eq!(
+            pr.deps(),
+            1,
+            "eager completion must elide promise registration"
+        );
         assert_eq!(u.stats().deferred_enqueued, 0);
         assert!(pr.finalize().is_ready());
     });
@@ -279,9 +305,13 @@ fn lpc_completion_runs() {
         u.rput_with(9, p, operation_cx::as_lpc(move |_| fl.set(1)));
         assert_eq!(flag.get(), 1, "eager LPC runs inline");
         let fl = std::rc::Rc::clone(&flag);
-        u.rput_with(10, p, operation_cx::as_lpc(move |_| fl.set(2)) | operation_cx::as_defer_future())
-            .1
-            .wait();
+        u.rput_with(
+            10,
+            p,
+            operation_cx::as_lpc(move |_| fl.set(2)) | operation_cx::as_defer_future(),
+        )
+        .1
+        .wait();
         assert_eq!(flag.get(), 2);
     });
 }
@@ -391,7 +421,11 @@ fn nonfetching_and_into_atomics() {
             let g = ad.fetch_add_into(target, 10, result);
             assert!(g.is_ready());
             assert_eq!(u.local(result).get(), 105);
-            assert_eq!(u.stats().cell_allocs, 0, "fetch_*_into must not allocate cells");
+            assert_eq!(
+                u.stats().cell_allocs,
+                0,
+                "fetch_*_into must not allocate cells"
+            );
             // Classic fetching op must allocate the value cell.
             let prior = ad.fetch_add(target, 1).wait();
             assert_eq!(prior, 115);
@@ -430,7 +464,11 @@ fn signed_atomics_and_min_max() {
         assert_eq!(ad.load(w).wait(), 10);
         assert_eq!(ad.exchange(w, 1).wait(), 10);
         assert_eq!(ad.compare_exchange(w, 1, 2).wait(), 1);
-        assert_eq!(ad.compare_exchange(w, 1, 3).wait(), 2, "failed CAS returns current");
+        assert_eq!(
+            ad.compare_exchange(w, 1, 3).wait(),
+            2,
+            "failed CAS returns current"
+        );
         assert_eq!(ad.fetch_sub(w, 7).wait(), 2);
         assert_eq!(ad.load(w).wait(), -5);
     });
@@ -446,7 +484,10 @@ fn remote_atomics_cross_node() {
         u.reset_stats();
         let f = ad.fetch_add(target, 1 << (8 * u.rank_me()));
         if !u.is_local(target) {
-            assert!(!f.is_ready(), "cross-node AMO must not complete synchronously");
+            assert!(
+                !f.is_ready(),
+                "cross-node AMO must not complete synchronously"
+            );
         }
         f.wait();
         u.barrier();
@@ -490,7 +531,10 @@ fn rpc_to_self_is_asynchronous() {
 fn rpc_across_nodes_with_latency() {
     let cfg = RuntimeConfig::udp(2, 1)
         .with_segment_size(1 << 20)
-        .with_net(upcr::NetConfig { latency_ns: 100_000, jitter_ns: 10_000 });
+        .with_net(upcr::NetConfig {
+            latency_ns: 100_000,
+            jitter_ns: 10_000,
+        });
     launch(cfg, |u| {
         if u.rank_me() == 0 {
             assert_eq!(u.rpc(Rank(1), || 77u64).wait(), 77);
@@ -508,7 +552,9 @@ fn then_chain_over_communication() {
         u.barrier();
         // rget -> increment -> rput back, as in the paper's §II example.
         let other2 = other;
-        let done = u.rget(other).then_fut(move |v| upcr::api::rput(v + 1, other2));
+        let done = u
+            .rget(other)
+            .then_fut(move |v| upcr::api::rput(v + 1, other2));
         done.wait();
         u.barrier();
         let expected = 10 * (1 + u.rank_me() as u64) + 1;

@@ -1,7 +1,7 @@
 //! Offset allocator for shared segments.
 //!
 //! A first-fit free-list allocator over byte offsets, with coalescing on
-//! free. Metadata lives outside the segment (in a [`parking_lot::Mutex`]),
+//! free. Metadata lives outside the segment (in a [`std::sync::Mutex`]),
 //! so allocator state can never be corrupted by application RMA traffic —
 //! convenient for a simulator that deliberately runs racy workloads.
 //!
@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Minimum alignment (and granularity) of all allocations, in bytes.
 pub const MIN_ALIGN: usize = 8;
@@ -59,7 +59,11 @@ impl SegAlloc {
             free.insert(0, cap);
         }
         SegAlloc {
-            state: Mutex::new(AllocState { free, live: BTreeMap::new(), capacity: cap }),
+            state: Mutex::new(AllocState {
+                free,
+                live: BTreeMap::new(),
+                capacity: cap,
+            }),
         }
     }
 
@@ -70,7 +74,7 @@ impl SegAlloc {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let align = align.max(MIN_ALIGN);
         let size = round_up(size.max(1), MIN_ALIGN);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         // First fit: smallest offset whose block can hold an aligned range.
         let mut found = None;
         for (&off, &blk) in st.free.iter() {
@@ -83,7 +87,10 @@ impl SegAlloc {
         }
         let Some((off, blk, aligned, pad)) = found else {
             let largest = st.free.values().copied().max().unwrap_or(0);
-            return Err(OutOfSegmentMemory { requested: size, largest_free: largest });
+            return Err(OutOfSegmentMemory {
+                requested: size,
+                largest_free: largest,
+            });
         };
         st.free.remove(&off);
         if pad > 0 {
@@ -100,7 +107,7 @@ impl SegAlloc {
     /// Free the block previously returned by [`alloc`](Self::alloc) at
     /// `offset`. Panics on a double free or a bogus offset.
     pub fn dealloc(&self, offset: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let size = st
             .live
             .remove(&offset)
@@ -125,22 +132,22 @@ impl SegAlloc {
 
     /// Total bytes currently allocated.
     pub fn live_bytes(&self) -> usize {
-        self.state.lock().live.values().sum()
+        self.state.lock().unwrap().live.values().sum()
     }
 
     /// Number of live allocations.
     pub fn live_blocks(&self) -> usize {
-        self.state.lock().live.len()
+        self.state.lock().unwrap().live.len()
     }
 
     /// Total free bytes (may be fragmented).
     pub fn free_bytes(&self) -> usize {
-        self.state.lock().free.values().sum()
+        self.state.lock().unwrap().free.values().sum()
     }
 
     /// Capacity managed by this allocator.
     pub fn capacity(&self) -> usize {
-        self.state.lock().capacity
+        self.state.lock().unwrap().capacity
     }
 }
 

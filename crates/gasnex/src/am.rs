@@ -7,8 +7,7 @@
 //! semantically identical (runs on the target, sees the target's context)
 //! with a simpler transport. Replies are just AMs sent back to the source.
 
-use crossbeam::queue::SegQueue;
-
+use crate::mailbox::MpQueue;
 use crate::rank::Rank;
 use crate::world::World;
 
@@ -37,14 +36,14 @@ pub(crate) struct AmMsg {
 
 /// Per-rank AM mailboxes. Any rank may push to any mailbox; only the owner
 /// pops (during progress), so FIFO order per sender is preserved by the
-/// underlying MPMC queue.
+/// underlying multi-producer queue.
 ///
 /// Global sent/executed counters support quiescence detection: `sent` is
 /// incremented *before* a message is enqueued and `executed` *after* its
 /// handler returns, so `sent == executed` implies no message is queued or
 /// mid-execution anywhere.
 pub(crate) struct AmQueues {
-    queues: Box<[SegQueue<AmMsg>]>,
+    queues: Box<[MpQueue<AmMsg>]>,
     sent: std::sync::atomic::AtomicU64,
     executed: std::sync::atomic::AtomicU64,
 }
@@ -52,7 +51,7 @@ pub(crate) struct AmQueues {
 impl AmQueues {
     pub fn new(ranks: usize) -> Self {
         AmQueues {
-            queues: (0..ranks).map(|_| SegQueue::new()).collect(),
+            queues: (0..ranks).map(|_| MpQueue::new()).collect(),
             sent: std::sync::atomic::AtomicU64::new(0),
             executed: std::sync::atomic::AtomicU64::new(0),
         }
@@ -72,7 +71,8 @@ impl AmQueues {
     /// Record that a popped message's handler has finished.
     #[inline]
     pub fn note_executed(&self) {
-        self.executed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.executed
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// `(sent, executed)` counter sample.
@@ -100,7 +100,12 @@ mod tests {
         for i in 0..10u32 {
             q.push(
                 Rank(1),
-                AmMsg { src: Rank(0), handler: Box::new(move |_| { let _ = i; }) },
+                AmMsg {
+                    src: Rank(0),
+                    handler: Box::new(move |_| {
+                        let _ = i;
+                    }),
+                },
             );
         }
         assert_eq!(q.queued(Rank(1)), 10);

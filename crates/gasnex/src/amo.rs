@@ -80,7 +80,14 @@ impl AmoOp {
 /// Execute `op` on the word at `off` in `seg`. `operand2` is only used by
 /// [`AmoOp::CompareSwap`]. `signed` selects signed comparison for min/max.
 /// Returns the *prior* value of the word (for `Get`, the loaded value).
-pub fn execute(seg: &Segment, off: usize, op: AmoOp, operand: u64, operand2: u64, signed: bool) -> u64 {
+pub fn execute(
+    seg: &Segment,
+    off: usize,
+    op: AmoOp,
+    operand: u64,
+    operand2: u64,
+    signed: bool,
+) -> u64 {
     let a: &AtomicU64 = seg.atomic_u64(off);
     // Acquire/release so an AMO can be used to publish data written via RMA.
     const ORD: Ordering = Ordering::AcqRel;
@@ -107,8 +114,16 @@ pub fn execute(seg: &Segment, off: usize, op: AmoOp, operand: u64, operand2: u64
 
 fn fetch_min(a: &AtomicU64, v: u64, signed: bool) -> u64 {
     let res = a.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-        let keep = if signed { (cur as i64) <= (v as i64) } else { cur <= v };
-        if keep { None } else { Some(v) }
+        let keep = if signed {
+            (cur as i64) <= (v as i64)
+        } else {
+            cur <= v
+        };
+        if keep {
+            None
+        } else {
+            Some(v)
+        }
     });
     match res {
         Ok(prev) | Err(prev) => prev,
@@ -117,8 +132,16 @@ fn fetch_min(a: &AtomicU64, v: u64, signed: bool) -> u64 {
 
 fn fetch_max(a: &AtomicU64, v: u64, signed: bool) -> u64 {
     let res = a.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-        let keep = if signed { (cur as i64) >= (v as i64) } else { cur >= v };
-        if keep { None } else { Some(v) }
+        let keep = if signed {
+            (cur as i64) >= (v as i64)
+        } else {
+            cur >= v
+        };
+        if keep {
+            None
+        } else {
+            Some(v)
+        }
     });
     match res {
         Ok(prev) | Err(prev) => prev,

@@ -10,7 +10,7 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Collective state for one team.
 pub struct TeamColl {
@@ -47,7 +47,9 @@ impl TeamColl {
 
     /// Whether every member has arrived at async-barrier epoch `epoch`.
     pub fn async_epoch_complete(&self, size: usize, epoch: u64) -> bool {
-        self.async_arrivals[..size].iter().all(|a| a.load(Ordering::Acquire) >= epoch)
+        self.async_arrivals[..size]
+            .iter()
+            .all(|a| a.load(Ordering::Acquire) >= epoch)
     }
 
     /// Current split epoch (advanced once per completed collective split).
@@ -62,10 +64,19 @@ impl TeamColl {
 
     /// All-gather of u64 bit patterns: returns every member's contribution
     /// indexed by team rank. `me_idx` is the caller's index in the team.
-    pub fn exchange(&self, size: usize, me_idx: usize, bits: u64, poll: &mut dyn FnMut()) -> Vec<u64> {
+    pub fn exchange(
+        &self,
+        size: usize,
+        me_idx: usize,
+        bits: u64,
+        poll: &mut dyn FnMut(),
+    ) -> Vec<u64> {
         self.contrib[me_idx].store(bits, Ordering::Release);
         self.barrier(size, poll);
-        let out: Vec<u64> = self.contrib[..size].iter().map(|c| c.load(Ordering::Acquire)).collect();
+        let out: Vec<u64> = self.contrib[..size]
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
         self.barrier(size, poll);
         out
     }
@@ -97,13 +108,15 @@ impl TeamColl {
         poll: &mut dyn FnMut(),
     ) -> T {
         if let Some(v) = root_val {
-            *self.bcast.lock() = Some(Box::new(v));
+            *self.bcast.lock().unwrap() = Some(Box::new(v));
         }
         self.barrier(size, poll);
         let out = {
-            let slot = self.bcast.lock();
+            let slot = self.bcast.lock().unwrap();
             let any = slot.as_ref().expect("broadcast: no root provided a value");
-            any.downcast_ref::<T>().expect("broadcast type mismatch").clone()
+            any.downcast_ref::<T>()
+                .expect("broadcast type mismatch")
+                .clone()
         };
         // Second barrier: nobody may start the next broadcast (overwriting
         // the slot) until everyone has copied out.

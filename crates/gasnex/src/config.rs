@@ -54,7 +54,10 @@ pub struct NetConfig {
 impl Default for NetConfig {
     fn default() -> Self {
         // Roughly EDR InfiniBand-scale small-message latency.
-        NetConfig { latency_ns: 1_500, jitter_ns: 0 }
+        NetConfig {
+            latency_ns: 1_500,
+            jitter_ns: 0,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ impl GasnexConfig {
 
     /// Multi-node configuration over the MPI conduit stand-in.
     pub fn mpi(ranks: usize, ranks_per_node: usize) -> Self {
-        GasnexConfig { conduit: Conduit::Mpi, ..Self::udp(ranks, ranks_per_node) }
+        GasnexConfig {
+            conduit: Conduit::Mpi,
+            ..Self::udp(ranks, ranks_per_node)
+        }
     }
 
     /// Override the per-rank segment size in bytes.
@@ -125,7 +131,10 @@ impl GasnexConfig {
     /// nonsensical parameters.
     pub fn validate(&self) {
         assert!(self.ranks > 0, "gasnex: world must have at least one rank");
-        assert!(self.ranks_per_node > 0, "gasnex: ranks_per_node must be positive");
+        assert!(
+            self.ranks_per_node > 0,
+            "gasnex: ranks_per_node must be positive"
+        );
         assert!(
             self.segment_size >= 64,
             "gasnex: segment must be at least 64 bytes, got {}",
@@ -181,7 +190,10 @@ mod tests {
     fn builders_apply() {
         let c = GasnexConfig::udp(4, 2)
             .with_segment_size(1 << 16)
-            .with_net(NetConfig { latency_ns: 10, jitter_ns: 5 });
+            .with_net(NetConfig {
+                latency_ns: 10,
+                jitter_ns: 5,
+            });
         assert_eq!(c.segment_size, 1 << 16);
         assert_eq!(c.net.latency_ns, 10);
         assert_eq!(c.net.jitter_ns, 5);

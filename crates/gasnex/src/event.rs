@@ -7,39 +7,95 @@
 //! network (or the target rank) signals when the operation finishes.
 //!
 //! Detecting the `Complete` case cheaply at initiation is the substrate
-//! hook the paper's eager-notification work builds on.
+//! hook the paper's eager-notification work builds on. For the pending
+//! case, the core supports **signal-driven completion**: the initiator may
+//! register a one-shot waiter with [`EventCore::on_signal`], and whichever
+//! thread signals the event runs the waiter — typically routing a
+//! completion token into the initiating rank's ready queue — so nobody has
+//! to rediscover the flag by polling.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// A one-shot callback run by the signalling thread.
+type Waiter = Box<dyn FnOnce() + Send>;
 
 /// Shared completion flag for an in-flight operation.
 ///
 /// Signalled (with release ordering) by whichever thread finishes the
 /// operation; observed (with acquire ordering) by the initiator, so any data
 /// written before the signal — e.g. an `rget` result landing in its slot —
-/// is visible after a successful test.
-#[derive(Debug, Default)]
+/// is visible after a successful test. An optional registered waiter is run
+/// exactly once, after the flag is set: either by the signalling thread, or
+/// immediately at registration when the signal already happened.
+#[derive(Default)]
 pub struct EventCore {
     done: AtomicBool,
+    waiter: Mutex<Option<Waiter>>,
+}
+
+impl std::fmt::Debug for EventCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCore")
+            .field("done", &self.is_done())
+            .field("has_waiter", &self.has_waiter())
+            .finish()
+    }
 }
 
 impl EventCore {
     /// A fresh, unsignalled event.
     pub fn new() -> Arc<Self> {
-        Arc::new(EventCore { done: AtomicBool::new(false) })
+        Arc::new(EventCore {
+            done: AtomicBool::new(false),
+            waiter: Mutex::new(None),
+        })
     }
 
-    /// Mark the operation complete. May be called from any thread; calling
-    /// it more than once is idempotent.
-    #[inline]
+    /// Mark the operation complete and run the registered waiter, if any.
+    /// May be called from any thread; calling it more than once is
+    /// idempotent (the waiter runs only on the first call that takes it).
     pub fn signal(&self) {
         self.done.store(true, Ordering::Release);
+        // The flag is published before the waiter is taken; on_signal
+        // checks the flag under the same lock, so a waiter is never lost:
+        // it is either taken here or run by the registering thread.
+        let w = self.waiter.lock().unwrap().take();
+        if let Some(w) = w {
+            w();
+        }
     }
 
     /// Whether the operation has completed.
     #[inline]
     pub fn is_done(&self) -> bool {
         self.done.load(Ordering::Acquire)
+    }
+
+    /// Register a one-shot completion waiter.
+    ///
+    /// If the event has already been signalled, `w` runs immediately on the
+    /// calling thread; otherwise it runs on whichever thread signals. At
+    /// most one waiter may be registered per event — the engine registers
+    /// exactly one token route per operation.
+    pub fn on_signal(&self, w: impl FnOnce() + Send + 'static) {
+        let mut slot = self.waiter.lock().unwrap();
+        if self.done.load(Ordering::Acquire) {
+            drop(slot);
+            w();
+            return;
+        }
+        assert!(
+            slot.is_none(),
+            "EventCore supports a single registered waiter"
+        );
+        *slot = Some(Box::new(w));
+    }
+
+    /// Whether a waiter is currently registered and unsignalled (test and
+    /// quiescence diagnostics).
+    pub fn has_waiter(&self) -> bool {
+        self.waiter.lock().unwrap().is_some()
     }
 }
 
@@ -95,6 +151,7 @@ impl Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn complete_event_tests_true() {
@@ -138,5 +195,60 @@ mod tests {
         e.wait(std::thread::yield_now);
         t.join().unwrap();
         assert!(e.test());
+    }
+
+    #[test]
+    fn waiter_runs_on_signal() {
+        let core = EventCore::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        core.on_signal(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(core.has_waiter());
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            0,
+            "waiter must not run before the signal"
+        );
+        core.signal();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(!core.has_waiter());
+        // A second signal must not re-run the one-shot waiter.
+        core.signal();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn waiter_registered_after_signal_runs_immediately() {
+        let core = EventCore::new();
+        core.signal();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        core.on_signal(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(!core.has_waiter());
+    }
+
+    #[test]
+    fn waiter_never_lost_under_races() {
+        // Registration and signalling race from two threads; the waiter
+        // must run exactly once whichever side wins.
+        for _ in 0..200 {
+            let core = EventCore::new();
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            let c2 = Arc::clone(&core);
+            let t = std::thread::spawn(move || c2.signal());
+            core.on_signal(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+            t.join().unwrap();
+            // The signalling thread may still be inside signal(); joining
+            // above guarantees it finished, so the waiter has run.
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+        }
     }
 }

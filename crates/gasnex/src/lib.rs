@@ -17,6 +17,10 @@
 //!   completion, the hook eager notification builds on.
 //! * **Active messages** ([`am`]) — handlers executed on the target rank
 //!   during its progress calls, used for RPC and remote completions.
+//! * **Ready queues** ([`mailbox`]) — per-rank multi-producer queues; the
+//!   signal-driven completion engine routes completion tokens through them
+//!   so an initiator discovers finished operations in O(ready) instead of
+//!   re-polling every pending event.
 //! * **Simulated network** ([`net::SimNetwork`]) — a global delay queue
 //!   modelling NIC-offloaded delivery for cross-node operations; injected
 //!   operations never complete synchronously.
@@ -38,6 +42,7 @@ pub mod amo;
 pub mod collectives;
 pub mod config;
 pub mod event;
+pub mod mailbox;
 pub mod net;
 pub mod rank;
 pub mod segment;
@@ -48,6 +53,7 @@ pub use am::AmCtx;
 pub use amo::AmoOp;
 pub use config::{Conduit, GasnexConfig, NetConfig};
 pub use event::{Event, EventCore};
+pub use mailbox::{MpQueue, ReadyQueue};
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

@@ -15,10 +15,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use crate::config::NetConfig;
 use crate::world::World;
@@ -56,6 +55,12 @@ pub struct SimNetwork {
     epoch: Instant,
     seq: AtomicU64,
     queue: Mutex<BinaryHeap<Reverse<Delivery>>>,
+    /// Lock-free mirror of the queue length, so a rank that loses the
+    /// `poll` lock race can still tell whether deliveries are outstanding.
+    pending_len: AtomicUsize,
+    /// Polls that lost the lock race twice and reported a busy hint instead
+    /// of draining (observability for the quiescence fix).
+    contended_polls: AtomicU64,
     delivered: AtomicU64,
 }
 
@@ -67,6 +72,8 @@ impl SimNetwork {
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
             queue: Mutex::new(BinaryHeap::new()),
+            pending_len: AtomicUsize::new(0),
+            contended_polls: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
         }
     }
@@ -86,15 +93,36 @@ impl SimNetwork {
             splitmix64(seq) % (self.cfg.jitter_ns + 1)
         };
         let due_ns = self.now_ns() + self.cfg.latency_ns + jitter;
-        self.queue.lock().push(Reverse(Delivery { due_ns, seq, action }));
+        self.pending_len.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().unwrap().push(Reverse(Delivery {
+            due_ns,
+            seq,
+            action,
+        }));
     }
 
     /// Execute all deliveries whose due time has passed. Returns the number
-    /// delivered. If another rank is already draining the queue, returns
-    /// immediately (the work is being done).
+    /// of work items observed: deliveries performed, or a busy hint of 1
+    /// when another rank holds the queue while deliveries are outstanding —
+    /// a rank that loses the lock race must not conclude "locally idle"
+    /// while due work may exist (it would make quiescence sampling
+    /// transiently wrong).
     pub fn poll(&self, world: &World) -> usize {
-        // Cheap empty check without contending the lock.
-        let Some(mut q) = self.queue.try_lock() else { return 0 };
+        let mut q = match self.queue.try_lock() {
+            Ok(q) => q,
+            Err(_) => {
+                // The holder is usually mid-drain for a few microseconds;
+                // retry once before falling back to the busy hint.
+                std::thread::yield_now();
+                match self.queue.try_lock() {
+                    Ok(q) => q,
+                    Err(_) => {
+                        self.contended_polls.fetch_add(1, Ordering::SeqCst);
+                        return usize::from(self.pending_len.load(Ordering::SeqCst) > 0);
+                    }
+                }
+            }
+        };
         if q.is_empty() {
             return 0;
         }
@@ -113,6 +141,7 @@ impl SimNetwork {
             // Counted after the action so injected == delivered implies no
             // action is mid-flight (quiescence detection).
             self.delivered.fetch_add(1, Ordering::SeqCst);
+            self.pending_len.fetch_sub(1, Ordering::SeqCst);
         }
         n
     }
@@ -122,9 +151,15 @@ impl SimNetwork {
         self.seq.load(Ordering::SeqCst)
     }
 
-    /// Number of operations awaiting delivery.
+    /// Number of operations awaiting delivery (including any being drained
+    /// right now). Lock-free, so it stays readable while a poll is running.
     pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+        self.pending_len.load(Ordering::SeqCst)
+    }
+
+    /// Polls that lost the queue-lock race twice and returned a busy hint.
+    pub fn contended_polls(&self) -> u64 {
+        self.contended_polls.load(Ordering::SeqCst)
     }
 
     /// Total operations delivered since creation.
@@ -157,11 +192,12 @@ mod tests {
 
     #[test]
     fn zero_latency_still_asynchronous() {
-        let w = World::new(
-            GasnexConfig::udp(2, 1)
-                .with_segment_size(1 << 12)
-                .with_net(NetConfig { latency_ns: 0, jitter_ns: 0 }),
-        );
+        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
+            NetConfig {
+                latency_ns: 0,
+                jitter_ns: 0,
+            },
+        ));
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |_| {
@@ -178,18 +214,23 @@ mod tests {
 
     #[test]
     fn latency_delays_delivery() {
-        let w = World::new(
-            GasnexConfig::udp(2, 1)
-                .with_segment_size(1 << 12)
-                .with_net(NetConfig { latency_ns: 3_000_000, jitter_ns: 0 }),
-        );
+        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
+            NetConfig {
+                latency_ns: 3_000_000,
+                jitter_ns: 0,
+            },
+        ));
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |_| {
             h.store(1, Ordering::Relaxed);
         }));
         w.net().poll(&w);
-        assert_eq!(hit.load(Ordering::Relaxed), 0, "delivered before latency elapsed");
+        assert_eq!(
+            hit.load(Ordering::Relaxed),
+            0,
+            "delivered before latency elapsed"
+        );
         std::thread::sleep(std::time::Duration::from_millis(5));
         w.net().poll(&w);
         assert_eq!(hit.load(Ordering::Relaxed), 1);
@@ -201,22 +242,59 @@ mod tests {
         let log = std::sync::Arc::new(Mutex::new(Vec::new()));
         for i in 0..20 {
             let log = std::sync::Arc::clone(&log);
-            w.net().inject(Box::new(move |_| log.lock().push(i)));
+            w.net()
+                .inject(Box::new(move |_| log.lock().unwrap().push(i)));
         }
         std::thread::sleep(std::time::Duration::from_micros(10));
         while w.net().pending() > 0 {
             w.net().poll(&w);
         }
-        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+        assert_eq!(*log.lock().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contended_poll_reports_busy_not_idle() {
+        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
+            NetConfig {
+                latency_ns: 0,
+                jitter_ns: 0,
+            },
+        ));
+        w.net().inject(Box::new(|_| {}));
+        // Simulate another rank mid-drain by holding the queue lock.
+        let guard = w.net().queue.lock().unwrap();
+        assert_eq!(
+            w.net().poll(&w),
+            1,
+            "lost lock race with pending work must report busy"
+        );
+        assert_eq!(w.net().contended_polls(), 1);
+        assert_eq!(
+            w.net().delivered(),
+            0,
+            "busy hint must not deliver anything"
+        );
+        drop(guard);
+        assert_eq!(
+            w.net().poll(&w),
+            1,
+            "after the holder releases, delivery proceeds"
+        );
+        assert_eq!(w.net().pending(), 0);
+        // With an empty queue, a lost race reports idle (nothing due).
+        let guard = w.net().queue.lock().unwrap();
+        assert_eq!(w.net().poll(&w), 0);
+        drop(guard);
     }
 
     #[test]
     fn actions_may_reinject() {
-        let w = World::new(
-            GasnexConfig::udp(2, 1)
-                .with_segment_size(1 << 12)
-                .with_net(NetConfig { latency_ns: 0, jitter_ns: 0 }),
-        );
+        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
+            NetConfig {
+                latency_ns: 0,
+                jitter_ns: 0,
+            },
+        ));
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |world| {

@@ -118,7 +118,11 @@ impl Team {
     pub(crate) fn from_members(members: Vec<Rank>, uid: u64) -> Self {
         assert!(!members.is_empty(), "team must be non-empty");
         let coll = Arc::new(crate::collectives::TeamColl::new(members.len()));
-        Team { members: Arc::new(members), coll, uid }
+        Team {
+            members: Arc::new(members),
+            coll,
+            uid,
+        }
     }
 
     /// Number of members.

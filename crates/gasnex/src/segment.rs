@@ -37,7 +37,9 @@ impl Segment {
         let nwords = bytes.div_ceil(W);
         let mut v = Vec::with_capacity(nwords);
         v.resize_with(nwords, || AtomicU64::new(0));
-        Segment { words: v.into_boxed_slice() }
+        Segment {
+            words: v.into_boxed_slice(),
+        }
     }
 
     /// Segment capacity in bytes.
@@ -75,14 +77,20 @@ impl Segment {
     /// atomics and for "manual localization" application code.
     #[inline]
     pub fn atomic_u64(&self, off: usize) -> &AtomicU64 {
-        assert!(off.is_multiple_of(W), "atomic access requires 8-byte alignment, got offset {off}");
+        assert!(
+            off.is_multiple_of(W),
+            "atomic access requires 8-byte alignment, got offset {off}"
+        );
         self.word(off)
     }
 
     /// A view of `len` consecutive 64-bit words starting at byte offset
     /// `off` (8-byte aligned), for bulk direct access after a downcast.
     pub fn atomic_slice_u64(&self, off: usize, len: usize) -> &[AtomicU64] {
-        assert!(off.is_multiple_of(W), "atomic slice requires 8-byte alignment, got offset {off}");
+        assert!(
+            off.is_multiple_of(W),
+            "atomic slice requires 8-byte alignment, got offset {off}"
+        );
         let start = off / W;
         &self.words[start..start + len]
     }
@@ -92,7 +100,10 @@ impl Segment {
     #[inline]
     pub fn read_scalar(&self, off: usize, size: usize) -> u64 {
         debug_assert!(size.is_power_of_two() && size <= W);
-        debug_assert!(off.is_multiple_of(size), "scalar read misaligned: off {off} size {size}");
+        debug_assert!(
+            off.is_multiple_of(size),
+            "scalar read misaligned: off {off} size {size}"
+        );
         if size == W {
             return self.read_u64(off);
         }
@@ -107,7 +118,10 @@ impl Segment {
     #[inline]
     pub fn write_scalar(&self, off: usize, size: usize, val: u64) {
         debug_assert!(size.is_power_of_two() && size <= W);
-        debug_assert!(off.is_multiple_of(size), "scalar write misaligned: off {off} size {size}");
+        debug_assert!(
+            off.is_multiple_of(size),
+            "scalar write misaligned: off {off} size {size}"
+        );
         if size == W {
             return self.write_u64(off, val);
         }
@@ -176,26 +190,41 @@ impl Segment {
         let head = (W - seg % W) % W;
         let head = head.min(len);
         if head > 0 {
-            f(Chunk::Bytes { seg_off: seg, buf_range: buf..buf + head });
+            f(Chunk::Bytes {
+                seg_off: seg,
+                buf_range: buf..buf + head,
+            });
             seg += head;
             buf += head;
         }
         // Middle: full words.
         while seg + W <= end {
-            f(Chunk::Word { seg_off: seg, buf_range: buf..buf + W });
+            f(Chunk::Word {
+                seg_off: seg,
+                buf_range: buf..buf + W,
+            });
             seg += W;
             buf += W;
         }
         // Tail.
         if seg < end {
-            f(Chunk::Bytes { seg_off: seg, buf_range: buf..buf + (end - seg) });
+            f(Chunk::Bytes {
+                seg_off: seg,
+                buf_range: buf..buf + (end - seg),
+            });
         }
     }
 }
 
 enum Chunk {
-    Word { seg_off: usize, buf_range: std::ops::Range<usize> },
-    Bytes { seg_off: usize, buf_range: std::ops::Range<usize> },
+    Word {
+        seg_off: usize,
+        buf_range: std::ops::Range<usize>,
+    },
+    Bytes {
+        seg_off: usize,
+        buf_range: std::ops::Range<usize>,
+    },
 }
 
 #[inline]

@@ -5,6 +5,8 @@ use std::sync::Arc;
 use crate::alloc::SegAlloc;
 use crate::am::{AmCtx, AmMsg, AmQueues};
 use crate::config::GasnexConfig;
+use crate::event::EventCore;
+use crate::mailbox::ReadyQueue;
 use crate::net::{NetAction, SimNetwork};
 use crate::rank::{Rank, Team, Topology};
 use crate::segment::Segment;
@@ -20,13 +22,17 @@ pub struct World {
     allocs: Box<[SegAlloc]>,
     am: AmQueues,
     net: SimNetwork,
+    /// Per-rank ready-notification queues: completion tokens deposited by
+    /// whichever thread signals an event a rank registered a waiter on,
+    /// drained FIFO by the owning rank during its progress quantum.
+    ready: Box<[ReadyQueue]>,
     /// The team of all ranks.
     world_team: Team,
     /// Per-node local teams.
     local_teams: Box<[Team]>,
     /// Registry of split-created teams, keyed by (parent uid, split epoch,
     /// color) so every member resolves the same Team instance.
-    splits: parking_lot::Mutex<std::collections::HashMap<(u64, u64, u64), Team>>,
+    splits: std::sync::Mutex<std::collections::HashMap<(u64, u64, u64), Team>>,
     /// Uid source for split-created teams.
     next_team_uid: std::sync::atomic::AtomicU64,
     /// Set when a rank dies abnormally, so peers spinning in barriers or
@@ -39,10 +45,12 @@ impl World {
     pub fn new(cfg: GasnexConfig) -> Arc<World> {
         cfg.validate();
         let topo = Topology::new(cfg.ranks, cfg.ranks_per_node);
-        let segments: Box<[Segment]> =
-            (0..cfg.ranks).map(|_| Segment::new(cfg.segment_size)).collect();
-        let allocs: Box<[SegAlloc]> =
-            (0..cfg.ranks).map(|_| SegAlloc::new(cfg.segment_size)).collect();
+        let segments: Box<[Segment]> = (0..cfg.ranks)
+            .map(|_| Segment::new(cfg.segment_size))
+            .collect();
+        let allocs: Box<[SegAlloc]> = (0..cfg.ranks)
+            .map(|_| SegAlloc::new(cfg.segment_size))
+            .collect();
         let world_team = Team::from_members((0..cfg.ranks as u32).map(Rank).collect(), 0);
         let local_teams: Box<[Team]> = (0..topo.nodes())
             .map(|node| {
@@ -52,11 +60,12 @@ impl World {
         Arc::new(World {
             am: AmQueues::new(cfg.ranks),
             net: SimNetwork::new(cfg.net),
+            ready: (0..cfg.ranks).map(|_| ReadyQueue::new()).collect(),
             segments,
             allocs,
             world_team,
             local_teams,
-            splits: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            splits: std::sync::Mutex::new(std::collections::HashMap::new()),
             next_team_uid: std::sync::atomic::AtomicU64::new(1_000),
             topo,
             cfg,
@@ -67,7 +76,8 @@ impl World {
     /// Mark the job as dying abnormally (a rank panicked). Peers observe
     /// this via [`is_aborted`](Self::is_aborted) from their progress loops.
     pub fn abort(&self) {
-        self.aborted.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.aborted
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Whether a rank has died abnormally.
@@ -127,13 +137,47 @@ impl World {
     }
 
     /// Enqueue an active message for `target`, recorded as sent by `src`.
-    pub fn send_am(&self, target: Rank, src: Rank, handler: impl FnOnce(&AmCtx<'_>) + Send + 'static) {
-        self.am.push(target, AmMsg { src, handler: Box::new(handler) });
+    pub fn send_am(
+        &self,
+        target: Rank,
+        src: Rank,
+        handler: impl FnOnce(&AmCtx<'_>) + Send + 'static,
+    ) {
+        self.am.push(
+            target,
+            AmMsg {
+                src,
+                handler: Box::new(handler),
+            },
+        );
     }
 
     /// Inject an operation into the simulated network.
     pub fn net_inject(&self, action: NetAction) {
         self.net.inject(action);
+    }
+
+    /// Route `ev`'s completion signal to `initiator`'s ready queue as
+    /// `token`. Registers a one-shot waiter on the event: whichever thread
+    /// signals it (network delivery, AM executor, remote AMO) deposits the
+    /// token, and the initiator's next ready-queue drain surfaces it —
+    /// tokens arrive in signal order, and an already-signalled event
+    /// deposits immediately on the calling thread.
+    pub fn route_signal(self: &Arc<Self>, ev: &EventCore, initiator: Rank, token: u64) {
+        let world = Arc::clone(self);
+        ev.on_signal(move || world.ready[initiator.idx()].push(token));
+    }
+
+    /// Drain `me`'s ready queue into `out` (FIFO, bounded to the tokens
+    /// present at the start of the drain). Returns the number drained.
+    pub fn drain_ready(&self, me: Rank, out: &mut Vec<u64>) -> usize {
+        self.ready[me.idx()].drain_into(out)
+    }
+
+    /// Number of completion tokens queued for `me` (approximate under
+    /// concurrency; exact when quiescent).
+    pub fn ready_queued(&self, me: Rank) -> usize {
+        self.ready[me.idx()].len()
     }
 
     /// Run one progress quantum for rank `me`: execute up to `max_ams`
@@ -143,7 +187,11 @@ impl World {
         let mut n = 0;
         while n < max_ams {
             let Some(msg) = self.am.pop(me) else { break };
-            let ctx = AmCtx { world: self, src: msg.src, me };
+            let ctx = AmCtx {
+                world: self,
+                src: msg.src,
+                me,
+            };
             (msg.handler)(&ctx);
             self.am.note_executed();
             n += 1;
@@ -157,7 +205,10 @@ impl World {
     /// repeated checks (see `upcr`'s quiesce).
     pub fn substrate_quiet(&self) -> bool {
         let (sent, executed) = self.am.counters();
-        sent == executed && self.net.injected() == self.net.delivered() && self.net.pending() == 0
+        sent == executed
+            && self.net.injected() == self.net.delivered()
+            && self.net.pending() == 0
+            && self.ready.iter().all(|q| q.is_empty())
     }
 
     /// Number of AMs queued for `me` (approximate).
@@ -190,19 +241,17 @@ impl World {
         f: &dyn Fn(u64, u64) -> u64,
         poll: &mut dyn FnMut(),
     ) -> u64 {
-        let idx = team.rank_of(me).expect("allreduce caller must be a team member");
+        let idx = team
+            .rank_of(me)
+            .expect("allreduce caller must be a team member");
         team.coll.allreduce(team.size(), idx, bits, f, poll)
     }
 
     /// Gather every member's 64-bit contribution, indexed by team rank.
-    pub fn gather_all(
-        &self,
-        team: &Team,
-        me: Rank,
-        bits: u64,
-        poll: &mut dyn FnMut(),
-    ) -> Vec<u64> {
-        let idx = team.rank_of(me).expect("gather caller must be a team member");
+    pub fn gather_all(&self, team: &Team, me: Rank, bits: u64, poll: &mut dyn FnMut()) -> Vec<u64> {
+        let idx = team
+            .rank_of(me)
+            .expect("gather caller must be a team member");
         team.coll.exchange(team.size(), idx, bits, poll)
     }
 
@@ -218,7 +267,9 @@ impl World {
         key: u64,
         poll: &mut dyn FnMut(),
     ) -> Team {
-        let idx = team.rank_of(me).expect("split caller must be a team member");
+        let idx = team
+            .rank_of(me)
+            .expect("split caller must be a team member");
         // The epoch is read by every member before anyone advances it, and
         // advanced exactly once (by team rank 0) after the exchange below —
         // barrier-separated on both sides.
@@ -236,11 +287,12 @@ impl World {
         // color) triple.
         let registry_key = (team.uid(), epoch, color);
         let new_team = {
-            let mut reg = self.splits.lock();
+            let mut reg = self.splits.lock().unwrap();
             reg.entry(registry_key)
                 .or_insert_with(|| {
-                    let uid =
-                        self.next_team_uid.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let uid = self
+                        .next_team_uid
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     Team::from_members(members, uid)
                 })
                 .clone()
@@ -310,16 +362,41 @@ mod tests {
 
     #[test]
     fn net_inject_delivers_via_poll() {
-        let w = World::new(
-            GasnexConfig::udp(2, 1)
-                .with_segment_size(1 << 12)
-                .with_net(NetConfig { latency_ns: 0, jitter_ns: 0 }),
-        );
+        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
+            NetConfig {
+                latency_ns: 0,
+                jitter_ns: 0,
+            },
+        ));
         w.net_inject(Box::new(|world| {
             world.segment(Rank(1)).write_u64(0, 123);
         }));
         w.poll_rank(Rank(0), 0);
         assert_eq!(w.segment(Rank(1)).read_u64(0), 123);
+    }
+
+    #[test]
+    fn route_signal_delivers_tokens_in_signal_order() {
+        let w = World::new(GasnexConfig::smp(2).with_segment_size(1 << 12));
+        let evs: Vec<_> = (0..4).map(|_| crate::event::EventCore::new()).collect();
+        for (i, ev) in evs.iter().enumerate() {
+            w.route_signal(ev, Rank(0), i as u64);
+        }
+        assert_eq!(w.ready_queued(Rank(0)), 0);
+        // Signal out of registration order; tokens must surface in signal order.
+        evs[2].signal();
+        evs[0].signal();
+        evs[3].signal();
+        let mut out = Vec::new();
+        assert_eq!(w.drain_ready(Rank(0), &mut out), 3);
+        assert_eq!(out, vec![2, 0, 3]);
+        // Routing on an already-signalled event deposits immediately.
+        evs[1].signal();
+        assert_eq!(w.ready_queued(Rank(0)), 1);
+        let late = crate::event::EventCore::new();
+        late.signal();
+        w.route_signal(&late, Rank(1), 99);
+        assert_eq!(w.ready_queued(Rank(1)), 1);
     }
 
     #[test]
@@ -331,7 +408,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let me = Rank(r);
                 let team = w.world_team();
-                
+
                 w.allreduce(&team, me, r as u64, &|a, b| a + b, &mut || {
                     w.poll_rank(me, 8);
                 })

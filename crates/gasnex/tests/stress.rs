@@ -103,7 +103,10 @@ fn network_saturation_delivers_everything() {
     let w = World::new(
         GasnexConfig::udp(4, 2)
             .with_segment_size(1 << 16)
-            .with_net(NetConfig { latency_ns: 500, jitter_ns: 1500 }),
+            .with_net(NetConfig {
+                latency_ns: 500,
+                jitter_ns: 1500,
+            }),
     );
     const N: u64 = 2_000;
     static DELIVERED: AtomicU64 = AtomicU64::new(0);
@@ -140,9 +143,15 @@ fn collectives_oversubscribed_stress() {
     run_ranks(&w, |w, me| {
         let team = w.world_team();
         for round in 0..100u64 {
-            let sum = w.allreduce(&team, me, me.idx() as u64 + round, &|a, b| a + b, &mut || {
-                w.poll_rank(me, 8);
-            });
+            let sum = w.allreduce(
+                &team,
+                me,
+                me.idx() as u64 + round,
+                &|a, b| a + b,
+                &mut || {
+                    w.poll_rank(me, 8);
+                },
+            );
             assert_eq!(sum, (0..16).sum::<u64>() + 16 * round);
         }
         let local = w.local_team(me);
@@ -169,6 +178,9 @@ fn per_rank_allocators_are_independent() {
         assert_eq!(alloc.live_blocks(), 0);
     });
     for r in 0..4 {
-        assert_eq!(w.seg_alloc(Rank(r)).free_bytes(), w.seg_alloc(Rank(r)).capacity());
+        assert_eq!(
+            w.seg_alloc(Rank(r)).free_bytes(),
+            w.seg_alloc(Rank(r)).capacity()
+        );
     }
 }

@@ -6,10 +6,8 @@
 //! matching one of the paper's graph-matching inputs (see
 //! [`presets`](crate::presets)).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::graph::Graph;
+use crate::rng::SeededRng;
 
 /// 3D mesh with 6-point stencil connectivity, indexed lexicographically —
 /// extremely high locality under a block partition (the `channel` profile).
@@ -42,21 +40,21 @@ pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> Graph {
 pub fn mesh2d_irregular(nx: usize, ny: usize, drop_prob: f64, seed: u64) -> Graph {
     let n = nx * ny;
     assert!(n > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let id = |x: usize, y: usize| (x + nx * y) as u32;
     let mut edges = Vec::with_capacity(2 * n);
     for y in 0..ny {
         for x in 0..nx {
-            if x + 1 < nx && rng.gen::<f64>() >= drop_prob {
+            if x + 1 < nx && rng.next_f64() >= drop_prob {
                 edges.push((id(x, y), id(x + 1, y)));
             }
-            if y + 1 < ny && rng.gen::<f64>() >= drop_prob {
+            if y + 1 < ny && rng.next_f64() >= drop_prob {
                 edges.push((id(x, y), id(x, y + 1)));
             }
             // Sparse medium-range diagonal, reaching a few rows away.
-            if rng.gen::<f64>() < 0.05 {
-                let dx = rng.gen_range(0..8usize);
-                let dy = rng.gen_range(1..4usize);
+            if rng.next_f64() < 0.05 {
+                let dx = rng.below(8);
+                let dy = 1 + rng.below(3);
                 if x + dx < nx && y + dy < ny {
                     edges.push((id(x, y), id(x + dx, y + dy)));
                 }
@@ -72,7 +70,7 @@ pub fn mesh2d_irregular(nx: usize, ny: usize, drop_prob: f64, seed: u64) -> Grap
 /// own `--n/--p` generator (the `random` input uses `p = 15`).
 pub fn geometric(n: usize, neighbors_target: f64, extra_per_100: usize, seed: u64) -> Graph {
     assert!(n > 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     // Choose the radius so the expected degree is about `neighbors_target`:
     // E[deg] = n * pi * r^2.
     let r = (neighbors_target / (std::f64::consts::PI * n as f64)).sqrt();
@@ -85,7 +83,7 @@ pub fn geometric(n: usize, neighbors_target: f64, extra_per_100: usize, seed: u6
         let cy = ((y * cells as f64) as usize).min(cells - 1);
         (cx, cy)
     };
-    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
     // Sort points into row-major cell order for id locality.
     pts.sort_by(|a, b| {
         let ca = cell_of(a.0, a.1);
@@ -129,8 +127,8 @@ pub fn geometric(n: usize, neighbors_target: f64, extra_per_100: usize, seed: u6
     // random endpoints (the application's "not close together" edges).
     let extra = edges.len() * extra_per_100 / 100;
     for _ in 0..extra {
-        let a = rng.gen_range(0..n as u32);
-        let b = rng.gen_range(0..n as u32);
+        let a = rng.below(n) as u32;
+        let b = rng.below(n) as u32;
         if a != b {
             edges.push((a, b));
         }
@@ -142,14 +140,14 @@ pub fn geometric(n: usize, neighbors_target: f64, extra_per_100: usize, seed: u6
 /// planar-ish near-triangulation (the `delaunay` profile).
 pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
     assert!(n > k && k >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let cells = ((n as f64 / 4.0).sqrt() as usize).clamp(1, 2048);
     let cell_of = |x: f64, y: f64| {
         let cx = ((x * cells as f64) as usize).min(cells - 1);
         let cy = ((y * cells as f64) as usize).min(cells - 1);
         (cx, cy)
     };
-    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
     pts.sort_by(|a, b| {
         let ca = cell_of(a.0, a.1);
         let cb = cell_of(b.0, b.1);
@@ -204,7 +202,7 @@ pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
 /// graph with essentially no id locality (the `youtube` profile).
 pub fn powerlaw(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n > m && m >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     // Endpoint pool: each edge endpoint appears once, giving
     // degree-proportional sampling.
     let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
@@ -222,7 +220,7 @@ pub fn powerlaw(n: usize, m: usize, seed: u64) -> Graph {
         // seeded per-instance and would break seed-determinism.
         let mut targets: Vec<u32> = Vec::with_capacity(m);
         while targets.len() < m {
-            let t = pool[rng.gen_range(0..pool.len())];
+            let t = pool[rng.below(pool.len())];
             if t as usize != v && !targets.contains(&t) {
                 targets.push(t);
             }
@@ -236,7 +234,7 @@ pub fn powerlaw(n: usize, m: usize, seed: u64) -> Graph {
     // Shuffle labels to destroy locality.
     let mut relabel: Vec<u32> = (0..n as u32).collect();
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.below(i + 1);
         relabel.swap(i, j);
     }
     for e in &mut edges {
@@ -278,7 +276,10 @@ mod tests {
         let g = geometric(4000, 8.0, 0, 42);
         g.validate();
         let avg = 2.0 * g.edges() as f64 / g.n as f64;
-        assert!((4.0..14.0).contains(&avg), "average degree {avg} far from target 8");
+        assert!(
+            (4.0..14.0).contains(&avg),
+            "average degree {avg} far from target 8"
+        );
     }
 
     #[test]
@@ -287,7 +288,10 @@ mod tests {
         let extra = geometric(2000, 8.0, 15, 1);
         assert!(extra.edges() > base.edges());
         let ratio = extra.edges() as f64 / base.edges() as f64;
-        assert!((1.05..1.30).contains(&ratio), "extra ratio {ratio} should be ~1.15");
+        assert!(
+            (1.05..1.30).contains(&ratio),
+            "extra ratio {ratio} should be ~1.15"
+        );
     }
 
     #[test]
@@ -306,14 +310,20 @@ mod tests {
         let g = powerlaw(3000, 4, 9);
         g.validate();
         let max_deg = (0..g.n).map(|v| g.degree(v)).max().unwrap();
-        assert!(max_deg > 50, "power-law graph should have hubs, max degree {max_deg}");
+        assert!(
+            max_deg > 50,
+            "power-law graph should have hubs, max degree {max_deg}"
+        );
         assert!(g.edges() >= 3000 * 4 - 4 * 4);
     }
 
     #[test]
     fn generators_are_seed_deterministic() {
         assert_eq!(powerlaw(500, 3, 5).adj, powerlaw(500, 3, 5).adj);
-        assert_eq!(geometric(500, 6.0, 10, 5).adj, geometric(500, 6.0, 10, 5).adj);
+        assert_eq!(
+            geometric(500, 6.0, 10, 5).adj,
+            geometric(500, 6.0, 10, 5).adj
+        );
         assert_eq!(knn(500, 4, 5).adj, knn(500, 4, 5).adj);
         // Different seeds give different graphs.
         assert_ne!(powerlaw(500, 3, 5).adj, powerlaw(500, 3, 6).adj);

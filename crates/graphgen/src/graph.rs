@@ -30,7 +30,10 @@ impl Graph {
             if a == b {
                 continue;
             }
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             let (u, v) = if a < b { (a, b) } else { (b, a) };
             let w = weights.map_or_else(|| pair_weight(u, v), |ws| ws[i]);
             canon.push((u, v, w));
@@ -61,7 +64,12 @@ impl Graph {
             weight[cursor[v as usize]] = w;
             cursor[v as usize] += 1;
         }
-        Graph { n, xadj, adj, weight }
+        Graph {
+            n,
+            xadj,
+            adj,
+            weight,
+        }
     }
 
     /// Number of undirected edges.
@@ -72,7 +80,10 @@ impl Graph {
     /// Neighbors of `v` with weights.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = self.xadj[v]..self.xadj[v + 1];
-        self.adj[r.clone()].iter().copied().zip(self.weight[r].iter().copied())
+        self.adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weight[r].iter().copied())
     }
 
     /// Degree of `v`.
@@ -82,7 +93,9 @@ impl Graph {
 
     /// The weight of edge `(u, v)`, if present.
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
-        self.neighbors(u).find(|&(w, _)| w as usize == v).map(|(_, wt)| wt)
+        self.neighbors(u)
+            .find(|&(w, _)| w as usize == v)
+            .map(|(_, wt)| wt)
     }
 
     /// Total weight over undirected edges.
@@ -102,7 +115,11 @@ impl Graph {
                 let back = self
                     .edge_weight(u as usize, v)
                     .unwrap_or_else(|| panic!("edge ({v},{u}) missing reverse direction"));
-                assert_eq!(back.to_bits(), w.to_bits(), "asymmetric weight on ({v},{u})");
+                assert_eq!(
+                    back.to_bits(),
+                    w.to_bits(),
+                    "asymmetric weight on ({v},{u})"
+                );
             }
         }
     }
@@ -160,7 +177,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for u in 0..50u32 {
             for v in (u + 1)..50u32 {
-                assert!(seen.insert(pair_weight(u, v).to_bits()), "collision at ({u},{v})");
+                assert!(
+                    seen.insert(pair_weight(u, v).to_bits()),
+                    "collision at ({u},{v})"
+                );
             }
         }
     }

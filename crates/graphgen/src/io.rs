@@ -60,9 +60,10 @@ pub fn save(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
 pub fn load(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
     let f = std::fs::File::open(path)?;
     let mut lines = BufReader::new(f).lines();
-    let header = lines
-        .next()
-        .ok_or(GraphIoError::Parse { line: 1, msg: "empty file".into() })??;
+    let header = lines.next().ok_or(GraphIoError::Parse {
+        line: 1,
+        msg: "empty file".into(),
+    })??;
     let mut it = header.split_whitespace();
     let n: usize = parse_field(&mut it, 1, "vertex count")?;
     let m: usize = parse_field(&mut it, 1, "edge count")?;
@@ -105,10 +106,14 @@ fn parse_field<T: std::str::FromStr>(
 where
     T::Err: std::fmt::Display,
 {
-    let s = it
-        .next()
-        .ok_or_else(|| GraphIoError::Parse { line, msg: format!("missing {what}") })?;
-    s.parse().map_err(|e| GraphIoError::Parse { line, msg: format!("bad {what} {s:?}: {e}") })
+    let s = it.next().ok_or_else(|| GraphIoError::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })?;
+    s.parse().map_err(|e| GraphIoError::Parse {
+        line,
+        msg: format!("bad {what} {s:?}: {e}"),
+    })
 }
 
 #[cfg(test)]

@@ -15,9 +15,11 @@ pub mod graph;
 pub mod io;
 pub mod partition;
 pub mod presets;
+pub mod rng;
 
 pub use gen::{geometric, knn, mesh2d_irregular, mesh3d, powerlaw};
 pub use graph::{pair_weight, splitmix64, Graph};
 pub use io::{load, save, GraphIoError};
 pub use partition::{BlockPartition, LocalityStats};
 pub use presets::Preset;
+pub use rng::SeededRng;

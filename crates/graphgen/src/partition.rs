@@ -178,8 +178,16 @@ mod tests {
         let pl = powerlaw(4000, 4, 2);
         let sm = LocalityStats::measure(&mesh, 16, 16);
         let sp = LocalityStats::measure(&pl, 16, 16);
-        assert!(sm.same_rank > 0.85, "mesh same-rank fraction {}", sm.same_rank);
-        assert!(sp.same_rank < 0.25, "shuffled power-law same-rank fraction {}", sp.same_rank);
+        assert!(
+            sm.same_rank > 0.85,
+            "mesh same-rank fraction {}",
+            sm.same_rank
+        );
+        assert!(
+            sp.same_rank < 0.25,
+            "shuffled power-law same-rank fraction {}",
+            sp.same_rank
+        );
     }
 
     #[test]

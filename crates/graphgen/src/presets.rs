@@ -40,8 +40,13 @@ pub enum Preset {
 
 impl Preset {
     /// All presets, in the paper's Figure 8 order.
-    pub const ALL: [Preset; 5] =
-        [Preset::Channel, Preset::Delaunay, Preset::Venturi, Preset::Youtube, Preset::Random];
+    pub const ALL: [Preset; 5] = [
+        Preset::Channel,
+        Preset::Delaunay,
+        Preset::Venturi,
+        Preset::Youtube,
+        Preset::Random,
+    ];
 
     /// The label used in the paper.
     pub fn name(self) -> &'static str {

@@ -129,19 +129,35 @@ mod tests {
 
     #[test]
     fn bucketed_is_exact() {
-        let cfg = GupsConfig { log2_table: 14, updates_per_word: 4, batch: 64, verify: true };
+        let cfg = GupsConfig {
+            log2_table: 14,
+            updates_per_word: 4,
+            batch: 64,
+            verify: true,
+        };
         for ranks in [1usize, 2, 4] {
-            assert_eq!(run(ranks, &cfg), 0, "bucketed GUPS must lose no updates ({ranks} ranks)");
+            assert_eq!(
+                run(ranks, &cfg),
+                0,
+                "bucketed GUPS must lose no updates ({ranks} ranks)"
+            );
         }
     }
 
     #[test]
     fn bucketed_exact_under_all_versions() {
-        let cfg = GupsConfig { log2_table: 12, updates_per_word: 4, batch: 64, verify: true };
+        let cfg = GupsConfig {
+            log2_table: 12,
+            updates_per_word: 4,
+            batch: 64,
+            verify: true,
+        };
         for version in LibVersion::ALL {
             let cfg2 = cfg;
             let out = launch(
-                RuntimeConfig::smp(2).with_version(version).with_segment_size(1 << 22),
+                RuntimeConfig::smp(2)
+                    .with_version(version)
+                    .with_segment_size(1 << 22),
                 move |u| {
                     let table = GupsTable::setup(u, &cfg2);
                     let per_rank = cfg2.total_updates() / u.rank_n();

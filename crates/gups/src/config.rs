@@ -60,7 +60,12 @@ pub struct GupsConfig {
 
 impl Default for GupsConfig {
     fn default() -> Self {
-        GupsConfig { log2_table: 20, updates_per_word: 4, batch: 256, verify: false }
+        GupsConfig {
+            log2_table: 20,
+            updates_per_word: 4,
+            batch: 256,
+            verify: false,
+        }
     }
 }
 
@@ -78,7 +83,10 @@ impl GupsConfig {
     /// Validate against a rank count (HPCC block mapping requires the rank
     /// count to divide the table size as a power of two).
     pub fn validate(&self, ranks: usize) {
-        assert!(ranks.is_power_of_two(), "GUPS requires a power-of-two rank count, got {ranks}");
+        assert!(
+            ranks.is_power_of_two(),
+            "GUPS requires a power-of-two rank count, got {ranks}"
+        );
         assert!(
             self.table_size() >= ranks,
             "table of 2^{} words cannot be split over {ranks} ranks",

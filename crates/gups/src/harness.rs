@@ -50,9 +50,18 @@ pub fn run(u: &Upcr, cfg: &GupsConfig, variant: Variant) -> GupsRun {
     // like the values themselves.
     let seconds = f64::from_bits(u.allreduce_max_u64(elapsed.to_bits()));
 
-    let errors = if cfg.verify { verify(u, &table, cfg) } else { 0 };
+    let errors = if cfg.verify {
+        verify(u, &table, cfg)
+    } else {
+        0
+    };
     table.free(u);
-    GupsRun { seconds, updates: per_rank * u.rank_n(), errors, table_words: cfg.table_size() }
+    GupsRun {
+        seconds,
+        updates: per_rank * u.rank_n(),
+        errors,
+        table_words: cfg.table_size(),
+    }
 }
 
 /// HPCC-style correctness check: recompute the exact table (XOR updates
@@ -87,16 +96,15 @@ fn verify(u: &Upcr, table: &GupsTable, cfg: &GupsConfig) -> usize {
 
 /// Launch a fresh runtime and run one variant under the given version.
 /// The entry point the benchmark harness sweeps.
-pub fn benchmark(
-    ranks: usize,
-    version: LibVersion,
-    cfg: &GupsConfig,
-    variant: Variant,
-) -> GupsRun {
+pub fn benchmark(ranks: usize, version: LibVersion, cfg: &GupsConfig, variant: Variant) -> GupsRun {
     // Size segments for the table block plus scratch and slack.
     let block_bytes = (cfg.table_size() / ranks) * 8;
-    let seg = (block_bytes + (cfg.batch + 1024) * 8).next_power_of_two().max(1 << 16);
-    let rt = RuntimeConfig::smp(ranks).with_version(version).with_segment_size(seg);
+    let seg = (block_bytes + (cfg.batch + 1024) * 8)
+        .next_power_of_two()
+        .max(1 << 16);
+    let rt = RuntimeConfig::smp(ranks)
+        .with_version(version)
+        .with_segment_size(seg);
     let cfg = *cfg;
     let results = launch(rt, move |u| run(u, &cfg, variant));
     results[0]
@@ -111,14 +119,24 @@ mod tests {
     // expected loss scales with batch/table (negligible at HPCC's real
     // sizes, and kept below the test threshold here).
     fn small_cfg() -> GupsConfig {
-        GupsConfig { log2_table: 14, updates_per_word: 4, batch: 64, verify: true }
+        GupsConfig {
+            log2_table: 14,
+            updates_per_word: 4,
+            batch: 64,
+            verify: true,
+        }
     }
 
     #[test]
     fn amo_variants_are_exact() {
         for variant in [Variant::AmoPromise, Variant::AmoFuture] {
             let r = benchmark(4, LibVersion::V2021_3_6Eager, &small_cfg(), variant);
-            assert_eq!(r.errors, 0, "{}: atomic updates must be exact", variant.name());
+            assert_eq!(
+                r.errors,
+                0,
+                "{}: atomic updates must be exact",
+                variant.name()
+            );
             assert_eq!(r.updates, small_cfg().total_updates());
             assert!(r.seconds > 0.0);
         }
@@ -132,8 +150,12 @@ mod tests {
         // below checks the mechanism works (most updates land), not the
         // HPCC statistical threshold; exactness is covered by the
         // single-rank batch-1 test and the AMO tests.
-        for variant in [Variant::Raw, Variant::ManualLocalization, Variant::RmaPromise, Variant::RmaFuture]
-        {
+        for variant in [
+            Variant::Raw,
+            Variant::ManualLocalization,
+            Variant::RmaPromise,
+            Variant::RmaFuture,
+        ] {
             let r = benchmark(4, LibVersion::V2021_3_6Eager, &small_cfg(), variant);
             assert!(
                 r.error_rate() < 0.25,
@@ -154,9 +176,17 @@ mod tests {
                 Variant::RmaPromise | Variant::RmaFuture => 1,
                 _ => 64,
             };
-            let cfg = GupsConfig { batch, ..small_cfg() };
+            let cfg = GupsConfig {
+                batch,
+                ..small_cfg()
+            };
             let r = benchmark(1, LibVersion::V2021_3_6Eager, &cfg, variant);
-            assert_eq!(r.errors, 0, "{}: single-rank run must be exact", variant.name());
+            assert_eq!(
+                r.errors,
+                0,
+                "{}: single-rank run must be exact",
+                variant.name()
+            );
         }
     }
 
@@ -164,7 +194,11 @@ mod tests {
     fn all_versions_compute_the_same_thing() {
         for version in LibVersion::ALL {
             let r = benchmark(2, version, &small_cfg(), Variant::RmaPromise);
-            assert!(r.error_rate() < 0.25, "{version}: error rate {}", r.error_rate());
+            assert!(
+                r.error_rate() < 0.25,
+                "{version}: error rate {}",
+                r.error_rate()
+            );
             let r = benchmark(2, version, &small_cfg(), Variant::AmoFuture);
             assert_eq!(r.errors, 0, "{version}: AMO must be exact");
         }
@@ -172,7 +206,12 @@ mod tests {
 
     #[test]
     fn mups_metric_sane() {
-        let r = GupsRun { seconds: 2.0, updates: 4_000_000, errors: 5, table_words: 1000 };
+        let r = GupsRun {
+            seconds: 2.0,
+            updates: 4_000_000,
+            errors: 5,
+            table_words: 1000,
+        };
         assert_eq!(r.mups(), 2.0);
         assert_eq!(r.error_rate(), 0.005);
     }

@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn setup_initializes_identity() {
-        let cfg = GupsConfig { log2_table: 10, ..Default::default() };
+        let cfg = GupsConfig {
+            log2_table: 10,
+            ..Default::default()
+        };
         launch(RuntimeConfig::smp(4).with_segment_size(1 << 20), |u| {
             let t = GupsTable::setup(u, &cfg);
             assert_eq!(t.local_size, 256);
@@ -92,7 +95,10 @@ mod tests {
 
     #[test]
     fn gptr_mapping_roundtrips() {
-        let cfg = GupsConfig { log2_table: 12, ..Default::default() };
+        let cfg = GupsConfig {
+            log2_table: 12,
+            ..Default::default()
+        };
         launch(RuntimeConfig::smp(8).with_segment_size(1 << 20), |u| {
             let t = GupsTable::setup(u, &cfg);
             for ran in [0u64, 1, 4095, 0xdeadbeef, u64::MAX] {

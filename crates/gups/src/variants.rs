@@ -42,8 +42,9 @@ fn raw(u: &Upcr, table: &GupsTable, start_pos: i64, count: usize) {
         (0..u.rank_n()).all(|r| u.is_local(table.bases[r])),
         "raw variant requires a single (simulated) node"
     );
-    let slices: Vec<&[std::sync::atomic::AtomicU64]> =
-        (0..u.rank_n()).map(|r| u.local_slice_u64(table.bases[r], table.local_size)).collect();
+    let slices: Vec<&[std::sync::atomic::AtomicU64]> = (0..u.rank_n())
+        .map(|r| u.local_slice_u64(table.bases[r], table.local_size))
+        .collect();
     for ran in Stream::at(start_pos).take(count) {
         let w = &slices[table.owner_of(ran)][table.local_index_of(ran)];
         // Plain (non-RMW) update: load and store compile to bare movs.
@@ -85,7 +86,12 @@ fn rma_promise(u: &Upcr, table: &GupsTable, cfg: &GupsConfig, start_pos: i64, co
         rans.extend((&mut stream).take(b));
         let gets = Promise::new();
         for (j, &ran) in rans.iter().enumerate() {
-            u.copy_with(table.gptr_of(ran), scratch.add(j), 1, operation_cx::as_promise(&gets));
+            u.copy_with(
+                table.gptr_of(ran),
+                scratch.add(j),
+                1,
+                operation_cx::as_promise(&gets),
+            );
         }
         gets.finalize().wait();
         let puts = Promise::new();

@@ -150,8 +150,12 @@ impl<'g> DistMatcher<'g> {
                 } else {
                     // Co-located or remote process: RMA.
                     stats.rma_reads += 1;
-                    u.copy_with(t, self.scratch.add(remote_slots.len()), 1,
-                        operation_cx::as_promise(&p));
+                    u.copy_with(
+                        t,
+                        self.scratch.add(remote_slots.len()),
+                        1,
+                        operation_cx::as_promise(&p),
+                    );
                     remote_slots.push(base + k);
                 }
             }
@@ -310,7 +314,11 @@ impl<'g> DistMatcher<'g> {
         #[allow(clippy::needless_range_loop)]
         for v in 0..self.g.n {
             let gp = self.mate_gptr(v);
-            let state = if u.is_local(gp) { u.local(gp).get() } else { u.rget(gp).wait() };
+            let state = if u.is_local(gp) {
+                u.local(gp).get()
+            } else {
+                u.rget(gp).wait()
+            };
             if state != AVAILABLE && state != DEAD {
                 mate[v] = state as u32;
                 if v < state as usize {

@@ -101,7 +101,9 @@ impl MpState {
 
     /// The current best-candidate of an owned vertex, if any.
     fn candidate(&self, v: u32) -> Option<u32> {
-        self.nbrs[self.local(v)].get(self.cursor[self.local(v)]).map(|&(u, _)| u)
+        self.nbrs[self.local(v)]
+            .get(self.cursor[self.local(v)])
+            .map(|&(u, _)| u)
     }
 
     fn send(&mut self, u: &Upcr, msg: Msg) {
@@ -217,7 +219,9 @@ pub fn solve_mp(u: &Upcr, g: &Graph) -> (Matching, MpStats) {
         stats.rounds += 1;
         loop {
             u.progress(); // moves rpc_ff payloads into INBOX
-            let Some(msg) = INBOX.with(|q| q.borrow_mut().pop_front()) else { break };
+            let Some(msg) = INBOX.with(|q| q.borrow_mut().pop_front()) else {
+                break;
+            };
             st.handle(u, msg);
             CONSUMED.with(|c| c.fetch_add(1, Ordering::Relaxed));
         }
@@ -234,7 +238,8 @@ pub fn solve_mp(u: &Upcr, g: &Graph) -> (Matching, MpStats) {
     let local_len = st.range.len().max(1);
     let arr = u.new_array::<u64>(local_len);
     for (i, &m) in st.mate.iter().enumerate() {
-        u.local(arr.add(i)).set(if m == UNMATCHED { u64::MAX } else { m as u64 });
+        u.local(arr.add(i))
+            .set(if m == UNMATCHED { u64::MAX } else { m as u64 });
     }
     let bases: Vec<_> = (0..u.rank_n()).map(|r| u.broadcast(arr, r)).collect();
     u.barrier();
@@ -245,7 +250,11 @@ pub fn solve_mp(u: &Upcr, g: &Graph) -> (Matching, MpStats) {
     for v in 0..g.n {
         let owner = part.owner(v);
         let gp = bases[owner].add(part.local_index(v));
-        let raw = if u.is_local(gp) { u.local(gp).get() } else { u.rget(gp).wait() };
+        let raw = if u.is_local(gp) {
+            u.local(gp).get()
+        } else {
+            u.rget(gp).wait()
+        };
         if raw != u64::MAX {
             mate[v] = raw as u32;
             if v < raw as usize {

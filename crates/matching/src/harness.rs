@@ -32,7 +32,15 @@ pub fn run(u: &Upcr, g: &Graph) -> (MatchRun, crate::sequential::Matching) {
     let seconds = f64::from_bits(u.allreduce_max_u64(t0.elapsed().as_secs_f64().to_bits()));
     let m = matcher.gather(u);
     matcher.free(u);
-    (MatchRun { seconds, weight: m.weight, matched: m.edges(), stats }, m)
+    (
+        MatchRun {
+            seconds,
+            weight: m.weight,
+            matched: m.edges(),
+            stats,
+        },
+        m,
+    )
 }
 
 /// Launch a fresh runtime (MPI conduit, as the paper used for this
@@ -41,18 +49,15 @@ pub fn benchmark(ranks: usize, version: LibVersion, g: &Graph) -> MatchRun {
     // Segment: two u64 words per owned vertex, plus scratch and slack.
     let per_rank_vertices = g.n.div_ceil(ranks);
     let seg = ((per_rank_vertices * 16 + 64 * 1024).next_power_of_two()).max(1 << 16);
-    let rt = RuntimeConfig::mpi(ranks, ranks).with_version(version).with_segment_size(seg);
+    let rt = RuntimeConfig::mpi(ranks, ranks)
+        .with_version(version)
+        .with_segment_size(seg);
     let results = launch(rt, |u| run(u, g).0);
     results[0]
 }
 
 /// Convenience: benchmark a paper preset at the given scale.
-pub fn benchmark_preset(
-    ranks: usize,
-    version: LibVersion,
-    preset: Preset,
-    scale: f64,
-) -> MatchRun {
+pub fn benchmark_preset(ranks: usize, version: LibVersion, preset: Preset, scale: f64) -> MatchRun {
     let g = preset.generate(scale);
     benchmark(ranks, version, &g)
 }
@@ -108,7 +113,10 @@ mod tests {
         let seq = greedy(&g);
         for version in LibVersion::ALL {
             let r = benchmark(4, version, &g);
-            assert!((r.weight - seq.weight).abs() < 1e-9, "{version}: weight mismatch");
+            assert!(
+                (r.weight - seq.weight).abs() < 1e-9,
+                "{version}: weight mismatch"
+            );
             assert_eq!(r.matched, seq.edges());
             assert!(r.stats.rounds > 0);
         }

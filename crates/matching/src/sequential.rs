@@ -124,7 +124,9 @@ pub fn brute_force_optimum(g: &Graph) -> f64 {
         }
     }
     fn rec(edges: &[(f64, u32, u32)], used: u32) -> f64 {
-        let Some((&(w, a, b), rest)) = edges.split_first() else { return 0.0 };
+        let Some((&(w, a, b), rest)) = edges.split_first() else {
+            return 0.0;
+        };
         let skip = rec(rest, used);
         if used & (1 << a) == 0 && used & (1 << b) == 0 {
             let take = w + rec(rest, used | (1 << a) | (1 << b));
@@ -202,14 +204,20 @@ mod tests {
         assert!(!edge_beats(1.0, 1, 3, 1.0, 5, 2));
         assert!(edge_beats(2.0, 0, 1, 1.0, 5, 9));
         // Symmetric endpoint order does not matter.
-        assert_eq!(edge_beats(1.0, 2, 5, 1.0, 1, 3), edge_beats(1.0, 5, 2, 1.0, 3, 1));
+        assert_eq!(
+            edge_beats(1.0, 2, 5, 1.0, 1, 3),
+            edge_beats(1.0, 5, 2, 1.0, 3, 1)
+        );
     }
 
     #[test]
     #[should_panic(expected = "asymmetry")]
     fn validate_catches_asymmetry() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)], None);
-        let m = Matching { mate: vec![1, 2, 1], weight: 0.0 };
+        let m = Matching {
+            mate: vec![1, 2, 1],
+            weight: 0.0,
+        };
         m.validate(&g);
     }
 }

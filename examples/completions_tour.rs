@@ -55,7 +55,9 @@ fn main() {
                     let d = u.rput_with(9, p, operation_cx::as_defer_future());
                     println!(
                         "  {:<16}   explicit eager: {}, explicit defer: {}",
-                        "", e.is_ready(), d.is_ready()
+                        "",
+                        e.is_ready(),
+                        d.is_ready()
                     );
                     d.wait();
                 }

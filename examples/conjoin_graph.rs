@@ -33,8 +33,14 @@ fn main() {
             println!("    dependency-graph nodes built : {}", s.when_all_nodes);
             println!("    conjoins resolved by fast path: {}", s.when_all_fast);
             println!("    internal promise cells alloc'd: {}", s.cell_allocs);
-            println!("    notifications deferred        : {}", s.deferred_enqueued);
-            println!("    notifications delivered eager : {}", s.eager_notifications);
+            println!(
+                "    notifications deferred        : {}",
+                s.deferred_enqueued
+            );
+            println!(
+                "    notifications delivered eager : {}",
+                s.eager_notifications
+            );
             println!(
                 "    future ready before any wait? : {}",
                 before_wait.deferred_enqueued == 0

@@ -10,7 +10,12 @@ use upcr::LibVersion;
 
 fn main() {
     let ranks = 4;
-    let cfg = GupsConfig { log2_table: 16, updates_per_word: 4, batch: 256, verify: true };
+    let cfg = GupsConfig {
+        log2_table: 16,
+        updates_per_word: 4,
+        batch: 256,
+        verify: true,
+    };
     println!(
         "GUPS: table 2^{} words over {ranks} ranks, {} updates, batch {}\n",
         cfg.log2_table,
@@ -25,9 +30,19 @@ fn main() {
         let mut cells = Vec::new();
         for version in LibVersion::ALL {
             let r = gups::benchmark(ranks, version, &cfg, variant);
-            cells.push(format!("{:.1} MUPS ({:.2}%)", r.mups(), 100.0 * r.error_rate()));
+            cells.push(format!(
+                "{:.1} MUPS ({:.2}%)",
+                r.mups(),
+                100.0 * r.error_rate()
+            ));
         }
-        println!("{:<24}{:>18}{:>18}{:>18}", variant.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:<24}{:>18}{:>18}{:>18}",
+            variant.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
 
     // Extension beyond the paper: destination-bucketed aggregation (exact).
@@ -35,7 +50,9 @@ fn main() {
     for version in LibVersion::ALL {
         let cfg2 = cfg;
         let out = upcr::launch(
-            upcr::RuntimeConfig::smp(ranks).with_version(version).with_segment_size(1 << 22),
+            upcr::RuntimeConfig::smp(ranks)
+                .with_version(version)
+                .with_segment_size(1 << 22),
             move |u| {
                 let table = gups::GupsTable::setup(u, &cfg2);
                 let per_rank = cfg2.total_updates() / u.rank_n();
@@ -43,9 +60,8 @@ fn main() {
                 let t0 = std::time::Instant::now();
                 gups::bucketed::run_bucketed(u, &table, (u.rank_me() * per_rank) as i64, per_rank);
                 u.barrier();
-                let secs = f64::from_bits(
-                    u.allreduce_max_u64(t0.elapsed().as_secs_f64().to_bits()),
-                );
+                let secs =
+                    f64::from_bits(u.allreduce_max_u64(t0.elapsed().as_secs_f64().to_bits()));
                 let errors = gups::harness::verify_public(u, &table, &cfg2);
                 table.free(u);
                 (secs, errors)
@@ -55,6 +71,9 @@ fn main() {
         let mups = cfg.total_updates() as f64 / secs / 1e6;
         cells.push(format!("{mups:.1} MUPS ({errors} err)"));
     }
-    println!("{:<24}{:>18}{:>18}{:>18}", "bucketed (extension)", cells[0], cells[1], cells[2]);
+    println!(
+        "{:<24}{:>18}{:>18}{:>18}",
+        "bucketed (extension)", cells[0], cells[1], cells[2]
+    );
     println!("\n(percentages are lost-update rates; atomics and bucketed must be exact)");
 }

@@ -14,7 +14,9 @@ fn main() {
     for version in [LibVersion::V2021_3_6Defer, LibVersion::V2021_3_6Eager] {
         let t0 = std::time::Instant::now();
         let out = launch(
-            RuntimeConfig::smp(4).with_version(version).with_segment_size(1 << 20),
+            RuntimeConfig::smp(4)
+                .with_version(version)
+                .with_segment_size(1 << 20),
             |u| {
                 let n = u.rank_n();
                 let bins = u.new_array::<u64>(BINS_PER_RANK);
@@ -48,11 +50,13 @@ fn main() {
                 u.barrier();
 
                 // Exactness check: total count equals total samples.
-                let mine: u64 = (0..BINS_PER_RANK)
-                    .map(|i| u.local(bins.add(i)).get())
-                    .sum();
+                let mine: u64 = (0..BINS_PER_RANK).map(|i| u.local(bins.add(i)).get()).sum();
                 let total = u.allreduce_sum_u64(mine);
-                assert_eq!(total as usize, 4 * SAMPLES_PER_RANK, "histogram must be exact");
+                assert_eq!(
+                    total as usize,
+                    4 * SAMPLES_PER_RANK,
+                    "histogram must be exact"
+                );
 
                 // A skew metric for the printout.
                 let max_bin = (0..BINS_PER_RANK)

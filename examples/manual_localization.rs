@@ -43,15 +43,28 @@ fn main() {
                 let t0 = Instant::now();
                 let pr = upcr::Promise::new();
                 for i in 0..N {
-                    u.rput_with(i as u64, dest_base.add(i), upcr::operation_cx::as_promise(&pr));
+                    u.rput_with(
+                        i as u64,
+                        dest_base.add(i),
+                        upcr::operation_cx::as_promise(&pr),
+                    );
                 }
                 pr.finalize().wait();
                 let batched = t0.elapsed();
 
                 println!("{}:", u.version());
-                println!("    manual localization : {:>8.1} ns/op", manual.as_nanos() as f64 / N as f64);
-                println!("    naive rput().wait() : {:>8.1} ns/op", naive.as_nanos() as f64 / N as f64);
-                println!("    rput + one promise  : {:>8.1} ns/op", batched.as_nanos() as f64 / N as f64);
+                println!(
+                    "    manual localization : {:>8.1} ns/op",
+                    manual.as_nanos() as f64 / N as f64
+                );
+                println!(
+                    "    naive rput().wait() : {:>8.1} ns/op",
+                    naive.as_nanos() as f64 / N as f64
+                );
+                println!(
+                    "    rput + one promise  : {:>8.1} ns/op",
+                    batched.as_nanos() as f64 / N as f64
+                );
                 println!();
             }
             u.barrier();

@@ -6,7 +6,7 @@
 //! communicate with one-sided puts/gets, futures, promises, atomics, and
 //! RPC — the API surface of the paper's runtime.
 
-use upcr::{launch, RuntimeConfig, Rank};
+use upcr::{launch, Rank, RuntimeConfig};
 
 fn main() {
     let ranks = 4;
@@ -30,20 +30,29 @@ fn main() {
         u.rput(v + 1, right).wait();
         u.barrier();
         if me == 0 {
-            println!("after rget/rput chain, rank 0 sees its own cell = {}", u.rget(mine).wait());
+            println!(
+                "after rget/rput chain, rank 0 sees its own cell = {}",
+                u.rget(mine).wait()
+            );
         }
 
         // --- continuation chaining -----------------------------------------
         // The paper's §II example: get, then put the incremented value.
         let target = ptrs[(me + 2) % n];
-        let done = u.rget(target).then_fut(move |val| upcr::api::rput(val * 2, target));
+        let done = u
+            .rget(target)
+            .then_fut(move |val| upcr::api::rput(val * 2, target));
         done.wait();
         u.barrier();
 
         // --- promises: one allocation tracking many operations -------------
         let pr = upcr::Promise::new();
         for (r, p) in ptrs.iter().enumerate() {
-            u.rput_with((me * 10 + r) as u64, p.add(0), upcr::operation_cx::as_promise(&pr));
+            u.rput_with(
+                (me * 10 + r) as u64,
+                p.add(0),
+                upcr::operation_cx::as_promise(&pr),
+            );
         }
         pr.finalize().wait();
         u.barrier();

@@ -21,7 +21,9 @@ fn main() {
     for version in [LibVersion::V2021_3_6Defer, LibVersion::V2021_3_6Eager] {
         let t0 = std::time::Instant::now();
         let checksum = launch(
-            RuntimeConfig::smp(RANKS).with_version(version).with_segment_size(1 << 20),
+            RuntimeConfig::smp(RANKS)
+                .with_version(version)
+                .with_segment_size(1 << 20),
             |u| {
                 let me = u.rank_me();
                 let n = u.rank_n();
@@ -60,8 +62,7 @@ fn main() {
                         left_bufs[parity].add(LOCAL + 1),
                         operation_cx::as_future(),
                     );
-                    let fb =
-                        u.rput_with(rb, right_bufs[parity].add(0), operation_cx::as_future());
+                    let fb = u.rput_with(rb, right_bufs[parity].add(0), operation_cx::as_future());
                     fa.wait();
                     fb.wait();
                     // Async barrier closes the exchange epoch; overlap the
@@ -106,9 +107,10 @@ fn main() {
             let (f, ()) = u.rput_with(
                 3.25,
                 ptrs[1],
-                operation_cx::as_future() | remote_cx::as_rpc(|| {
-                    HALOS.fetch_add(1, Ordering::SeqCst);
-                }),
+                operation_cx::as_future()
+                    | remote_cx::as_rpc(|| {
+                        HALOS.fetch_add(1, Ordering::SeqCst);
+                    }),
             );
             f.wait();
         }
@@ -117,8 +119,10 @@ fn main() {
         }
         u.barrier();
         if u.rank_me() == 1 {
-            println!("remote-completion halo notification received; ghost = {}",
-                u.local(field).get());
+            println!(
+                "remote-completion halo notification received; ghost = {}",
+                u.local(field).get()
+            );
         }
         u.barrier();
     });

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0aeea4f3090cb6cf.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-0aeea4f3090cb6cf: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-2cd346e68af53d84.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-2cd346e68af53d84.rmeta: crates/bench/src/lib.rs crates/bench/src/criterion.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-715646f31d3f8e39.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/bench-715646f31d3f8e39: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-a4f692d0a739ea86.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/libbench-a4f692d0a739ea86.rlib: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/debug/deps/libbench-a4f692d0a739ea86.rmeta: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:

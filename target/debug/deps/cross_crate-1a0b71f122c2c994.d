@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate-1a0b71f122c2c994.d: tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate-1a0b71f122c2c994.rmeta: tests/cross_crate.rs Cargo.toml
+
+tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

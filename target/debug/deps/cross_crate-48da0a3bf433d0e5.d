@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-48da0a3bf433d0e5.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-48da0a3bf433d0e5: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eager_notify-2ea7204723fd65c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeager_notify-2ea7204723fd65c3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeager_notify-2ea7204723fd65c3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eager_notify-498d0b62db28747d.d: src/lib.rs
+
+/root/repo/target/debug/deps/eager_notify-498d0b62db28747d: src/lib.rs
+
+src/lib.rs:

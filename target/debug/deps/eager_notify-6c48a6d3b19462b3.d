@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eager_notify-6c48a6d3b19462b3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeager_notify-6c48a6d3b19462b3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-8b9e8fc02ad95eb9.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-8b9e8fc02ad95eb9: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

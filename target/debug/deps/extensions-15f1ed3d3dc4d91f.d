@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-15f1ed3d3dc4d91f.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-15f1ed3d3dc4d91f: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

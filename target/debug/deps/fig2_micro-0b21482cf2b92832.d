@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_micro-0b21482cf2b92832.d: crates/bench/benches/fig2_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_micro-0b21482cf2b92832.rmeta: crates/bench/benches/fig2_micro.rs Cargo.toml
+
+crates/bench/benches/fig2_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_micro-6f107fc463d4bac9.d: crates/bench/benches/fig2_micro.rs
+
+/root/repo/target/debug/deps/fig2_micro-6f107fc463d4bac9: crates/bench/benches/fig2_micro.rs
+
+crates/bench/benches/fig2_micro.rs:

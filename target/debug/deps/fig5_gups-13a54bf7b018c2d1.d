@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_gups-13a54bf7b018c2d1.d: crates/bench/benches/fig5_gups.rs
+
+/root/repo/target/debug/deps/fig5_gups-13a54bf7b018c2d1: crates/bench/benches/fig5_gups.rs
+
+crates/bench/benches/fig5_gups.rs:

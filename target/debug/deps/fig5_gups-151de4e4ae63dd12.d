@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_gups-151de4e4ae63dd12.d: crates/bench/benches/fig5_gups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_gups-151de4e4ae63dd12.rmeta: crates/bench/benches/fig5_gups.rs Cargo.toml
+
+crates/bench/benches/fig5_gups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

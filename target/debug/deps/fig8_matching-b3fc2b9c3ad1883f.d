@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_matching-b3fc2b9c3ad1883f.d: crates/bench/benches/fig8_matching.rs
+
+/root/repo/target/debug/deps/fig8_matching-b3fc2b9c3ad1883f: crates/bench/benches/fig8_matching.rs
+
+crates/bench/benches/fig8_matching.rs:

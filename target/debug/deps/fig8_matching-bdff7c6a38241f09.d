@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_matching-bdff7c6a38241f09.d: crates/bench/benches/fig8_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_matching-bdff7c6a38241f09.rmeta: crates/bench/benches/fig8_matching.rs Cargo.toml
+
+crates/bench/benches/fig8_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

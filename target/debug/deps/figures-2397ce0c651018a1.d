@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2397ce0c651018a1.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2397ce0c651018a1: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3d47f9b234c84af9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3d47f9b234c84af9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/graphgen-1ff92a886f543a94.d: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+/root/repo/target/debug/deps/libgraphgen-1ff92a886f543a94.rlib: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+/root/repo/target/debug/deps/libgraphgen-1ff92a886f543a94.rmeta: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+crates/graphgen/src/lib.rs:
+crates/graphgen/src/gen.rs:
+crates/graphgen/src/graph.rs:
+crates/graphgen/src/io.rs:
+crates/graphgen/src/partition.rs:
+crates/graphgen/src/presets.rs:
+crates/graphgen/src/rng.rs:

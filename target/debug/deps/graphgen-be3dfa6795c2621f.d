@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/graphgen-be3dfa6795c2621f.d: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+/root/repo/target/debug/deps/graphgen-be3dfa6795c2621f: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+crates/graphgen/src/lib.rs:
+crates/graphgen/src/gen.rs:
+crates/graphgen/src/graph.rs:
+crates/graphgen/src/io.rs:
+crates/graphgen/src/partition.rs:
+crates/graphgen/src/presets.rs:
+crates/graphgen/src/rng.rs:

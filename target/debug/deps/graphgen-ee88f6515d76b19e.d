@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/graphgen-ee88f6515d76b19e.d: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphgen-ee88f6515d76b19e.rmeta: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs Cargo.toml
+
+crates/graphgen/src/lib.rs:
+crates/graphgen/src/gen.rs:
+crates/graphgen/src/graph.rs:
+crates/graphgen/src/io.rs:
+crates/graphgen/src/partition.rs:
+crates/graphgen/src/presets.rs:
+crates/graphgen/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gups-1dadb3dada04621d.d: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+/root/repo/target/debug/deps/libgups-1dadb3dada04621d.rlib: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+/root/repo/target/debug/deps/libgups-1dadb3dada04621d.rmeta: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+crates/gups/src/lib.rs:
+crates/gups/src/bucketed.rs:
+crates/gups/src/config.rs:
+crates/gups/src/harness.rs:
+crates/gups/src/rng.rs:
+crates/gups/src/table.rs:
+crates/gups/src/variants.rs:

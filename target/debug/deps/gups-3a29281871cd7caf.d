@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gups-3a29281871cd7caf.d: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+/root/repo/target/debug/deps/gups-3a29281871cd7caf: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+crates/gups/src/lib.rs:
+crates/gups/src/bucketed.rs:
+crates/gups/src/config.rs:
+crates/gups/src/harness.rs:
+crates/gups/src/rng.rs:
+crates/gups/src/table.rs:
+crates/gups/src/variants.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gups-687bdd8075a8d35f.d: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgups-687bdd8075a8d35f.rmeta: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs Cargo.toml
+
+crates/gups/src/lib.rs:
+crates/gups/src/bucketed.rs:
+crates/gups/src/config.rs:
+crates/gups/src/harness.rs:
+crates/gups/src/rng.rs:
+crates/gups/src/table.rs:
+crates/gups/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/matching-5f8b9189108d18c9.d: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching-5f8b9189108d18c9.rmeta: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs Cargo.toml
+
+crates/matching/src/lib.rs:
+crates/matching/src/dist.rs:
+crates/matching/src/dist_mp.rs:
+crates/matching/src/harness.rs:
+crates/matching/src/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/matching-984b887cadee24ae.d: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+/root/repo/target/debug/deps/libmatching-984b887cadee24ae.rlib: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+/root/repo/target/debug/deps/libmatching-984b887cadee24ae.rmeta: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/dist.rs:
+crates/matching/src/dist_mp.rs:
+crates/matching/src/harness.rs:
+crates/matching/src/sequential.rs:

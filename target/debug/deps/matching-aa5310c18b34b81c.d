@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching-aa5310c18b34b81c.d: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+/root/repo/target/debug/deps/matching-aa5310c18b34b81c: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/dist.rs:
+crates/matching/src/dist_mp.rs:
+crates/matching/src/harness.rs:
+crates/matching/src/sequential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offnode-4658392a43cb9a8a.d: crates/bench/benches/offnode.rs
+
+/root/repo/target/debug/deps/offnode-4658392a43cb9a8a: crates/bench/benches/offnode.rs
+
+crates/bench/benches/offnode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offnode-da526d35db77c3c2.d: crates/bench/benches/offnode.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffnode-da526d35db77c3c2.rmeta: crates/bench/benches/offnode.rs Cargo.toml
+
+crates/bench/benches/offnode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-5e160e7e8b4421c2.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-5e160e7e8b4421c2: tests/property.rs
+
+tests/property.rs:

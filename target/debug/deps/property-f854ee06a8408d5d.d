@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property-f854ee06a8408d5d.d: tests/property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty-f854ee06a8408d5d.rmeta: tests/property.rs Cargo.toml
+
+tests/property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmd-0c730c23963a2f6b.d: crates/core/tests/spmd.rs
+
+/root/repo/target/debug/deps/spmd-0c730c23963a2f6b: crates/core/tests/spmd.rs
+
+crates/core/tests/spmd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmd-8f6feb37a8df2a4d.d: crates/core/tests/spmd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmd-8f6feb37a8df2a4d.rmeta: crates/core/tests/spmd.rs Cargo.toml
+
+crates/core/tests/spmd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

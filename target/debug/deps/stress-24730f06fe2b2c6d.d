@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-24730f06fe2b2c6d.d: crates/gasnex/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-24730f06fe2b2c6d: crates/gasnex/tests/stress.rs
+
+crates/gasnex/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wakeup_engine-919c62a04b511836.d: crates/core/tests/wakeup_engine.rs
+
+/root/repo/target/debug/deps/wakeup_engine-919c62a04b511836: crates/core/tests/wakeup_engine.rs
+
+crates/core/tests/wakeup_engine.rs:

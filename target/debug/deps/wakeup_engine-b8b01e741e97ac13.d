@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wakeup_engine-b8b01e741e97ac13.d: crates/core/tests/wakeup_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwakeup_engine-b8b01e741e97ac13.rmeta: crates/core/tests/wakeup_engine.rs Cargo.toml
+
+crates/core/tests/wakeup_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

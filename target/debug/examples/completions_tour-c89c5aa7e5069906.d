@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/completions_tour-c89c5aa7e5069906.d: examples/completions_tour.rs
+
+/root/repo/target/debug/examples/completions_tour-c89c5aa7e5069906: examples/completions_tour.rs
+
+examples/completions_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/completions_tour-e22e8cd8a744c090.d: examples/completions_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompletions_tour-e22e8cd8a744c090.rmeta: examples/completions_tour.rs Cargo.toml
+
+examples/completions_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

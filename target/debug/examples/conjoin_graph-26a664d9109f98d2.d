@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conjoin_graph-26a664d9109f98d2.d: examples/conjoin_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconjoin_graph-26a664d9109f98d2.rmeta: examples/conjoin_graph.rs Cargo.toml
+
+examples/conjoin_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conjoin_graph-7084dc9bece27b9a.d: examples/conjoin_graph.rs
+
+/root/repo/target/debug/examples/conjoin_graph-7084dc9bece27b9a: examples/conjoin_graph.rs
+
+examples/conjoin_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gups_demo-159e8f9aae59dfe6.d: examples/gups_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgups_demo-159e8f9aae59dfe6.rmeta: examples/gups_demo.rs Cargo.toml
+
+examples/gups_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gups_demo-95f1e31c756a0701.d: examples/gups_demo.rs
+
+/root/repo/target/debug/examples/gups_demo-95f1e31c756a0701: examples/gups_demo.rs
+
+examples/gups_demo.rs:

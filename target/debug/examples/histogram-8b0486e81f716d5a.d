@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-8b0486e81f716d5a.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-8b0486e81f716d5a: examples/histogram.rs
+
+examples/histogram.rs:

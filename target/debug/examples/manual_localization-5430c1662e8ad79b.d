@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/manual_localization-5430c1662e8ad79b.d: examples/manual_localization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmanual_localization-5430c1662e8ad79b.rmeta: examples/manual_localization.rs Cargo.toml
+
+examples/manual_localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/manual_localization-cfe63c2666b29f57.d: examples/manual_localization.rs
+
+/root/repo/target/debug/examples/manual_localization-cfe63c2666b29f57: examples/manual_localization.rs
+
+examples/manual_localization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matching_demo-3cc1f7a7b019659e.d: examples/matching_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatching_demo-3cc1f7a7b019659e.rmeta: examples/matching_demo.rs Cargo.toml
+
+examples/matching_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

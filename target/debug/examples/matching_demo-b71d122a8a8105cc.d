@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matching_demo-b71d122a8a8105cc.d: examples/matching_demo.rs
+
+/root/repo/target/debug/examples/matching_demo-b71d122a8a8105cc: examples/matching_demo.rs
+
+examples/matching_demo.rs:

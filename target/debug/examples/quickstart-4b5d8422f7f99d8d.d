@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b5d8422f7f99d8d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b5d8422f7f99d8d: examples/quickstart.rs
+
+examples/quickstart.rs:

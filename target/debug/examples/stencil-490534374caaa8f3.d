@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil-490534374caaa8f3.d: examples/stencil.rs
+
+/root/repo/target/debug/examples/stencil-490534374caaa8f3: examples/stencil.rs
+
+examples/stencil.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-6caa53d08da393c6.d: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/release/deps/libbench-6caa53d08da393c6.rlib: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+/root/repo/target/release/deps/libbench-6caa53d08da393c6.rmeta: crates/bench/src/lib.rs crates/bench/src/criterion.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/criterion.rs:

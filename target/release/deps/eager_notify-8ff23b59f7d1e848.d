@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eager_notify-8ff23b59f7d1e848.d: src/lib.rs
+
+/root/repo/target/release/deps/libeager_notify-8ff23b59f7d1e848.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeager_notify-8ff23b59f7d1e848.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_micro-dcde93470fa9510c.d: crates/bench/benches/fig2_micro.rs
+
+/root/repo/target/release/deps/fig2_micro-dcde93470fa9510c: crates/bench/benches/fig2_micro.rs
+
+crates/bench/benches/fig2_micro.rs:

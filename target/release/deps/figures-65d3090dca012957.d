@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-65d3090dca012957.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-65d3090dca012957: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/gasnex-8c18c184aae703f6.d: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs
+
+/root/repo/target/release/deps/libgasnex-8c18c184aae703f6.rlib: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs
+
+/root/repo/target/release/deps/libgasnex-8c18c184aae703f6.rmeta: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs
+
+crates/gasnex/src/lib.rs:
+crates/gasnex/src/alloc.rs:
+crates/gasnex/src/am.rs:
+crates/gasnex/src/amo.rs:
+crates/gasnex/src/collectives.rs:
+crates/gasnex/src/config.rs:
+crates/gasnex/src/event.rs:
+crates/gasnex/src/mailbox.rs:
+crates/gasnex/src/net.rs:
+crates/gasnex/src/rank.rs:
+crates/gasnex/src/segment.rs:
+crates/gasnex/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/graphgen-5e93191ed19104ee.d: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+/root/repo/target/release/deps/libgraphgen-5e93191ed19104ee.rlib: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+/root/repo/target/release/deps/libgraphgen-5e93191ed19104ee.rmeta: crates/graphgen/src/lib.rs crates/graphgen/src/gen.rs crates/graphgen/src/graph.rs crates/graphgen/src/io.rs crates/graphgen/src/partition.rs crates/graphgen/src/presets.rs crates/graphgen/src/rng.rs
+
+crates/graphgen/src/lib.rs:
+crates/graphgen/src/gen.rs:
+crates/graphgen/src/graph.rs:
+crates/graphgen/src/io.rs:
+crates/graphgen/src/partition.rs:
+crates/graphgen/src/presets.rs:
+crates/graphgen/src/rng.rs:

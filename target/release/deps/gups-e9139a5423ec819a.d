@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gups-e9139a5423ec819a.d: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+/root/repo/target/release/deps/libgups-e9139a5423ec819a.rlib: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+/root/repo/target/release/deps/libgups-e9139a5423ec819a.rmeta: crates/gups/src/lib.rs crates/gups/src/bucketed.rs crates/gups/src/config.rs crates/gups/src/harness.rs crates/gups/src/rng.rs crates/gups/src/table.rs crates/gups/src/variants.rs
+
+crates/gups/src/lib.rs:
+crates/gups/src/bucketed.rs:
+crates/gups/src/config.rs:
+crates/gups/src/harness.rs:
+crates/gups/src/rng.rs:
+crates/gups/src/table.rs:
+crates/gups/src/variants.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matching-204635221da4268c.d: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+/root/repo/target/release/deps/libmatching-204635221da4268c.rlib: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+/root/repo/target/release/deps/libmatching-204635221da4268c.rmeta: crates/matching/src/lib.rs crates/matching/src/dist.rs crates/matching/src/dist_mp.rs crates/matching/src/harness.rs crates/matching/src/sequential.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/dist.rs:
+crates/matching/src/dist_mp.rs:
+crates/matching/src/harness.rs:
+crates/matching/src/sequential.rs:

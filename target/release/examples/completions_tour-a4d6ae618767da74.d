@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/completions_tour-a4d6ae618767da74.d: examples/completions_tour.rs
+
+/root/repo/target/release/examples/completions_tour-a4d6ae618767da74: examples/completions_tour.rs
+
+examples/completions_tour.rs:

@@ -7,7 +7,12 @@ use upcr::{launch, LibVersion, RuntimeConfig};
 
 #[test]
 fn gups_all_variants_all_versions_smoke() {
-    let cfg = GupsConfig { log2_table: 12, updates_per_word: 2, batch: 32, verify: true };
+    let cfg = GupsConfig {
+        log2_table: 12,
+        updates_per_word: 2,
+        batch: 32,
+        verify: true,
+    };
     for variant in Variant::ALL {
         for version in LibVersion::ALL {
             let r = gups::benchmark(2, version, &cfg, variant);
@@ -64,10 +69,16 @@ fn locality_stats_consistent_with_simulated_topology() {
     let g = Preset::Random.generate(0.02);
     let ranks = 4;
     let stats = LocalityStats::measure(&g, ranks, 2);
-    assert!(stats.cross_node > 0.0, "two simulated nodes must split some edges");
+    assert!(
+        stats.cross_node > 0.0,
+        "two simulated nodes must split some edges"
+    );
     let single = LocalityStats::measure(&g, ranks, ranks);
     assert_eq!(single.cross_node, 0.0);
-    assert!((single.same_rank - stats.same_rank).abs() < 1e-12, "rank split independent of nodes");
+    assert!(
+        (single.same_rank - stats.same_rank).abs() < 1e-12,
+        "rank split independent of nodes"
+    );
 }
 
 #[test]
@@ -107,15 +118,18 @@ fn paper_claims_hold_structurally() {
         },
     );
     // 3. 2021.3.0 adds the extra allocation on top.
-    launch(RuntimeConfig::smp(cfg_ranks).with_version(LibVersion::V2021_3_0), |u| {
-        let p = u.new_::<u64>(0);
-        u.reset_stats();
-        for i in 0..100 {
-            u.rput(i, p).wait();
-        }
-        assert_eq!(u.stats().legacy_extra_allocs, 100);
-        u.barrier();
-    });
+    launch(
+        RuntimeConfig::smp(cfg_ranks).with_version(LibVersion::V2021_3_0),
+        |u| {
+            let p = u.new_::<u64>(0);
+            u.reset_stats();
+            for i in 0..100 {
+                u.rput(i, p).wait();
+            }
+            assert_eq!(u.stats().legacy_extra_allocs, 100);
+            u.barrier();
+        },
+    );
     // 4. Off-node operations never notify eagerly, in any version.
     launch(
         RuntimeConfig::udp(2, 1).with_version(LibVersion::V2021_3_6Eager),

@@ -1,9 +1,24 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: future conjoining semantics, the segment allocator, segment
-//! byte transfers, the HPCC stream, partitions, and distributed-matching
+//! Randomized-input tests over the core data structures and invariants:
+//! future conjoining semantics, the segment allocator, segment byte
+//! transfers, the HPCC stream, partitions, and distributed-matching
 //! equivalence.
+//!
+//! Inputs are drawn from [`graphgen::SeededRng`] with fixed seeds — every
+//! case is exactly reproducible (the offline replacement for the previous
+//! proptest strategies; each loop covers the same input space).
 
-use proptest::prelude::*;
+use graphgen::SeededRng;
+
+fn rng(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
+}
+
+/// Fisher–Yates shuffle driven by the deterministic stream.
+fn shuffle<T>(v: &mut [T], r: &mut SeededRng) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, r.below(i + 1));
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Future conjoining: an arbitrary tree of conjoins over ready and pending
@@ -18,14 +33,19 @@ enum Tree {
     Conjoin(Box<Tree>, Box<Tree>),
 }
 
-fn tree_strategy(pending: usize) -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        Just(Tree::Ready),
-        (0..pending).prop_map(Tree::Pending),
-    ];
-    leaf.prop_recursive(5, 32, 2, |inner| {
-        (inner.clone(), inner).prop_map(|(a, b)| Tree::Conjoin(Box::new(a), Box::new(b)))
-    })
+fn random_tree(r: &mut SeededRng, pending: usize, depth: usize) -> Tree {
+    if depth == 0 || r.below(3) == 0 {
+        if r.below(2) == 0 {
+            Tree::Ready
+        } else {
+            Tree::Pending(r.below(pending))
+        }
+    } else {
+        Tree::Conjoin(
+            Box::new(random_tree(r, pending, depth - 1)),
+            Box::new(random_tree(r, pending, depth - 1)),
+        )
+    }
 }
 
 fn used_pendings(t: &Tree, out: &mut std::collections::BTreeSet<usize>) {
@@ -41,11 +61,16 @@ fn used_pendings(t: &Tree, out: &mut std::collections::BTreeSet<usize>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn conjoin_tree_readiness_semantics() {
+    let mut r = rng(0xC0DE);
+    for _case in 0..64 {
+        let tree = random_tree(&mut r, 6, 5);
+        let mut order: Vec<usize> = (0..6).collect();
+        shuffle(&mut order, &mut r);
+        // Sometimes fulfill only a prefix first (the subsequence case).
+        order.truncate(1 + r.below(6));
 
-    #[test]
-    fn conjoin_tree_readiness_semantics(tree in tree_strategy(6), order in proptest::sample::subsequence((0..6usize).collect::<Vec<_>>(), 6)) {
         // Build the pending sources outside any runtime (the when_all
         // optimization defaults on; semantics must not depend on it).
         let sources: Vec<upcr::Promise<()>> = (0..6).map(|_| upcr::Promise::new()).collect();
@@ -60,26 +85,36 @@ proptest! {
         let mut needed = std::collections::BTreeSet::new();
         used_pendings(&tree, &mut needed);
         // Promise futures are pending until finalized.
-        prop_assert_eq!(fut.is_ready(), needed.is_empty());
+        assert_eq!(fut.is_ready(), needed.is_empty(), "tree {tree:?}");
         // Fulfill in the sampled order; readiness must flip exactly when
         // the last needed source finalizes.
         let mut remaining = needed.clone();
         for i in order {
-            if fut.is_ready() { break; }
+            if fut.is_ready() {
+                break;
+            }
             sources[i].finalize();
             remaining.remove(&i);
-            prop_assert_eq!(fut.is_ready(), remaining.is_empty(),
-                "after finalizing {}, remaining {:?}", i, remaining);
+            assert_eq!(
+                fut.is_ready(),
+                remaining.is_empty(),
+                "after finalizing {i}, remaining {remaining:?}"
+            );
         }
-        // Finalize any leftovers (subsequence may omit some).
+        // Finalize any leftovers (the order prefix may omit some).
         for i in remaining.clone() {
             sources[i].finalize();
         }
-        prop_assert!(fut.is_ready());
+        assert!(fut.is_ready());
     }
+}
 
-    #[test]
-    fn when_all_value_always_carries_the_value(v in any::<u64>(), ready_first in any::<bool>()) {
+#[test]
+fn when_all_value_always_carries_the_value() {
+    let mut r = rng(0xA11);
+    for case in 0..64 {
+        let v = r.next_u64();
+        let ready_first = case % 2 == 0;
         let p = upcr::Promise::new();
         let unit = p.get_future();
         let valued = upcr::Future::ready(v);
@@ -89,12 +124,12 @@ proptest! {
             upcr::when_all_value(valued, unit.clone())
         };
         if ready_first {
-            prop_assert!(f.is_ready());
+            assert!(f.is_ready());
         } else {
-            prop_assert!(!f.is_ready());
+            assert!(!f.is_ready());
             p.finalize();
         }
-        prop_assert_eq!(f.result(), v);
+        assert_eq!(f.result(), v);
     }
 }
 
@@ -103,36 +138,38 @@ proptest! {
 // overlapping blocks, respect alignment, and coalesce back to one block.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn allocator_no_overlap_and_full_coalesce(
-        ops in proptest::collection::vec((1usize..256, 0usize..4), 1..60)
-    ) {
+#[test]
+fn allocator_no_overlap_and_full_coalesce() {
+    let mut r = rng(0xA110C);
+    for _case in 0..128 {
+        let n_ops = 1 + r.below(59);
         let cap = 1 << 14;
         let a = gasnex::SegAlloc::new(cap);
         let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, size)
-        for (size, align_pow) in ops {
-            let align = 8usize << align_pow;
+        for _ in 0..n_ops {
+            let size = 1 + r.below(255);
+            let align = 8usize << r.below(4);
             match a.alloc(size, align) {
                 Ok(off) => {
-                    prop_assert_eq!(off % align, 0, "misaligned block");
+                    assert_eq!(off % align, 0, "misaligned block");
                     let end = off + size;
                     for &(lo, ls) in &live {
-                        prop_assert!(end <= lo || off >= lo + ls,
-                            "overlap: [{off},{end}) vs [{lo},{})", lo + ls);
+                        assert!(
+                            end <= lo || off >= lo + ls,
+                            "overlap: [{off},{end}) vs [{lo},{})",
+                            lo + ls
+                        );
                     }
                     live.push((off, size));
                 }
                 Err(e) => {
                     // Exhaustion must report a coherent largest-free.
-                    prop_assert!(e.largest_free <= cap);
+                    assert!(e.largest_free <= cap);
                 }
             }
-            // Randomly free the oldest half of the time (deterministic by
-            // parity of size to stay reproducible).
-            if size % 2 == 0 && !live.is_empty() {
+            // Free the oldest half of the time (by size parity, matching the
+            // original deterministic schedule).
+            if size.is_multiple_of(2) && !live.is_empty() {
                 let (off, _) = live.remove(0);
                 a.dealloc(off);
             }
@@ -140,66 +177,99 @@ proptest! {
         for (off, _) in live {
             a.dealloc(off);
         }
-        prop_assert_eq!(a.live_blocks(), 0);
-        prop_assert_eq!(a.free_bytes(), a.capacity());
+        assert_eq!(a.live_blocks(), 0);
+        assert_eq!(a.free_bytes(), a.capacity());
         // After full free, one maximal allocation must succeed.
-        prop_assert!(a.alloc(a.capacity(), 8).is_ok());
+        assert!(a.alloc(a.capacity(), 8).is_ok());
     }
+}
 
-    #[test]
-    fn segment_copy_roundtrip(off in 0usize..97, data in proptest::collection::vec(any::<u8>(), 0..160)) {
+#[test]
+fn segment_copy_roundtrip() {
+    let mut r = rng(0x5E6);
+    for _case in 0..128 {
+        let off = r.below(97);
+        let len = r.below(160);
+        let data: Vec<u8> = (0..len).map(|_| r.next_u64() as u8).collect();
         let seg = gasnex::Segment::new(512);
         seg.copy_in(off, &data);
         let mut out = vec![0u8; data.len()];
         seg.copy_out(off, &mut out);
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data);
     }
+}
 
-    #[test]
-    fn segment_scalars_do_not_clobber(off8 in 0usize..32, v in any::<u64>(), b in any::<u8>()) {
+#[test]
+fn segment_scalars_do_not_clobber() {
+    let mut r = rng(0x5CA1A);
+    for _case in 0..128 {
+        let woff = r.below(32) * 8;
+        let v = r.next_u64();
+        let b = r.next_u64() as u8;
         let seg = gasnex::Segment::new(512);
-        let woff = off8 * 8;
         seg.write_scalar(woff, 8, v);
         // A byte write just past the word must leave the word intact.
         seg.write_scalar(woff + 8, 1, b as u64);
-        prop_assert_eq!(seg.read_scalar(woff, 8), v);
-        prop_assert_eq!(seg.read_scalar(woff + 8, 1), b as u64);
+        assert_eq!(seg.read_scalar(woff, 8), v);
+        assert_eq!(seg.read_scalar(woff + 8, 1), b as u64);
     }
+}
 
-    #[test]
-    fn hpcc_starts_consistency(k in 0i64..1_000_000_000) {
-        use gups::rng::{next, starts};
-        prop_assert_eq!(starts(k + 1), next(starts(k)));
+#[test]
+fn hpcc_starts_consistency() {
+    use gups::rng::{next, starts};
+    let mut r = rng(0x477C);
+    for _case in 0..128 {
+        let k = (r.next_u64() % 1_000_000_000) as i64;
+        assert_eq!(starts(k + 1), next(starts(k)), "k = {k}");
     }
+    assert_eq!(starts(1), next(starts(0)));
+}
 
-    #[test]
-    fn global_ptr_encode_roundtrip(rank in 0u32..1_000_000, off8 in 0usize..(1usize << 37)) {
-        let p = upcr::GlobalPtr::<u64>::null();
-        prop_assert!(upcr::GlobalPtr::<u64>::decode(p.encode()).is_null());
+#[test]
+fn global_ptr_encode_roundtrip() {
+    let p = upcr::GlobalPtr::<u64>::null();
+    assert!(upcr::GlobalPtr::<u64>::decode(p.encode()).is_null());
+    let mut r = rng(0x6107);
+    for _case in 0..128 {
+        let rank = (r.next_u64() % 1_000_000) as u32;
+        let off8 = r.next_u64() as usize & ((1 << 37) - 1);
         // Non-null pointers roundtrip exactly (offset is 8-aligned words).
         let q: upcr::GlobalPtr<u64> = decode_helper(rank, off8 * 8);
-        prop_assert_eq!(upcr::GlobalPtr::<u64>::decode(q.encode()), q);
+        assert_eq!(upcr::GlobalPtr::<u64>::decode(q.encode()), q);
     }
+}
 
-    #[test]
-    fn block_partition_owner_matches_range(n in 1usize..10_000, ranks in 1usize..64) {
-        prop_assume!(ranks <= n);
+#[test]
+fn block_partition_owner_matches_range() {
+    let mut r = rng(0xB10C);
+    for _case in 0..128 {
+        let n = 1 + r.below(9_999);
+        let ranks = 1 + r.below(63);
+        if ranks > n {
+            continue;
+        }
         let p = graphgen::BlockPartition::new(n, ranks);
         let mut total = 0;
-        for r in 0..ranks {
-            let range = p.range(r);
+        for rk in 0..ranks {
+            let range = p.range(rk);
             total += range.len();
             if !range.is_empty() {
-                prop_assert_eq!(p.owner(range.start), r);
-                prop_assert_eq!(p.owner(range.end - 1), r);
+                assert_eq!(p.owner(range.start), rk);
+                assert_eq!(p.owner(range.end - 1), rk);
             }
         }
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
     }
+}
 
-    #[test]
-    fn pair_weight_symmetric(u in any::<u32>(), v in any::<u32>()) {
-        prop_assert_eq!(graphgen::pair_weight(u, v), graphgen::pair_weight(v, u));
+#[test]
+fn pair_weight_symmetric() {
+    let mut r = rng(0x9A13);
+    for _case in 0..256 {
+        let u = r.next_u64() as u32;
+        let v = r.next_u64() as u32;
+        assert_eq!(graphgen::pair_weight(u, v), graphgen::pair_weight(v, u));
     }
 }
 
@@ -214,23 +284,39 @@ fn decode_helper(rank: u32, off: usize) -> upcr::GlobalPtr<u64> {
 // launches are expensive; a handful of cases suffices).
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn distributed_matching_equals_greedy(seed in any::<u64>(), n in 50usize..300) {
+#[test]
+fn distributed_matching_equals_greedy() {
+    let mut r = rng(0x3A7C4);
+    for _case in 0..6 {
+        let seed = r.next_u64();
+        let n = 50 + r.below(250);
         let g = graphgen::powerlaw(n, 2, seed);
         let seq = matching::greedy(&g);
-        let r = matching::benchmark(2, upcr::LibVersion::V2021_3_6Eager, &g);
-        prop_assert_eq!(r.matched, seq.edges());
-        prop_assert!((r.weight - seq.weight).abs() < 1e-9);
+        let res = matching::benchmark(2, upcr::LibVersion::V2021_3_6Eager, &g);
+        assert_eq!(res.matched, seq.edges(), "seed {seed}, n {n}");
+        assert!((res.weight - seq.weight).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn gups_amo_exact_under_random_config(log2 in 8u32..12, batch in 1usize..64) {
-        let cfg = gups::GupsConfig { log2_table: log2, updates_per_word: 1, batch, verify: true };
-        let r = gups::benchmark(2, upcr::LibVersion::V2021_3_6Eager, &cfg, gups::Variant::AmoFuture);
-        prop_assert_eq!(r.errors, 0);
+#[test]
+fn gups_amo_exact_under_random_config() {
+    let mut r = rng(0x6095);
+    for _case in 0..6 {
+        let log2 = 8 + r.below(4) as u32;
+        let batch = 1 + r.below(63);
+        let cfg = gups::GupsConfig {
+            log2_table: log2,
+            updates_per_word: 1,
+            batch,
+            verify: true,
+        };
+        let res = gups::benchmark(
+            2,
+            upcr::LibVersion::V2021_3_6Eager,
+            &cfg,
+            gups::Variant::AmoFuture,
+        );
+        assert_eq!(res.errors, 0, "log2 {log2}, batch {batch}");
     }
 }
 
@@ -238,38 +324,69 @@ proptest! {
 // Serialization, strided shapes, and reductions.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn serde_roundtrip_tuples(a in any::<u64>(), b in any::<i32>(), s in ".{0,40}") {
-        use upcr::SerDe;
+#[test]
+fn serde_roundtrip_tuples() {
+    use upcr::SerDe;
+    let mut r = rng(0x5E2D);
+    for _case in 0..128 {
+        let a = r.next_u64();
+        let b = r.next_u64() as i32;
+        let len = r.below(41);
+        let s: String = (0..len)
+            .map(|_| char::from(b' ' + (r.below(95)) as u8))
+            .collect();
         let v = (a, b, s.clone());
         let back = <(u64, i32, String)>::from_bytes(&v.to_bytes()).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
     }
+}
 
-    #[test]
-    fn serde_roundtrip_nested(v in proptest::collection::vec(
-        proptest::option::of(any::<u32>()), 0..20))
-    {
-        use upcr::SerDe;
+#[test]
+fn serde_roundtrip_nested() {
+    use upcr::SerDe;
+    let mut r = rng(0x2E57);
+    for _case in 0..128 {
+        let len = r.below(20);
+        let v: Vec<Option<u32>> = (0..len)
+            .map(|_| {
+                if r.below(2) == 0 {
+                    None
+                } else {
+                    Some(r.next_u64() as u32)
+                }
+            })
+            .collect();
         let back = Vec::<Option<u32>>::from_bytes(&v.to_bytes()).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
     }
+}
 
-    #[test]
-    fn serde_rejects_random_truncation(a in any::<u64>(), cut in 0usize..8) {
-        use upcr::SerDe;
+#[test]
+fn serde_rejects_random_truncation() {
+    use upcr::SerDe;
+    let mut r = rng(0x72C);
+    for _case in 0..128 {
+        let a = r.next_u64();
+        let cut = r.below(8);
         let bytes = (a, a).to_bytes();
         let cut_len = bytes.len() - 1 - cut;
-        prop_assert!(<(u64, u64)>::from_bytes(&bytes[..cut_len]).is_err());
+        assert!(<(u64, u64)>::from_bytes(&bytes[..cut_len]).is_err());
     }
+}
 
-    #[test]
-    fn reduce_ops_agree_with_fold(vals in proptest::collection::vec(any::<u32>(), 1..16)) {
-        use upcr::{ReduceOp, ReduceVal};
-        for op in [ReduceOp::Plus, ReduceOp::Min, ReduceOp::Max, ReduceOp::BitXor] {
+#[test]
+fn reduce_ops_agree_with_fold() {
+    use upcr::{ReduceOp, ReduceVal};
+    let mut r = rng(0x2ED0);
+    for _case in 0..128 {
+        let len = 1 + r.below(15);
+        let vals: Vec<u32> = (0..len).map(|_| r.next_u64() as u32).collect();
+        for op in [
+            ReduceOp::Plus,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::BitXor,
+        ] {
             let mut acc = u32::identity(op);
             for &v in &vals {
                 acc = u32::apply(op, acc, v);
@@ -281,43 +398,57 @@ proptest! {
                 ReduceOp::BitXor => vals.iter().fold(0, |a, &b| a ^ b),
                 _ => unreachable!(),
             };
-            prop_assert_eq!(acc, expect);
+            assert_eq!(acc, expect);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn strided_roundtrip_random_shapes(
-        block_len in 1usize..6, extra in 0usize..5, blocks in 1usize..6, seed in any::<u64>())
-    {
-        let shape = upcr::Strided { block_len, stride: block_len + extra, blocks };
+#[test]
+fn strided_roundtrip_random_shapes() {
+    let mut r = rng(0x57D);
+    for _case in 0..8 {
+        let block_len = 1 + r.below(5);
+        let extra = r.below(5);
+        let blocks = 1 + r.below(5);
+        let seed = r.next_u64();
+        let shape = upcr::Strided {
+            block_len,
+            stride: block_len + extra,
+            blocks,
+        };
         let total = shape.total();
         let area = shape.stride * blocks + block_len;
-        let data: Vec<u64> = (0..total as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let data: Vec<u64> = (0..total as u64)
+            .map(|i| i.wrapping_mul(seed | 1))
+            .collect();
         let cfg = upcr::RuntimeConfig::smp(1).with_segment_size(1 << 16);
         let out = upcr::launch(cfg, |u| {
             let arr = u.new_array::<u64>(area);
             u.rput_strided(&data, arr, shape).wait();
             u.rget_strided(arr, shape).wait()
         });
-        prop_assert_eq!(&out[0], &data);
+        assert_eq!(&out[0], &data);
     }
+}
 
-    #[test]
-    fn vector_reduce_matches_scalar(len in 1usize..24, ranks in 1usize..5) {
+#[test]
+fn vector_reduce_matches_scalar() {
+    let mut r = rng(0x7EC);
+    for _case in 0..8 {
+        let len = 1 + r.below(23);
+        let ranks = 1 + r.below(4);
         use upcr::ReduceOp;
         let cfg = upcr::RuntimeConfig::smp(ranks).with_segment_size(1 << 18);
         let out = upcr::launch(cfg, move |u| {
             let vals: Vec<u64> = (0..len as u64).map(|i| i + u.rank_me() as u64).collect();
             let vec_sum = u.reduce_all_vec(&vals, ReduceOp::Plus);
-            let scalar: Vec<u64> =
-                vals.iter().map(|&v| u.reduce_all(v, ReduceOp::Plus)).collect();
+            let scalar: Vec<u64> = vals
+                .iter()
+                .map(|&v| u.reduce_all(v, ReduceOp::Plus))
+                .collect();
             (vec_sum, scalar)
         });
         let (vec_sum, scalar) = &out[0];
-        prop_assert_eq!(vec_sum, scalar);
+        assert_eq!(vec_sum, scalar);
     }
 }
