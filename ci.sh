@@ -1,23 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate, runnable locally and from the GitHub Actions workflow.
+# CI gates, runnable locally and from the GitHub Actions workflow.
 # The workspace has no external dependencies, so everything here works
 # fully offline.
+#
+#   ./ci.sh          tier-1 gate: fmt, clippy, release build, tests
+#   ./ci.sh chaos    differential chaos sweep: 8 fixed seeds x 3 fault
+#                    plans through crates/simtest in release mode
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+job="${1:-tier1}"
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+case "$job" in
+  tier1)
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo build --release"
-cargo build --release
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q
+    echo "==> cargo build --release"
+    cargo build --release
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+    echo "==> cargo test -q"
+    cargo test -q
 
-echo "CI green."
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+
+    echo "CI green."
+    ;;
+  chaos)
+    # The seed list lives in crates/simtest/tests/differential.rs; every
+    # workload runs under every seed x fault plan for both notification
+    # modes, and the whole sweep must stay well under two minutes.
+    echo "==> cargo test -p simtest --release -q"
+    cargo test -p simtest --release -q
+
+    echo "Chaos sweep green."
+    ;;
+  *)
+    echo "unknown job: $job (expected tier1 or chaos)" >&2
+    exit 2
+    ;;
+esac

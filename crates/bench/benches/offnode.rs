@@ -28,6 +28,7 @@ fn bench_offnode(c: &mut Criterion) {
                         .with_net(NetConfig {
                             latency_ns: 1_500,
                             jitter_ns: 0,
+                            ..NetConfig::default()
                         });
                     let out = launch(rt, move |u| {
                         let mine = u.new_::<u64>(0);

@@ -145,6 +145,7 @@ pub mod offnode {
             .with_net(NetConfig {
                 latency_ns,
                 jitter_ns: 0,
+                ..NetConfig::default()
             });
         let out = launch(rt, move |u| {
             let mine = u.new_::<u64>(0);

@@ -45,6 +45,16 @@ impl<T: Clone + 'static> Future<T> {
         self.cell.is_ready()
     }
 
+    /// Whether two futures share the same underlying cell. This is the
+    /// observable identity the paper's elisions preserve: conjoining ready
+    /// value-less futures returns the shared ready cell, and conjoining
+    /// exactly one pending input returns that input itself rather than a
+    /// fresh dependency node.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.cell, &other.cell)
+    }
+
     /// The result; panics if not yet ready (use [`wait`](Self::wait) to
     /// block).
     pub fn result(&self) -> T {

@@ -77,4 +77,4 @@ pub use version::LibVersion;
 pub use vis::Strided;
 
 // Re-export the substrate types that appear in public signatures.
-pub use gasnex::{Conduit, GasnexConfig, NetConfig, Rank, Team};
+pub use gasnex::{ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team};

@@ -437,6 +437,14 @@ impl Upcr {
     pub fn reset_stats(&self) {
         self.ctx.stats.reset();
     }
+
+    /// Snapshot of the shared simulated-network counters — unlike
+    /// [`stats`](Self::stats) these are world-global, not per-rank. Includes
+    /// the chaos-mode reliability layer: `retries`, `drops_injected`,
+    /// `dup_suppressed`, and the largest retransmission backoff applied.
+    pub fn net_stats(&self) -> gasnex::NetStats {
+        self.ctx.world.net().stats()
+    }
 }
 
 /// Free-function conveniences mirroring the UPC++ global API; usable from
@@ -534,6 +542,7 @@ mod tests {
             .with_net(NetConfig {
                 latency_ns: 9,
                 jitter_ns: 1,
+                ..NetConfig::default()
             });
         assert_eq!(c.version, LibVersion::V2021_3_0);
         assert_eq!(c.gasnex.ranks, 8);

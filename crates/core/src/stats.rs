@@ -5,6 +5,11 @@
 //! notifications, dependency-graph nodes. Tests use them to prove that an
 //! optimization *structurally* removed work (e.g. "an eager local `rput`
 //! allocates zero cells"), independent of timing noise.
+//!
+//! These counters are per-rank. The simulated network's counters —
+//! including the chaos-mode reliability layer (`retries`, `drops_injected`,
+//! `dup_suppressed`, `max_backoff_ns`) — are world-global and live in
+//! [`gasnex::NetStats`], reachable via `Upcr::net_stats`.
 
 use std::cell::Cell;
 

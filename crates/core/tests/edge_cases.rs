@@ -194,6 +194,7 @@ fn jittered_network_still_completes_everything() {
         .with_net(NetConfig {
             latency_ns: 2_000,
             jitter_ns: 2_000,
+            ..NetConfig::default()
         });
     launch(cfg, |u| {
         let arr = u.new_array::<u64>(256);
@@ -223,6 +224,7 @@ fn many_outstanding_remote_gets_resolve_in_any_order() {
         .with_net(NetConfig {
             latency_ns: 1_000,
             jitter_ns: 5_000,
+            ..NetConfig::default()
         });
     launch(cfg, |u| {
         let arr = u.new_array::<u64>(64);

@@ -18,6 +18,7 @@ fn two_nodes(ranks: usize) -> RuntimeConfig {
         .with_net(upcr::NetConfig {
             latency_ns: 0,
             jitter_ns: 0,
+            ..upcr::NetConfig::default()
         })
 }
 
@@ -534,6 +535,7 @@ fn rpc_across_nodes_with_latency() {
         .with_net(upcr::NetConfig {
             latency_ns: 100_000,
             jitter_ns: 10_000,
+            ..upcr::NetConfig::default()
         });
     launch(cfg, |u| {
         if u.rank_me() == 0 {

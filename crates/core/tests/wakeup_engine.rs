@@ -22,6 +22,7 @@ fn off_node_completions_arrive_as_wakeups() {
         .with_net(NetConfig {
             latency_ns: 200_000,
             jitter_ns: 0,
+            ..NetConfig::default()
         });
     launch(rt, |u| {
         let mine = u.new_::<u64>(0);
@@ -68,6 +69,7 @@ fn one_completion_among_many_pending_wakes_exactly_one() {
         .with_net(NetConfig {
             latency_ns: 3_000_000,
             jitter_ns: 0,
+            ..NetConfig::default()
         });
     launch(rt, |u| {
         let mine = u.new_::<u64>(0);
@@ -99,6 +101,87 @@ fn one_completion_among_many_pending_wakes_exactly_one() {
         }
         u.barrier();
     });
+}
+
+#[test]
+fn chaos_plan_preserves_version_notification_timing() {
+    // An adversarial fault plan (drops + duplicates + reordering on the
+    // virtual clock) must not change *when* each version is allowed to
+    // notify: 2021.3.0 still never completes before a progress call, and
+    // 2021.3.6-eager still observes on-node completions at initiation.
+    let plan = upcr::FaultPlan::seeded(0xC8A05)
+        .with_drops(200_000)
+        .with_dups(120_000)
+        .with_reorder(250_000, 4_000)
+        .with_retry(2_000, 32_000, 6);
+    let net = NetConfig {
+        latency_ns: 800,
+        jitter_ns: 300,
+        ..NetConfig::default()
+    }
+    .with_virtual_clock()
+    .with_faults(plan);
+
+    for version in [LibVersion::V2021_3_0, LibVersion::V2021_3_6Eager] {
+        let rt = RuntimeConfig::udp(4, 2)
+            .with_version(version)
+            .with_segment_size(1 << 16)
+            .with_net(net);
+        launch(rt, move |u| {
+            let mine = u.new_::<u64>(0);
+            let ptrs: Vec<_> = (0..4).map(|r| u.broadcast(mine, r)).collect();
+            u.barrier();
+            if u.rank_me() == 0 {
+                u.reset_stats();
+                // On-node neighbour: the operation completes synchronously
+                // in every version; only eager may *notify* at initiation.
+                let f = u.rput(7u64, ptrs[1]);
+                if version == LibVersion::V2021_3_0 {
+                    assert!(!f.is_ready(), "2021.3.0 must not complete before progress");
+                    assert_eq!(u.stats().eager_notifications, 0);
+                    u.progress();
+                } else {
+                    assert!(
+                        f.is_ready(),
+                        "eager observes on-node completion at initiation"
+                    );
+                    assert_eq!(u.stats().eager_notifications, 1);
+                }
+                assert!(f.is_ready());
+
+                // Off-node storm through drops, duplicates, and reordering:
+                // every completion must still arrive as exactly one wakeup
+                // token, in every version.
+                let before = u.stats();
+                let mut f = upcr::make_future();
+                for i in 0..K {
+                    f = upcr::conjoin(f, u.rput(i, ptrs[2]));
+                }
+                f.wait();
+                let d = u.stats().since(&before);
+                assert_eq!(d.rputs, K);
+                assert_eq!(d.eager_notifications, 0, "off-node is never eager");
+                assert_eq!(
+                    d.event_wakeups, d.deferred_enqueued,
+                    "wakeup tokens delivered must equal waiters registered"
+                );
+                assert_eq!(d.event_wakeups, K);
+            }
+            u.barrier();
+            // Drain retransmissions and duplicate echoes so the substrate
+            // quiesces before the world is torn down.
+            while u.net_stats().pending > 0 {
+                u.progress();
+            }
+            u.barrier();
+            if u.rank_me() == 0 {
+                let n = u.net_stats();
+                assert!(n.drops_injected > 0, "the plan must actually drop");
+                assert_eq!(n.retries, n.drops_injected);
+                assert!(n.dup_suppressed > 0, "the plan must actually duplicate");
+            }
+        });
+    }
 }
 
 #[test]

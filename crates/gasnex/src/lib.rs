@@ -51,9 +51,10 @@ pub mod world;
 pub use alloc::{OutOfSegmentMemory, SegAlloc};
 pub use am::AmCtx;
 pub use amo::AmoOp;
-pub use config::{Conduit, GasnexConfig, NetConfig};
+pub use config::{ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig};
 pub use event::{Event, EventCore};
 pub use mailbox::{MpQueue, ReadyQueue};
+pub use net::NetStats;
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

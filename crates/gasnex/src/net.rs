@@ -12,24 +12,85 @@
 //!    deferred-notification path, exactly as in the paper.
 //! 2. Delivery order is by due time (ties broken by injection sequence), so
 //!    with uniform latency the network is point-to-point ordered.
+//!
+//! # Chaos mode
+//!
+//! With a [`FaultPlan`] the network becomes a deterministic adversary. Each
+//! logical message carries a sequence number (`msg`); every fault decision
+//! is a pure hash of `(plan seed, msg, attempt)`, so a fixed seed replays
+//! the identical schedule — especially under [`ClockMode::Virtual`], where
+//! "now" is a logical counter that time-warps to the earliest due delivery
+//! instead of reading `Instant`. The reliability layer on top:
+//!
+//! * **Drops** never lose the payload; they convert the delivery into a
+//!   retransmission timer that fires after a bounded exponential backoff
+//!   (`rto_ns << attempt`, capped at `max_backoff_ns`) and re-enters fate
+//!   selection with `attempt + 1`. The attempt before `max_attempts` is
+//!   exempt from drops, so every message is eventually delivered.
+//! * **Duplicates** enqueue an extra payload-free copy of the message; the
+//!   receiver tracks delivered sequence numbers and suppresses the extra
+//!   copy (`dup_suppressed`), so the action still executes exactly once.
+//! * **Reorder / burst / partition** only shift due times; they can starve
+//!   but never cancel a delivery.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::config::NetConfig;
+use crate::config::{ClockMode, FaultPlan, NetConfig};
 use crate::world::World;
 
 /// A delivery action: performs the remote side of an operation (data
 /// movement, atomic execution, AM enqueue) and signals its event.
 pub type NetAction = Box<dyn FnOnce(&World) + Send>;
 
+/// Snapshot of the network's counters, including the chaos-mode reliability
+/// layer. `injected`/`delivered`/`pending` count logical messages and heap
+/// entries exactly as the quiescence protocol sees them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Logical messages injected since creation.
+    pub injected: u64,
+    /// Logical messages delivered (each action executes exactly once).
+    pub delivered: u64,
+    /// Heap entries awaiting a poll: undelivered messages, pending
+    /// retransmission timers, and duplicate copies not yet suppressed.
+    pub pending: usize,
+    /// Polls that lost the queue-lock race twice and returned a busy hint.
+    pub contended_polls: u64,
+    /// Retransmissions performed after an injected drop.
+    pub retries: u64,
+    /// Transmission attempts the fault plan dropped.
+    pub drops_injected: u64,
+    /// Duplicate copies discarded by receiver-side sequence-number dedup.
+    pub dup_suppressed: u64,
+    /// Largest retransmission backoff applied (gauge; bounded by the plan's
+    /// `max_backoff_ns`).
+    pub max_backoff_ns: u64,
+}
+
+enum Payload {
+    /// Transmission attempt number `attempt` of message `msg`, carrying the
+    /// delivery action. If `dropped`, the entry is the retransmission timer
+    /// for a lost packet: popping it reschedules attempt `attempt + 1`
+    /// instead of delivering.
+    Attempt {
+        msg: u64,
+        attempt: u32,
+        dropped: bool,
+        action: NetAction,
+    },
+    /// A duplicated copy of message `msg`. Carries no payload — the
+    /// receiver's dedup discards it on arrival.
+    Dup { msg: u64 },
+}
+
 struct Delivery {
     due_ns: u64,
     seq: u64,
-    action: NetAction,
+    payload: Payload,
 }
 
 impl PartialEq for Delivery {
@@ -53,7 +114,15 @@ impl Ord for Delivery {
 pub struct SimNetwork {
     cfg: NetConfig,
     epoch: Instant,
-    seq: AtomicU64,
+    /// Logical nanoseconds under `ClockMode::Virtual`; advances only inside
+    /// `poll` (under the queue lock), time-warping to the earliest due
+    /// delivery when nothing is currently due.
+    vclock: AtomicU64,
+    /// Logical message ids; `injected()` reports this for quiescence.
+    msg_seq: AtomicU64,
+    /// Heap tie-break sequence. Distinct from `msg_seq` because retries and
+    /// duplicates push extra heap entries for the same logical message.
+    heap_seq: AtomicU64,
     queue: Mutex<BinaryHeap<Reverse<Delivery>>>,
     /// Lock-free mirror of the queue length, so a rank that loses the
     /// `poll` lock race can still tell whether deliveries are outstanding.
@@ -62,47 +131,163 @@ pub struct SimNetwork {
     /// of draining (observability for the quiescence fix).
     contended_polls: AtomicU64,
     delivered: AtomicU64,
+    retries: AtomicU64,
+    drops_injected: AtomicU64,
+    dup_suppressed: AtomicU64,
+    max_backoff_ns: AtomicU64,
+    /// Receiver-side dedup: sequence numbers of delivered messages. Only
+    /// consulted when the fault plan can duplicate.
+    acked: Mutex<HashSet<u64>>,
 }
 
 impl SimNetwork {
     /// Create a network with the given latency parameters.
     pub fn new(cfg: NetConfig) -> Self {
+        if let Some(plan) = cfg.faults {
+            plan.validate();
+        }
         SimNetwork {
             cfg,
             epoch: Instant::now(),
-            seq: AtomicU64::new(0),
+            vclock: AtomicU64::new(0),
+            msg_seq: AtomicU64::new(0),
+            heap_seq: AtomicU64::new(0),
             queue: Mutex::new(BinaryHeap::new()),
             pending_len: AtomicUsize::new(0),
             contended_polls: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            drops_injected: AtomicU64::new(0),
+            dup_suppressed: AtomicU64::new(0),
+            max_backoff_ns: AtomicU64::new(0),
+            acked: Mutex::new(HashSet::new()),
         }
     }
 
     #[inline]
     fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        match self.cfg.clock {
+            ClockMode::Wall => self.epoch.elapsed().as_nanos() as u64,
+            ClockMode::Virtual => self.vclock.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Deterministic per-decision hash: a pure function of the plan seed
+    /// (0 without a plan), the message id, the attempt, and a salt that
+    /// decorrelates the different decisions taken for one attempt.
+    fn mix(&self, msg: u64, attempt: u32, salt: u64) -> u64 {
+        let seed = self.cfg.faults.map_or(0, |f| f.seed);
+        splitmix64(splitmix64(splitmix64(seed ^ msg) ^ u64::from(attempt)) ^ salt)
+    }
+
+    /// Bounded exponential backoff for retransmission `attempt`.
+    fn backoff_ns(plan: &FaultPlan, attempt: u32) -> u64 {
+        plan.rto_ns
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(plan.max_backoff_ns)
+            .max(1)
+    }
+
+    /// Apply the plan's burst and partition windows to a due time. Both
+    /// only push deliveries later; neither can cancel one.
+    fn shape(&self, mut due: u64) -> u64 {
+        if let Some(plan) = &self.cfg.faults {
+            if plan.burst_period_ns > 0 && due % plan.burst_period_ns < plan.burst_len_ns {
+                due += plan.burst_extra_ns;
+            }
+            if due >= plan.partition_at_ns && due < plan.partition_until_ns {
+                due = plan.partition_until_ns;
+            }
+        }
+        due
+    }
+
+    /// Schedule transmission attempt `attempt` of message `msg`, running
+    /// fate selection (drop / duplicate / reorder) against the fault plan.
+    /// Caller holds the queue lock and has already accounted the message in
+    /// `pending_len`; duplicate copies add their own pending entry here.
+    fn schedule_attempt(
+        &self,
+        q: &mut BinaryHeap<Reverse<Delivery>>,
+        msg: u64,
+        attempt: u32,
+        action: NetAction,
+    ) {
+        let now = self.now_ns();
+        let plan = self.cfg.faults;
+        if let Some(plan) = &plan {
+            let droppable = attempt + 1 < plan.max_attempts;
+            if droppable && ppm(self.mix(msg, attempt, 1)) < plan.drop_ppm {
+                // Lost packet: keep the payload on the retransmission timer
+                // so nothing can leak, and re-enter fate selection when the
+                // timer fires.
+                let backoff = Self::backoff_ns(plan, attempt);
+                self.drops_injected.fetch_add(1, Ordering::SeqCst);
+                self.max_backoff_ns.fetch_max(backoff, Ordering::SeqCst);
+                q.push(Reverse(Delivery {
+                    due_ns: now + backoff,
+                    seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+                    payload: Payload::Attempt {
+                        msg,
+                        attempt,
+                        dropped: true,
+                        action,
+                    },
+                }));
+                return;
+            }
+        }
+        let jitter = if self.cfg.jitter_ns == 0 {
+            0
+        } else {
+            // Deterministic per-attempt jitter from the seeded mix — never
+            // from wall-clock state, so identical seeds replay identical
+            // schedules.
+            self.mix(msg, attempt, 0) % (self.cfg.jitter_ns + 1)
+        };
+        let reorder = match &plan {
+            Some(p) if p.reorder_span_ns > 0 && ppm(self.mix(msg, attempt, 2)) < p.reorder_ppm => {
+                self.mix(msg, attempt, 3) % (p.reorder_span_ns + 1)
+            }
+            _ => 0,
+        };
+        let due = self.shape(now + self.cfg.latency_ns + jitter + reorder);
+        q.push(Reverse(Delivery {
+            due_ns: due,
+            seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+            payload: Payload::Attempt {
+                msg,
+                attempt,
+                dropped: false,
+                action,
+            },
+        }));
+        if let Some(plan) = &plan {
+            if ppm(self.mix(msg, attempt, 4)) < plan.dup_ppm {
+                // The wire carried two copies; the extra one trails the
+                // payload copy by a sub-latency offset.
+                let lag = 1 + self.mix(msg, attempt, 5) % self.cfg.latency_ns.max(1);
+                self.pending_len.fetch_add(1, Ordering::SeqCst);
+                q.push(Reverse(Delivery {
+                    due_ns: self.shape(due + lag),
+                    seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+                    payload: Payload::Dup { msg },
+                }));
+            }
+        }
     }
 
     /// Inject an operation for delivery after the configured latency.
     pub fn inject(&self, action: NetAction) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let jitter = if self.cfg.jitter_ns == 0 {
-            0
-        } else {
-            // Deterministic per-message jitter from a mixed sequence number.
-            splitmix64(seq) % (self.cfg.jitter_ns + 1)
-        };
-        let due_ns = self.now_ns() + self.cfg.latency_ns + jitter;
+        let msg = self.msg_seq.fetch_add(1, Ordering::Relaxed);
         self.pending_len.fetch_add(1, Ordering::SeqCst);
-        self.queue.lock().unwrap().push(Reverse(Delivery {
-            due_ns,
-            seq,
-            action,
-        }));
+        let mut q = self.queue.lock().unwrap();
+        self.schedule_attempt(&mut q, msg, 0, action);
     }
 
     /// Execute all deliveries whose due time has passed. Returns the number
-    /// of work items observed: deliveries performed, or a busy hint of 1
+    /// of work items observed: deliveries performed (including suppressed
+    /// duplicates and retransmission timers fired), or a busy hint of 1
     /// when another rank holds the queue while deliveries are outstanding —
     /// a rank that loses the lock race must not conclude "locally idle"
     /// while due work may exist (it would make quiescence sampling
@@ -126,7 +311,22 @@ impl SimNetwork {
         if q.is_empty() {
             return 0;
         }
-        let now = self.now_ns();
+        let now = match self.cfg.clock {
+            ClockMode::Wall => self.epoch.elapsed().as_nanos() as u64,
+            ClockMode::Virtual => {
+                // Time-warp: nothing observable happens between now and the
+                // earliest due time, so jump straight there. The store is
+                // safe because the clock only mutates under the queue lock.
+                let t = self.vclock.load(Ordering::SeqCst);
+                let earliest = q.peek().map_or(t, |Reverse(d)| d.due_ns);
+                if earliest > t {
+                    self.vclock.store(earliest, Ordering::SeqCst);
+                    earliest
+                } else {
+                    t
+                }
+            }
+        };
         let mut due = Vec::new();
         while let Some(Reverse(d)) = q.peek() {
             if d.due_ns > now {
@@ -136,23 +336,60 @@ impl SimNetwork {
         }
         drop(q); // run actions without holding the lock: they may re-inject
         let n = due.len();
+        let dedup = self.cfg.faults.is_some_and(|p| p.dup_ppm > 0);
         for d in due {
-            (d.action)(world);
-            // Counted after the action so injected == delivered implies no
-            // action is mid-flight (quiescence detection).
-            self.delivered.fetch_add(1, Ordering::SeqCst);
-            self.pending_len.fetch_sub(1, Ordering::SeqCst);
+            match d.payload {
+                Payload::Attempt {
+                    msg,
+                    attempt,
+                    dropped: true,
+                    action,
+                } => {
+                    // Retransmission timer fired: resend with the next
+                    // attempt number. The logical message stays pending.
+                    self.retries.fetch_add(1, Ordering::SeqCst);
+                    let mut q = self.queue.lock().unwrap();
+                    self.schedule_attempt(&mut q, msg, attempt + 1, action);
+                }
+                Payload::Attempt {
+                    msg,
+                    dropped: false,
+                    action,
+                    ..
+                } => {
+                    if dedup {
+                        self.acked.lock().unwrap().insert(msg);
+                    }
+                    (action)(world);
+                    // Counted after the action so injected == delivered
+                    // implies no action is mid-flight (quiescence
+                    // detection).
+                    self.delivered.fetch_add(1, Ordering::SeqCst);
+                    self.pending_len.fetch_sub(1, Ordering::SeqCst);
+                }
+                Payload::Dup { msg } => {
+                    // Receiver-side dedup: the sequence number was (almost
+                    // always) already delivered; either way exactly one of
+                    // the two copies is discarded here.
+                    if dedup {
+                        let _seen = self.acked.lock().unwrap().contains(&msg);
+                    }
+                    self.dup_suppressed.fetch_add(1, Ordering::SeqCst);
+                    self.pending_len.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
         }
         n
     }
 
     /// Total operations injected since creation.
     pub fn injected(&self) -> u64 {
-        self.seq.load(Ordering::SeqCst)
+        self.msg_seq.load(Ordering::SeqCst)
     }
 
-    /// Number of operations awaiting delivery (including any being drained
-    /// right now). Lock-free, so it stays readable while a poll is running.
+    /// Number of heap entries awaiting delivery (including any being
+    /// drained right now). Lock-free, so it stays readable while a poll is
+    /// running.
     pub fn pending(&self) -> usize {
         self.pending_len.load(Ordering::SeqCst)
     }
@@ -167,13 +404,52 @@ impl SimNetwork {
         self.delivered.load(Ordering::Relaxed)
     }
 
+    /// Retransmissions performed after injected drops.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Transmission attempts the fault plan dropped.
+    pub fn drops_injected(&self) -> u64 {
+        self.drops_injected.load(Ordering::SeqCst)
+    }
+
+    /// Duplicate copies discarded by receiver dedup.
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed.load(Ordering::SeqCst)
+    }
+
+    /// Largest retransmission backoff applied so far.
+    pub fn max_backoff_ns(&self) -> u64 {
+        self.max_backoff_ns.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot all counters at once.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            injected: self.injected(),
+            delivered: self.delivered(),
+            pending: self.pending(),
+            contended_polls: self.contended_polls(),
+            retries: self.retries(),
+            drops_injected: self.drops_injected(),
+            dup_suppressed: self.dup_suppressed(),
+            max_backoff_ns: self.max_backoff_ns(),
+        }
+    }
+
     /// The configured latency parameters.
     pub fn config(&self) -> NetConfig {
         self.cfg
     }
 }
 
-/// SplitMix64 mixer, used for deterministic jitter.
+#[inline]
+fn ppm(x: u64) -> u32 {
+    (x % 1_000_000) as u32
+}
+
+/// SplitMix64 mixer, used for deterministic jitter and fault fates.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -190,14 +466,21 @@ mod tests {
         World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12))
     }
 
+    fn world_with_net(net: NetConfig) -> std::sync::Arc<World> {
+        World::new(
+            GasnexConfig::udp(2, 1)
+                .with_segment_size(1 << 12)
+                .with_net(net),
+        )
+    }
+
     #[test]
     fn zero_latency_still_asynchronous() {
-        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
-            NetConfig {
-                latency_ns: 0,
-                jitter_ns: 0,
-            },
-        ));
+        let w = world_with_net(NetConfig {
+            latency_ns: 0,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        });
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |_| {
@@ -214,12 +497,11 @@ mod tests {
 
     #[test]
     fn latency_delays_delivery() {
-        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
-            NetConfig {
-                latency_ns: 3_000_000,
-                jitter_ns: 0,
-            },
-        ));
+        let w = world_with_net(NetConfig {
+            latency_ns: 3_000_000,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        });
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |_| {
@@ -254,12 +536,11 @@ mod tests {
 
     #[test]
     fn contended_poll_reports_busy_not_idle() {
-        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
-            NetConfig {
-                latency_ns: 0,
-                jitter_ns: 0,
-            },
-        ));
+        let w = world_with_net(NetConfig {
+            latency_ns: 0,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        });
         w.net().inject(Box::new(|_| {}));
         // Simulate another rank mid-drain by holding the queue lock.
         let guard = w.net().queue.lock().unwrap();
@@ -289,12 +570,11 @@ mod tests {
 
     #[test]
     fn actions_may_reinject() {
-        let w = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12).with_net(
-            NetConfig {
-                latency_ns: 0,
-                jitter_ns: 0,
-            },
-        ));
+        let w = world_with_net(NetConfig {
+            latency_ns: 0,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        });
         let hit = std::sync::Arc::new(AtomicU64::new(0));
         let h = std::sync::Arc::clone(&hit);
         w.net().inject(Box::new(move |world| {
@@ -319,5 +599,121 @@ mod tests {
             // Same seeds give same jitter.
             assert_eq!(vals[0], splitmix64(0) % 101);
         }
+    }
+
+    /// Drive a world to completion single-threadedly, recording the
+    /// delivery order of `n` injected markers.
+    fn delivery_schedule(net: NetConfig, n: u64) -> (Vec<u64>, NetStats) {
+        let w = world_with_net(net);
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for i in 0..n {
+            let log = std::sync::Arc::clone(&log);
+            w.net()
+                .inject(Box::new(move |_| log.lock().unwrap().push(i)));
+        }
+        let mut spins = 0u64;
+        while w.net().delivered() < n || w.net().pending() > 0 {
+            w.net().poll(&w);
+            spins += 1;
+            assert!(spins < 1_000_000, "chaos schedule failed to terminate");
+        }
+        let order = log.lock().unwrap().clone();
+        (order, w.net().stats())
+    }
+
+    #[test]
+    fn virtual_clock_replays_identical_schedules() {
+        // Satellite regression: with the virtual clock, the delivery
+        // schedule is a pure function of the seed — two runs replay
+        // identically, and a different seed produces a different order.
+        let plan = FaultPlan::seeded(7)
+            .with_drops(120_000)
+            .with_dups(90_000)
+            .with_reorder(250_000, 9_000);
+        let net = NetConfig {
+            latency_ns: 1_000,
+            jitter_ns: 800,
+            ..NetConfig::default()
+        }
+        .with_virtual_clock()
+        .with_faults(plan);
+        let (a, sa) = delivery_schedule(net, 64);
+        let (b, sb) = delivery_schedule(net, 64);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_eq!(sa, sb, "same seed must replay the same fault counters");
+        assert_ne!(
+            a,
+            (0..64).collect::<Vec<_>>(),
+            "chaos plan should actually reorder deliveries"
+        );
+        let other = NetConfig {
+            faults: Some(FaultPlan { seed: 8, ..plan }),
+            ..net
+        };
+        let (c, _) = delivery_schedule(other, 64);
+        assert_ne!(a, c, "a different seed should produce a different schedule");
+    }
+
+    #[test]
+    fn drops_retry_with_bounded_backoff_and_terminate() {
+        let plan = FaultPlan::seeded(3)
+            .with_drops(400_000)
+            .with_retry(2_000, 16_000, 5);
+        let (order, stats) = delivery_schedule(NetConfig::chaos(plan), 128);
+        assert_eq!(order.len(), 128, "every message must eventually deliver");
+        assert_eq!(stats.delivered, 128);
+        assert_eq!(stats.pending, 0);
+        assert!(stats.drops_injected > 0, "plan should have dropped packets");
+        assert_eq!(
+            stats.retries, stats.drops_injected,
+            "every drop fires exactly one retransmission"
+        );
+        assert!(stats.max_backoff_ns >= 2_000);
+        assert!(
+            stats.max_backoff_ns <= 16_000,
+            "backoff must respect the plan cap, got {}",
+            stats.max_backoff_ns
+        );
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_exactly_once() {
+        let plan = FaultPlan::seeded(11).with_dups(500_000);
+        let (order, stats) = delivery_schedule(NetConfig::chaos(plan), 96);
+        assert_eq!(order.len(), 96, "dedup must not lose or double-deliver");
+        assert_eq!(stats.delivered, 96);
+        assert!(stats.dup_suppressed > 0, "plan should have duplicated");
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn partition_stalls_then_heals() {
+        // All deliveries due inside the window stall until it heals; with
+        // the virtual clock the heal is observed by time-warp, not sleep.
+        let plan = FaultPlan::seeded(5).with_partition(0, 1_000_000);
+        let net = NetConfig {
+            latency_ns: 100,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        }
+        .with_virtual_clock()
+        .with_faults(plan);
+        let w = world_with_net(net);
+        let hit = std::sync::Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let h = std::sync::Arc::clone(&hit);
+            w.net().inject(Box::new(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // First poll warps to the heal time and delivers everything.
+        while w.net().pending() > 0 {
+            w.net().poll(&w);
+        }
+        assert_eq!(hit.load(Ordering::Relaxed), 8);
+        assert!(
+            w.net().now_ns() >= 1_000_000,
+            "deliveries must wait for the partition to heal"
+        );
     }
 }

@@ -366,6 +366,7 @@ mod tests {
             NetConfig {
                 latency_ns: 0,
                 jitter_ns: 0,
+                ..NetConfig::default()
             },
         ));
         w.net_inject(Box::new(|world| {

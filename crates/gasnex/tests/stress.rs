@@ -106,6 +106,7 @@ fn network_saturation_delivers_everything() {
             .with_net(NetConfig {
                 latency_ns: 500,
                 jitter_ns: 1500,
+                ..NetConfig::default()
             }),
     );
     const N: u64 = 2_000;
@@ -161,6 +162,118 @@ fn collectives_oversubscribed_stress() {
             });
         }
     });
+}
+
+#[test]
+fn ready_queue_interleaved_producers_never_lose_or_duplicate_tokens() {
+    // K producer threads race signal-driven token deposits into the
+    // per-rank ReadyQueues under seeded yield schedules, mixing all three
+    // registration/signal interleavings (route-then-signal,
+    // signal-then-route, and route/yield/signal). Concurrent per-rank
+    // drainers must observe every token exactly once, at its designated
+    // rank, with each producer's per-rank subsequence in signal order —
+    // and the number of wakeup tokens delivered must equal the number of
+    // signals fired.
+    use graphgen::SeededRng;
+    use std::sync::Mutex;
+
+    const PRODUCERS: u64 = 8;
+    const PER: u64 = 400;
+    const RANKS: usize = 4;
+    let w = World::new(GasnexConfig::smp(RANKS).with_segment_size(1 << 12));
+    let producers_done = AtomicU64::new(0);
+    let signals_fired = AtomicU64::new(0);
+    let drained: Vec<Mutex<Vec<u64>>> = (0..RANKS).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let w = Arc::clone(&w);
+            let producers_done = &producers_done;
+            let signals_fired = &signals_fired;
+            s.spawn(move || {
+                let mut r = SeededRng::seed_from_u64(0xC4A05 ^ p);
+                for i in 0..PER {
+                    let token = p * PER + i;
+                    let target = Rank((token % RANKS as u64) as u32);
+                    let ev = gasnex::EventCore::new();
+                    match r.below(3) {
+                        0 => {
+                            w.route_signal(&ev, target, token);
+                            ev.signal();
+                        }
+                        1 => {
+                            // Already-signalled events deposit at routing.
+                            ev.signal();
+                            w.route_signal(&ev, target, token);
+                        }
+                        _ => {
+                            w.route_signal(&ev, target, token);
+                            std::thread::yield_now();
+                            ev.signal();
+                        }
+                    }
+                    signals_fired.fetch_add(1, Ordering::SeqCst);
+                    if r.below(4) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                producers_done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for rk in 0..RANKS {
+            let w = Arc::clone(&w);
+            let producers_done = &producers_done;
+            let drained = &drained;
+            s.spawn(move || {
+                let me = Rank(rk as u32);
+                let mut got = Vec::new();
+                let mut buf = Vec::new();
+                loop {
+                    w.drain_ready(me, &mut buf);
+                    got.append(&mut buf);
+                    // All deposits happen-before the producer-done bump, so
+                    // once every producer is done an empty queue is final.
+                    if producers_done.load(Ordering::SeqCst) == PRODUCERS && w.ready_queued(me) == 0
+                    {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                *drained[rk].lock().unwrap() = got;
+            });
+        }
+    });
+
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0u64;
+    for (rk, per_rank) in drained.iter().enumerate() {
+        let got = per_rank.lock().unwrap();
+        total += got.len() as u64;
+        let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+        for &token in got.iter() {
+            assert_eq!(
+                (token % RANKS as u64) as usize,
+                rk,
+                "token {token} surfaced at the wrong rank"
+            );
+            assert!(seen.insert(token), "token {token} delivered twice");
+            let p = (token / PER) as usize;
+            assert!(
+                last_per_producer[p].is_none_or(|prev| prev < token),
+                "producer {p}'s tokens out of signal order at rank {rk}"
+            );
+            last_per_producer[p] = Some(token);
+        }
+    }
+    assert_eq!(
+        total,
+        signals_fired.load(Ordering::SeqCst),
+        "wakeup tokens delivered must equal signals fired"
+    );
+    assert_eq!(total, PRODUCERS * PER, "no token may be lost");
+    for rk in 0..RANKS {
+        assert_eq!(w.ready_queued(Rank(rk as u32)), 0);
+    }
 }
 
 #[test]

@@ -94,17 +94,31 @@ fn verify(u: &Upcr, table: &GupsTable, cfg: &GupsConfig) -> usize {
     u.allreduce_sum_u64(mine as u64) as usize
 }
 
+/// Segment size fitting the per-rank table block plus scratch and slack.
+fn segment_for(ranks: usize, cfg: &GupsConfig) -> usize {
+    let block_bytes = (cfg.table_size() / ranks) * 8;
+    (block_bytes + (cfg.batch + 1024) * 8)
+        .next_power_of_two()
+        .max(1 << 16)
+}
+
 /// Launch a fresh runtime and run one variant under the given version.
 /// The entry point the benchmark harness sweeps.
 pub fn benchmark(ranks: usize, version: LibVersion, cfg: &GupsConfig, variant: Variant) -> GupsRun {
-    // Size segments for the table block plus scratch and slack.
-    let block_bytes = (cfg.table_size() / ranks) * 8;
-    let seg = (block_bytes + (cfg.batch + 1024) * 8)
-        .next_power_of_two()
-        .max(1 << 16);
     let rt = RuntimeConfig::smp(ranks)
         .with_version(version)
-        .with_segment_size(seg);
+        .with_segment_size(segment_for(ranks, cfg));
+    benchmark_on(rt, cfg, variant)
+}
+
+/// Run one variant on a caller-supplied runtime configuration — the entry
+/// the differential chaos harness uses to put GUPS on a multi-node world
+/// with a faulted network. The segment size is adjusted upward if the
+/// table would not fit.
+pub fn benchmark_on(rt: RuntimeConfig, cfg: &GupsConfig, variant: Variant) -> GupsRun {
+    let ranks = rt.gasnex.ranks;
+    let seg = segment_for(ranks, cfg).max(rt.gasnex.segment_size);
+    let rt = rt.with_segment_size(seg);
     let cfg = *cfg;
     let results = launch(rt, move |u| run(u, &cfg, variant));
     results[0]

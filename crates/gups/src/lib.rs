@@ -26,5 +26,5 @@ pub mod table;
 pub mod variants;
 
 pub use config::{GupsConfig, Variant};
-pub use harness::{benchmark, run, GupsRun};
+pub use harness::{benchmark, benchmark_on, run, GupsRun};
 pub use table::GupsTable;

@@ -1,0 +1,350 @@
+//! # simtest — differential eager/defer correctness harness
+//!
+//! The paper's central claim is that eager notification changes only *when*
+//! a completion is signalled, never *what* the program computes. This crate
+//! turns that claim into an executable invariant: it runs the same seeded
+//! workload under every [`LibVersion`] on a multi-node world whose network
+//! is a deterministic adversary (the chaos mode of `gasnex::SimNetwork` —
+//! seeded drops, duplicates, reordering, burst delays, and partition
+//! windows over a virtual clock), and reduces each run to an [`Outcome`]:
+//! a digest of the final shared-memory state, the number of completed
+//! operations, and the reliability-layer counters. Two runs are
+//! *observationally equivalent* exactly when their outcomes are equal.
+//!
+//! Workload state is constructed so the final memory image is independent
+//! of thread scheduling: every shared word has a single writer (put/get
+//! storms, `when_all` fan-ins) or only commutative updates (atomic storms,
+//! GUPS xor), so any divergence between library versions is a real
+//! semantics change, not a race artifact.
+
+use gasnex::{FaultPlan, NetConfig, NetStats};
+use graphgen::SeededRng;
+use gups::{GupsConfig, Variant};
+use upcr::{conjoin, launch, GlobalPtr, LibVersion, RuntimeConfig, Upcr};
+
+/// Ranks per differential run.
+pub const RANKS: usize = 4;
+/// Ranks per simulated node (two nodes, so half the traffic crosses the
+/// simulated network).
+pub const RANKS_PER_NODE: usize = 2;
+
+/// The seeded workloads the harness sweeps. Each is deterministic in final
+/// memory state for a fixed `(workload, seed)` regardless of scheduling or
+/// library version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Disjoint-slot RMA put storm followed by a read-back get storm.
+    PutGetStorm,
+    /// Fetching and non-fetching atomics with per-counter commutative op
+    /// classes (add counters, xor counters).
+    AtomicStorm,
+    /// Rounds of `when_all`-conjoined local + remote puts per rank.
+    WhenAllFanIn,
+    /// A small GUPS run (atomic-xor variant, exact) over the faulted
+    /// network, verified against the race-free table.
+    GupsSmall,
+}
+
+impl Workload {
+    /// All workloads, in sweep order.
+    pub const ALL: [Workload; 4] = [
+        Workload::PutGetStorm,
+        Workload::AtomicStorm,
+        Workload::WhenAllFanIn,
+        Workload::GupsSmall,
+    ];
+
+    /// Human-readable name for assertion messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PutGetStorm => "put-get-storm",
+            Workload::AtomicStorm => "atomic-storm",
+            Workload::WhenAllFanIn => "when-all-fan-in",
+            Workload::GupsSmall => "gups-small",
+        }
+    }
+}
+
+/// Everything observable about one run. Two semantically equivalent runs
+/// must agree on every field: the memory digest and completion count by the
+/// paper's claim, and the network counters because fault fates are a pure
+/// function of `(plan seed, message id, attempt)` and both runs inject the
+/// same logical messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Order-insensitive-free digest of the final shared state, folded in
+    /// rank order (identical on every rank, asserted inside the run).
+    pub digest: u64,
+    /// Completed communication operations summed over ranks
+    /// (`rputs + rgets + amos + rpcs`; every one was waited on).
+    pub completions: u64,
+    /// Logical messages injected into the simulated network.
+    pub injected: u64,
+    /// Logical messages delivered (equals `injected` after the drain).
+    pub delivered: u64,
+    /// Retransmissions performed by the reliability layer.
+    pub retries: u64,
+    /// Transmission attempts the fault plan dropped.
+    pub drops_injected: u64,
+    /// Duplicate copies suppressed by receiver dedup.
+    pub dup_suppressed: u64,
+    /// Largest retransmission backoff applied, bounded by the plan.
+    pub max_backoff_ns: u64,
+}
+
+/// The named fault plans the harness sweeps for a given seed. Includes the
+/// combined drop+duplicate+reorder adversary the acceptance criteria call
+/// for, plus burst and partition windows.
+pub fn fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drop-heavy",
+            FaultPlan::seeded(seed)
+                .with_drops(250_000)
+                .with_retry(4_000, 64_000, 6),
+        ),
+        (
+            "dup-reorder",
+            FaultPlan::seeded(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5)
+                .with_dups(200_000)
+                .with_reorder(300_000, 6_000),
+        ),
+        (
+            "combined",
+            FaultPlan::seeded(seed.wrapping_mul(0x85EB_CA6B) ^ 0x5A5A)
+                .with_drops(150_000)
+                .with_dups(120_000)
+                .with_reorder(200_000, 5_000)
+                .with_burst(20_000, 4_000, 8_000)
+                .with_partition(10_000, 40_000)
+                .with_retry(4_000, 64_000, 6),
+        ),
+    ]
+}
+
+/// Network configuration for a run: virtual clock (replayable schedules),
+/// non-zero latency and jitter, and optionally a fault plan.
+pub fn net_for(plan: Option<FaultPlan>) -> NetConfig {
+    let base = NetConfig {
+        latency_ns: 800,
+        jitter_ns: 300,
+        ..NetConfig::default()
+    }
+    .with_virtual_clock();
+    match plan {
+        Some(p) => base.with_faults(p),
+        None => base,
+    }
+}
+
+/// Run `workload` under `version` with the given seed and optional fault
+/// plan, reducing the run to its [`Outcome`].
+pub fn run(workload: Workload, version: LibVersion, seed: u64, plan: Option<FaultPlan>) -> Outcome {
+    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+        .with_version(version)
+        .with_segment_size(1 << 18)
+        .with_net(net_for(plan));
+    let results = launch(rt, move |u| {
+        let digest = match workload {
+            Workload::PutGetStorm => put_get_storm(u, seed),
+            Workload::AtomicStorm => atomic_storm(u, seed),
+            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
+            Workload::GupsSmall => gups_small(u),
+        };
+        // Drain duplicate echoes so the reliability counters are final and
+        // deterministic, then snapshot everything.
+        u.barrier();
+        while u.net_stats().pending > 0 {
+            u.progress();
+        }
+        u.barrier();
+        let s = u.stats();
+        let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
+        let net = u.net_stats();
+        (digest, completions, net)
+    });
+    let (digest, completions, net) = results[0];
+    for (d, c, _) in &results {
+        assert_eq!((*d, *c), (digest, completions), "ranks disagree on outcome");
+    }
+    outcome_from(digest, completions, net)
+}
+
+fn outcome_from(digest: u64, completions: u64, net: NetStats) -> Outcome {
+    assert_eq!(
+        net.injected, net.delivered,
+        "drained run must have delivered every injected message"
+    );
+    assert_eq!(net.pending, 0, "drained run must leave nothing pending");
+    Outcome {
+        digest,
+        completions,
+        injected: net.injected,
+        delivered: net.delivered,
+        retries: net.retries,
+        drops_injected: net.drops_injected,
+        dup_suppressed: net.dup_suppressed,
+        max_backoff_ns: net.max_backoff_ns,
+    }
+}
+
+/// Digest fold: order-sensitive splitmix chaining (state is always folded
+/// in a canonical order — slot order within a rank, rank order globally).
+pub fn fold(h: u64, v: u64) -> u64 {
+    graphgen::splitmix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Deterministic per-slot value, independent of which rank computes it.
+fn slot_val(seed: u64, target: usize, slot: usize, round: usize) -> u64 {
+    fold(
+        fold(fold(seed, target as u64), slot as u64),
+        round as u64 + 1,
+    )
+}
+
+/// Broadcast every rank's base pointer (encoded) so any rank can address
+/// any rank's array.
+fn gather_ptrs(u: &Upcr, base: GlobalPtr<u64>) -> Vec<GlobalPtr<u64>> {
+    u.gather_all(base.encode())
+        .into_iter()
+        .map(GlobalPtr::decode)
+        .collect()
+}
+
+/// Digest this rank's local array, then fold all ranks' digests in rank
+/// order. Identical on every rank.
+fn digest_arrays(u: &Upcr, base: GlobalPtr<u64>, words: usize) -> u64 {
+    let slice = u.local_slice_u64(base, words);
+    let mut h = 0x9E37_79B9_7F4A_7C15;
+    for w in slice {
+        h = fold(h, w.load(std::sync::atomic::Ordering::Relaxed));
+    }
+    let all = u.gather_all(h);
+    let mut d = 0;
+    for x in all {
+        d = fold(d, x);
+    }
+    d
+}
+
+/// RMA storm: every slot `j` of every rank's array is written by exactly
+/// one rank (`j % rank_n`), so the final image is race-free; afterwards the
+/// writer reads every slot back and checks the value survived the faulted
+/// network intact.
+fn put_get_storm(u: &Upcr, seed: u64) -> u64 {
+    const WORDS: usize = 48;
+    let n = u.rank_n();
+    let me = u.rank_me();
+    let base = u.new_array::<u64>(WORDS);
+    let bases = gather_ptrs(u, base);
+    u.barrier();
+    let mut puts = Vec::new();
+    for (t, b) in bases.iter().enumerate().take(n) {
+        for j in (me..WORDS).step_by(n) {
+            puts.push(u.rput(slot_val(seed, t, j, 0), b.add(j)));
+        }
+    }
+    for f in &puts {
+        f.wait();
+    }
+    u.barrier();
+    let mut gets = Vec::new();
+    for (t, b) in bases.iter().enumerate().take(n) {
+        for j in (me..WORDS).step_by(n) {
+            gets.push((t, j, u.rget(b.add(j))));
+        }
+    }
+    for (t, j, f) in gets {
+        assert_eq!(
+            f.wait(),
+            slot_val(seed, t, j, 0),
+            "slot ({t},{j}) corrupted by the faulted network"
+        );
+    }
+    u.barrier();
+    digest_arrays(u, base, WORDS)
+}
+
+/// Atomic storm: counters 0..4 take only (fetching and non-fetching) adds,
+/// counters 4..8 only xors, so every counter's final value is a commutative
+/// fold of all ranks' operands — deterministic despite racing updates.
+fn atomic_storm(u: &Upcr, seed: u64) -> u64 {
+    const COUNTERS: usize = 8;
+    const OPS: usize = 64;
+    let n = u.rank_n();
+    let me = u.rank_me();
+    let base = u.new_array::<u64>(COUNTERS);
+    let bases = gather_ptrs(u, base);
+    let ad = u.atomic_domain::<u64>();
+    let mut rng = SeededRng::seed_from_u64(fold(seed, me as u64));
+    u.barrier();
+    let mut unit = Vec::new();
+    let mut fetched = Vec::new();
+    for _ in 0..OPS {
+        let t = rng.below(n);
+        let c = rng.below(COUNTERS);
+        let v = rng.next_u64();
+        let p = bases[t].add(c);
+        match (c < COUNTERS / 2, rng.below(2) == 0) {
+            (true, true) => unit.push(ad.add(p, v)),
+            (true, false) => fetched.push(ad.fetch_add(p, v)),
+            (false, true) => unit.push(ad.bit_xor(p, v)),
+            (false, false) => fetched.push(ad.fetch_bit_xor(p, v)),
+        }
+    }
+    for f in &unit {
+        f.wait();
+    }
+    for f in &fetched {
+        // Fetched values depend on interleaving; only completion matters.
+        f.wait();
+    }
+    u.barrier();
+    digest_arrays(u, base, COUNTERS)
+}
+
+/// `when_all` fan-in: each round conjoins a ready base future with puts to
+/// this rank's own slots (addressable — the eager path) and to the next
+/// rank's slots (cross-node for half the ranks), then waits on the single
+/// conjoined future. Slot writers stay disjoint: rank r writes the low half
+/// of its own array and the high half of its successor's.
+fn when_all_fan_in(u: &Upcr, seed: u64) -> u64 {
+    const WORDS: usize = 32;
+    const ROUNDS: usize = 6;
+    let n = u.rank_n();
+    let me = u.rank_me();
+    let next = (me + 1) % n;
+    let base = u.new_array::<u64>(WORDS);
+    let bases = gather_ptrs(u, base);
+    u.barrier();
+    for round in 0..ROUNDS {
+        let mut f = u.make_future();
+        for j in 0..WORDS / 2 {
+            f = conjoin(f, u.rput(slot_val(seed, me, j, round), bases[me].add(j)));
+        }
+        for j in WORDS / 2..WORDS {
+            f = conjoin(
+                f,
+                u.rput(slot_val(seed, next, j, round), bases[next].add(j)),
+            );
+        }
+        f.wait();
+    }
+    u.barrier();
+    digest_arrays(u, base, WORDS)
+}
+
+/// Small GUPS (atomic-xor variant — exact by construction): the digest is
+/// the verified error count folded with the update count, so any lost or
+/// double-applied update under the faulted network shows up.
+fn gups_small(u: &Upcr) -> u64 {
+    let cfg = GupsConfig {
+        log2_table: 10,
+        updates_per_word: 1,
+        batch: 16,
+        verify: true,
+    };
+    let r = gups::run(u, &cfg, Variant::AmoFuture);
+    assert_eq!(r.errors, 0, "atomic GUPS must stay exact under chaos");
+    fold(fold(0, r.updates as u64), r.errors as u64)
+}

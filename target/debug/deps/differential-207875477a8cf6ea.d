@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-207875477a8cf6ea.d: crates/simtest/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-207875477a8cf6ea: crates/simtest/tests/differential.rs
+
+crates/simtest/tests/differential.rs:

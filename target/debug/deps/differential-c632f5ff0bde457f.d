@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-c632f5ff0bde457f.d: crates/simtest/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-c632f5ff0bde457f.rmeta: crates/simtest/tests/differential.rs Cargo.toml
+
+crates/simtest/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gasnex-39847e3449cc1763.d: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs
+
+/root/repo/target/debug/deps/gasnex-39847e3449cc1763: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs
+
+crates/gasnex/src/lib.rs:
+crates/gasnex/src/alloc.rs:
+crates/gasnex/src/am.rs:
+crates/gasnex/src/amo.rs:
+crates/gasnex/src/collectives.rs:
+crates/gasnex/src/config.rs:
+crates/gasnex/src/event.rs:
+crates/gasnex/src/mailbox.rs:
+crates/gasnex/src/net.rs:
+crates/gasnex/src/rank.rs:
+crates/gasnex/src/segment.rs:
+crates/gasnex/src/world.rs:

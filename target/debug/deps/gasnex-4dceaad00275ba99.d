@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gasnex-4dceaad00275ba99.d: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgasnex-4dceaad00275ba99.rmeta: crates/gasnex/src/lib.rs crates/gasnex/src/alloc.rs crates/gasnex/src/am.rs crates/gasnex/src/amo.rs crates/gasnex/src/collectives.rs crates/gasnex/src/config.rs crates/gasnex/src/event.rs crates/gasnex/src/mailbox.rs crates/gasnex/src/net.rs crates/gasnex/src/rank.rs crates/gasnex/src/segment.rs crates/gasnex/src/world.rs Cargo.toml
+
+crates/gasnex/src/lib.rs:
+crates/gasnex/src/alloc.rs:
+crates/gasnex/src/am.rs:
+crates/gasnex/src/amo.rs:
+crates/gasnex/src/collectives.rs:
+crates/gasnex/src/config.rs:
+crates/gasnex/src/event.rs:
+crates/gasnex/src/mailbox.rs:
+crates/gasnex/src/net.rs:
+crates/gasnex/src/rank.rs:
+crates/gasnex/src/segment.rs:
+crates/gasnex/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

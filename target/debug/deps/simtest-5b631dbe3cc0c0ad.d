@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simtest-5b631dbe3cc0c0ad.d: crates/simtest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimtest-5b631dbe3cc0c0ad.rmeta: crates/simtest/src/lib.rs Cargo.toml
+
+crates/simtest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simtest-d5aa200ad136ddf0.d: crates/simtest/src/lib.rs
+
+/root/repo/target/debug/deps/libsimtest-d5aa200ad136ddf0.rlib: crates/simtest/src/lib.rs
+
+/root/repo/target/debug/deps/libsimtest-d5aa200ad136ddf0.rmeta: crates/simtest/src/lib.rs
+
+crates/simtest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simtest-efa12ad82fc566a4.d: crates/simtest/src/lib.rs
+
+/root/repo/target/debug/deps/simtest-efa12ad82fc566a4: crates/simtest/src/lib.rs
+
+crates/simtest/src/lib.rs:

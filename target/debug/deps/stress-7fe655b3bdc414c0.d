@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-7fe655b3bdc414c0.d: crates/gasnex/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-7fe655b3bdc414c0: crates/gasnex/tests/stress.rs
+
+crates/gasnex/tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-a7c79e78d793ced4.d: crates/gasnex/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-a7c79e78d793ced4.rmeta: crates/gasnex/tests/stress.rs Cargo.toml
+
+crates/gasnex/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

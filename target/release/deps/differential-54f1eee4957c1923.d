@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-54f1eee4957c1923.d: crates/simtest/tests/differential.rs
+
+/root/repo/target/release/deps/differential-54f1eee4957c1923: crates/simtest/tests/differential.rs
+
+crates/simtest/tests/differential.rs:

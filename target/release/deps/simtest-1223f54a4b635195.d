@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simtest-1223f54a4b635195.d: crates/simtest/src/lib.rs
+
+/root/repo/target/release/deps/simtest-1223f54a4b635195: crates/simtest/src/lib.rs
+
+crates/simtest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simtest-fb1553c20c8f3df1.d: crates/simtest/src/lib.rs
+
+/root/repo/target/release/deps/libsimtest-fb1553c20c8f3df1.rlib: crates/simtest/src/lib.rs
+
+/root/repo/target/release/deps/libsimtest-fb1553c20c8f3df1.rmeta: crates/simtest/src/lib.rs
+
+crates/simtest/src/lib.rs:

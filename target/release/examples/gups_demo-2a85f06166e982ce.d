@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gups_demo-2a85f06166e982ce.d: examples/gups_demo.rs
+
+/root/repo/target/release/examples/gups_demo-2a85f06166e982ce: examples/gups_demo.rs
+
+examples/gups_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f80b105880b590e3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f80b105880b590e3: examples/quickstart.rs
+
+examples/quickstart.rs:

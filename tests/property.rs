@@ -48,6 +48,14 @@ fn random_tree(r: &mut SeededRng, pending: usize, depth: usize) -> Tree {
     }
 }
 
+fn build_tree(t: &Tree, sources: &[upcr::Promise<()>]) -> upcr::Future<()> {
+    match t {
+        Tree::Ready => upcr::make_future(),
+        Tree::Pending(i) => sources[*i].get_future(),
+        Tree::Conjoin(a, b) => upcr::conjoin(build_tree(a, sources), build_tree(b, sources)),
+    }
+}
+
 fn used_pendings(t: &Tree, out: &mut std::collections::BTreeSet<usize>) {
     match t {
         Tree::Ready => {}
@@ -74,14 +82,7 @@ fn conjoin_tree_readiness_semantics() {
         // Build the pending sources outside any runtime (the when_all
         // optimization defaults on; semantics must not depend on it).
         let sources: Vec<upcr::Promise<()>> = (0..6).map(|_| upcr::Promise::new()).collect();
-        fn build(t: &Tree, sources: &[upcr::Promise<()>]) -> upcr::Future<()> {
-            match t {
-                Tree::Ready => upcr::make_future(),
-                Tree::Pending(i) => sources[*i].get_future(),
-                Tree::Conjoin(a, b) => upcr::conjoin(build(a, sources), build(b, sources)),
-            }
-        }
-        let fut = build(&tree, &sources);
+        let fut = build_tree(&tree, &sources);
         let mut needed = std::collections::BTreeSet::new();
         used_pendings(&tree, &mut needed);
         // Promise futures are pending until finalized.
@@ -130,6 +131,102 @@ fn when_all_value_always_carries_the_value() {
             p.finalize();
         }
         assert_eq!(f.result(), v);
+    }
+}
+
+#[test]
+fn conjoin_ready_units_collapse_to_shared_cell() {
+    // §III-C: conjoining N ready value-less futures must return the rank's
+    // shared ready cell — the very cell `make_future()` hands out — with no
+    // graph nodes and no cell allocations.
+    let cfg = upcr::RuntimeConfig::smp(1)
+        .with_version(upcr::LibVersion::V2021_3_6Eager)
+        .with_segment_size(1 << 16);
+    upcr::launch(cfg, |u| {
+        let mut r = rng(0x57A2ED);
+        for _case in 0..64 {
+            let n = 1 + r.below(16);
+            u.reset_stats();
+            let f = upcr::conjoin_all((0..n).map(|_| upcr::make_future()));
+            assert!(f.is_ready());
+            assert!(
+                f.ptr_eq(&upcr::make_future()),
+                "all-ready conjoin must return the shared ready cell (n = {n})"
+            );
+            let s = u.stats();
+            assert_eq!(s.when_all_fast, n as u64);
+            assert_eq!(s.when_all_nodes, 0);
+            assert_eq!(s.cell_allocs, 0);
+        }
+    });
+
+    // Under 2021.3.0 semantics the same chain builds one dependency node per
+    // conjoin and the result is a fresh cell, never the shared one.
+    let cfg = upcr::RuntimeConfig::smp(1)
+        .with_version(upcr::LibVersion::V2021_3_0)
+        .with_segment_size(1 << 16);
+    upcr::launch(cfg, |u| {
+        u.reset_stats();
+        let f = upcr::conjoin_all((0..5).map(|_| upcr::make_future()));
+        assert!(f.is_ready());
+        assert!(!f.ptr_eq(&upcr::make_future()));
+        assert_eq!(u.stats().when_all_nodes, 5);
+    });
+}
+
+#[test]
+fn conjoin_single_pending_returns_contributing_future() {
+    // Exactly one pending input among N: the conjoined result *is* that
+    // input (the same cell), wherever it sits in the chain — the other
+    // fast-path case of the paper's elision.
+    let mut r = rng(0x1FA7E);
+    for _case in 0..64 {
+        let n = 2 + r.below(14);
+        let pos = r.below(n);
+        let p = upcr::Promise::new();
+        let pending = p.get_future();
+        let f = upcr::conjoin_all((0..n).map(|i| {
+            if i == pos {
+                pending.clone()
+            } else {
+                upcr::make_future()
+            }
+        }));
+        assert!(!f.is_ready());
+        assert!(
+            f.ptr_eq(&pending),
+            "single-pending conjoin must pass the input through (pos {pos} of {n})"
+        );
+        p.finalize();
+        assert!(f.is_ready());
+    }
+}
+
+#[test]
+fn conjoin_result_independent_of_fulfillment_order() {
+    // Two instantiations of the same random conjoin tree, fulfilled in two
+    // independently shuffled orders, agree on the outcome: both become ready
+    // and a value riding on top via `when_all_value` arrives unchanged.
+    const PENDING: usize = 6;
+    let mut r = rng(0x0D3A);
+    for _case in 0..64 {
+        let tree = random_tree(&mut r, PENDING, 4);
+        let v = r.next_u64();
+        let mut results = Vec::new();
+        for _run in 0..2 {
+            let sources: Vec<upcr::Promise<()>> =
+                (0..PENDING).map(|_| upcr::Promise::new()).collect();
+            let f = upcr::when_all_value(upcr::Future::ready(v), build_tree(&tree, &sources));
+            let mut order: Vec<usize> = (0..PENDING).collect();
+            shuffle(&mut order, &mut r);
+            for i in order {
+                sources[i].finalize();
+            }
+            assert!(f.is_ready(), "tree {tree:?}");
+            results.push(f.result());
+        }
+        assert_eq!(results[0], results[1], "tree {tree:?}");
+        assert_eq!(results[0], v);
     }
 }
 
