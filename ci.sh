@@ -6,6 +6,9 @@
 #   ./ci.sh          tier-1 gate: fmt, clippy, release build, tests
 #   ./ci.sh chaos    differential chaos sweep: 8 fixed seeds x 3 fault
 #                    plans through crates/simtest in release mode
+#   ./ci.sh trace    trace smoke: seeded GUPS-small with lifecycle tracing
+#                    on; the exported Chrome-trace JSON must parse and
+#                    contain >=1 eager and >=1 deferred notification event
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,8 +42,21 @@ case "$job" in
 
     echo "Chaos sweep green."
     ;;
+  trace)
+    # `--check-notify` makes the binary itself the gate: it re-parses the
+    # exported JSON (hand-rolled parser, no deps) and fails unless both
+    # completion paths are represented.
+    out="$(mktemp -d)/trace.json"
+    echo "==> simtest --workload gups-small --seed 42 --plan combined --trace-out $out --check-notify"
+    cargo run -p simtest --bin simtest --release -q -- \
+      --workload gups-small --seed 42 --plan combined \
+      --trace-out "$out" --check-notify
+    test -s "$out" || { echo "trace export missing or empty" >&2; exit 1; }
+
+    echo "Trace smoke green."
+    ;;
   *)
-    echo "unknown job: $job (expected tier1 or chaos)" >&2
+    echo "unknown job: $job (expected tier1, chaos, or trace)" >&2
     exit 2
     ;;
 esac

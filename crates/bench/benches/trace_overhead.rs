@@ -1,0 +1,53 @@
+//! Observability acceptance bench: disabled-mode tracing overhead on the
+//! local eager `rput` hot path.
+//!
+//! Three series over the identical loop:
+//!
+//! - `baseline` — `micro::run(Put)`, which never touches the trace flag
+//!   (the pre-tracing code path; off is the default);
+//! - `tracing-off` — the flag explicitly cleared, exercising the one
+//!   predictably-taken branch per instrumentation site;
+//! - `tracing-on` — full span recording into the ring buffer plus the
+//!   latency histograms, for scale.
+//!
+//! Acceptance: `tracing-off` within noise (< 3%) of `baseline`.
+
+use std::time::Duration;
+
+use bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::micro::{self, MicroOp};
+use bench::trace_overhead;
+use upcr::LibVersion;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
+    g.bench_with_input(BenchmarkId::new("rput", "baseline"), &(), |b, _| {
+        b.iter_custom(|iters| micro::run(LibVersion::V2021_3_6Eager, MicroOp::Put, iters))
+    });
+    g.bench_with_input(BenchmarkId::new("rput", "tracing-off"), &(), |b, _| {
+        b.iter_custom(|iters| trace_overhead::rput_loop(false, iters))
+    });
+    g.bench_with_input(BenchmarkId::new("rput", "tracing-on"), &(), |b, _| {
+        b.iter_custom(|iters| trace_overhead::rput_loop(true, iters))
+    });
+    g.finish();
+
+    // One-shot summary of the acceptance ratio (the per-series numbers
+    // above carry the noise bars).
+    let iters = 400_000;
+    let base = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::Put, iters);
+    let off = trace_overhead::ns_per_op(false, iters);
+    let on = trace_overhead::ns_per_op(true, iters);
+    println!(
+        "\ntrace_overhead summary: baseline {base:.1} ns/op, tracing-off {off:.1} ns/op \
+         ({:+.2}%), tracing-on {on:.1} ns/op ({:+.2}%)",
+        100.0 * (off / base - 1.0),
+        100.0 * (on / base - 1.0),
+    );
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

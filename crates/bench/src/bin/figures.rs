@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures [micro] [gups] [matching] [offnode] [ablation] [all]
+//! figures [micro] [gups] [matching] [offnode] [ablation] [latency] [all]
 //!         [--quick]            # reduced iteration counts / sizes
 //!         [--ranks N]          # GUPS / matching rank count (default 16)
 //!         [--scale X]          # matching graph scale (default 0.25)
@@ -11,7 +11,8 @@
 //!
 //! Output sections correspond to: Figures 2–4 (microbenchmarks), Figures
 //! 5–7 (GUPS), Figure 8 (graph matching), the §IV-A off-node validation,
-//! and the DESIGN.md ablations.
+//! the DESIGN.md ablations, and the completion-path latency histograms
+//! from the operation-lifecycle trace subsystem.
 
 use bench::micro::MicroOp;
 use bench::{ablation, fmt_row, micro, offnode, VERSIONS};
@@ -101,6 +102,9 @@ fn main() {
     if want(&args, "ablation") {
         ablations(&args);
     }
+    if want(&args, "latency") {
+        latency_histograms(&args);
+    }
     if want(&args, "matching-mp") || args.sections.iter().any(|x| x == "all") {
         matching_mp_comparison(&args);
     }
@@ -136,6 +140,53 @@ fn matching_mp_comparison(args: &Args) {
             mp_secs * 1e3,
             msgs
         );
+    }
+    println!();
+}
+
+/// Completion-path latency distribution, from the lifecycle tracer: a
+/// traced small GUPS run (atomics w/futures) per library version, p50/p99
+/// per (op kind × completion path) merged across ranks. The eager build
+/// should show its completions concentrated on the eager path at ~0
+/// latency; the defer builds push everything through the progress engine.
+fn latency_histograms(args: &Args) {
+    let ranks = args.ranks.clamp(2, 8);
+    let cfg = GupsConfig {
+        log2_table: if args.quick { 12 } else { 16 },
+        updates_per_word: 1,
+        batch: 64,
+        verify: false,
+    };
+    println!(
+        "== Completion-path latency (traced GUPS, atomics w/futures, {ranks} ranks over 2 nodes) ==\n"
+    );
+    for &version in &VERSIONS {
+        let rt = upcr::RuntimeConfig::udp(ranks, ranks / 2)
+            .with_version(version)
+            .with_segment_size((cfg.table_size() / ranks * 8 + (1 << 16)).next_power_of_two());
+        let hists = upcr::launch(rt, |u| {
+            u.trace_enabled(true);
+            gups::run(u, &cfg, Variant::AmoFuture);
+            u.barrier();
+            u.latency_report()
+        })
+        .into_iter()
+        .fold(upcr::Histograms::new(), |mut acc, h| {
+            acc.merge(&h);
+            acc
+        });
+        println!("  {version}:");
+        for row in hists.rows() {
+            println!(
+                "    {:<9} {:<9} count {:>8}  p50 <= {:>10} ns  p99 <= {:>10} ns  max {:>10} ns",
+                row.kind.name(),
+                row.path.name(),
+                row.count,
+                row.p50_ns,
+                row.p99_ns,
+                row.max_ns
+            );
+        }
     }
     println!();
 }

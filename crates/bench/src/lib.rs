@@ -168,6 +168,51 @@ pub mod offnode {
     }
 }
 
+/// Tracing-overhead measurement for the observability subsystem: the same
+/// local eager `rput` hot loop as [`micro::run`] with [`MicroOp::Put`]
+/// (the pre-tracing baseline code path — tracing off is the default), but
+/// with the per-rank trace flag set explicitly. The acceptance criterion
+/// is that the disabled-mode loop stays within noise (< 3%) of the
+/// baseline: every instrumentation site gates on one predictably-taken
+/// branch, so `tracing=false` and the baseline must be indistinguishable.
+///
+/// [`MicroOp::Put`]: micro::MicroOp::Put
+pub mod trace_overhead {
+    use super::*;
+
+    /// Time `iters` local eager `rput().wait()` operations with the trace
+    /// flag set to `tracing`, returning rank 0's loop wall time.
+    pub fn rput_loop(tracing: bool, iters: u64) -> Duration {
+        let rt = RuntimeConfig::smp(2)
+            .with_version(LibVersion::V2021_3_6Eager)
+            .with_segment_size(1 << 16);
+        let out = launch(rt, move |u| {
+            u.trace_enabled(tracing);
+            let mine = u.new_::<u64>(0);
+            let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
+            let target = targets[1 - u.rank_me()];
+            u.barrier();
+            let mut elapsed = Duration::ZERO;
+            if u.rank_me() == 0 {
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    u.rput(i, target).wait();
+                }
+                elapsed = t0.elapsed();
+            }
+            u.barrier();
+            u.delete_(mine);
+            elapsed
+        });
+        out[0]
+    }
+
+    /// Nanoseconds per operation, averaged over `iters`.
+    pub fn ns_per_op(tracing: bool, iters: u64) -> f64 {
+        rput_loop(tracing, iters).as_nanos() as f64 / iters as f64
+    }
+}
+
 /// A convenient latency-measurement harness for ad-hoc experiments: runs
 /// `f` on rank 0 of a fresh SMP runtime and returns its duration.
 pub fn time_on_rank0<F>(ranks: usize, version: LibVersion, f: F) -> Duration

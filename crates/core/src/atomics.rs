@@ -149,6 +149,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
             "atomic target must be 8-byte aligned"
         );
         bump(&ctx.stats.amos);
+        let top = ctx.trace_op_init(crate::trace::OpKind::Amo, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         assert!(
@@ -167,7 +168,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
             if let FetchDest::Memory(r, off) = dest {
                 ctx.world.segment(r).write_u64(off, prior);
             }
-            cx.notify(&Notifier::sync(ctx, wrap(prior)))
+            cx.notify(&Notifier::sync(ctx, top, wrap(prior)))
         } else {
             bump(&ctx.stats.net_injected);
             let core = EventCore::new();
@@ -176,7 +177,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
             let signed = T::SIGNED;
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 let prior =
                     gasnex::amo::execute(w.segment(rank), off, op, operand, operand2, signed);
                 if let FetchDest::Memory(r, roff) = dest {
@@ -185,7 +186,8 @@ impl<T: AtomicValue> AtomicDomain<T> {
                 *slot2.lock().unwrap() = Some(wrap(prior));
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, slot))
+            ctx.trace_net_inject(top, msg);
+            cx.notify(&Notifier::pending(ctx, top, core, slot))
         }
     }
 

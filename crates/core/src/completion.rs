@@ -41,6 +41,7 @@ use crate::future::future::Future;
 use crate::future::promise::Promise;
 use crate::global_ptr::SegValue;
 use crate::stats::bump;
+use crate::trace::{CompletionPath, TraceOp};
 use crate::version::LibVersion;
 
 /// When a requested notification may be delivered.
@@ -120,24 +121,31 @@ pub(crate) enum Disp<V: CxValue> {
 pub struct Notifier<'a, V: CxValue> {
     ctx: &'a RankCtx,
     op: Disp<V>,
+    /// The lifecycle-trace span this operation belongs to
+    /// ([`TraceOp::NONE`] when tracing is off — recording helpers ignore
+    /// it, so untraced operations carry no cost beyond the copy).
+    top: TraceOp,
 }
 
 impl<'a, V: CxValue> Notifier<'a, V> {
-    pub(crate) fn sync(ctx: &'a RankCtx, v: V) -> Self {
+    pub(crate) fn sync(ctx: &'a RankCtx, top: TraceOp, v: V) -> Self {
         Notifier {
             ctx,
             op: Disp::Sync(v),
+            top,
         }
     }
 
     pub(crate) fn pending(
         ctx: &'a RankCtx,
+        top: TraceOp,
         ev: Arc<EventCore>,
         slot: Arc<Mutex<Option<V>>>,
     ) -> Self {
         Notifier {
             ctx,
             op: Disp::Async { ev, slot },
+            top,
         }
     }
 
@@ -167,14 +175,17 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                     // The eager fast path: no cell allocation for `()`, no
                     // progress-queue traffic.
                     bump(&self.ctx.stats.eager_notifications);
+                    self.ctx.trace_notify(self.top, CompletionPath::Eager);
                     v.clone().into_ready_future()
                 } else {
                     let cell = new_cell::<V>(1);
                     let c = Rc::clone(&cell);
                     let v = v.clone();
+                    let top = self.top;
                     self.ctx.push_deferred(Deferred::Now(Box::new(move || {
                         c.set_value(v);
                         c.fulfill(1);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
                     })));
                     Future::from_cell(cell)
                 }
@@ -183,6 +194,7 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                 let cell = new_cell::<V>(1);
                 let c = Rc::clone(&cell);
                 let slot = Arc::clone(slot);
+                let top = self.top;
                 // Signal-driven: the completion token wakes this exact
                 // notification; the progress engine never re-tests the event.
                 self.ctx.register_on_event(
@@ -195,6 +207,7 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                             .expect("operation event signalled before its value was stored");
                         c.set_value(v);
                         c.fulfill(1);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
                     }),
                 );
                 Future::from_cell(cell)
@@ -210,6 +223,7 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                     // Elide the require/fulfill pair entirely; a produced
                     // value still has to land in the promise's result slot.
                     bump(&self.ctx.stats.eager_notifications);
+                    self.ctx.trace_notify(self.top, CompletionPath::Eager);
                     if !is_unit::<V>() {
                         p.set_value_only(v.clone());
                     }
@@ -217,11 +231,13 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                     p.require_anonymous(1);
                     let p2 = p.clone();
                     let v = v.clone();
+                    let top = self.top;
                     self.ctx.push_deferred(Deferred::Now(Box::new(move || {
                         if !is_unit::<V>() {
                             p2.set_value_only(v);
                         }
                         p2.fulfill_anonymous(1);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
                     })));
                 }
             }
@@ -229,6 +245,7 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                 p.require_anonymous(1);
                 let p2 = p.clone();
                 let slot = Arc::clone(slot);
+                let top = self.top;
                 self.ctx.register_on_event(
                     ev,
                     Box::new(move || {
@@ -240,6 +257,7 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                             p2.set_value_only(v);
                         }
                         p2.fulfill_anonymous(1);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
                     }),
                 );
             }
@@ -252,15 +270,20 @@ impl<'a, V: CxValue> Notifier<'a, V> {
             Disp::Sync(v) => {
                 if self.eager_requested(mode) {
                     bump(&self.ctx.stats.eager_notifications);
+                    self.ctx.trace_notify(self.top, CompletionPath::Eager);
                     f(v.clone());
                 } else {
                     let v = v.clone();
-                    self.ctx
-                        .push_deferred(Deferred::Now(Box::new(move || f(v))));
+                    let top = self.top;
+                    self.ctx.push_deferred(Deferred::Now(Box::new(move || {
+                        f(v);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
+                    })));
                 }
             }
             Disp::Async { ev, slot } => {
                 let slot = Arc::clone(slot);
+                let top = self.top;
                 self.ctx.register_on_event(
                     ev,
                     Box::new(move || {
@@ -269,7 +292,8 @@ impl<'a, V: CxValue> Notifier<'a, V> {
                             .unwrap()
                             .clone()
                             .expect("operation event signalled before its value was stored");
-                        f(v)
+                        f(v);
+                        crate::ctx::trace_notify(top, CompletionPath::Deferred);
                     }),
                 );
             }

@@ -19,6 +19,7 @@ use gasnex::{Conduit, EventCore, Rank, World};
 
 use crate::future::cell::{shared_ready_unit_cell, Cell};
 use crate::stats::{bump, Stats};
+use crate::trace::{CompletionPath, OpKind, RankTracer, TraceOp};
 use crate::version::LibVersion;
 
 /// A rank-local continuation fed by a type-erased RPC reply payload.
@@ -67,6 +68,11 @@ pub(crate) struct RankCtx {
     pub stats: Stats,
     /// Re-entrancy guard: progress calls from inside progress are no-ops.
     in_progress: StdCell<bool>,
+    /// Lifecycle-trace gate: the single predictably-taken branch every
+    /// instrumentation site checks. Off by default.
+    pub trace_on: StdCell<bool>,
+    /// The per-rank span recorder (only touched when `trace_on` is set).
+    pub tracer: RefCell<RankTracer>,
 }
 
 impl RankCtx {
@@ -87,7 +93,46 @@ impl RankCtx {
             ready_unit: shared_ready_unit_cell(),
             stats: Stats::default(),
             in_progress: StdCell::new(false),
+            trace_on: StdCell::new(false),
+            tracer: RefCell::new(RankTracer::new(me.0)),
         })
+    }
+
+    /// The trace clock: the simulated network's wall/virtual time, so core
+    /// spans and wire-level events share one timeline.
+    #[inline]
+    pub fn trace_now_ns(&self) -> u64 {
+        self.world.net().now_ns()
+    }
+
+    /// Stamp a new traced operation (no-op returning [`TraceOp::NONE`]
+    /// when tracing is off). `expect_notify` is false for fire-and-forget
+    /// operations that never deliver a completion notification.
+    #[inline]
+    pub fn trace_op_init(&self, kind: OpKind, expect_notify: bool) -> TraceOp {
+        if !self.trace_on.get() {
+            return TraceOp::NONE;
+        }
+        let ts = self.trace_now_ns();
+        self.tracer.borrow_mut().op_init(kind, ts, expect_notify)
+    }
+
+    /// Record that traced op `op` went onto the wire as message `msg`.
+    #[inline]
+    pub fn trace_net_inject(&self, op: TraceOp, msg: u64) {
+        if self.trace_on.get() {
+            let ts = self.trace_now_ns();
+            self.tracer.borrow_mut().net_inject(op, msg, ts);
+        }
+    }
+
+    /// Record `op`'s completion notification on `path` (and its latency).
+    #[inline]
+    pub fn trace_notify(&self, op: TraceOp, path: CompletionPath) {
+        if self.trace_on.get() && !op.is_none() {
+            let ts = self.trace_now_ns();
+            self.tracer.borrow_mut().notify(op, path, ts);
+        }
     }
 
     /// Whether `target`'s segment is directly addressable from this rank.
@@ -170,6 +215,10 @@ impl RankCtx {
             let f = self.event_waiters.borrow_mut().remove(&t);
             if let Some(f) = f {
                 bump(&self.stats.event_wakeups);
+                if self.trace_on.get() {
+                    let ts = self.trace_now_ns();
+                    self.tracer.borrow_mut().wakeup(t, ts);
+                }
                 f();
                 n += 1;
             }
@@ -211,6 +260,12 @@ impl RankCtx {
             for item in kept.into_iter().rev() {
                 q.push_front(item);
             }
+        }
+        // Record only productive quanta: quiesce spins through millions of
+        // idle ones, which would flood the ring with noise.
+        if n > 0 && self.trace_on.get() {
+            let ts = self.trace_now_ns();
+            self.tracer.borrow_mut().drain(n as u64, ts);
         }
         self.in_progress.set(false);
         n
@@ -306,6 +361,25 @@ pub(crate) fn note_when_all_fast() {
 #[inline]
 pub(crate) fn note_when_all_node() {
     let _ = try_with_ctx(|ctx| bump(&ctx.stats.when_all_nodes));
+}
+
+/// Record a completion notification for `op` on the active rank, from
+/// contexts (deferred closures, RPC replies, `when_all` fulfillment) that
+/// don't hold a `RankCtx` reference. No-op outside a runtime, when tracing
+/// is off, or for the `NONE` sentinel.
+#[inline]
+pub(crate) fn trace_notify(op: TraceOp, path: CompletionPath) {
+    if !op.is_none() {
+        let _ = try_with_ctx(|ctx| ctx.trace_notify(op, path));
+    }
+}
+
+/// Stamp a traced op on the active rank (for call sites without a ctx
+/// reference, e.g. `when_all`). Returns the `NONE` sentinel when tracing
+/// is off or no runtime is active.
+#[inline]
+pub(crate) fn trace_op_init(kind: OpKind, expect_notify: bool) -> TraceOp {
+    try_with_ctx(|ctx| ctx.trace_op_init(kind, expect_notify)).unwrap_or(TraceOp::NONE)
 }
 
 /// The cell behind a ready `Future<()>`: the shared pre-allocated cell when

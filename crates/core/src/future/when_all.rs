@@ -18,6 +18,7 @@ use std::rc::Rc;
 use super::cell::{new_cell, new_cell_with_value};
 use super::future::Future;
 use crate::ctx::{note_when_all_fast, note_when_all_node, when_all_opt_enabled};
+use crate::trace::{CompletionPath, OpKind};
 
 /// Conjoin two value-less futures: the result is ready when both are.
 ///
@@ -39,20 +40,34 @@ pub fn conjoin(a: Future<()>, b: Future<()>) -> Future<()> {
     if when_all_opt_enabled() {
         if a.is_ready() {
             note_when_all_fast();
+            // Ready-input elision resolves the conjunction at initiation:
+            // an eager-path span with zero latency.
+            let top = crate::ctx::trace_op_init(OpKind::WhenAll, true);
+            crate::ctx::trace_notify(top, CompletionPath::Eager);
             return b;
         }
         if b.is_ready() {
             note_when_all_fast();
+            let top = crate::ctx::trace_op_init(OpKind::WhenAll, true);
+            crate::ctx::trace_notify(top, CompletionPath::Eager);
             return a;
         }
     }
     note_when_all_node();
+    let top = crate::ctx::trace_op_init(OpKind::WhenAll, true);
     let cell = new_cell_with_value(2, ());
     let c1 = Rc::clone(&cell);
     a.on_ready(move |_| c1.fulfill(1));
     let c2 = Rc::clone(&cell);
     b.on_ready(move |_| c2.fulfill(1));
-    Future::from_cell(cell)
+    let f = Future::from_cell(cell);
+    if !top.is_none() {
+        // Graph-node conjunctions resolve from the progress engine; the
+        // callback is only attached while tracing so the disabled path
+        // stays allocation-free.
+        f.on_ready(move |_| crate::ctx::trace_notify(top, CompletionPath::Deferred));
+    }
+    f
 }
 
 /// Conjoin a value-carrying future with a value-less one; the result carries

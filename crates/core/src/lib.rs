@@ -58,6 +58,7 @@ pub mod rpc;
 pub mod runtime;
 pub mod ser;
 pub mod stats;
+pub mod trace;
 pub mod version;
 pub mod vis;
 
@@ -73,6 +74,7 @@ pub use reduce::{ReduceOp, ReduceVal};
 pub use runtime::{api, launch, RuntimeConfig, Upcr};
 pub use ser::{SerDe, SerError};
 pub use stats::StatsSnapshot;
+pub use trace::{CompletionPath, Histograms, OpKind, RankTrace, TraceBundle};
 pub use version::LibVersion;
 pub use vis::Strided;
 

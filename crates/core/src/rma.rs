@@ -18,6 +18,7 @@ use crate::future::Future;
 use crate::global_ptr::{GlobalPtr, SegValue};
 use crate::runtime::Upcr;
 use crate::stats::bump;
+use crate::trace::OpKind;
 
 /// Emulates the per-operation internal allocation that UPC++ 2021.3.0
 /// performed on the directly-addressable RMA path (removed in the 2021.3.6
@@ -62,6 +63,7 @@ impl Upcr {
         let ctx = &*self.ctx;
         debug_assert!(!dst.is_null(), "rput to null global pointer");
         bump(&ctx.stats.rputs);
+        let top = ctx.trace_op_init(OpKind::Put, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         if ctx.addressable(dst.rank()) {
@@ -73,22 +75,24 @@ impl Upcr {
                 .segment(dst.rank())
                 .write_scalar(dst.offset(), T::SIZE, val.to_bits());
             post_remote_rpcs_local(ctx, dst.rank(), rpcs);
-            cx.notify(&Notifier::sync(ctx, ()))
+            cx.notify(&Notifier::sync(ctx, top, ()))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
             let (rank, off, bits) = (dst.rank(), dst.offset(), val.to_bits());
             let src = ctx.me;
             let core2 = Arc::clone(&core);
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 w.segment(rank).write_scalar(off, T::SIZE, bits);
                 for f in rpcs {
                     w.send_am(rank, src, move |_| f());
                 }
                 core2.signal();
             }));
+            ctx.trace_net_inject(top, msg);
             cx.notify(&Notifier::pending(
                 ctx,
+                top,
                 core,
                 Arc::new(Mutex::new(Some(()))),
             ))
@@ -109,6 +113,7 @@ impl Upcr {
         let ctx = &*self.ctx;
         debug_assert!(!src.is_null(), "rget from null global pointer");
         bump(&ctx.stats.rgets);
+        let top = ctx.trace_op_init(OpKind::Get, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         assert!(
@@ -124,7 +129,7 @@ impl Upcr {
                     .segment(src.rank())
                     .read_scalar(src.offset(), T::SIZE),
             );
-            cx.notify(&Notifier::sync(ctx, v))
+            cx.notify(&Notifier::sync(ctx, top, v))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
@@ -132,12 +137,13 @@ impl Upcr {
             let (rank, off) = (src.rank(), src.offset());
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 let v = T::from_bits(w.segment(rank).read_scalar(off, T::SIZE));
                 *slot2.lock().unwrap() = Some(v);
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, slot))
+            ctx.trace_net_inject(top, msg);
+            cx.notify(&Notifier::pending(ctx, top, core, slot))
         }
     }
 
@@ -157,6 +163,7 @@ impl Upcr {
     ) -> C::Out {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rputs);
+        let top = ctx.trace_op_init(OpKind::Put, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         if ctx.addressable(dst.rank()) {
@@ -168,7 +175,7 @@ impl Upcr {
                 seg.write_scalar(dst.offset() + i * T::SIZE, T::SIZE, v.to_bits());
             }
             post_remote_rpcs_local(ctx, dst.rank(), rpcs);
-            cx.notify(&Notifier::sync(ctx, ()))
+            cx.notify(&Notifier::sync(ctx, top, ()))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
@@ -176,7 +183,7 @@ impl Upcr {
             let (rank, off) = (dst.rank(), dst.offset());
             let me = ctx.me;
             let core2 = Arc::clone(&core);
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 let seg = w.segment(rank);
                 for (i, v) in data.iter().enumerate() {
                     seg.write_scalar(off + i * T::SIZE, T::SIZE, v.to_bits());
@@ -186,8 +193,10 @@ impl Upcr {
                 }
                 core2.signal();
             }));
+            ctx.trace_net_inject(top, msg);
             cx.notify(&Notifier::pending(
                 ctx,
+                top,
                 core,
                 Arc::new(Mutex::new(Some(()))),
             ))
@@ -225,6 +234,7 @@ impl Upcr {
     ) -> C::Out {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rgets);
+        let top = ctx.trace_op_init(OpKind::Get, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         let copy_now = move |w: &gasnex::World| {
@@ -240,22 +250,24 @@ impl Upcr {
             }
             copy_now(&ctx.world);
             post_remote_rpcs_local(ctx, dst.rank(), rpcs);
-            cx.notify(&Notifier::sync(ctx, ()))
+            cx.notify(&Notifier::sync(ctx, top, ()))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
             let core2 = Arc::clone(&core);
             let me = ctx.me;
             let dst_rank = dst.rank();
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 copy_now(w);
                 for f in rpcs {
                     w.send_am(dst_rank, me, move |_| f());
                 }
                 core2.signal();
             }));
+            ctx.trace_net_inject(top, msg);
             cx.notify(&Notifier::pending(
                 ctx,
+                top,
                 core,
                 Arc::new(Mutex::new(Some(()))),
             ))
@@ -277,6 +289,7 @@ impl Upcr {
     ) -> C::Out {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rgets);
+        let top = ctx.trace_op_init(OpKind::Get, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         assert!(
@@ -291,7 +304,7 @@ impl Upcr {
             let data: Vec<T> = (0..n)
                 .map(|i| T::from_bits(seg.read_scalar(src.offset() + i * T::SIZE, T::SIZE)))
                 .collect();
-            cx.notify(&Notifier::sync(ctx, data))
+            cx.notify(&Notifier::sync(ctx, top, data))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
@@ -299,7 +312,7 @@ impl Upcr {
             let (rank, off) = (src.rank(), src.offset());
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 let seg = w.segment(rank);
                 let data: Vec<T> = (0..n)
                     .map(|i| T::from_bits(seg.read_scalar(off + i * T::SIZE, T::SIZE)))
@@ -307,7 +320,8 @@ impl Upcr {
                 *slot2.lock().unwrap() = Some(data);
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, slot))
+            ctx.trace_net_inject(top, msg);
+            cx.notify(&Notifier::pending(ctx, top, core, slot))
         }
     }
 }

@@ -20,20 +20,23 @@ use crate::future::cell::new_cell;
 use crate::future::Future;
 use crate::runtime::Upcr;
 use crate::stats::bump;
+use crate::trace::{CompletionPath, OpKind};
 
 /// Route an AM to `target`: directly when addressable, through the
-/// simulated network otherwise.
+/// simulated network otherwise. Returns the network message id when the
+/// request crossed the simulated wire.
 fn send_am_routed(
     world: &World,
     me: Rank,
     target: Rank,
     direct: bool,
     handler: impl FnOnce(&AmCtx<'_>) + Send + 'static,
-) {
+) -> Option<u64> {
     if direct {
         world.send_am(target, me, handler);
+        None
     } else {
-        world.net_inject(Box::new(move |w| w.send_am(target, me, handler)));
+        Some(world.net_inject(Box::new(move |w| w.send_am(target, me, handler))))
     }
 }
 
@@ -49,6 +52,9 @@ impl Upcr {
     {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rpcs);
+        // RPC notifications always take the deferred path: even self-
+        // targeted RPCs are queued, so the reply can never be eager.
+        let top = ctx.trace_op_init(OpKind::Rpc, true);
         let cell = new_cell::<R>(1);
         let c2 = Rc::clone(&cell);
         let id = ctx.register_reply(Box::new(move |payload| {
@@ -57,12 +63,13 @@ impl Upcr {
                 .expect("rpc reply payload type mismatch");
             c2.set_value(v);
             c2.fulfill(1);
+            crate::ctx::trace_notify(top, CompletionPath::Deferred);
         }));
         let direct = ctx.addressable(target);
         if !direct {
             bump(&ctx.stats.net_injected);
         }
-        send_am_routed(&ctx.world, ctx.me, target, direct, move |amctx| {
+        let msg = send_am_routed(&ctx.world, ctx.me, target, direct, move |amctx| {
             let r = f();
             let (src, me) = (amctx.src, amctx.me);
             let reply = move |_: &AmCtx<'_>| deliver_reply(id, Box::new(r));
@@ -75,6 +82,9 @@ impl Upcr {
                     .net_inject(Box::new(move |w| w.send_am(src, me, reply)));
             }
         });
+        if let Some(msg) = msg {
+            ctx.trace_net_inject(top, msg);
+        }
         Future::from_cell(cell)
     }
 
@@ -94,6 +104,7 @@ impl Upcr {
     {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rpcs);
+        let top = ctx.trace_op_init(OpKind::Rpc, true);
         let arg_bytes = args.to_bytes();
         let cell = new_cell::<R>(1);
         let c2 = Rc::clone(&cell);
@@ -105,12 +116,13 @@ impl Upcr {
                 .unwrap_or_else(|e| panic!("rpc_args reply deserialization failed: {e}"));
             c2.set_value(r);
             c2.fulfill(1);
+            crate::ctx::trace_notify(top, CompletionPath::Deferred);
         }));
         let direct = ctx.addressable(target);
         if !direct {
             bump(&ctx.stats.net_injected);
         }
-        send_am_routed(&ctx.world, ctx.me, target, direct, move |amctx| {
+        let msg = send_am_routed(&ctx.world, ctx.me, target, direct, move |amctx| {
             let a = A::from_bytes(&arg_bytes)
                 .unwrap_or_else(|e| panic!("rpc_args argument deserialization failed: {e}"));
             let result_bytes = f(a).to_bytes();
@@ -124,6 +136,9 @@ impl Upcr {
                     .net_inject(Box::new(move |w| w.send_am(src, me, reply)));
             }
         });
+        if let Some(msg) = msg {
+            ctx.trace_net_inject(top, msg);
+        }
         Future::from_cell(cell)
     }
 
@@ -135,11 +150,15 @@ impl Upcr {
     {
         let ctx = &*self.ctx;
         bump(&ctx.stats.rpcs);
+        // No completion ever comes back, so the span is closed at init.
+        let top = ctx.trace_op_init(OpKind::Rpc, false);
         let direct = ctx.addressable(target);
         if !direct {
             bump(&ctx.stats.net_injected);
         }
-        send_am_routed(&ctx.world, ctx.me, target, direct, move |_| f());
+        if let Some(msg) = send_am_routed(&ctx.world, ctx.me, target, direct, move |_| f()) {
+            ctx.trace_net_inject(top, msg);
+        }
     }
 }
 

@@ -445,6 +445,57 @@ impl Upcr {
     pub fn net_stats(&self) -> gasnex::NetStats {
         self.ctx.world.net().stats()
     }
+
+    // ---- operation-lifecycle tracing ------------------------------------------
+
+    /// Enable or disable operation-lifecycle tracing on this rank.
+    ///
+    /// While enabled, every RMA put/get, atomic, RPC, and `when_all`
+    /// conjoin records lifecycle events (initiation, network injection,
+    /// completion notification tagged eager vs. deferred, event wakeups,
+    /// progress drains) into a per-rank fixed-capacity ring buffer, and
+    /// completion latencies feed the (op kind × completion path) histograms
+    /// behind [`latency_report`](Self::latency_report). Timestamps come from
+    /// the simulated network's clock, so virtual-clock chaos traces are
+    /// bit-replayable.
+    ///
+    /// Also flips the shared network-level event sink on the first enable
+    /// (wire inject/drop/retry/deliver events, drained world-globally via
+    /// [`take_net_trace`](Self::take_net_trace)). Disabled-mode overhead is
+    /// one predictably-taken branch per instrumentation site.
+    pub fn trace_enabled(&self, on: bool) {
+        self.ctx.trace_on.set(on);
+        // The net sink is world-global: enable is sticky across ranks, and
+        // disable only happens when *this* rank turns tracing off — other
+        // ranks still tracing will simply re-enable on their next call.
+        self.ctx.world.net().set_tracing(on);
+    }
+
+    /// Whether operation-lifecycle tracing is currently enabled on this rank.
+    pub fn is_tracing(&self) -> bool {
+        self.ctx.trace_on.get()
+    }
+
+    /// Drain this rank's recorded trace events (ring-buffer contents plus
+    /// the count of events dropped to the ring's displacement policy).
+    /// Recording continues if tracing is still enabled.
+    pub fn take_trace(&self) -> crate::trace::RankTrace {
+        self.ctx.tracer.borrow_mut().take()
+    }
+
+    /// Drain the world-global network event sink (wire-level inject, chaos
+    /// drop, retry, deliver, duplicate-discard, and signal events). Shared
+    /// by all ranks — drain from one rank, typically after a barrier.
+    pub fn take_net_trace(&self) -> Vec<gasnex::NetTraceEvent> {
+        self.ctx.world.net().take_trace()
+    }
+
+    /// Snapshot of this rank's completion-latency histograms, keyed by
+    /// (op kind × completion path), with `p50`/`p99`/`max` accessors and a
+    /// cross-rank [`merge`](crate::trace::Histograms::merge).
+    pub fn latency_report(&self) -> crate::trace::Histograms {
+        self.ctx.tracer.borrow().histograms()
+    }
 }
 
 /// Free-function conveniences mirroring the UPC++ global API; usable from

@@ -10,142 +10,112 @@
 //! including the chaos-mode reliability layer (`retries`, `drops_injected`,
 //! `dup_suppressed`, `max_backoff_ns`) — are world-global and live in
 //! [`gasnex::NetStats`], reachable via `Upcr::net_stats`.
+//!
+//! The field set is declared exactly once, in the [`per_rank_stats!`]
+//! invocation below: the macro generates `Stats`, `StatsSnapshot`,
+//! `snapshot()`, `reset()`, and `since()` together, so adding a counter in
+//! one place cannot silently skip any of them. Each field is classed as a
+//! `counter` (monotonic; `since` subtracts) or a `gauge` (a level such as a
+//! high-water mark; `since` reports the later sample unchanged).
 
 use std::cell::Cell;
 
-/// Mutable per-rank counters (single-threaded; lives in the rank context).
-#[derive(Default)]
-pub(crate) struct Stats {
-    pub cell_allocs: Cell<u64>,
-    pub legacy_extra_allocs: Cell<u64>,
-    pub deferred_enqueued: Cell<u64>,
-    pub eager_notifications: Cell<u64>,
-    pub net_injected: Cell<u64>,
-    pub rputs: Cell<u64>,
-    pub rgets: Cell<u64>,
-    pub amos: Cell<u64>,
-    pub rpcs: Cell<u64>,
-    pub when_all_fast: Cell<u64>,
-    pub when_all_nodes: Cell<u64>,
-    pub progress_calls: Cell<u64>,
-    pub event_wakeups: Cell<u64>,
-    pub polls_elided: Cell<u64>,
-    pub pending_highwater: Cell<u64>,
+/// `since` semantics for one field class: counters subtract (saturating),
+/// gauges pass the later sample through — a high-water mark is a level,
+/// not a count, so callers see the peak over the run.
+macro_rules! since_field {
+    (counter, $later:expr, $earlier:expr) => {
+        $later.saturating_sub($earlier)
+    };
+    (gauge, $later:expr, $earlier:expr) => {
+        $later
+    };
 }
 
-impl Stats {
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            cell_allocs: self.cell_allocs.get(),
-            legacy_extra_allocs: self.legacy_extra_allocs.get(),
-            deferred_enqueued: self.deferred_enqueued.get(),
-            eager_notifications: self.eager_notifications.get(),
-            net_injected: self.net_injected.get(),
-            rputs: self.rputs.get(),
-            rgets: self.rgets.get(),
-            amos: self.amos.get(),
-            rpcs: self.rpcs.get(),
-            when_all_fast: self.when_all_fast.get(),
-            when_all_nodes: self.when_all_nodes.get(),
-            progress_calls: self.progress_calls.get(),
-            event_wakeups: self.event_wakeups.get(),
-            polls_elided: self.polls_elided.get(),
-            pending_highwater: self.pending_highwater.get(),
+/// Declare the per-rank statistics fields once; generate the mutable
+/// [`Stats`] struct, the public [`StatsSnapshot`] copy (with the given doc
+/// comments), and the `snapshot`/`reset`/`since` triplet from the same
+/// list.
+macro_rules! per_rank_stats {
+    ($( $(#[$doc:meta])* $name:ident : $class:ident ),+ $(,)?) => {
+        /// Mutable per-rank counters (single-threaded; lives in the rank
+        /// context).
+        #[derive(Default)]
+        pub(crate) struct Stats {
+            $( pub $name: Cell<u64>, )+
         }
-    }
 
-    pub fn reset(&self) {
-        self.cell_allocs.set(0);
-        self.legacy_extra_allocs.set(0);
-        self.deferred_enqueued.set(0);
-        self.eager_notifications.set(0);
-        self.net_injected.set(0);
-        self.rputs.set(0);
-        self.rgets.set(0);
-        self.amos.set(0);
-        self.rpcs.set(0);
-        self.when_all_fast.set(0);
-        self.when_all_nodes.set(0);
-        self.progress_calls.set(0);
-        self.event_wakeups.set(0);
-        self.polls_elided.set(0);
-        self.pending_highwater.set(0);
-    }
+        impl Stats {
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.get(), )+
+                }
+            }
+
+            pub fn reset(&self) {
+                $( self.$name.set(0); )+
+            }
+        }
+
+        /// A point-in-time copy of one rank's runtime counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise difference (`self - earlier`): counters subtract
+            /// (saturating at zero); gauges report the later sample
+            /// unchanged.
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: since_field!($class, self.$name, earlier.$name), )+
+                }
+            }
+        }
+    };
+}
+
+per_rank_stats! {
+    /// Internal promise cells heap-allocated (futures machinery).
+    cell_allocs: counter,
+    /// Extra per-operation allocations on the legacy 2021.3.0 RMA path.
+    legacy_extra_allocs: counter,
+    /// Notifications routed through the deferred progress queue.
+    deferred_enqueued: counter,
+    /// Notifications delivered eagerly at initiation.
+    eager_notifications: counter,
+    /// Operations injected into the simulated network (off-node traffic).
+    net_injected: counter,
+    /// RMA puts initiated.
+    rputs: counter,
+    /// RMA gets initiated.
+    rgets: counter,
+    /// Atomic operations initiated.
+    amos: counter,
+    /// RPCs initiated.
+    rpcs: counter,
+    /// `when_all`/conjoin calls resolved by the ready-input fast path.
+    when_all_fast: counter,
+    /// Dependency-graph nodes constructed by `when_all`/conjoin.
+    when_all_nodes: counter,
+    /// Progress-engine quanta executed.
+    progress_calls: counter,
+    /// Deferred notifications delivered via a ready-queue token (the
+    /// signal-driven engine): each is one wakeup that replaced a poll scan.
+    event_wakeups: counter,
+    /// Event re-tests the signal-driven engine skipped: per quantum, the
+    /// number of still-pending event waiters the poll-scan engine would
+    /// have re-tested and re-queued.
+    polls_elided: counter,
+    /// High-water mark of simultaneously pending notifications (registered
+    /// event waiters plus queued rank-local deferred entries).
+    pending_highwater: gauge,
 }
 
 #[inline]
 pub(crate) fn bump(c: &Cell<u64>) {
     c.set(c.get() + 1);
-}
-
-/// A point-in-time copy of one rank's runtime counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Internal promise cells heap-allocated (futures machinery).
-    pub cell_allocs: u64,
-    /// Extra per-operation allocations on the legacy 2021.3.0 RMA path.
-    pub legacy_extra_allocs: u64,
-    /// Notifications routed through the deferred progress queue.
-    pub deferred_enqueued: u64,
-    /// Notifications delivered eagerly at initiation.
-    pub eager_notifications: u64,
-    /// Operations injected into the simulated network (off-node traffic).
-    pub net_injected: u64,
-    /// RMA puts initiated.
-    pub rputs: u64,
-    /// RMA gets initiated.
-    pub rgets: u64,
-    /// Atomic operations initiated.
-    pub amos: u64,
-    /// RPCs initiated.
-    pub rpcs: u64,
-    /// `when_all`/conjoin calls resolved by the ready-input fast path.
-    pub when_all_fast: u64,
-    /// Dependency-graph nodes constructed by `when_all`/conjoin.
-    pub when_all_nodes: u64,
-    /// Progress-engine quanta executed.
-    pub progress_calls: u64,
-    /// Deferred notifications delivered via a ready-queue token (the
-    /// signal-driven engine): each is one wakeup that replaced a poll scan.
-    pub event_wakeups: u64,
-    /// Event re-tests the signal-driven engine skipped: per quantum, the
-    /// number of still-pending event waiters the poll-scan engine would
-    /// have re-tested and re-queued.
-    pub polls_elided: u64,
-    /// High-water mark of simultaneously pending notifications (registered
-    /// event waiters plus queued rank-local deferred entries).
-    pub pending_highwater: u64,
-}
-
-impl StatsSnapshot {
-    /// Counter-wise difference (`self - earlier`), saturating at zero.
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            cell_allocs: self.cell_allocs.saturating_sub(earlier.cell_allocs),
-            legacy_extra_allocs: self
-                .legacy_extra_allocs
-                .saturating_sub(earlier.legacy_extra_allocs),
-            deferred_enqueued: self
-                .deferred_enqueued
-                .saturating_sub(earlier.deferred_enqueued),
-            eager_notifications: self
-                .eager_notifications
-                .saturating_sub(earlier.eager_notifications),
-            net_injected: self.net_injected.saturating_sub(earlier.net_injected),
-            rputs: self.rputs.saturating_sub(earlier.rputs),
-            rgets: self.rgets.saturating_sub(earlier.rgets),
-            amos: self.amos.saturating_sub(earlier.amos),
-            rpcs: self.rpcs.saturating_sub(earlier.rpcs),
-            when_all_fast: self.when_all_fast.saturating_sub(earlier.when_all_fast),
-            when_all_nodes: self.when_all_nodes.saturating_sub(earlier.when_all_nodes),
-            progress_calls: self.progress_calls.saturating_sub(earlier.progress_calls),
-            event_wakeups: self.event_wakeups.saturating_sub(earlier.event_wakeups),
-            polls_elided: self.polls_elided.saturating_sub(earlier.polls_elided),
-            // A high-water mark is a gauge, not a count; `since` reports the
-            // later sample unchanged so callers see the peak over the run.
-            pending_highwater: self.pending_highwater,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -177,5 +147,19 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.amos, 2);
         assert_eq!(d.rputs, 0);
+    }
+
+    #[test]
+    fn since_passes_gauges_through() {
+        // `pending_highwater` is a gauge: even when the earlier snapshot's
+        // level exceeds the later one, `since` reports the later sample —
+        // never a subtraction.
+        let s = Stats::default();
+        s.pending_highwater.set(10);
+        let a = s.snapshot();
+        s.pending_highwater.set(4);
+        let b = s.snapshot();
+        assert_eq!(b.since(&a).pending_highwater, 4);
+        assert_eq!(a.since(&b).pending_highwater, 10);
     }
 }

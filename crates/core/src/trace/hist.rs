@@ -1,0 +1,329 @@
+//! Log2-bucketed latency histograms keyed by (op kind × completion path).
+//!
+//! A histogram has 65 buckets: bucket 0 holds exactly the value 0, and
+//! bucket `i ≥ 1` holds the range `[2^(i-1), 2^i - 1]` — i.e. a value `v`
+//! lands in bucket `64 - v.leading_zeros()`. Quantile accessors report the
+//! *upper bound* of the bucket containing the requested rank ("p99 ≤ X"),
+//! which is deterministic and merge-stable; the exact maximum is tracked
+//! separately. Merging is element-wise addition plus max-of-max, so it is
+//! associative and commutative — per-rank histograms can be folded across
+//! ranks in any order.
+
+use super::{CompletionPath, OpKind};
+
+/// Number of log2 buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of nanosecond latencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros` (1 → 1,
+/// 2..3 → 2, 4..7 → 3, …, `u64::MAX` → 64).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: 0, 1, 3, 7, …, `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// sample of rank `ceil(q · count)`. Returns 0 on an empty histogram.
+    /// `q` is clamped to (0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram in: element-wise bucket addition plus
+    /// max-of-max. Associative and commutative.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One row of a latency report: the histogram summary for a single
+/// (op kind, completion path) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyRow {
+    pub kind: OpKind,
+    pub path: CompletionPath,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// The full set of per-(op kind × completion path) histograms for one rank
+/// (or, after merging, for many ranks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histograms {
+    hists: [[LatencyHistogram; CompletionPath::ALL.len()]; OpKind::ALL.len()],
+}
+
+impl Default for Histograms {
+    fn default() -> Self {
+        Histograms {
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| LatencyHistogram::new())),
+        }
+    }
+}
+
+impl Histograms {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one initiation→notification latency sample.
+    pub fn record(&mut self, kind: OpKind, path: CompletionPath, latency_ns: u64) {
+        self.hists[kind as usize][path as usize].record(latency_ns);
+    }
+
+    /// The histogram for one (kind, path) pair.
+    pub fn get(&self, kind: OpKind, path: CompletionPath) -> &LatencyHistogram {
+        &self.hists[kind as usize][path as usize]
+    }
+
+    /// Fold another rank's histograms in (associative, commutative).
+    pub fn merge(&mut self, other: &Histograms) {
+        for (row, orow) in self.hists.iter_mut().zip(other.hists.iter()) {
+            for (h, oh) in row.iter_mut().zip(orow.iter()) {
+                h.merge(oh);
+            }
+        }
+    }
+
+    /// Summary rows for every non-empty (kind, path) pair, in declaration
+    /// order (deterministic).
+    pub fn rows(&self) -> Vec<LatencyRow> {
+        let mut out = Vec::new();
+        for kind in OpKind::ALL {
+            for path in CompletionPath::ALL {
+                let h = self.get(kind, path);
+                if !h.is_empty() {
+                    out.push(LatencyRow {
+                        kind,
+                        path,
+                        count: h.count(),
+                        p50_ns: h.p50(),
+                        p99_ns: h.p99(),
+                        max_ns: h.max(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        for k in 0..63 {
+            // A power of two opens bucket k+1; one less closes bucket k.
+            assert_eq!(bucket_index(1u64 << k), k as usize + 1);
+            assert_eq!(bucket_index((1u64 << (k + 1)) - 1), k as usize + 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value's bucket upper bound is ≥ the value.
+        for v in [0, 1, 2, 3, 5, 100, 1 << 40, u64::MAX - 1, u64::MAX] {
+            assert!(bucket_upper_bound(bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        assert_eq!(h.count(), 1);
+        // 5 lands in bucket [4, 7]; every quantile reports that bucket.
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.quantile(0.0001), 7);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn saturated_histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn quantiles_split_bimodal_distribution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(1 << 20); // one outlier
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p99(), 15);
+        assert_eq!(h.quantile(1.0), (1 << 21) - 1);
+        assert_eq!(h.max(), 1 << 20);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let a = mk(&[0, 1, 7, 200]);
+        let b = mk(&[3, 3, 1 << 30]);
+        let c = mk(&[u64::MAX, 42]);
+        // (a ∪ b) ∪ c
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // b ∪ a == a ∪ b
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab_c.count(), 9);
+        assert_eq!(ab_c.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_rows_are_deterministic_and_skip_empty() {
+        let mut hs = Histograms::new();
+        hs.record(OpKind::Put, CompletionPath::Eager, 0);
+        hs.record(OpKind::Put, CompletionPath::Deferred, 900);
+        hs.record(OpKind::Amo, CompletionPath::Deferred, 1800);
+        let rows = hs.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].kind, OpKind::Put);
+        assert_eq!(rows[0].path, CompletionPath::Eager);
+        assert_eq!(rows[0].p50_ns, 0);
+        assert_eq!(rows[1].path, CompletionPath::Deferred);
+        assert_eq!(rows[2].kind, OpKind::Amo);
+
+        let mut other = Histograms::new();
+        other.record(OpKind::Put, CompletionPath::Eager, 4);
+        hs.merge(&other);
+        assert_eq!(hs.get(OpKind::Put, CompletionPath::Eager).count(), 2);
+        assert_eq!(hs.get(OpKind::Put, CompletionPath::Eager).max(), 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fixed-capacity event ring buffer.
+//!
+//! The per-rank span recorder stores events here: pushes are O(1), memory
+//! is bounded, and when the buffer is full the *oldest* events are
+//! overwritten — the most recent window is what a post-mortem dump needs.
+//! The number of displaced events is counted so an exporter can say "N
+//! earlier events were dropped" instead of silently truncating.
+
+use std::collections::VecDeque;
+
+/// A bounded ring: keeps the most recent `capacity` items, counting how
+/// many older items were displaced.
+#[derive(Debug)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Create a ring holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an item, displacing the oldest if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Older items displaced by pushes since creation (or the last `take`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drain everything in insertion order and reset the dropped counter.
+    pub fn take(&mut self) -> (Vec<T>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        (self.buf.drain(..).collect(), dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_window() {
+        let mut r = Ring::new(4);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let (items, dropped) = r.take();
+        assert_eq!(items, vec![6, 7, 8, 9]);
+        assert_eq!(dropped, 6);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0, "take resets the dropped counter");
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        let (items, dropped) = r.take();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.capacity(), 1);
+        let (items, dropped) = r.take();
+        assert_eq!(items, vec![2]);
+        assert_eq!(dropped, 1);
+    }
+}

@@ -18,6 +18,7 @@ use crate::future::Future;
 use crate::global_ptr::{GlobalPtr, SegValue};
 use crate::runtime::Upcr;
 use crate::stats::bump;
+use crate::trace::OpKind;
 
 /// A strided destination/source description: `blocks` runs of `block_len`
 /// elements, consecutive runs `stride` *elements* apart.
@@ -81,6 +82,7 @@ impl Upcr {
         );
         let ctx = &*self.ctx;
         bump(&ctx.stats.rputs);
+        let top = ctx.trace_op_init(OpKind::Put, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         let write_all = move |w: &gasnex::World, data: &[T]| {
@@ -98,7 +100,7 @@ impl Upcr {
             for f in rpcs {
                 ctx.world.send_am(dst.rank(), ctx.me, move |_| f());
             }
-            cx.notify(&Notifier::sync(ctx, ()))
+            cx.notify(&Notifier::sync(ctx, top, ()))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
@@ -106,15 +108,17 @@ impl Upcr {
             let data = src.to_vec();
             let me = ctx.me;
             let dst_rank = dst.rank();
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 write_all(w, &data);
                 for f in rpcs {
                     w.send_am(dst_rank, me, move |_| f());
                 }
                 core2.signal();
             }));
+            ctx.trace_net_inject(top, msg);
             cx.notify(&Notifier::pending(
                 ctx,
+                top,
                 core,
                 Arc::new(Mutex::new(Some(()))),
             ))
@@ -137,6 +141,7 @@ impl Upcr {
         shape.check();
         let ctx = &*self.ctx;
         bump(&ctx.stats.rgets);
+        let top = ctx.trace_op_init(OpKind::Get, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         assert!(
@@ -158,18 +163,19 @@ impl Upcr {
         };
         if ctx.addressable(src.rank()) {
             let data = read_all(&ctx.world);
-            cx.notify(&Notifier::sync(ctx, data))
+            cx.notify(&Notifier::sync(ctx, top, data))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
             let slot: Arc<Mutex<Option<Vec<T>>>> = Arc::new(Mutex::new(None));
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 *slot2.lock().unwrap() = Some(read_all(w));
                 core2.signal();
             }));
-            cx.notify(&Notifier::pending(ctx, core, slot))
+            ctx.trace_net_inject(top, msg);
+            cx.notify(&Notifier::pending(ctx, top, core, slot))
         }
     }
 
@@ -191,6 +197,7 @@ impl Upcr {
         assert_eq!(dsts.len(), vals.len(), "one value per destination");
         let ctx = &*self.ctx;
         bump(&ctx.stats.rputs);
+        let top = ctx.trace_op_init(OpKind::Put, true);
         let mut rpcs = Vec::new();
         cx.take_remote(&mut rpcs);
         assert!(
@@ -210,20 +217,22 @@ impl Upcr {
             }
         }
         if remote.is_empty() {
-            cx.notify(&Notifier::sync(ctx, ()))
+            cx.notify(&Notifier::sync(ctx, top, ()))
         } else {
             bump(&ctx.stats.net_injected);
             let core = gasnex::EventCore::new();
             let core2 = Arc::clone(&core);
             let size = T::SIZE;
-            ctx.world.net_inject(Box::new(move |w| {
+            let msg = ctx.world.net_inject(Box::new(move |w| {
                 for (rank, off, bits) in remote {
                     w.segment(rank).write_scalar(off, size, bits);
                 }
                 core2.signal();
             }));
+            ctx.trace_net_inject(top, msg);
             cx.notify(&Notifier::pending(
                 ctx,
+                top,
                 core,
                 Arc::new(Mutex::new(Some(()))),
             ))

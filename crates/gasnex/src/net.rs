@@ -35,7 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -45,6 +45,41 @@ use crate::world::World;
 /// A delivery action: performs the remote side of an operation (data
 /// movement, atomic execution, AM enqueue) and signals its event.
 pub type NetAction = Box<dyn FnOnce(&World) + Send>;
+
+/// What happened to a message on the simulated wire (trace-mode only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// Message entered the delay queue (`SimNetwork::inject`).
+    Inject,
+    /// The fault plan dropped this transmission attempt; a retransmission
+    /// timer was armed `backoff_ns` in the future.
+    Drop { backoff_ns: u64 },
+    /// A retransmission timer fired and the next attempt was scheduled.
+    Retry,
+    /// The delivery action executed (exactly once per message).
+    Deliver,
+    /// A duplicated wire copy was discarded by receiver-side dedup.
+    DupDiscard,
+    /// An initiator-side completion signal was routed to a rank's ready
+    /// queue (recorded by `World::route_signal`, not by the network).
+    Signal { rank: u32, token: u64 },
+}
+
+/// One wire-level trace record. `msg` is the logical message id returned by
+/// [`SimNetwork::inject`], which lets core-level operation traces correlate
+/// their `NetInject` events with the retries and delivery seen down here.
+/// `Signal` events use `msg = u64::MAX` (they belong to an event core, not
+/// a wire message).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetTraceEvent {
+    /// Timestamp from the network clock (wall or virtual, per `ClockMode`).
+    pub ts_ns: u64,
+    /// Logical message id (`u64::MAX` for `Signal` events).
+    pub msg: u64,
+    /// Transmission attempt the event belongs to (0-based).
+    pub attempt: u32,
+    pub kind: NetEventKind,
+}
 
 /// Snapshot of the network's counters, including the chaos-mode reliability
 /// layer. `injected`/`delivered`/`pending` count logical messages and heap
@@ -138,6 +173,13 @@ pub struct SimNetwork {
     /// Receiver-side dedup: sequence numbers of delivered messages. Only
     /// consulted when the fault plan can duplicate.
     acked: Mutex<HashSet<u64>>,
+    /// Wire-level trace gate. One relaxed load guards every recording site;
+    /// the default (off) makes tracing free on the delivery path.
+    trace_on: AtomicBool,
+    /// Wire-level trace records, in recording order. Under a single-threaded
+    /// drive (the deterministic-replay tests) this order is a pure function
+    /// of the seed.
+    trace: Mutex<Vec<NetTraceEvent>>,
 }
 
 impl SimNetwork {
@@ -161,14 +203,48 @@ impl SimNetwork {
             dup_suppressed: AtomicU64::new(0),
             max_backoff_ns: AtomicU64::new(0),
             acked: Mutex::new(HashSet::new()),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
         }
     }
 
+    /// The network's notion of "now": nanoseconds since creation under
+    /// `ClockMode::Wall`, or the logical time-warp counter under
+    /// `ClockMode::Virtual`. This is the clock every trace timestamp uses,
+    /// so virtual-clock traces are bit-replayable.
     #[inline]
-    fn now_ns(&self) -> u64 {
+    pub fn now_ns(&self) -> u64 {
         match self.cfg.clock {
             ClockMode::Wall => self.epoch.elapsed().as_nanos() as u64,
             ClockMode::Virtual => self.vclock.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Enable or disable wire-level tracing.
+    pub fn set_tracing(&self, on: bool) {
+        self.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether wire-level tracing is currently enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Drain the recorded wire-level trace.
+    pub fn take_trace(&self) -> Vec<NetTraceEvent> {
+        std::mem::take(&mut self.trace.lock().unwrap())
+    }
+
+    /// Record one wire event (no-op unless tracing is on).
+    #[inline]
+    pub fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+        if self.trace_on.load(Ordering::Relaxed) {
+            self.trace.lock().unwrap().push(NetTraceEvent {
+                ts_ns: self.now_ns(),
+                msg,
+                attempt,
+                kind,
+            });
         }
     }
 
@@ -224,6 +300,13 @@ impl SimNetwork {
                 let backoff = Self::backoff_ns(plan, attempt);
                 self.drops_injected.fetch_add(1, Ordering::SeqCst);
                 self.max_backoff_ns.fetch_max(backoff, Ordering::SeqCst);
+                self.trace_event(
+                    msg,
+                    attempt,
+                    NetEventKind::Drop {
+                        backoff_ns: backoff,
+                    },
+                );
                 q.push(Reverse(Delivery {
                     due_ns: now + backoff,
                     seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
@@ -278,11 +361,15 @@ impl SimNetwork {
     }
 
     /// Inject an operation for delivery after the configured latency.
-    pub fn inject(&self, action: NetAction) {
+    /// Returns the logical message id, so initiator-side traces can
+    /// correlate the operation with its wire-level events.
+    pub fn inject(&self, action: NetAction) -> u64 {
         let msg = self.msg_seq.fetch_add(1, Ordering::Relaxed);
         self.pending_len.fetch_add(1, Ordering::SeqCst);
+        self.trace_event(msg, 0, NetEventKind::Inject);
         let mut q = self.queue.lock().unwrap();
         self.schedule_attempt(&mut q, msg, 0, action);
+        msg
     }
 
     /// Execute all deliveries whose due time has passed. Returns the number
@@ -348,18 +435,20 @@ impl SimNetwork {
                     // Retransmission timer fired: resend with the next
                     // attempt number. The logical message stays pending.
                     self.retries.fetch_add(1, Ordering::SeqCst);
+                    self.trace_event(msg, attempt + 1, NetEventKind::Retry);
                     let mut q = self.queue.lock().unwrap();
                     self.schedule_attempt(&mut q, msg, attempt + 1, action);
                 }
                 Payload::Attempt {
                     msg,
+                    attempt,
                     dropped: false,
                     action,
-                    ..
                 } => {
                     if dedup {
                         self.acked.lock().unwrap().insert(msg);
                     }
+                    self.trace_event(msg, attempt, NetEventKind::Deliver);
                     (action)(world);
                     // Counted after the action so injected == delivered
                     // implies no action is mid-flight (quiescence
@@ -374,6 +463,7 @@ impl SimNetwork {
                     if dedup {
                         let _seen = self.acked.lock().unwrap().contains(&msg);
                     }
+                    self.trace_event(msg, 0, NetEventKind::DupDiscard);
                     self.dup_suppressed.fetch_add(1, Ordering::SeqCst);
                     self.pending_len.fetch_sub(1, Ordering::SeqCst);
                 }

@@ -153,8 +153,8 @@ impl World {
     }
 
     /// Inject an operation into the simulated network.
-    pub fn net_inject(&self, action: NetAction) {
-        self.net.inject(action);
+    pub fn net_inject(&self, action: NetAction) -> u64 {
+        self.net.inject(action)
     }
 
     /// Route `ev`'s completion signal to `initiator`'s ready queue as
@@ -165,7 +165,17 @@ impl World {
     /// deposits immediately on the calling thread.
     pub fn route_signal(self: &Arc<Self>, ev: &EventCore, initiator: Rank, token: u64) {
         let world = Arc::clone(self);
-        ev.on_signal(move || world.ready[initiator.idx()].push(token));
+        ev.on_signal(move || {
+            world.net.trace_event(
+                u64::MAX,
+                0,
+                crate::net::NetEventKind::Signal {
+                    rank: initiator.0,
+                    token,
+                },
+            );
+            world.ready[initiator.idx()].push(token)
+        });
     }
 
     /// Drain `me`'s ready queue into `out` (FIFO, bounded to the tokens

@@ -1,0 +1,153 @@
+//! GUPS command-line runner with optional lifecycle-trace export.
+//!
+//! ```text
+//! gups --variant "atomics w/futures" --ranks 4 --nodes 2 --log2-table 16 \
+//!      --version eager --trace-out trace.json
+//! ```
+//!
+//! With `--trace-out`, operation-lifecycle tracing is enabled for the
+//! update loop and the per-rank spans plus wire events are exported as
+//! Chrome `trace_event` JSON (load in `chrome://tracing` or Perfetto),
+//! with the (op kind × completion path) latency summary printed to stdout.
+
+use std::process::ExitCode;
+
+use gups::{GupsConfig, Variant};
+use upcr::trace::summary_table;
+use upcr::{launch, LibVersion, RuntimeConfig};
+
+struct Args {
+    variant: Variant,
+    ranks: usize,
+    ranks_per_node: usize,
+    log2_table: u32,
+    batch: usize,
+    version: LibVersion,
+    verify: bool,
+    trace_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gups [--variant NAME] [--ranks N] [--nodes N] [--log2-table N] [--batch N]\n\
+         \x20           [--version eager|2021.3.0|2021.3.6-defer] [--verify] [--trace-out PATH]\n\
+         variants: {}",
+        Variant::ALL.map(|v| format!("{:?}", v.name())).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        variant: Variant::AmoFuture,
+        ranks: 4,
+        ranks_per_node: 2,
+        log2_table: 14,
+        batch: 64,
+        version: LibVersion::V2021_3_6Eager,
+        verify: false,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--variant" => {
+                let v = val();
+                args.variant = Variant::ALL
+                    .into_iter()
+                    .find(|x| x.name() == v)
+                    .unwrap_or_else(|| usage());
+            }
+            "--ranks" => args.ranks = val().parse().unwrap_or_else(|_| usage()),
+            "--nodes" => {
+                let nodes: usize = val().parse().unwrap_or_else(|_| usage());
+                args.ranks_per_node = (args.ranks / nodes.max(1)).max(1);
+            }
+            "--log2-table" => args.log2_table = val().parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = val().parse().unwrap_or_else(|_| usage()),
+            "--version" => {
+                args.version = match val().as_str() {
+                    "eager" | "2021.3.6" => LibVersion::V2021_3_6Eager,
+                    "2021.3.0" => LibVersion::V2021_3_0,
+                    "2021.3.6-defer" | "defer" => LibVersion::V2021_3_6Defer,
+                    _ => usage(),
+                };
+            }
+            "--verify" => args.verify = true,
+            "--trace-out" => args.trace_out = Some(val()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = GupsConfig {
+        log2_table: args.log2_table,
+        updates_per_word: 1,
+        batch: args.batch,
+        verify: args.verify,
+    };
+    cfg.validate(args.ranks);
+    let tracing = args.trace_out.is_some();
+    let rt = RuntimeConfig::udp(args.ranks, args.ranks_per_node)
+        .with_version(args.version)
+        .with_segment_size((cfg.table_size() / args.ranks * 8 + (1 << 16)).next_power_of_two());
+
+    let results = launch(rt, |u| {
+        u.trace_enabled(tracing);
+        let r = gups::run(u, &cfg, args.variant);
+        u.barrier();
+        let net = if u.rank_me() == 0 && tracing {
+            u.take_net_trace()
+        } else {
+            Vec::new()
+        };
+        (r, u.take_trace(), u.latency_report(), net)
+    });
+
+    let run = results[0].0;
+    println!(
+        "variant={:?} ranks={} table=2^{} updates={} time={:.4}s mups={:.2} errors={}",
+        args.variant.name(),
+        args.ranks,
+        args.log2_table,
+        run.updates,
+        run.seconds,
+        run.mups(),
+        run.errors,
+    );
+
+    if let Some(path) = &args.trace_out {
+        let mut bundle = upcr::TraceBundle {
+            ranks: Vec::new(),
+            net: Vec::new(),
+        };
+        let mut hists = upcr::Histograms::new();
+        for (_, trace, hist, net) in results {
+            bundle.ranks.push(trace);
+            hists.merge(&hist);
+            if !net.is_empty() {
+                bundle.net = net;
+            }
+        }
+        print!("{}", summary_table(&hists));
+        let json = upcr::trace::chrome_trace_json(&bundle);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let events: usize = bundle.ranks.iter().map(|r| r.events.len()).sum();
+        println!(
+            "trace: {} rank events + {} wire events -> {path}",
+            events,
+            bundle.net.len()
+        );
+    }
+    if run.errors > 0 && args.verify {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,144 @@
+//! Command-line driver for the differential harness with trace export.
+//!
+//! Runs one seeded workload on the 4-rank / 2-node chaos world and
+//! optionally exports the operation-lifecycle trace as Chrome
+//! `trace_event` JSON (load in `chrome://tracing` or Perfetto):
+//!
+//! ```text
+//! simtest --workload gups-small --seed 42 --plan combined \
+//!         --version eager --trace-out trace.json --check-notify
+//! ```
+//!
+//! `--check-notify` re-parses the exported JSON and fails unless it
+//! contains at least one eager and one deferred notification event — the
+//! CI trace-smoke job's acceptance check.
+
+use std::process::ExitCode;
+
+use simtest::{fault_plans, run_traced, Workload};
+use upcr::trace::{count_notifications, parse_json, summary_table};
+use upcr::LibVersion;
+
+struct Args {
+    workload: Workload,
+    seed: u64,
+    plan: Option<String>,
+    version: LibVersion,
+    trace_out: Option<String>,
+    check_notify: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small]\n\
+         \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
+         \x20              [--version eager|2021.3.0|2021.3.6-defer]\n\
+         \x20              [--trace-out PATH] [--check-notify]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: Workload::GupsSmall,
+        seed: 42,
+        plan: Some("combined".to_string()),
+        version: LibVersion::V2021_3_6Eager,
+        trace_out: None,
+        check_notify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--workload" => {
+                let v = val();
+                args.workload = Workload::ALL
+                    .into_iter()
+                    .find(|w| w.name() == v)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--plan" => {
+                let v = val();
+                args.plan = (v != "none").then_some(v);
+            }
+            "--version" => {
+                args.version = match val().as_str() {
+                    "eager" | "2021.3.6" => LibVersion::V2021_3_6Eager,
+                    "2021.3.0" => LibVersion::V2021_3_0,
+                    "2021.3.6-defer" | "defer" => LibVersion::V2021_3_6Defer,
+                    _ => usage(),
+                };
+            }
+            "--trace-out" => args.trace_out = Some(val()),
+            "--check-notify" => args.check_notify = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let plan = args.plan.as_deref().map(|name| {
+        fault_plans(args.seed)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| usage())
+            .1
+    });
+
+    let (outcome, bundle, hists) = run_traced(args.workload, args.version, args.seed, plan);
+    println!(
+        "workload={} seed={} version={:?} digest={:#018x} completions={} injected={} retries={} drops={} dups={}",
+        args.workload.name(),
+        args.seed,
+        args.version,
+        outcome.digest,
+        outcome.completions,
+        outcome.injected,
+        outcome.retries,
+        outcome.drops_injected,
+        outcome.dup_suppressed,
+    );
+    print!("{}", summary_table(&hists));
+
+    let json = upcr::trace::chrome_trace_json(&bundle);
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let events: usize = bundle.ranks.iter().map(|r| r.events.len()).sum();
+        println!(
+            "trace: {} rank events + {} wire events -> {path}",
+            events,
+            bundle.net.len()
+        );
+    }
+
+    if args.check_notify {
+        if let Err(e) = parse_json(&json) {
+            eprintln!("error: exported trace is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+        match count_notifications(&json) {
+            Ok((eager, deferred)) if eager >= 1 && deferred >= 1 => {
+                println!("check-notify: ok ({eager} eager, {deferred} deferred)");
+            }
+            Ok((eager, deferred)) => {
+                eprintln!(
+                    "error: expected >=1 eager and >=1 deferred notification, \
+                     got {eager} eager / {deferred} deferred"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

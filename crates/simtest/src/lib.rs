@@ -170,6 +170,70 @@ pub fn run(workload: Workload, version: LibVersion, seed: u64, plan: Option<Faul
     outcome_from(digest, completions, net)
 }
 
+/// Like [`run`], but with operation-lifecycle tracing enabled: returns the
+/// outcome plus the assembled trace bundle (every rank's span events and
+/// the world-global wire events) and the cross-rank merged latency
+/// histograms. Used by the `simtest` binary's `--trace-out` mode and the
+/// CI trace-smoke job.
+pub fn run_traced(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> (Outcome, upcr::TraceBundle, upcr::Histograms) {
+    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+        .with_version(version)
+        .with_segment_size(1 << 18)
+        .with_net(net_for(plan));
+    let results = launch(rt, move |u| {
+        u.trace_enabled(true);
+        let digest = match workload {
+            Workload::PutGetStorm => put_get_storm(u, seed),
+            Workload::AtomicStorm => atomic_storm(u, seed),
+            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
+            Workload::GupsSmall => gups_small(u),
+        };
+        u.barrier();
+        while u.net_stats().pending > 0 {
+            u.progress();
+        }
+        u.barrier();
+        let s = u.stats();
+        let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
+        let net = u.net_stats();
+        // The wire-event sink is world-global; rank 0 drains it after the
+        // final barrier so every delivery has been recorded.
+        let net_trace = if u.rank_me() == 0 {
+            u.take_net_trace()
+        } else {
+            Vec::new()
+        };
+        (
+            digest,
+            completions,
+            net,
+            u.take_trace(),
+            u.latency_report(),
+            net_trace,
+        )
+    });
+    let (digest, completions, net) = (results[0].0, results[0].1, results[0].2);
+    let mut bundle = upcr::TraceBundle {
+        ranks: Vec::new(),
+        net: Vec::new(),
+    };
+    let mut hists = upcr::Histograms::new();
+    for (d, c, _, trace, hist, net_trace) in results {
+        assert_eq!((d, c), (digest, completions), "ranks disagree on outcome");
+        bundle.ranks.push(trace);
+        hists.merge(&hist);
+        if !net_trace.is_empty() {
+            bundle.net = net_trace;
+        }
+    }
+    (outcome_from(digest, completions, net), bundle, hists)
+}
+
 fn outcome_from(digest: u64, completions: u64, net: NetStats) -> Outcome {
     assert_eq!(
         net.injected, net.delivered,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-683abe27434f16e1.d: crates/simtest/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-683abe27434f16e1: crates/simtest/tests/differential.rs
+
+crates/simtest/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gups-734b2f149606de7b.d: crates/gups/src/bin/gups.rs
+
+/root/repo/target/debug/deps/gups-734b2f149606de7b: crates/gups/src/bin/gups.rs
+
+crates/gups/src/bin/gups.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gups-cf541ddd9db1e79d.d: crates/gups/src/bin/gups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgups-cf541ddd9db1e79d.rmeta: crates/gups/src/bin/gups.rs Cargo.toml
+
+crates/gups/src/bin/gups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gups-fa5b6829e2386c85.d: crates/gups/src/bin/gups.rs
+
+/root/repo/target/debug/deps/gups-fa5b6829e2386c85: crates/gups/src/bin/gups.rs
+
+crates/gups/src/bin/gups.rs:

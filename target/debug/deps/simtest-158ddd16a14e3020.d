@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simtest-158ddd16a14e3020.d: crates/simtest/src/bin/simtest.rs
+
+/root/repo/target/debug/deps/simtest-158ddd16a14e3020: crates/simtest/src/bin/simtest.rs
+
+crates/simtest/src/bin/simtest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simtest-650bc314bac11265.d: crates/simtest/src/bin/simtest.rs
+
+/root/repo/target/debug/deps/simtest-650bc314bac11265: crates/simtest/src/bin/simtest.rs
+
+crates/simtest/src/bin/simtest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simtest-8597f94db43a9a5e.d: crates/simtest/src/bin/simtest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimtest-8597f94db43a9a5e.rmeta: crates/simtest/src/bin/simtest.rs Cargo.toml
+
+crates/simtest/src/bin/simtest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-299687e55d000133.d: crates/core/tests/trace.rs
+
+/root/repo/target/debug/deps/trace-299687e55d000133: crates/core/tests/trace.rs
+
+crates/core/tests/trace.rs:

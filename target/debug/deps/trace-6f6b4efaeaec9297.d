@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-6f6b4efaeaec9297.d: crates/core/tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-6f6b4efaeaec9297.rmeta: crates/core/tests/trace.rs Cargo.toml
+
+crates/core/tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_overhead-420100661d804b2d.d: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_overhead-420100661d804b2d.rmeta: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+crates/bench/benches/trace_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_overhead-983662f46f95937e.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/debug/deps/trace_overhead-983662f46f95937e: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

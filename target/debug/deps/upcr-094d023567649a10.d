@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/upcr-094d023567649a10.d: crates/core/src/lib.rs crates/core/src/atomics.rs crates/core/src/completion.rs crates/core/src/ctx.rs crates/core/src/dist_object.rs crates/core/src/future/mod.rs crates/core/src/future/cell.rs crates/core/src/future/future.rs crates/core/src/future/promise.rs crates/core/src/future/when_all.rs crates/core/src/global_ptr.rs crates/core/src/reduce.rs crates/core/src/rma.rs crates/core/src/rpc.rs crates/core/src/runtime.rs crates/core/src/ser.rs crates/core/src/stats.rs crates/core/src/version.rs crates/core/src/vis.rs Cargo.toml
+/root/repo/target/debug/deps/upcr-094d023567649a10.d: crates/core/src/lib.rs crates/core/src/atomics.rs crates/core/src/completion.rs crates/core/src/ctx.rs crates/core/src/dist_object.rs crates/core/src/future/mod.rs crates/core/src/future/cell.rs crates/core/src/future/future.rs crates/core/src/future/promise.rs crates/core/src/future/when_all.rs crates/core/src/global_ptr.rs crates/core/src/reduce.rs crates/core/src/rma.rs crates/core/src/rpc.rs crates/core/src/runtime.rs crates/core/src/ser.rs crates/core/src/stats.rs crates/core/src/trace/mod.rs crates/core/src/trace/export.rs crates/core/src/trace/hist.rs crates/core/src/trace/ring.rs crates/core/src/version.rs crates/core/src/vis.rs Cargo.toml
 
-/root/repo/target/debug/deps/libupcr-094d023567649a10.rmeta: crates/core/src/lib.rs crates/core/src/atomics.rs crates/core/src/completion.rs crates/core/src/ctx.rs crates/core/src/dist_object.rs crates/core/src/future/mod.rs crates/core/src/future/cell.rs crates/core/src/future/future.rs crates/core/src/future/promise.rs crates/core/src/future/when_all.rs crates/core/src/global_ptr.rs crates/core/src/reduce.rs crates/core/src/rma.rs crates/core/src/rpc.rs crates/core/src/runtime.rs crates/core/src/ser.rs crates/core/src/stats.rs crates/core/src/version.rs crates/core/src/vis.rs Cargo.toml
+/root/repo/target/debug/deps/libupcr-094d023567649a10.rmeta: crates/core/src/lib.rs crates/core/src/atomics.rs crates/core/src/completion.rs crates/core/src/ctx.rs crates/core/src/dist_object.rs crates/core/src/future/mod.rs crates/core/src/future/cell.rs crates/core/src/future/future.rs crates/core/src/future/promise.rs crates/core/src/future/when_all.rs crates/core/src/global_ptr.rs crates/core/src/reduce.rs crates/core/src/rma.rs crates/core/src/rpc.rs crates/core/src/runtime.rs crates/core/src/ser.rs crates/core/src/stats.rs crates/core/src/trace/mod.rs crates/core/src/trace/export.rs crates/core/src/trace/hist.rs crates/core/src/trace/ring.rs crates/core/src/version.rs crates/core/src/vis.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/atomics.rs:
@@ -19,6 +19,10 @@ crates/core/src/rpc.rs:
 crates/core/src/runtime.rs:
 crates/core/src/ser.rs:
 crates/core/src/stats.rs:
+crates/core/src/trace/mod.rs:
+crates/core/src/trace/export.rs:
+crates/core/src/trace/hist.rs:
+crates/core/src/trace/ring.rs:
 crates/core/src/version.rs:
 crates/core/src/vis.rs:
 Cargo.toml:

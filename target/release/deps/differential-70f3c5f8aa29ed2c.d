@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-70f3c5f8aa29ed2c.d: crates/simtest/tests/differential.rs
+
+/root/repo/target/release/deps/differential-70f3c5f8aa29ed2c: crates/simtest/tests/differential.rs
+
+crates/simtest/tests/differential.rs:

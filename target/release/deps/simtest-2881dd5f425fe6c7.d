@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simtest-2881dd5f425fe6c7.d: crates/simtest/src/bin/simtest.rs
+
+/root/repo/target/release/deps/simtest-2881dd5f425fe6c7: crates/simtest/src/bin/simtest.rs
+
+crates/simtest/src/bin/simtest.rs:

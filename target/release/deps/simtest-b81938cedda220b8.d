@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simtest-b81938cedda220b8.d: crates/simtest/src/bin/simtest.rs
+
+/root/repo/target/release/deps/simtest-b81938cedda220b8: crates/simtest/src/bin/simtest.rs
+
+crates/simtest/src/bin/simtest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-c117ec99726f28db.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-c117ec99726f28db: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:
