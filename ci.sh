@@ -9,6 +9,12 @@
 #   ./ci.sh trace    trace smoke: seeded GUPS-small with lifecycle tracing
 #                    on; the exported Chrome-trace JSON must parse and
 #                    contain >=1 eager and >=1 deferred notification event
+#   ./ci.sh bench    benchmark regression gate: regenerate the
+#                    deterministic BENCH_*.json documents and compare them
+#                    against ci/baseline/ with the committed tolerance
+#                    bands; also proves the gate trips on the broken
+#                    fixture. Set BENCH_OUT to keep the generated files
+#                    (CI uploads them as artifacts).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,8 +61,27 @@ case "$job" in
 
     echo "Trace smoke green."
     ;;
+  bench)
+    out="${BENCH_OUT:-$(mktemp -d)}"
+    mkdir -p "$out"
+    echo "==> figures --quick --json --out-dir $out"
+    cargo run -p bench --bin figures --release -q -- --quick --json --out-dir "$out"
+
+    echo "==> regress --baseline ci/baseline --current $out"
+    cargo run -p bench --bin regress --release -q -- \
+      --baseline ci/baseline --current "$out"
+
+    echo "==> regress must fail on the intentionally-broken fixture"
+    if cargo run -p bench --bin regress --release -q -- \
+        --baseline crates/bench/tests/fixtures/broken --current "$out"; then
+      echo "regress failed to flag the broken fixture" >&2
+      exit 1
+    fi
+
+    echo "Bench regression gate green."
+    ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, or trace)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, or bench)" >&2
     exit 2
     ;;
 esac

@@ -8,9 +8,17 @@
 //! - `tracing-off` — the flag explicitly cleared, exercising the one
 //!   predictably-taken branch per instrumentation site;
 //! - `tracing-on` — full span recording into the ring buffer plus the
-//!   latency histograms, for scale.
+//!   latency histograms, for scale;
+//! - `metrics-off` / `metrics-on` — the metric-sampling flag instead of
+//!   the trace flag: off measures the one disabled-mode branch per
+//!   progress quantum, on adds the per-interval snapshot.
 //!
-//! Acceptance: `tracing-off` within noise (< 3%) of `baseline`.
+//! Acceptance: `tracing-off` and `metrics-off` within noise (< 3%) of
+//! `baseline`.
+//!
+//! With `BENCH_OUT_DIR` set, the summary is also written as
+//! `BENCH_trace_overhead.json` (`bench.v1`, wide wall-clock tolerance
+//! bands — informational, never a committed gating baseline).
 
 use std::time::Duration;
 
@@ -33,20 +41,42 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("rput", "tracing-on"), &(), |b, _| {
         b.iter_custom(|iters| trace_overhead::rput_loop(true, iters))
     });
+    g.bench_with_input(BenchmarkId::new("rput", "metrics-off"), &(), |b, _| {
+        b.iter_custom(|iters| trace_overhead::metrics_rput_loop(false, iters))
+    });
+    g.bench_with_input(BenchmarkId::new("rput", "metrics-on"), &(), |b, _| {
+        b.iter_custom(|iters| trace_overhead::metrics_rput_loop(true, iters))
+    });
     g.finish();
 
-    // One-shot summary of the acceptance ratio (the per-series numbers
+    // One-shot summary of the acceptance ratios (the per-series numbers
     // above carry the noise bars).
     let iters = 400_000;
     let base = micro::ns_per_op(LibVersion::V2021_3_6Eager, MicroOp::Put, iters);
     let off = trace_overhead::ns_per_op(false, iters);
     let on = trace_overhead::ns_per_op(true, iters);
+    let m_off = trace_overhead::metrics_ns_per_op(false, iters);
+    let m_on = trace_overhead::metrics_ns_per_op(true, iters);
     println!(
         "\ntrace_overhead summary: baseline {base:.1} ns/op, tracing-off {off:.1} ns/op \
          ({:+.2}%), tracing-on {on:.1} ns/op ({:+.2}%)",
         100.0 * (off / base - 1.0),
         100.0 * (on / base - 1.0),
     );
+    println!(
+        "metrics summary: metrics-off {m_off:.1} ns/op ({:+.2}%), metrics-on {m_on:.1} ns/op \
+         ({:+.2}%)",
+        100.0 * (m_off / base - 1.0),
+        100.0 * (m_on / base - 1.0),
+    );
+    if let Ok(dir) = std::env::var("BENCH_OUT_DIR") {
+        let path = format!("{dir}/BENCH_trace_overhead.json");
+        let doc = bench::emit::trace_overhead_doc(iters, base, off, on, m_off, m_on);
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("error: writing {path}: {e}"),
+        }
+    }
 }
 
 criterion_group!(benches, bench_trace_overhead);

@@ -7,7 +7,16 @@
 //!         [--quick]            # reduced iteration counts / sizes
 //!         [--ranks N]          # GUPS / matching rank count (default 16)
 //!         [--scale X]          # matching graph scale (default 0.25)
+//!         [--json]             # emit deterministic BENCH_*.json instead
+//!         [--out-dir DIR]      # where --json writes (default ".")
 //! ```
+//!
+//! `--json` switches to benchmark-pipeline mode: instead of regenerating
+//! the wall-clock figures it writes `BENCH_micro.json` (virtual-clock
+//! probe per library version) and `BENCH_gups.json` (differential chaos
+//! harness outcomes) — the `bench.v1` documents the `regress` binary
+//! gates against `ci/baseline/`. Both are byte-deterministic for a fixed
+//! mode, so CI commits them as zero-tolerance baselines.
 //!
 //! Output sections correspond to: Figures 2–4 (microbenchmarks), Figures
 //! 5–7 (GUPS), Figure 8 (graph matching), the §IV-A off-node validation,
@@ -26,6 +35,8 @@ struct Args {
     ranks: usize,
     scale: f64,
     samples: usize,
+    json: bool,
+    out_dir: String,
 }
 
 fn parse_args() -> Args {
@@ -35,11 +46,15 @@ fn parse_args() -> Args {
         ranks: 16,
         scale: 0.25,
         samples: 5,
+        json: false,
+        out_dir: ".".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--json" => args.json = true,
+            "--out-dir" => args.out_dir = it.next().expect("--out-dir needs a value"),
             "--ranks" => {
                 args.ranks = it
                     .next()
@@ -85,6 +100,10 @@ fn best_half_mean(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
 
 fn main() {
     let args = parse_args();
+    if args.json {
+        emit_bench_json(&args);
+        return;
+    }
     println!("eager-notify reproduction — paper figure regeneration");
     println!("(single x86-64 host; compare series shapes, not absolute values)\n");
     if want(&args, "micro") {
@@ -107,6 +126,27 @@ fn main() {
     }
     if want(&args, "matching-mp") || args.sections.iter().any(|x| x == "all") {
         matching_mp_comparison(&args);
+    }
+}
+
+/// Benchmark-pipeline mode: write the deterministic `bench.v1` documents
+/// the regression gate compares against `ci/baseline/`.
+fn emit_bench_json(args: &Args) {
+    std::fs::create_dir_all(&args.out_dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", args.out_dir));
+    type SuiteEmit = fn(bool) -> String;
+    let suites: [(&str, SuiteEmit); 2] = [
+        ("micro", bench::emit::bench_micro_doc),
+        ("gups", bench::emit::bench_gups_doc),
+    ];
+    for (suite, emit) in suites {
+        if !want(args, suite) {
+            continue;
+        }
+        let path = format!("{}/BENCH_{suite}.json", args.out_dir);
+        let doc = emit(args.quick);
+        std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} ({} bytes)", doc.len());
     }
 }
 

@@ -1,0 +1,256 @@
+//! Benchmark result emission (`bench.v1` documents).
+//!
+//! Two gated suites, both produced by *deterministic* drives so the
+//! committed baselines carry zero-width tolerance bands:
+//!
+//! * **micro** — the single-threaded virtual-clock probe
+//!   ([`upcr::metrics::probe`]) per library version under a seeded chaos
+//!   plan: latency quantiles per (op kind × completion path) plus the
+//!   notification-path and reliability counters. Timestamps are logical,
+//!   so every quantile is a pure function of the configuration.
+//! * **gups** — the differential chaos harness ([`simtest`]) per
+//!   (workload × version): state digest, completion count, and
+//!   reliability counters. Multi-threaded, but each field is
+//!   schedule-independent by construction (single-writer/commutative
+//!   state, fault fates a pure hash of `(seed, msg, attempt)` over a
+//!   fixed message-id set).
+//!
+//! The wall-clock **trace_overhead** suite is also emitted here (by the
+//! Criterion bench) with wide relative bands; it is informational and not
+//! committed as a baseline.
+
+use simtest::Workload;
+use upcr::metrics::probe::{run as probe_run, ProbeConfig};
+use upcr::LibVersion;
+
+use crate::regress::BENCH_SCHEMA;
+use crate::VERSIONS;
+
+/// Stable identifier for a library version inside metric names.
+pub fn version_slug(v: LibVersion) -> &'static str {
+    match v {
+        LibVersion::V2021_3_0 => "v2021_3_0",
+        LibVersion::V2021_3_6Defer => "v2021_3_6_defer",
+        LibVersion::V2021_3_6Eager => "v2021_3_6_eager",
+    }
+}
+
+fn mode_name(quick: bool) -> &'static str {
+    if quick {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
+/// Format a value with the shortest round-trip representation, rendering
+/// integral values without a fraction — deterministic output for the
+/// byte-identity gate.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental `bench.v1` document writer with fixed field order.
+pub struct DocBuilder {
+    head: String,
+    metrics: Vec<String>,
+}
+
+impl DocBuilder {
+    pub fn new(suite: &str, mode: &str, seed: u64, ranks: u64, samples: u64) -> Self {
+        DocBuilder {
+            head: format!(
+                "{{\"schema\":\"{BENCH_SCHEMA}\",\"suite\":\"{suite}\",\"mode\":\"{mode}\",\
+                 \"seed\":{seed},\"ranks\":{ranks},\"samples\":{samples}"
+            ),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Add an exactly-reproducible metric (zero tolerance band).
+    pub fn exact(&mut self, name: &str, unit: &str, value: f64) {
+        self.metric(name, unit, value, 0.0, 0.0);
+    }
+
+    pub fn metric(&mut self, name: &str, unit: &str, value: f64, tol_rel: f64, tol_abs: f64) {
+        self.metrics.push(format!(
+            "{{\"name\":\"{name}\",\"unit\":\"{unit}\",\"value\":{},\
+             \"tol_rel\":{},\"tol_abs\":{}}}",
+            fmt_num(value),
+            fmt_num(tol_rel),
+            fmt_num(tol_abs)
+        ));
+    }
+
+    pub fn finish(self) -> String {
+        let mut out = self.head;
+        out.push_str(",\"metrics\":[\n");
+        out.push_str(&self.metrics.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// `BENCH_micro.json`: probe every library version under one seeded chaos
+/// plan and record latency quantiles + path counters. Byte-identical
+/// across runs and machines (virtual clock, single-threaded drive).
+pub fn bench_micro_doc(quick: bool) -> String {
+    let iters: u64 = if quick { 24 } else { 96 };
+    let seed = 1u64;
+    let mut b = DocBuilder::new("micro", mode_name(quick), seed, 2, iters);
+    for &version in &VERSIONS {
+        let r = probe_run(&ProbeConfig {
+            version,
+            iters,
+            seed,
+            chaos: true,
+            trace: true,
+            metrics: false,
+            ..ProbeConfig::default()
+        });
+        let slug = version_slug(version);
+        for row in r.hist.rows() {
+            let op = format!("{slug}.{}_{}", row.kind.name(), row.path.name());
+            b.exact(&format!("{op}_count"), "ops", row.count as f64);
+            b.exact(&format!("{op}_p50_ns"), "ns", row.p50_ns as f64);
+            b.exact(&format!("{op}_p99_ns"), "ns", row.p99_ns as f64);
+        }
+        b.exact(
+            &format!("{slug}.eager_notifications"),
+            "ops",
+            r.stats.eager_notifications as f64,
+        );
+        b.exact(
+            &format!("{slug}.deferred_enqueued"),
+            "ops",
+            r.stats.deferred_enqueued as f64,
+        );
+        b.exact(
+            &format!("{slug}.net_injected"),
+            "msgs",
+            r.net.injected as f64,
+        );
+        b.exact(&format!("{slug}.net_retries"), "msgs", r.net.retries as f64);
+    }
+    b.finish()
+}
+
+/// `BENCH_gups.json`: sweep differential-harness workloads per library
+/// version under the `combined` chaos plan and record each run's
+/// schedule-independent outcome fields.
+pub fn bench_gups_doc(quick: bool) -> String {
+    let seed = 42u64;
+    let workloads: &[Workload] = if quick {
+        &[Workload::PutGetStorm, Workload::AtomicStorm]
+    } else {
+        &Workload::ALL
+    };
+    let plan = simtest::fault_plans(seed)
+        .into_iter()
+        .find(|(n, _)| *n == "combined")
+        .expect("combined plan exists")
+        .1;
+    let mut b = DocBuilder::new(
+        "gups",
+        mode_name(quick),
+        seed,
+        simtest::RANKS as u64,
+        workloads.len() as u64,
+    );
+    for &w in workloads {
+        for &version in &VERSIONS {
+            let o = simtest::run(w, version, seed, Some(plan));
+            let key = format!("{}.{}", w.name(), version_slug(version));
+            // The digest is 64-bit; split so both halves stay exact in the
+            // JSON number space.
+            b.exact(&format!("{key}.digest_hi"), "hash", (o.digest >> 32) as f64);
+            b.exact(
+                &format!("{key}.digest_lo"),
+                "hash",
+                (o.digest & 0xFFFF_FFFF) as f64,
+            );
+            b.exact(&format!("{key}.completions"), "ops", o.completions as f64);
+            b.exact(&format!("{key}.injected"), "msgs", o.injected as f64);
+            b.exact(&format!("{key}.retries"), "msgs", o.retries as f64);
+            b.exact(
+                &format!("{key}.drops_injected"),
+                "msgs",
+                o.drops_injected as f64,
+            );
+            b.exact(
+                &format!("{key}.dup_suppressed"),
+                "msgs",
+                o.dup_suppressed as f64,
+            );
+        }
+    }
+    b.finish()
+}
+
+/// `BENCH_trace_overhead.json`: wall-clock ns/op for the observability
+/// overhead series. Machine-dependent — wide bands, never committed as a
+/// gating baseline.
+pub fn trace_overhead_doc(
+    iters: u64,
+    baseline_ns: f64,
+    trace_off_ns: f64,
+    trace_on_ns: f64,
+    metrics_off_ns: f64,
+    metrics_on_ns: f64,
+) -> String {
+    let mut b = DocBuilder::new("trace_overhead", "wall", 0, 2, iters);
+    for (name, v) in [
+        ("rput.baseline_ns", baseline_ns),
+        ("rput.trace_off_ns", trace_off_ns),
+        ("rput.trace_on_ns", trace_on_ns),
+        ("rput.metrics_off_ns", metrics_off_ns),
+        ("rput.metrics_on_ns", metrics_on_ns),
+    ] {
+        b.metric(name, "ns", v, 0.25, 5.0);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regress::parse_bench;
+
+    #[test]
+    fn micro_doc_is_deterministic_and_parses() {
+        let a = bench_micro_doc(true);
+        assert_eq!(a, bench_micro_doc(true), "probe doc must be replayable");
+        let d = parse_bench(&a).expect("emitted doc must parse");
+        assert_eq!(d.suite, "micro");
+        assert_eq!(d.mode, "quick");
+        assert!(
+            d.metrics.len() > 3 * VERSIONS.len(),
+            "every version contributes quantile + counter metrics"
+        );
+        assert!(d
+            .metrics
+            .iter()
+            .all(|m| m.tol_rel == 0.0 && m.tol_abs == 0.0));
+        // Both completion paths appear for the eager build.
+        assert!(d
+            .metrics
+            .iter()
+            .any(|m| m.name == "v2021_3_6_eager.put_eager_count" && m.value > 0.0));
+        assert!(d
+            .metrics
+            .iter()
+            .any(|m| m.name == "v2021_3_6_eager.put_deferred_count" && m.value > 0.0));
+    }
+
+    #[test]
+    fn trace_overhead_doc_carries_wide_bands() {
+        let d = parse_bench(&trace_overhead_doc(100, 50.0, 51.0, 80.0, 50.5, 60.0)).unwrap();
+        assert_eq!(d.suite, "trace_overhead");
+        assert_eq!(d.metrics.len(), 5);
+        assert!(d.metrics.iter().all(|m| m.tol_rel > 0.0));
+    }
+}

@@ -9,6 +9,8 @@ use std::time::{Duration, Instant};
 use upcr::{launch, LibVersion, NetConfig, Rank, RuntimeConfig, Upcr};
 
 pub mod criterion;
+pub mod emit;
+pub mod regress;
 
 /// Figures 2–4: single-operation latency microbenchmarks.
 pub mod micro {
@@ -210,6 +212,41 @@ pub mod trace_overhead {
     /// Nanoseconds per operation, averaged over `iters`.
     pub fn ns_per_op(tracing: bool, iters: u64) -> f64 {
         rput_loop(tracing, iters).as_nanos() as f64 / iters as f64
+    }
+
+    /// The same loop with the *metric sampling* flag set instead of the
+    /// trace flag: `metrics=false` measures the one disabled-mode branch
+    /// per progress quantum, `metrics=true` adds the per-interval snapshot
+    /// cost. The acceptance criterion mirrors tracing: disabled sampling
+    /// stays within noise of the baseline.
+    pub fn metrics_rput_loop(metrics: bool, iters: u64) -> Duration {
+        let rt = RuntimeConfig::smp(2)
+            .with_version(LibVersion::V2021_3_6Eager)
+            .with_segment_size(1 << 16);
+        let out = launch(rt, move |u| {
+            u.metrics_enabled(metrics);
+            let mine = u.new_::<u64>(0);
+            let targets: Vec<_> = (0..2).map(|r| u.broadcast(mine, r)).collect();
+            let target = targets[1 - u.rank_me()];
+            u.barrier();
+            let mut elapsed = Duration::ZERO;
+            if u.rank_me() == 0 {
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    u.rput(i, target).wait();
+                }
+                elapsed = t0.elapsed();
+            }
+            u.barrier();
+            u.delete_(mine);
+            elapsed
+        });
+        out[0]
+    }
+
+    /// Nanoseconds per operation for the metric-sampling loop.
+    pub fn metrics_ns_per_op(metrics: bool, iters: u64) -> f64 {
+        metrics_rput_loop(metrics, iters).as_nanos() as f64 / iters as f64
     }
 }
 

@@ -1,0 +1,257 @@
+//! Benchmark regression checking against committed baselines.
+//!
+//! A benchmark result file (`BENCH_*.json`, schema [`BENCH_SCHEMA`])
+//! carries a flat list of named metrics, each with a value and a
+//! per-metric tolerance band. [`compare`] checks a current run against a
+//! baseline: the *baseline's* bands are authoritative (the baseline is
+//! what CI committed and reviewed; a current run cannot loosen its own
+//! gate), a metric present in the baseline but missing from the current
+//! run is a failure (silently dropping a measurement must not pass), and
+//! identification fields (`suite`/`mode`/`seed`/`ranks`/`samples`) must
+//! match exactly so apples are compared to apples.
+//!
+//! Everything the pipeline gates on is produced by deterministic drives
+//! (the virtual-clock probe and the chaos differential harness), so the
+//! committed bands are zero: any byte of drift is a regression. Wall-clock
+//! suites (`trace_overhead`) carry wide bands and are not committed as
+//! baselines — the `regress` binary only gates on files the baseline
+//! directory contains.
+
+use upcr::trace::{parse_json, Json};
+
+/// Schema tag stamped into every benchmark result document.
+pub const BENCH_SCHEMA: &str = "bench.v1";
+
+/// One named measurement with its tolerance band.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchMetric {
+    pub name: String,
+    pub unit: String,
+    pub value: f64,
+    /// Relative tolerance (fraction of the baseline value's magnitude).
+    pub tol_rel: f64,
+    /// Absolute tolerance (same unit as `value`).
+    pub tol_abs: f64,
+}
+
+impl BenchMetric {
+    /// The acceptance band when this metric is the baseline: the wider of
+    /// the relative and absolute tolerances.
+    pub fn band(&self) -> f64 {
+        self.tol_abs.max(self.tol_rel * self.value.abs())
+    }
+}
+
+/// A parsed benchmark result document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchDoc {
+    pub suite: String,
+    /// `quick` or `full` — the iteration-count regime the values were
+    /// measured under.
+    pub mode: String,
+    pub seed: u64,
+    pub ranks: u64,
+    /// Per-suite sample count (probe iterations / workloads swept).
+    pub samples: u64,
+    pub metrics: Vec<BenchMetric>,
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|x| x.as_num())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn text(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Parse a `bench.v1` document, rejecting unknown schemas.
+pub fn parse_bench(json: &str) -> Result<BenchDoc, String> {
+    let doc = parse_json(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = text(&doc, "schema")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema {schema:?} (expected {BENCH_SCHEMA:?})"
+        ));
+    }
+    let mut metrics = Vec::new();
+    for (i, m) in doc
+        .get("metrics")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing \"metrics\" array")?
+        .iter()
+        .enumerate()
+    {
+        metrics.push(BenchMetric {
+            name: text(m, "name").map_err(|e| format!("metric {i}: {e}"))?,
+            unit: text(m, "unit").map_err(|e| format!("metric {i}: {e}"))?,
+            value: num(m, "value").map_err(|e| format!("metric {i}: {e}"))?,
+            tol_rel: num(m, "tol_rel").map_err(|e| format!("metric {i}: {e}"))?,
+            tol_abs: num(m, "tol_abs").map_err(|e| format!("metric {i}: {e}"))?,
+        });
+    }
+    Ok(BenchDoc {
+        suite: text(&doc, "suite")?,
+        mode: text(&doc, "mode")?,
+        seed: num(&doc, "seed")? as u64,
+        ranks: num(&doc, "ranks")? as u64,
+        samples: num(&doc, "samples")? as u64,
+        metrics,
+    })
+}
+
+/// The verdict of one baseline/current comparison.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub suite: String,
+    /// Metrics compared (present in both documents).
+    pub checked: usize,
+    /// Human-readable failure lines; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+impl Report {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare a current run against a baseline using the baseline's
+/// tolerance bands. Metrics only the current run has are ignored (new
+/// measurements start gating once they land in the baseline).
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
+    let mut failures = Vec::new();
+    for (field, b, c) in [
+        ("suite", &baseline.suite, &current.suite),
+        ("mode", &baseline.mode, &current.mode),
+    ] {
+        if b != c {
+            failures.push(format!("{field} mismatch: baseline {b:?}, current {c:?}"));
+        }
+    }
+    for (field, b, c) in [
+        ("seed", baseline.seed, current.seed),
+        ("ranks", baseline.ranks, current.ranks),
+        ("samples", baseline.samples, current.samples),
+    ] {
+        if b != c {
+            failures.push(format!("{field} mismatch: baseline {b}, current {c}"));
+        }
+    }
+    let mut checked = 0;
+    for bm in &baseline.metrics {
+        match current.metrics.iter().find(|m| m.name == bm.name) {
+            None => failures.push(format!("{}: missing from current run", bm.name)),
+            Some(cm) => {
+                checked += 1;
+                let band = bm.band();
+                let delta = (cm.value - bm.value).abs();
+                if delta > band {
+                    failures.push(format!(
+                        "{}: baseline {} {u}, current {} {u} (|delta| {} > band {})",
+                        bm.name,
+                        bm.value,
+                        cm.value,
+                        delta,
+                        band,
+                        u = bm.unit,
+                    ));
+                }
+            }
+        }
+    }
+    Report {
+        suite: baseline.suite.clone(),
+        checked,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(metrics: Vec<BenchMetric>) -> BenchDoc {
+        BenchDoc {
+            suite: "micro".into(),
+            mode: "quick".into(),
+            seed: 1,
+            ranks: 2,
+            samples: 24,
+            metrics,
+        }
+    }
+
+    fn metric(name: &str, value: f64, tol_rel: f64, tol_abs: f64) -> BenchMetric {
+        BenchMetric {
+            name: name.into(),
+            unit: "ns".into(),
+            value,
+            tol_rel,
+            tol_abs,
+        }
+    }
+
+    #[test]
+    fn within_band_passes() {
+        let base = doc(vec![
+            metric("a.p50_ns", 100.0, 0.05, 0.0),
+            metric("b.count", 7.0, 0.0, 0.0),
+        ]);
+        let cur = doc(vec![
+            metric("a.p50_ns", 104.0, 0.0, 0.0),
+            metric("b.count", 7.0, 0.0, 0.0),
+        ]);
+        let r = compare(&base, &cur);
+        assert!(r.passed(), "unexpected failures: {:?}", r.failures);
+        assert_eq!(r.checked, 2);
+    }
+
+    #[test]
+    fn outside_band_fails_with_baseline_band() {
+        // The current run's own (loose) tolerance must not widen the gate.
+        let base = doc(vec![metric("a.p50_ns", 100.0, 0.05, 0.0)]);
+        let cur = doc(vec![metric("a.p50_ns", 110.0, 0.5, 1000.0)]);
+        let r = compare(&base, &cur);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("a.p50_ns"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn missing_metric_fails_and_extra_metric_is_ignored() {
+        let base = doc(vec![metric("gone", 1.0, 0.0, 0.0)]);
+        let cur = doc(vec![metric("new", 1.0, 0.0, 0.0)]);
+        let r = compare(&base, &cur);
+        assert_eq!(r.checked, 0);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("missing from current run"));
+    }
+
+    #[test]
+    fn identification_mismatch_fails() {
+        let base = doc(vec![]);
+        let mut cur = doc(vec![]);
+        cur.mode = "full".into();
+        cur.seed = 2;
+        let r = compare(&base, &cur);
+        assert_eq!(r.failures.len(), 2, "{:?}", r.failures);
+    }
+
+    #[test]
+    fn parse_round_trip_and_schema_gate() {
+        let json = r#"{"schema":"bench.v1","suite":"micro","mode":"quick",
+            "seed":1,"ranks":2,"samples":24,"metrics":[
+            {"name":"a","unit":"ns","value":3,"tol_rel":0,"tol_abs":0}]}"#;
+        let d = parse_bench(json).expect("well-formed doc must parse");
+        assert_eq!(d.metrics.len(), 1);
+        assert_eq!(d.metrics[0].name, "a");
+        assert!(parse_bench(&json.replace("bench.v1", "bench.v9"))
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(parse_bench("{}").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! The benchmark regression gate, end to end: the committed baseline must
+//! match a fresh deterministic run, and the intentionally-broken fixture
+//! must fail against the same run.
+
+use bench::emit::bench_micro_doc;
+use bench::regress::{compare, parse_bench};
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+#[test]
+fn committed_baseline_matches_fresh_probe_run() {
+    let base = parse_bench(&repo_file("ci/baseline/BENCH_micro.json"))
+        .expect("committed baseline must parse");
+    let cur = parse_bench(&bench_micro_doc(true)).expect("fresh doc must parse");
+    let report = compare(&base, &cur);
+    assert!(
+        report.passed(),
+        "committed micro baseline is stale — regenerate with \
+         `figures --quick --json --out-dir ci/baseline`:\n{}",
+        report.failures.join("\n")
+    );
+    assert_eq!(report.checked, base.metrics.len());
+}
+
+#[test]
+fn broken_fixture_fails_against_fresh_probe_run() {
+    let base = parse_bench(&repo_file(
+        "crates/bench/tests/fixtures/broken/BENCH_micro.json",
+    ))
+    .expect("fixture must parse");
+    let cur = parse_bench(&bench_micro_doc(true)).expect("fresh doc must parse");
+    let report = compare(&base, &cur);
+    assert!(
+        !report.passed(),
+        "the broken fixture must trip the regression gate"
+    );
+    assert!(report
+        .failures
+        .iter()
+        .any(|f| f.contains("v2021_3_6_eager.put_deferred_count")));
+}

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use gasnex::{Conduit, EventCore, Rank, World};
 
 use crate::future::cell::{shared_ready_unit_cell, Cell};
+use crate::metrics::{MetricSeries, MetricsConfig};
 use crate::stats::{bump, Stats};
 use crate::trace::{CompletionPath, OpKind, RankTracer, TraceOp};
 use crate::version::LibVersion;
@@ -73,6 +74,11 @@ pub(crate) struct RankCtx {
     pub trace_on: StdCell<bool>,
     /// The per-rank span recorder (only touched when `trace_on` is set).
     pub tracer: RefCell<RankTracer>,
+    /// Metric-sampling gate: like `trace_on`, one predictably-taken branch
+    /// per progress quantum when off.
+    pub metrics_on: StdCell<bool>,
+    /// The per-rank metric sampler (only touched when `metrics_on` is set).
+    pub metrics: RefCell<MetricSeries>,
 }
 
 impl RankCtx {
@@ -95,6 +101,8 @@ impl RankCtx {
             in_progress: StdCell::new(false),
             trace_on: StdCell::new(false),
             tracer: RefCell::new(RankTracer::new(me.0)),
+            metrics_on: StdCell::new(false),
+            metrics: RefCell::new(MetricSeries::new(MetricsConfig::default())),
         })
     }
 
@@ -267,8 +275,25 @@ impl RankCtx {
             let ts = self.trace_now_ns();
             self.tracer.borrow_mut().drain(n as u64, ts);
         }
+        // Sample the metric time-series at quantum end, when the quantum's
+        // effects (wakeups, drains, injections) are visible in the
+        // counters. Off-path cost: one branch.
+        if self.metrics_on.get() {
+            let now = self.trace_now_ns();
+            self.metrics
+                .borrow_mut()
+                .maybe_sample(now, || crate::metrics::collect_values(self));
+        }
         self.in_progress.set(false);
         n
+    }
+
+    /// Re-prime the pending-notifications high-water gauge to the current
+    /// level (used after a stats reset: a gauge is a level, not a count,
+    /// so it restarts from "now", not from zero).
+    pub fn reprime_pending_highwater(&self) {
+        let pending = (self.event_waiters.borrow().len() + self.deferred.borrow().len()) as u64;
+        self.stats.pending_highwater.set(pending);
     }
 
     /// Whether this rank has locally visible outstanding work.

@@ -52,6 +52,7 @@ mod ctx;
 pub mod dist_object;
 pub mod future;
 pub mod global_ptr;
+pub mod metrics;
 pub mod reduce;
 pub mod rma;
 pub mod rpc;
@@ -70,6 +71,9 @@ pub use future::{
     Future, Promise,
 };
 pub use global_ptr::{GlobalPtr, LocalRef, SegValue};
+pub use metrics::{
+    CriticalPathReport, MetricClass, MetricDesc, MetricsConfig, OpBreakdown, RankSeries, Segment,
+};
 pub use reduce::{ReduceOp, ReduceVal};
 pub use runtime::{api, launch, RuntimeConfig, Upcr};
 pub use ser::{SerDe, SerError};

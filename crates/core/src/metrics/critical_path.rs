@@ -1,0 +1,428 @@
+//! Critical-path attribution over operation spans and the wire trace.
+//!
+//! [`analyze`] is a pure function: given the per-rank span traces
+//! ([`RankTrace`]) and the world-global wire trace, it attributes each
+//! completed operation's initiation→notification latency to pipeline
+//! segments. The correlation chain uses only recorded identifiers:
+//!
+//! * op → wire message: the op's `NetInject { msg }` span event;
+//! * message → backoff/delivery: the wire `Drop`/`Retry`/`Deliver`
+//!   events for `msg`;
+//! * op → completion token: the `Wakeup { token }` event nearest before
+//!   the op's `Notify` in sequence order (the progress engine records the
+//!   wakeup, then runs the callback that records the notify);
+//! * token → signal time: the wire `Signal { rank, token }` event for
+//!   this rank.
+//!
+//! Attribution is *exact by construction*: milestones are clamped to be
+//! monotone within `[init, notify]`, every segment is the gap between two
+//! consecutive milestones, and the trailing gap closes at the notify
+//! timestamp — so the segments always sum to precisely the measured
+//! latency (the invariant `tests/metrics.rs` asserts). A milestone the
+//! trace did not record contributes a zero-width segment; time that no
+//! milestone explains is *not* hidden — it lands in the segment following
+//! the last recorded milestone.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::trace::{CompletionPath, EventKind, NetEventKind, NetTraceEvent, OpKind, RankTrace};
+
+/// A pipeline segment of one operation's completion latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// Initiation bookkeeping: op init → network injection.
+    Initiation = 0,
+    /// Chaos retransmission waits: Σ (retry − drop) for the op's message.
+    Backoff = 1,
+    /// Wire time excluding backoff: injection → delivery minus backoff.
+    Transit = 2,
+    /// Delivery action → initiator-side completion signal routing.
+    DeliverToSignal = 3,
+    /// Signal deposited → the initiator's progress quantum drained it.
+    SignalToWakeup = 4,
+    /// Wakeup → the notification callback recorded the notify.
+    WakeupToNotify = 5,
+    /// Rank-local deferred delivery (ops that never touched the wire):
+    /// init → notify via the deferred queue.
+    QueueWait = 6,
+}
+
+impl Segment {
+    pub const COUNT: usize = 7;
+
+    pub const ALL: [Segment; Segment::COUNT] = [
+        Segment::Initiation,
+        Segment::Backoff,
+        Segment::Transit,
+        Segment::DeliverToSignal,
+        Segment::SignalToWakeup,
+        Segment::WakeupToNotify,
+        Segment::QueueWait,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Segment::Initiation => "initiation",
+            Segment::Backoff => "backoff",
+            Segment::Transit => "transit",
+            Segment::DeliverToSignal => "deliver_to_signal",
+            Segment::SignalToWakeup => "signal_to_wakeup",
+            Segment::WakeupToNotify => "wakeup_to_notify",
+            Segment::QueueWait => "queue_wait",
+        }
+    }
+}
+
+/// One operation's latency attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpBreakdown {
+    pub rank: u32,
+    pub op_id: u64,
+    pub kind: OpKind,
+    pub path: CompletionPath,
+    pub latency_ns: u64,
+    /// Nanoseconds attributed to each [`Segment`] (indexed by the enum's
+    /// discriminant); sums exactly to `latency_ns`.
+    pub segments: [u64; Segment::COUNT],
+}
+
+impl OpBreakdown {
+    pub fn segment_sum(&self) -> u64 {
+        self.segments.iter().sum()
+    }
+}
+
+/// Aggregate attribution for one (op kind × completion path) group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentShare {
+    pub kind: OpKind,
+    pub path: CompletionPath,
+    pub count: u64,
+    pub total_latency_ns: u64,
+    pub segment_totals: [u64; Segment::COUNT],
+}
+
+impl SegmentShare {
+    /// Per-mille share of `seg` in this group's total latency (0 when the
+    /// group recorded no latency). Integer math keeps reports
+    /// deterministic.
+    pub fn share_permille(&self, seg: Segment) -> u64 {
+        if self.total_latency_ns == 0 {
+            return 0;
+        }
+        self.segment_totals[seg as usize] * 1000 / self.total_latency_ns
+    }
+}
+
+/// The full critical-path report.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPathReport {
+    /// Every completed op's breakdown, sorted by latency descending (ties
+    /// broken by rank then op id — deterministic).
+    pub ops: Vec<OpBreakdown>,
+    /// Aggregates per (kind × path), in `OpKind::ALL` × `CompletionPath::ALL`
+    /// order, empty groups skipped.
+    pub aggregates: Vec<SegmentShare>,
+}
+
+impl CriticalPathReport {
+    /// The `k` highest-latency operations.
+    pub fn top_k(&self, k: usize) -> &[OpBreakdown] {
+        &self.ops[..k.min(self.ops.len())]
+    }
+
+    /// Render the aggregates and the top-k ops as a plain-text table.
+    pub fn render_text(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:>8} {:>12}  segment shares (‰)",
+            "op", "path", "count", "total(ns)"
+        );
+        for a in &self.aggregates {
+            let _ = write!(
+                out,
+                "{:<10} {:<9} {:>8} {:>12} ",
+                a.kind.name(),
+                a.path.name(),
+                a.count,
+                a.total_latency_ns
+            );
+            for seg in Segment::ALL {
+                let p = a.share_permille(seg);
+                if p > 0 {
+                    let _ = write!(out, " {}={}", seg.name(), p);
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "top {} ops by latency:", k.min(self.ops.len()));
+        for o in self.top_k(k) {
+            let _ = write!(
+                out,
+                "  rank {} {}#{} {} {}ns:",
+                o.rank,
+                o.kind.name(),
+                o.op_id,
+                o.path.name(),
+                o.latency_ns
+            );
+            for seg in Segment::ALL {
+                let v = o.segments[seg as usize];
+                if v > 0 {
+                    let _ = write!(out, " {}={}", seg.name(), v);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-message wire summary extracted from the net trace.
+#[derive(Clone, Copy, Debug, Default)]
+struct WireInfo {
+    deliver_ts: Option<u64>,
+    backoff_ns: u64,
+    /// Timestamp of the most recent unmatched `Drop` (pairs with the next
+    /// `Retry` to accumulate backoff).
+    open_drop_ts: Option<u64>,
+}
+
+/// Advance a milestone: clamp `t` (if recorded) into `[prev, end]`,
+/// otherwise stay at `prev` (zero-width segment).
+#[inline]
+fn step(prev: u64, t: Option<u64>, end: u64) -> u64 {
+    match t {
+        Some(t) => t.clamp(prev, end),
+        None => prev,
+    }
+}
+
+/// Attribute every completed op's latency to segments. Pure function of
+/// the recorded traces; see the module docs for the correlation chain.
+pub fn analyze(ranks: &[RankTrace], net: &[NetTraceEvent]) -> CriticalPathReport {
+    // Index the wire trace once: per-message delivery/backoff, and the
+    // signal routing time per (rank, token).
+    let mut wires: HashMap<u64, WireInfo> = HashMap::new();
+    let mut signals: HashMap<(u32, u64), u64> = HashMap::new();
+    for e in net {
+        match e.kind {
+            NetEventKind::Signal { rank, token } => {
+                signals.entry((rank, token)).or_insert(e.ts_ns);
+            }
+            NetEventKind::Inject | NetEventKind::DupDiscard => {}
+            NetEventKind::Drop { .. } => {
+                wires.entry(e.msg).or_default().open_drop_ts = Some(e.ts_ns);
+            }
+            NetEventKind::Retry => {
+                let w = wires.entry(e.msg).or_default();
+                if let Some(d) = w.open_drop_ts.take() {
+                    w.backoff_ns += e.ts_ns.saturating_sub(d);
+                }
+            }
+            NetEventKind::Deliver => {
+                wires.entry(e.msg).or_default().deliver_ts = Some(e.ts_ns);
+            }
+        }
+    }
+
+    let mut ops = Vec::new();
+    for trace in ranks {
+        // op id → (inject ts, wire message id).
+        let mut injected: HashMap<u64, (u64, u64)> = HashMap::new();
+        // The nearest preceding wakeup: the engine records `Wakeup` and
+        // then runs the callback whose notify follows it in seq order.
+        let mut last_wakeup: Option<(u64, u64)> = None; // (token, ts)
+        for e in &trace.events {
+            match e.kind {
+                EventKind::NetInject { msg } => {
+                    injected.insert(e.op.id, (e.ts_ns, msg));
+                }
+                EventKind::Wakeup { token } => {
+                    last_wakeup = Some((token, e.ts_ns));
+                }
+                EventKind::Notify { path, latency_ns } => {
+                    let notify_ts = e.ts_ns;
+                    let init_ts = notify_ts.saturating_sub(latency_ns);
+                    let mut segments = [0u64; Segment::COUNT];
+                    if let Some(&(inject_ts, msg)) = injected.get(&e.op.id) {
+                        let wire = wires.get(&msg).copied().unwrap_or_default();
+                        let signal_ts = last_wakeup
+                            .and_then(|(token, _)| signals.get(&(trace.rank, token)))
+                            .copied();
+                        let wakeup_ts = last_wakeup.map(|(_, ts)| ts);
+                        // Monotone milestone chain in [init, notify].
+                        let m1 = step(init_ts, Some(inject_ts), notify_ts);
+                        let m2 = step(m1, wire.deliver_ts, notify_ts);
+                        let m3 = step(m2, signal_ts, notify_ts);
+                        let m4 = step(m3, wakeup_ts, notify_ts);
+                        let backoff = wire.backoff_ns.min(m2 - m1);
+                        segments[Segment::Initiation as usize] = m1 - init_ts;
+                        segments[Segment::Backoff as usize] = backoff;
+                        segments[Segment::Transit as usize] = (m2 - m1) - backoff;
+                        segments[Segment::DeliverToSignal as usize] = m3 - m2;
+                        segments[Segment::SignalToWakeup as usize] = m4 - m3;
+                        segments[Segment::WakeupToNotify as usize] = notify_ts - m4;
+                    } else {
+                        // Never touched the wire: local op delivered
+                        // eagerly (latency 0) or via the deferred queue.
+                        segments[Segment::QueueWait as usize] = latency_ns;
+                    }
+                    ops.push(OpBreakdown {
+                        rank: trace.rank,
+                        op_id: e.op.id,
+                        kind: e.op.kind,
+                        path,
+                        latency_ns,
+                        segments,
+                    });
+                }
+                EventKind::Init | EventKind::Drain { .. } => {}
+            }
+        }
+    }
+
+    ops.sort_by(|a, b| {
+        b.latency_ns
+            .cmp(&a.latency_ns)
+            .then(a.rank.cmp(&b.rank))
+            .then(a.op_id.cmp(&b.op_id))
+    });
+
+    let mut aggregates = Vec::new();
+    for kind in OpKind::ALL {
+        for path in CompletionPath::ALL {
+            let mut share = SegmentShare {
+                kind,
+                path,
+                count: 0,
+                total_latency_ns: 0,
+                segment_totals: [0; Segment::COUNT],
+            };
+            for o in ops.iter().filter(|o| o.kind == kind && o.path == path) {
+                share.count += 1;
+                share.total_latency_ns += o.latency_ns;
+                for (t, s) in share.segment_totals.iter_mut().zip(o.segments.iter()) {
+                    *t += s;
+                }
+            }
+            if share.count > 0 {
+                aggregates.push(share);
+            }
+        }
+    }
+
+    CriticalPathReport { ops, aggregates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RankTracer, TraceOp};
+    use gasnex::NetTraceEvent;
+
+    fn net_event(ts: u64, msg: u64, attempt: u32, kind: NetEventKind) -> NetTraceEvent {
+        NetTraceEvent {
+            ts_ns: ts,
+            msg,
+            attempt,
+            kind,
+        }
+    }
+
+    /// A remote put with one drop/retry cycle: every segment populated.
+    #[test]
+    fn remote_op_segments_cover_full_timeline() {
+        let mut t = RankTracer::new(0);
+        let op = t.op_init(OpKind::Put, 100, true);
+        t.net_inject(op, 7, 110);
+        t.wakeup(3, 2_450);
+        t.notify(op, CompletionPath::Deferred, 2_500);
+        let net = vec![
+            net_event(110, 7, 0, NetEventKind::Inject),
+            net_event(500, 7, 0, NetEventKind::Drop { backoff_ns: 700 }),
+            net_event(1_200, 7, 1, NetEventKind::Retry),
+            net_event(2_000, 7, 1, NetEventKind::Deliver),
+            net_event(
+                2_100,
+                u64::MAX,
+                0,
+                NetEventKind::Signal { rank: 0, token: 3 },
+            ),
+        ];
+        let report = analyze(&[t.take()], &net);
+        assert_eq!(report.ops.len(), 1);
+        let o = &report.ops[0];
+        assert_eq!(o.latency_ns, 2_400);
+        assert_eq!(o.segment_sum(), o.latency_ns, "segments must sum exactly");
+        assert_eq!(o.segments[Segment::Initiation as usize], 10);
+        assert_eq!(o.segments[Segment::Backoff as usize], 700);
+        assert_eq!(o.segments[Segment::Transit as usize], 1_890 - 700);
+        assert_eq!(o.segments[Segment::DeliverToSignal as usize], 100);
+        assert_eq!(o.segments[Segment::SignalToWakeup as usize], 350);
+        assert_eq!(o.segments[Segment::WakeupToNotify as usize], 50);
+        assert_eq!(o.segments[Segment::QueueWait as usize], 0);
+    }
+
+    #[test]
+    fn local_deferred_op_is_queue_wait() {
+        let mut t = RankTracer::new(1);
+        let op = t.op_init(OpKind::Amo, 50, true);
+        t.notify(op, CompletionPath::Deferred, 950);
+        let report = analyze(&[t.take()], &[]);
+        let o = &report.ops[0];
+        assert_eq!(o.segments[Segment::QueueWait as usize], 900);
+        assert_eq!(o.segment_sum(), 900);
+    }
+
+    #[test]
+    fn eager_op_contributes_zero_width() {
+        let mut t = RankTracer::new(0);
+        let op = t.op_init(OpKind::Put, 10, true);
+        t.notify(op, CompletionPath::Eager, 10);
+        let report = analyze(&[t.take()], &[]);
+        assert_eq!(report.ops[0].latency_ns, 0);
+        assert_eq!(report.ops[0].segment_sum(), 0);
+        assert_eq!(report.aggregates.len(), 1);
+        assert_eq!(report.aggregates[0].count, 1);
+    }
+
+    #[test]
+    fn missing_milestones_still_sum_exactly() {
+        // Wire trace lost (e.g. net tracing off): everything after inject
+        // collapses into the trailing segment, but the sum invariant holds.
+        let mut t = RankTracer::new(0);
+        let op = t.op_init(OpKind::Get, 0, true);
+        t.net_inject(op, 9, 40);
+        t.notify(op, CompletionPath::Deferred, 5_000);
+        let report = analyze(&[t.take()], &[]);
+        let o = &report.ops[0];
+        assert_eq!(o.segment_sum(), 5_000);
+        assert_eq!(o.segments[Segment::Initiation as usize], 40);
+        assert_eq!(o.segments[Segment::WakeupToNotify as usize], 4_960);
+    }
+
+    #[test]
+    fn report_orders_by_latency_and_aggregates() {
+        let mut t = RankTracer::new(0);
+        let a = t.op_init(OpKind::Put, 0, true);
+        t.notify(a, CompletionPath::Deferred, 100);
+        let b = t.op_init(OpKind::Put, 0, true);
+        t.notify(b, CompletionPath::Deferred, 900);
+        let report = analyze(&[t.take()], &[]);
+        assert_eq!(report.ops[0].latency_ns, 900);
+        assert_eq!(report.top_k(1).len(), 1);
+        assert_eq!(report.top_k(10).len(), 2);
+        let agg = &report.aggregates[0];
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total_latency_ns, 1_000);
+        assert_eq!(agg.share_permille(Segment::QueueWait), 1000);
+        let text = report.render_text(1);
+        assert!(text.contains("put"));
+        assert!(text.contains("queue_wait"));
+        // Unused sentinel op check: NONE ops never appear.
+        assert!(report.ops.iter().all(|o| o.op_id != TraceOp::NONE.id));
+    }
+}

@@ -1,0 +1,196 @@
+//! Single-threaded deterministic benchmark probe.
+//!
+//! Multi-threaded virtual-clock runs have deterministic *final counters*
+//! (the differential harness asserts this) but racy *timestamps*: the
+//! logical clock advances on whichever thread polls first, so latency
+//! quantiles differ run to run. The benchmark regression pipeline needs
+//! byte-identical numbers, so this probe drives a small SPMD-like workload
+//! from **one** thread: it constructs the world and a rank-0 context
+//! directly (the same pieces `launch` assembles per thread), issues local
+//! and remote RMA/atomic operations, and drains everything through the
+//! ordinary progress engine. Under [`gasnex::ClockMode::Virtual`] with a
+//! seeded fault plan, every timestamp — and therefore every histogram
+//! quantile, metric sample, and trace byte — is a pure function of the
+//! configuration.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gasnex::{FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, World};
+
+use crate::ctx::{CtxGuard, RankCtx};
+use crate::future::join2;
+use crate::global_ptr::GlobalPtr;
+use crate::runtime::Upcr;
+use crate::stats::StatsSnapshot;
+use crate::trace::{Histograms, TraceBundle};
+use crate::version::LibVersion;
+
+use super::series::{MetricsConfig, RankSeries};
+
+/// Probe configuration. Defaults give a chaos-free virtual-clock run.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    pub version: LibVersion,
+    /// Iterations of the op mix (each iteration issues a local put, a
+    /// remote put, a remote get, a remote atomic add, and a 2-way
+    /// `when_all`).
+    pub iters: u64,
+    /// Seed for the fault plan (only used when `chaos` is set).
+    pub seed: u64,
+    /// Inject seeded drops/duplicates/reorder on the wire.
+    pub chaos: bool,
+    /// Record lifecycle spans and the wire trace.
+    pub trace: bool,
+    /// Sample the metric time-series.
+    pub metrics: bool,
+    /// Sampler settings when `metrics` is set.
+    pub metrics_cfg: MetricsConfig,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            version: LibVersion::V2021_3_6Eager,
+            iters: 64,
+            seed: 1,
+            chaos: false,
+            trace: true,
+            metrics: false,
+            metrics_cfg: MetricsConfig::default(),
+        }
+    }
+}
+
+/// Everything the probe observed.
+#[derive(Clone, Debug)]
+pub struct ProbeReport {
+    pub stats: StatsSnapshot,
+    pub net: NetStats,
+    pub hist: Histograms,
+    /// Sampled series (when `metrics` was set).
+    pub series: Option<RankSeries>,
+    /// Span + wire traces (when `trace` was set).
+    pub bundle: Option<TraceBundle>,
+}
+
+/// Run the probe to completion and report. Deterministic for a fixed
+/// configuration: single-threaded drive, virtual clock, seeded faults.
+pub fn run(cfg: &ProbeConfig) -> ProbeReport {
+    let net = if cfg.chaos {
+        NetConfig::chaos(
+            FaultPlan::seeded(cfg.seed)
+                .with_drops(120_000)
+                .with_dups(60_000)
+                .with_reorder(200_000, 4_000)
+                .with_retry(2_000, 32_000, 6),
+        )
+    } else {
+        NetConfig {
+            latency_ns: 1_000,
+            jitter_ns: 0,
+            ..NetConfig::default()
+        }
+        .with_virtual_clock()
+    };
+    // Two single-rank nodes: rank 1 is remote from rank 0, so remote ops
+    // exercise the full inject → deliver → signal → wakeup pipeline.
+    let world = World::new(
+        GasnexConfig::udp(2, 1)
+            .with_segment_size(1 << 16)
+            .with_net(net),
+    );
+    let ctx = RankCtx::new(Arc::clone(&world), Rank(0), cfg.version);
+    let _guard = CtxGuard::install(Rc::clone(&ctx));
+    let u = Upcr {
+        ctx: Rc::clone(&ctx),
+    };
+    if cfg.trace {
+        u.trace_enabled(true);
+    }
+    if cfg.metrics {
+        u.metrics_config(cfg.metrics_cfg);
+        u.metrics_enabled(true);
+    }
+
+    let local = u.new_::<u64>(0);
+    // Rank 1 never runs a thread; carve its target word out directly.
+    let off = world
+        .seg_alloc(Rank(1))
+        .alloc(8, 8)
+        .expect("probe remote allocation");
+    world.segment(Rank(1)).write_u64(off, 0);
+    let remote = GlobalPtr::<u64>::from_parts(Rank(1), off);
+
+    let ad = u.atomic_domain::<u64>();
+    for i in 0..cfg.iters {
+        u.rput(i, local).wait();
+        u.rput(i, remote).wait();
+        let _ = u.rget(remote).wait();
+        ad.add(remote, 1).wait();
+        let a = u.rput(i + 1, local);
+        let b = u.rput(i + 1, remote);
+        join2(a, b).wait();
+    }
+    // Drain residual traffic (chaos duplicates, trailing timers).
+    let mut spins = 0u64;
+    while !ctx.locally_idle() || world.net().pending() > 0 {
+        ctx.progress_quantum();
+        spins += 1;
+        assert!(spins < 10_000_000, "probe failed to drain");
+    }
+
+    let series = cfg.metrics.then(|| u.take_metrics());
+    let bundle = cfg.trace.then(|| TraceBundle {
+        ranks: vec![u.take_trace()],
+        net: u.take_net_trace(),
+    });
+    ProbeReport {
+        stats: u.stats(),
+        net: u.net_stats(),
+        hist: u.latency_report(),
+        series,
+        bundle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CompletionPath;
+    use crate::trace::OpKind;
+
+    #[test]
+    fn probe_is_deterministic_and_exercises_both_paths() {
+        let cfg = ProbeConfig {
+            iters: 16,
+            chaos: true,
+            metrics: true,
+            ..ProbeConfig::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.hist, b.hist);
+        assert_eq!(a.series, b.series);
+        // Eager build: local puts notify eagerly, remote ops defer.
+        assert!(a.hist.get(OpKind::Put, CompletionPath::Eager).count() > 0);
+        assert!(a.hist.get(OpKind::Put, CompletionPath::Deferred).count() > 0);
+        assert!(a.net.retries > 0, "chaos plan should drop packets");
+        assert_eq!(a.net.pending, 0, "probe must drain the wire");
+    }
+
+    #[test]
+    fn legacy_version_defers_local_notifications() {
+        let cfg = ProbeConfig {
+            version: LibVersion::V2021_3_0,
+            iters: 8,
+            trace: false,
+            ..ProbeConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.stats.eager_notifications, 0);
+        assert!(r.stats.deferred_enqueued > 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fixed-interval metric sampling into a bounded ring.
+//!
+//! The sampler is driven by the simulated network clock (the same clock
+//! every trace timestamp uses), so under [`gasnex::ClockMode::Virtual`]
+//! sample timestamps are logical and two same-seed single-threaded runs
+//! record byte-identical series. Samples land on an interval grid: after
+//! recording at time `t`, the next sample is due at the next multiple of
+//! the interval after `t` — a run that goes quiet for ten intervals
+//! records one sample when activity resumes, not ten back-dated ones.
+
+use crate::trace::ring::Ring;
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Sampling interval in (simulated-clock) nanoseconds.
+    pub interval_ns: u64,
+    /// Ring capacity: how many most-recent samples are kept.
+    pub capacity: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        // Simulated runs cover micro- to milliseconds of virtual time;
+        // 50 µs keeps a full GUPS run within the default ring.
+        MetricsConfig {
+            interval_ns: 50_000,
+            capacity: 4096,
+        }
+    }
+}
+
+/// One snapshot of every registered metric, in [`super::descs`] order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    pub ts_ns: u64,
+    pub values: Vec<u64>,
+}
+
+/// The per-rank sampler: interval bookkeeping plus the sample ring.
+#[derive(Debug)]
+pub struct MetricSeries {
+    interval_ns: u64,
+    next_due_ns: u64,
+    ring: Ring<Sample>,
+}
+
+impl MetricSeries {
+    pub fn new(cfg: MetricsConfig) -> Self {
+        MetricSeries {
+            interval_ns: cfg.interval_ns.max(1),
+            // Due immediately: the first productive quantum records the
+            // run's baseline sample.
+            next_due_ns: 0,
+            ring: Ring::new(cfg.capacity),
+        }
+    }
+
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Record a sample if one is due at `now_ns`; returns whether one was
+    /// recorded. `collect` is only invoked when due, so the steady-state
+    /// cost of an un-due call is one comparison.
+    pub fn maybe_sample(&mut self, now_ns: u64, collect: impl FnOnce() -> Vec<u64>) -> bool {
+        if now_ns < self.next_due_ns {
+            return false;
+        }
+        self.record(now_ns, collect());
+        true
+    }
+
+    /// Record a sample unconditionally (used by `take_metrics` so the
+    /// final state of a run is always present).
+    pub fn force_sample(&mut self, now_ns: u64, collect: impl FnOnce() -> Vec<u64>) {
+        self.record(now_ns, collect());
+    }
+
+    fn record(&mut self, now_ns: u64, values: Vec<u64>) {
+        self.ring.push(Sample {
+            ts_ns: now_ns,
+            values,
+        });
+        // Align to the interval grid: next due time is the first grid
+        // point strictly after `now`.
+        self.next_due_ns = (now_ns / self.interval_ns + 1) * self.interval_ns;
+    }
+
+    /// Samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Drain the buffered samples (and the displaced-sample count) and
+    /// reset the due time, so sampling restarts cleanly.
+    pub fn take(&mut self) -> (Vec<Sample>, u64) {
+        self.next_due_ns = 0;
+        self.ring.take()
+    }
+}
+
+/// Everything one rank sampled: the series plus identification, ready for
+/// the exporters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankSeries {
+    pub rank: u32,
+    pub interval_ns: u64,
+    pub samples: Vec<Sample>,
+    /// Older samples displaced by the ring's bounded capacity.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(interval: u64, cap: usize) -> MetricSeries {
+        MetricSeries::new(MetricsConfig {
+            interval_ns: interval,
+            capacity: cap,
+        })
+    }
+
+    #[test]
+    fn samples_align_to_interval_grid() {
+        let mut s = series(100, 16);
+        assert!(s.maybe_sample(0, || vec![1]));
+        // Not due again until the next grid point (100).
+        assert!(!s.maybe_sample(50, || unreachable!()));
+        assert!(!s.maybe_sample(99, || unreachable!()));
+        assert!(s.maybe_sample(100, || vec![2]));
+        // A long quiet gap records one sample, not a backlog.
+        assert!(s.maybe_sample(1_234, || vec![3]));
+        assert!(!s.maybe_sample(1_299, || unreachable!()));
+        assert!(s.maybe_sample(1_300, || vec![4]));
+        let (samples, dropped) = s.take();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            samples.iter().map(|x| x.ts_ns).collect::<Vec<_>>(),
+            vec![0, 100, 1_234, 1_300]
+        );
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut s = series(1, 2);
+        for t in 0..5 {
+            assert!(s.maybe_sample(t, || vec![t]));
+        }
+        let (samples, dropped) = s.take();
+        assert_eq!(dropped, 3);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].values, vec![4]);
+    }
+
+    #[test]
+    fn take_resets_due_time() {
+        let mut s = series(1_000, 4);
+        assert!(s.maybe_sample(10, Vec::new));
+        assert!(!s.maybe_sample(10, || unreachable!()));
+        let _ = s.take();
+        assert!(s.maybe_sample(10, Vec::new), "take restarts sampling");
+    }
+
+    #[test]
+    fn force_sample_ignores_due_time() {
+        let mut s = series(1_000, 4);
+        assert!(s.maybe_sample(0, || vec![1]));
+        s.force_sample(5, || vec![2]);
+        let (samples, _) = s.take();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].ts_ns, 5);
+    }
+}

@@ -496,6 +496,66 @@ impl Upcr {
     pub fn latency_report(&self) -> crate::trace::Histograms {
         self.ctx.tracer.borrow().histograms()
     }
+
+    // ---- metric time-series ---------------------------------------------------
+
+    /// Enable or disable fixed-interval metric sampling on this rank.
+    ///
+    /// While enabled, the end of each progress quantum records — at most
+    /// once per sampling interval of the simulated clock — a snapshot of
+    /// every registered metric (the `per_rank_stats!` counters, live
+    /// queue-depth gauges, and the shared network counters) into a bounded
+    /// ring. Under [`gasnex::ClockMode::Virtual`] the series is
+    /// deterministic for a single-threaded drive. Disabled-mode overhead
+    /// is one predictably-taken branch per quantum.
+    pub fn metrics_enabled(&self, on: bool) {
+        self.ctx.metrics_on.set(on);
+    }
+
+    /// Whether metric sampling is currently enabled on this rank.
+    pub fn is_metrics_enabled(&self) -> bool {
+        self.ctx.metrics_on.get()
+    }
+
+    /// Replace the sampler configuration (interval, ring capacity). Drops
+    /// any buffered samples.
+    pub fn metrics_config(&self, cfg: crate::metrics::MetricsConfig) {
+        self.ctx
+            .metrics
+            .replace(crate::metrics::MetricSeries::new(cfg));
+    }
+
+    /// Drain this rank's sampled metric series, recording one final
+    /// unconditional sample first so the end-of-run state is always
+    /// present. Sampling continues if still enabled.
+    pub fn take_metrics(&self) -> crate::metrics::RankSeries {
+        let now = self.ctx.trace_now_ns();
+        let mut m = self.ctx.metrics.borrow_mut();
+        let interval_ns = m.interval_ns();
+        m.force_sample(now, || crate::metrics::collect_values(&self.ctx));
+        let (samples, dropped) = m.take();
+        crate::metrics::RankSeries {
+            rank: self.ctx.me.0,
+            interval_ns,
+            samples,
+            dropped,
+        }
+    }
+
+    /// Reset every observability surface at once: the per-rank stats
+    /// counters ([`reset_stats`](Self::reset_stats) semantics, with the
+    /// pending-notifications high-water gauge re-primed to the *current*
+    /// pending level rather than zero — gauges are levels, not counts),
+    /// the completion-latency histograms, the shared network counters
+    /// (re-baselined; the raw quiescence counters are untouched), and any
+    /// buffered metric samples.
+    pub fn reset_observability(&self) {
+        self.ctx.stats.reset();
+        self.ctx.reprime_pending_highwater();
+        self.ctx.tracer.borrow_mut().reset_histograms();
+        self.ctx.world.net().reset_stats();
+        let _ = self.ctx.metrics.borrow_mut().take();
+    }
 }
 
 /// Free-function conveniences mirroring the UPC++ global API; usable from

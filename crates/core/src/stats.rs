@@ -20,6 +20,8 @@
 
 use std::cell::Cell;
 
+pub use gasnex::FieldClass;
+
 /// `since` semantics for one field class: counters subtract (saturating),
 /// gauges pass the later sample through — a high-water mark is a level,
 /// not a count, so callers see the peak over the run.
@@ -29,6 +31,16 @@ macro_rules! since_field {
     };
     (gauge, $later:expr, $earlier:expr) => {
         $later
+    };
+}
+
+/// Map the lowercase class keyword used in the field list to [`FieldClass`].
+macro_rules! field_class {
+    (counter) => {
+        FieldClass::Counter
+    };
+    (gauge) => {
+        FieldClass::Gauge
     };
 }
 
@@ -64,6 +76,19 @@ macro_rules! per_rank_stats {
         }
 
         impl StatsSnapshot {
+            /// Field names and classes, in declaration order. This is the
+            /// registration hook the metrics registry consumes: the names
+            /// here become metric names, and the order here is the order of
+            /// the values returned by [`StatsSnapshot::values`].
+            pub const FIELDS: &'static [(&'static str, FieldClass)] = &[
+                $( (stringify!($name), field_class!($class)), )+
+            ];
+
+            /// Field values in the same order as [`StatsSnapshot::FIELDS`].
+            pub fn values(&self) -> Vec<u64> {
+                vec![ $( self.$name, )+ ]
+            }
+
             /// Field-wise difference (`self - earlier`): counters subtract
             /// (saturating at zero); gauges report the later sample
             /// unchanged.
@@ -147,6 +172,22 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.amos, 2);
         assert_eq!(d.rputs, 0);
+    }
+
+    #[test]
+    fn fields_and_values_align() {
+        let s = Stats::default();
+        bump(&s.rputs);
+        s.pending_highwater.set(7);
+        let snap = s.snapshot();
+        let fields = StatsSnapshot::FIELDS;
+        let values = snap.values();
+        assert_eq!(fields.len(), values.len());
+        let idx = |name: &str| fields.iter().position(|(n, _)| *n == name).unwrap();
+        assert_eq!(values[idx("rputs")], 1);
+        assert_eq!(values[idx("pending_highwater")], 7);
+        assert_eq!(fields[idx("rputs")].1, FieldClass::Counter);
+        assert_eq!(fields[idx("pending_highwater")].1, FieldClass::Gauge);
     }
 
     #[test]

@@ -243,6 +243,13 @@ impl Json {
             _ => None,
         }
     }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {

@@ -20,6 +20,7 @@ pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
     count: u64,
     max: u64,
+    sum: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -28,6 +29,7 @@ impl Default for LatencyHistogram {
             buckets: [0; BUCKETS],
             count: 0,
             max: 0,
+            sum: 0,
         }
     }
 }
@@ -64,11 +66,24 @@ impl LatencyHistogram {
         self.buckets[bucket_index(v)] += 1;
         self.count += 1;
         self.max = self.max.max(v);
+        self.sum = self.sum.saturating_add(v);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of all samples (saturating; 0 when empty). Exposed so the
+    /// Prometheus exporter can emit a faithful `_sum` series.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw bucket counts (bucket `i` covers `[2^(i-1), 2^i - 1]`, bucket 0
+    /// holds exactly zero). Used by the Prometheus histogram exposition.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
     }
 
     pub fn is_empty(&self) -> bool {
@@ -116,6 +131,12 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Reset to the empty histogram (used by `Upcr::reset_observability`).
+    pub fn reset(&mut self) {
+        *self = LatencyHistogram::default();
     }
 }
 
@@ -159,6 +180,15 @@ impl Histograms {
     /// The histogram for one (kind, path) pair.
     pub fn get(&self, kind: OpKind, path: CompletionPath) -> &LatencyHistogram {
         &self.hists[kind as usize][path as usize]
+    }
+
+    /// Reset every (kind, path) histogram to empty.
+    pub fn reset(&mut self) {
+        for row in self.hists.iter_mut() {
+            for h in row.iter_mut() {
+                h.reset();
+            }
+        }
     }
 
     /// Fold another rank's histograms in (associative, commutative).
@@ -273,6 +303,21 @@ mod tests {
         assert_eq!(h.p99(), 15);
         assert_eq!(h.quantile(1.0), (1 << 21) - 1);
         assert_eq!(h.max(), 1 << 20);
+    }
+
+    #[test]
+    fn sum_tracks_and_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.record(7);
+        assert_eq!(h.sum(), 12);
+        let mut other = LatencyHistogram::new();
+        other.record(100);
+        h.merge(&other);
+        assert_eq!(h.sum(), 112);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+        h.reset();
+        assert_eq!((h.sum(), h.count(), h.max()), (0, 0, 0));
     }
 
     #[test]

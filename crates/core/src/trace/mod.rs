@@ -30,7 +30,9 @@ pub mod ring;
 
 use std::collections::HashMap;
 
-pub use export::{chrome_trace_json, count_notifications, parse_json, summary_table, TraceBundle};
+pub use export::{
+    chrome_trace_json, count_notifications, parse_json, summary_table, Json, TraceBundle,
+};
 pub use gasnex::{NetEventKind, NetTraceEvent};
 pub use hist::{Histograms, LatencyHistogram, LatencyRow};
 
@@ -261,6 +263,13 @@ impl RankTracer {
     /// Snapshot the latency histograms accumulated so far.
     pub fn histograms(&self) -> Histograms {
         self.hist.clone()
+    }
+
+    /// Reset the accumulated latency histograms (open spans and buffered
+    /// events are untouched — a span straddling the reset still records
+    /// its notify, into the fresh histograms).
+    pub fn reset_histograms(&mut self) {
+        self.hist.reset();
     }
 
     /// Events currently buffered.

@@ -54,7 +54,7 @@ pub use amo::AmoOp;
 pub use config::{ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig};
 pub use event::{Event, EventCore};
 pub use mailbox::{MpQueue, ReadyQueue};
-pub use net::{NetEventKind, NetStats, NetTraceEvent};
+pub use net::{FieldClass, NetEventKind, NetStats, NetTraceEvent};
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

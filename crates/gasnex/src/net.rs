@@ -81,6 +81,18 @@ pub struct NetTraceEvent {
     pub kind: NetEventKind,
 }
 
+/// Whether a statistic is a monotonic counter or a level gauge. Declared
+/// here (the lowest crate that exports stats) so both [`NetStats`] and the
+/// runtime's per-rank stats share one vocabulary; `upcr` re-exports it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Monotonically increasing; `since` subtracts, resets re-baseline it.
+    Counter,
+    /// A level (queue depth, high-water mark); `since` passes the later
+    /// sample through, and resets re-prime rather than zero it.
+    Gauge,
+}
+
 /// Snapshot of the network's counters, including the chaos-mode reliability
 /// layer. `injected`/`delivered`/`pending` count logical messages and heap
 /// entries exactly as the quiescence protocol sees them.
@@ -104,6 +116,52 @@ pub struct NetStats {
     /// Largest retransmission backoff applied (gauge; bounded by the plan's
     /// `max_backoff_ns`).
     pub max_backoff_ns: u64,
+}
+
+impl NetStats {
+    /// Field names and classes, in declaration order — the registration
+    /// hook the runtime's metrics registry consumes. Order matches
+    /// [`NetStats::values`].
+    pub const FIELDS: &'static [(&'static str, FieldClass)] = &[
+        ("injected", FieldClass::Counter),
+        ("delivered", FieldClass::Counter),
+        ("pending", FieldClass::Gauge),
+        ("contended_polls", FieldClass::Counter),
+        ("retries", FieldClass::Counter),
+        ("drops_injected", FieldClass::Counter),
+        ("dup_suppressed", FieldClass::Counter),
+        ("max_backoff_ns", FieldClass::Gauge),
+    ];
+
+    /// Field values in the same order as [`NetStats::FIELDS`].
+    pub fn values(&self) -> Vec<u64> {
+        vec![
+            self.injected,
+            self.delivered,
+            self.pending as u64,
+            self.contended_polls,
+            self.retries,
+            self.drops_injected,
+            self.dup_suppressed,
+            self.max_backoff_ns,
+        ]
+    }
+
+    /// Field-wise difference (`self - earlier`): counters subtract
+    /// (saturating at zero); gauges (`pending`, `max_backoff_ns`) report
+    /// the later sample unchanged — a queue depth is a level, not a count.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            injected: self.injected.saturating_sub(earlier.injected),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            pending: self.pending,
+            contended_polls: self.contended_polls.saturating_sub(earlier.contended_polls),
+            retries: self.retries.saturating_sub(earlier.retries),
+            drops_injected: self.drops_injected.saturating_sub(earlier.drops_injected),
+            dup_suppressed: self.dup_suppressed.saturating_sub(earlier.dup_suppressed),
+            max_backoff_ns: self.max_backoff_ns,
+        }
+    }
 }
 
 enum Payload {
@@ -173,6 +231,10 @@ pub struct SimNetwork {
     /// Receiver-side dedup: sequence numbers of delivered messages. Only
     /// consulted when the fault plan can duplicate.
     acked: Mutex<HashSet<u64>>,
+    /// Counter baseline captured by [`SimNetwork::reset_stats`]. `stats()`
+    /// reports counters relative to it; the raw atomics are never zeroed
+    /// because quiescence detection relies on raw `injected == delivered`.
+    stats_baseline: Mutex<NetStats>,
     /// Wire-level trace gate. One relaxed load guards every recording site;
     /// the default (off) makes tracing free on the delivery path.
     trace_on: AtomicBool,
@@ -203,6 +265,7 @@ impl SimNetwork {
             dup_suppressed: AtomicU64::new(0),
             max_backoff_ns: AtomicU64::new(0),
             acked: Mutex::new(HashSet::new()),
+            stats_baseline: Mutex::new(NetStats::default()),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
         }
@@ -514,8 +577,8 @@ impl SimNetwork {
         self.max_backoff_ns.load(Ordering::SeqCst)
     }
 
-    /// Snapshot all counters at once.
-    pub fn stats(&self) -> NetStats {
+    /// All counters since creation, ignoring any `reset_stats` baseline.
+    fn raw_stats(&self) -> NetStats {
         NetStats {
             injected: self.injected(),
             delivered: self.delivered(),
@@ -526,6 +589,27 @@ impl SimNetwork {
             dup_suppressed: self.dup_suppressed(),
             max_backoff_ns: self.max_backoff_ns(),
         }
+    }
+
+    /// Snapshot all counters at once, relative to the last
+    /// [`SimNetwork::reset_stats`] (or creation). Gauges (`pending`,
+    /// `max_backoff_ns`) always report the current level.
+    pub fn stats(&self) -> NetStats {
+        let baseline = *self.stats_baseline.lock().unwrap();
+        self.raw_stats().since(&baseline)
+    }
+
+    /// Re-baseline the observable counters at the current raw values, so a
+    /// following `stats()` reports zeros for counters until new traffic
+    /// occurs. Gauges are re-primed, not zeroed: `pending` keeps reporting
+    /// the live queue depth, and `max_backoff_ns` restarts peak-tracking
+    /// from the current point (`fetch_max` re-primes it on the next
+    /// backoff). The raw atomics backing quiescence detection
+    /// (`injected`/`delivered`) are untouched.
+    pub fn reset_stats(&self) {
+        let raw = self.raw_stats();
+        *self.stats_baseline.lock().unwrap() = raw;
+        self.max_backoff_ns.store(0, Ordering::SeqCst);
     }
 
     /// The configured latency parameters.
@@ -774,6 +858,44 @@ mod tests {
         assert_eq!(stats.delivered, 96);
         assert!(stats.dup_suppressed > 0, "plan should have duplicated");
         assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn reset_stats_rebaselines_counters_and_reprimes_gauges() {
+        let plan = FaultPlan::seeded(3)
+            .with_drops(400_000)
+            .with_retry(2_000, 16_000, 5);
+        let w = world_with_net(NetConfig::chaos(plan));
+        for _ in 0..64 {
+            w.net().inject(Box::new(|_| {}));
+        }
+        while w.net().delivered() < 64 || w.net().pending() > 0 {
+            w.net().poll(&w);
+        }
+        let before = w.net().stats();
+        assert_eq!(before.delivered, 64);
+        assert!(before.max_backoff_ns > 0);
+
+        w.net().reset_stats();
+        let after = w.net().stats();
+        assert_eq!(after.injected, 0, "counters re-baseline to zero");
+        assert_eq!(after.delivered, 0);
+        assert_eq!(after.retries, 0);
+        assert_eq!(after.drops_injected, 0);
+        assert_eq!(after.max_backoff_ns, 0, "peak gauge re-primes");
+        // Quiescence detection keeps seeing the raw totals.
+        assert_eq!(w.net().injected(), 64);
+        assert_eq!(w.net().delivered(), 64);
+
+        // A gauge keeps reporting the live level after reset: inject
+        // without polling and `pending` must show the queue depth.
+        w.net().inject(Box::new(|_| {}));
+        let live = w.net().stats();
+        assert_eq!(live.pending, 1, "gauges report the live level");
+        assert_eq!(live.injected, 1, "counters count from the baseline");
+        while w.net().pending() > 0 {
+            w.net().poll(&w);
+        }
     }
 
     #[test]

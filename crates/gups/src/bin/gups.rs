@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 
 use gups::{GupsConfig, Variant};
+use upcr::metrics::{metrics_json_multi, prometheus_text_multi};
 use upcr::trace::summary_table;
 use upcr::{launch, LibVersion, RuntimeConfig};
 
@@ -25,12 +26,15 @@ struct Args {
     version: LibVersion,
     verify: bool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gups [--variant NAME] [--ranks N] [--nodes N] [--log2-table N] [--batch N]\n\
          \x20           [--version eager|2021.3.0|2021.3.6-defer] [--verify] [--trace-out PATH]\n\
+         \x20           [--metrics-out PATH] [--prom-out PATH]\n\
          variants: {}",
         Variant::ALL.map(|v| format!("{:?}", v.name())).join(", ")
     );
@@ -47,6 +51,8 @@ fn parse_args() -> Args {
         version: LibVersion::V2021_3_6Eager,
         verify: false,
         trace_out: None,
+        metrics_out: None,
+        prom_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +82,8 @@ fn parse_args() -> Args {
             }
             "--verify" => args.verify = true,
             "--trace-out" => args.trace_out = Some(val()),
+            "--metrics-out" => args.metrics_out = Some(val()),
+            "--prom-out" => args.prom_out = Some(val()),
             _ => usage(),
         }
     }
@@ -91,13 +99,17 @@ fn main() -> ExitCode {
         verify: args.verify,
     };
     cfg.validate(args.ranks);
-    let tracing = args.trace_out.is_some();
+    let sampling = args.metrics_out.is_some() || args.prom_out.is_some();
+    let tracing = args.trace_out.is_some() || sampling;
     let rt = RuntimeConfig::udp(args.ranks, args.ranks_per_node)
         .with_version(args.version)
         .with_segment_size((cfg.table_size() / args.ranks * 8 + (1 << 16)).next_power_of_two());
 
     let results = launch(rt, |u| {
         u.trace_enabled(tracing);
+        if sampling {
+            u.metrics_enabled(true);
+        }
         let r = gups::run(u, &cfg, args.variant);
         u.barrier();
         let net = if u.rank_me() == 0 && tracing {
@@ -105,7 +117,8 @@ fn main() -> ExitCode {
         } else {
             Vec::new()
         };
-        (r, u.take_trace(), u.latency_report(), net)
+        let series = sampling.then(|| u.take_metrics());
+        (r, u.take_trace(), u.latency_report(), net, series)
     });
 
     let run = results[0].0;
@@ -120,31 +133,52 @@ fn main() -> ExitCode {
         run.errors,
     );
 
-    if let Some(path) = &args.trace_out {
+    if tracing {
         let mut bundle = upcr::TraceBundle {
             ranks: Vec::new(),
             net: Vec::new(),
         };
         let mut hists = upcr::Histograms::new();
-        for (_, trace, hist, net) in results {
+        let mut parts = Vec::new();
+        for (_, trace, hist, net, series) in results {
             bundle.ranks.push(trace);
             hists.merge(&hist);
             if !net.is_empty() {
                 bundle.net = net;
             }
+            if let Some(s) = series {
+                parts.push((s, hist));
+            }
         }
         print!("{}", summary_table(&hists));
-        let json = upcr::trace::chrome_trace_json(&bundle);
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
+        if let Some(path) = &args.trace_out {
+            let json = upcr::trace::chrome_trace_json(&bundle);
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let events: usize = bundle.ranks.iter().map(|r| r.events.len()).sum();
+            println!(
+                "trace: {} rank events + {} wire events -> {path}",
+                events,
+                bundle.net.len()
+            );
         }
-        let events: usize = bundle.ranks.iter().map(|r| r.events.len()).sum();
-        println!(
-            "trace: {} rank events + {} wire events -> {path}",
-            events,
-            bundle.net.len()
-        );
+        let refs: Vec<_> = parts.iter().map(|(s, h)| (s, h)).collect();
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, metrics_json_multi(&refs)) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics: {} rank series -> {path}", refs.len());
+        }
+        if let Some(path) = &args.prom_out {
+            if let Err(e) = std::fs::write(path, prometheus_text_multi(&refs)) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("prometheus exposition: {} ranks -> {path}", refs.len());
+        }
     }
     if run.errors > 0 && args.verify {
         return ExitCode::FAILURE;

@@ -15,9 +15,10 @@
 
 use std::process::ExitCode;
 
-use simtest::{fault_plans, run_traced, Workload};
+use simtest::{fault_plans, run_observed, Workload};
+use upcr::metrics::{metrics_json_multi, prometheus_text_multi};
 use upcr::trace::{count_notifications, parse_json, summary_table};
-use upcr::LibVersion;
+use upcr::{LibVersion, MetricsConfig};
 
 struct Args {
     workload: Workload,
@@ -25,6 +26,8 @@ struct Args {
     plan: Option<String>,
     version: LibVersion,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
+    prom_out: Option<String>,
     check_notify: bool,
 }
 
@@ -33,7 +36,8 @@ fn usage() -> ! {
         "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small]\n\
          \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
          \x20              [--version eager|2021.3.0|2021.3.6-defer]\n\
-         \x20              [--trace-out PATH] [--check-notify]"
+         \x20              [--trace-out PATH] [--metrics-out PATH] [--prom-out PATH]\n\
+         \x20              [--check-notify]"
     );
     std::process::exit(2);
 }
@@ -45,6 +49,8 @@ fn parse_args() -> Args {
         plan: Some("combined".to_string()),
         version: LibVersion::V2021_3_6Eager,
         trace_out: None,
+        metrics_out: None,
+        prom_out: None,
         check_notify: false,
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +78,8 @@ fn parse_args() -> Args {
                 };
             }
             "--trace-out" => args.trace_out = Some(val()),
+            "--metrics-out" => args.metrics_out = Some(val()),
+            "--prom-out" => args.prom_out = Some(val()),
             "--check-notify" => args.check_notify = true,
             _ => usage(),
         }
@@ -89,7 +97,10 @@ fn main() -> ExitCode {
             .1
     });
 
-    let (outcome, bundle, hists) = run_traced(args.workload, args.version, args.seed, plan);
+    let sample_metrics =
+        (args.metrics_out.is_some() || args.prom_out.is_some()).then(MetricsConfig::default);
+    let observed = run_observed(args.workload, args.version, args.seed, plan, sample_metrics);
+    let (outcome, bundle, hists) = (observed.outcome, &observed.bundle, &observed.hists);
     println!(
         "workload={} seed={} version={:?} digest={:#018x} completions={} injected={} retries={} drops={} dups={}",
         args.workload.name(),
@@ -102,9 +113,25 @@ fn main() -> ExitCode {
         outcome.drops_injected,
         outcome.dup_suppressed,
     );
-    print!("{}", summary_table(&hists));
+    print!("{}", summary_table(hists));
 
-    let json = upcr::trace::chrome_trace_json(&bundle);
+    let parts: Vec<_> = observed.per_rank.iter().map(|(s, h)| (s, h)).collect();
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, metrics_json_multi(&parts)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics: {} rank series -> {path}", parts.len());
+    }
+    if let Some(path) = &args.prom_out {
+        if let Err(e) = std::fs::write(path, prometheus_text_multi(&parts)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus exposition: {} ranks -> {path}", parts.len());
+    }
+
+    let json = upcr::trace::chrome_trace_json(bundle);
     if let Some(path) = &args.trace_out {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("error: writing {path}: {e}");

@@ -181,12 +181,42 @@ pub fn run_traced(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> (Outcome, upcr::TraceBundle, upcr::Histograms) {
+    let o = run_observed(workload, version, seed, plan, None);
+    (o.outcome, o.bundle, o.hists)
+}
+
+/// Everything an observed run produced: the differential outcome, the
+/// span-and-wire trace bundle, the cross-rank merged latency histograms,
+/// and — when metric sampling was requested — each rank's sampled
+/// time-series paired with that rank's own histograms (the exporters label
+/// series by rank, so per-rank histograms keep the labels honest).
+pub struct Observed {
+    pub outcome: Outcome,
+    pub bundle: upcr::TraceBundle,
+    pub hists: upcr::Histograms,
+    pub per_rank: Vec<(upcr::RankSeries, upcr::Histograms)>,
+}
+
+/// Superset of [`run_traced`]: lifecycle tracing always on, plus optional
+/// fixed-interval metric sampling on every rank. Used by the `simtest`
+/// binary's `--metrics-out`/`--prom-out` modes.
+pub fn run_observed(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    metrics: Option<upcr::MetricsConfig>,
+) -> Observed {
     let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
         .with_version(version)
         .with_segment_size(1 << 18)
         .with_net(net_for(plan));
     let results = launch(rt, move |u| {
         u.trace_enabled(true);
+        if let Some(cfg) = metrics {
+            u.metrics_config(cfg);
+            u.metrics_enabled(true);
+        }
         let digest = match workload {
             Workload::PutGetStorm => put_get_storm(u, seed),
             Workload::AtomicStorm => atomic_storm(u, seed),
@@ -208,6 +238,7 @@ pub fn run_traced(
         } else {
             Vec::new()
         };
+        let series = metrics.map(|_| u.take_metrics());
         (
             digest,
             completions,
@@ -215,6 +246,7 @@ pub fn run_traced(
             u.take_trace(),
             u.latency_report(),
             net_trace,
+            series,
         )
     });
     let (digest, completions, net) = (results[0].0, results[0].1, results[0].2);
@@ -223,15 +255,24 @@ pub fn run_traced(
         net: Vec::new(),
     };
     let mut hists = upcr::Histograms::new();
-    for (d, c, _, trace, hist, net_trace) in results {
+    let mut per_rank = Vec::new();
+    for (d, c, _, trace, hist, net_trace, series) in results {
         assert_eq!((d, c), (digest, completions), "ranks disagree on outcome");
         bundle.ranks.push(trace);
         hists.merge(&hist);
         if !net_trace.is_empty() {
             bundle.net = net_trace;
         }
+        if let Some(s) = series {
+            per_rank.push((s, hist));
+        }
     }
-    (outcome_from(digest, completions, net), bundle, hists)
+    Observed {
+        outcome: outcome_from(digest, completions, net),
+        bundle,
+        hists,
+        per_rank,
+    }
 }
 
 fn outcome_from(digest: u64, completions: u64, net: NetStats) -> Outcome {
