@@ -40,9 +40,15 @@ case "$job" in
     echo "CI green."
     ;;
   chaos)
-    # The seed list lives in crates/simtest/tests/differential.rs; every
+    # Network-layer chaos regressions first (dup-promotion races, bounded
+    # dedup state, pending/heap invariants), then the harness sweep: the
+    # seed list lives in crates/simtest/tests/differential.rs; every
     # workload runs under every seed x fault plan for both notification
-    # modes, and the whole sweep must stay well under two minutes.
+    # modes (with and without aggregation), and the whole sweep must stay
+    # well under two minutes.
+    echo "==> cargo test -p gasnex --release -q"
+    cargo test -p gasnex --release -q
+
     echo "==> cargo test -p simtest --release -q"
     cargo test -p simtest --release -q
 

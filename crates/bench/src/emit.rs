@@ -188,6 +188,53 @@ pub fn bench_gups_doc(quick: bool) -> String {
             );
         }
     }
+    // Aggregation variant: deterministic GUPS-small on the eager build,
+    // without and with per-target batching, under the same chaos plan.
+    // Both digests are emitted (the gate pins them equal via the
+    // committed baseline), and `agg_speedup` — the wire-message reduction
+    // factor — carries a hard >= 1.0 floor in the regression gate:
+    // aggregated GUPS must never inject more messages than unaggregated.
+    let eager = LibVersion::V2021_3_6Eager;
+    let (off, _) = simtest::run_agg(Workload::GupsSmall, eager, seed, Some(plan), None);
+    let (on, stats) = simtest::run_agg(
+        Workload::GupsSmall,
+        eager,
+        seed,
+        Some(plan),
+        Some(simtest::harness_agg(8)),
+    );
+    for (key, o) in [("agg_off", off), ("agg_on", on)] {
+        b.exact(
+            &format!("gups-small.{key}.digest_hi"),
+            "hash",
+            (o.digest >> 32) as f64,
+        );
+        b.exact(
+            &format!("gups-small.{key}.digest_lo"),
+            "hash",
+            (o.digest & 0xFFFF_FFFF) as f64,
+        );
+        b.exact(
+            &format!("gups-small.{key}.injected"),
+            "msgs",
+            o.injected as f64,
+        );
+    }
+    b.exact(
+        "gups-small.agg_on.batches",
+        "msgs",
+        stats.batches_injected as f64,
+    );
+    b.exact(
+        "gups-small.agg_on.ops_coalesced",
+        "ops",
+        stats.ops_coalesced as f64,
+    );
+    b.exact(
+        "gups-small.agg_speedup",
+        "ratio",
+        off.injected as f64 / on.injected as f64,
+    );
     b.finish()
 }
 

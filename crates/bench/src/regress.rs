@@ -122,7 +122,11 @@ impl Report {
 
 /// Compare a current run against a baseline using the baseline's
 /// tolerance bands. Metrics only the current run has are ignored (new
-/// measurements start gating once they land in the baseline).
+/// measurements start gating once they land in the baseline) — with one
+/// exception: any current metric named `*.agg_speedup` carries a hard
+/// `>= 1.0` floor regardless of the baseline, because a message-count
+/// "speedup" below one means aggregation made the wire traffic *worse*,
+/// which no committed band may excuse.
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
     let mut failures = Vec::new();
     for (field, b, c) in [
@@ -162,6 +166,21 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
                     ));
                 }
             }
+        }
+    }
+    for cm in &current.metrics {
+        if !cm.name.ends_with(".agg_speedup") {
+            continue;
+        }
+        if baseline.metrics.iter().all(|m| m.name != cm.name) {
+            checked += 1;
+        }
+        if cm.value < 1.0 {
+            failures.push(format!(
+                "{}: aggregation speedup {} below the hard 1.0 floor \
+                 (batching must not inflate wire traffic)",
+                cm.name, cm.value,
+            ));
         }
     }
     Report {
@@ -229,6 +248,32 @@ mod tests {
         assert_eq!(r.checked, 0);
         assert_eq!(r.failures.len(), 1);
         assert!(r.failures[0].contains("missing from current run"));
+    }
+
+    #[test]
+    fn agg_speedup_floor_gates_even_without_baseline_entry() {
+        // The hard floor applies to current metrics the baseline has never
+        // seen — a regression cannot hide behind a stale baseline.
+        let base = doc(vec![]);
+        let cur = doc(vec![metric("gups-small.agg_speedup", 0.9, 0.0, 0.0)]);
+        let r = compare(&base, &cur);
+        assert_eq!(r.checked, 1);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("hard 1.0 floor"), "{:?}", r.failures);
+        let ok = doc(vec![metric("gups-small.agg_speedup", 1.8, 0.0, 0.0)]);
+        assert!(compare(&base, &ok).passed());
+    }
+
+    #[test]
+    fn agg_speedup_floor_stacks_with_baseline_band() {
+        // In the baseline with a zero band: drifting fails the band, and a
+        // sub-1.0 value fails the floor even if the band would allow it.
+        let base = doc(vec![metric("gups-small.agg_speedup", 0.9, 0.5, 0.0)]);
+        let cur = doc(vec![metric("gups-small.agg_speedup", 0.9, 0.0, 0.0)]);
+        let r = compare(&base, &cur);
+        assert_eq!(r.checked, 1, "in-baseline metric is not double counted");
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("hard 1.0 floor"));
     }
 
     #[test]

@@ -130,6 +130,10 @@ macro_rules! fetch_family {
 impl<T: AtomicValue> AtomicDomain<T> {
     /// Core dispatch: execute `op` on the word at `target`, routing the
     /// fetched value per `dest`, and produce completions of value type `V`.
+    /// `aggregate` marks the op eligible for sender-side coalescing: only
+    /// non-fetching atomics whose completion carries no value, since a
+    /// fetched result should not wait in a batch buffer behind unrelated
+    /// ops.
     #[allow(clippy::too_many_arguments)] // one parameter per AMO aspect; all call sites are the two wrappers below
     fn issue<V: CxValue, C: Completions<V>>(
         &self,
@@ -138,6 +142,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
         operand: u64,
         operand2: u64,
         dest: FetchDest,
+        aggregate: bool,
         wrap: impl Fn(u64) -> V + Send + 'static,
         mut cx: C,
     ) -> C::Out {
@@ -177,7 +182,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
             let core2 = Arc::clone(&core);
             let slot2 = Arc::clone(&slot);
             let signed = T::SIGNED;
-            let msg = ctx.world.net_inject(Box::new(move |w| {
+            let action: gasnex::net::NetAction = Box::new(move |w: &gasnex::World| {
                 let prior =
                     gasnex::amo::execute(w.segment(rank), off, op, operand, operand2, signed);
                 if let FetchDest::Memory(r, roff) = dest {
@@ -185,8 +190,13 @@ impl<T: AtomicValue> AtomicDomain<T> {
                 }
                 *slot2.lock().unwrap() = Some(wrap(prior));
                 core2.signal();
-            }));
-            ctx.trace_net_inject(top, msg);
+            });
+            if aggregate {
+                ctx.inject_routed(rank, top, action);
+            } else {
+                let msg = ctx.world.net_inject(action);
+                ctx.trace_net_inject(top, msg);
+            }
             cx.notify(&Notifier::pending(ctx, top, core, slot))
         }
     }
@@ -200,7 +210,10 @@ impl<T: AtomicValue> AtomicDomain<T> {
         dest: FetchDest,
         cx: C,
     ) -> C::Out {
-        self.issue(target, op, operand, operand2, dest, |_| (), cx)
+        // Only the pure-notification form coalesces: a fetch-into-memory op
+        // still produces a prior value the caller may be polling for.
+        let aggregate = matches!(dest, FetchDest::Notification);
+        self.issue(target, op, operand, operand2, dest, aggregate, |_| (), cx)
     }
 
     fn issue_fetch<C: Completions<T>>(
@@ -217,6 +230,7 @@ impl<T: AtomicValue> AtomicDomain<T> {
             operand,
             operand2,
             FetchDest::Notification,
+            false,
             T::from_bits,
             cx,
         )

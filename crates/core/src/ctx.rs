@@ -15,7 +15,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use gasnex::{Conduit, EventCore, Rank, World};
+use gasnex::net::NetAction;
+use gasnex::{Batch, Coalescer, Conduit, EventCore, FlushReason, Push, Rank, World};
 
 use crate::future::cell::{shared_ready_unit_cell, Cell};
 use crate::metrics::{MetricSeries, MetricsConfig};
@@ -79,12 +80,21 @@ pub(crate) struct RankCtx {
     pub metrics_on: StdCell<bool>,
     /// The per-rank metric sampler (only touched when `metrics_on` is set).
     pub metrics: RefCell<MetricSeries>,
+    /// Sender-side aggregation buffers (`None` when the knob is off). The
+    /// tag threaded through each buffered op is its trace span, so a batch
+    /// flush can stamp every constituent's `NetInject` with the batch's
+    /// wire message id.
+    pub agg: RefCell<Option<Coalescer<TraceOp>>>,
 }
 
 impl RankCtx {
     pub fn new(world: Arc<World>, me: Rank, version: LibVersion) -> Rc<RankCtx> {
         let assume_all_local =
             world.config().conduit == Conduit::Smp && version.has_constexpr_is_local();
+        let agg_cfg = world.config().agg;
+        let agg = agg_cfg
+            .enabled
+            .then(|| Coalescer::new(agg_cfg, world.ranks()));
         Rc::new(RankCtx {
             world,
             me,
@@ -103,7 +113,63 @@ impl RankCtx {
             tracer: RefCell::new(RankTracer::new(me.0)),
             metrics_on: StdCell::new(false),
             metrics: RefCell::new(MetricSeries::new(MetricsConfig::default())),
+            agg: RefCell::new(agg),
         })
+    }
+
+    /// Send `action` to `target`, through the aggregation layer when it is
+    /// enabled (and the target's buffer is open), directly otherwise. The
+    /// op's trace span gets its `NetInject` stamped with whichever wire
+    /// message ends up carrying it — its own, or the flushed batch's.
+    pub fn inject_routed(&self, target: Rank, top: TraceOp, action: NetAction) {
+        let pushed = {
+            let mut agg = self.agg.borrow_mut();
+            match agg.as_mut() {
+                Some(a) => a.push(target.0 as usize, action, top, self.world.net()),
+                None => {
+                    drop(agg);
+                    let msg = self.world.net_inject(action);
+                    self.trace_net_inject(top, msg);
+                    return;
+                }
+            }
+        };
+        match pushed {
+            Push::Buffered => {}
+            Push::Bypassed { msg } => self.trace_net_inject(top, msg),
+            Push::Flushed(b) => self.trace_batch(&b),
+        }
+    }
+
+    /// Stamp a flushed batch: every constituent op's `NetInject` carries
+    /// the batch's wire message id, followed by one `BatchFlush` marker.
+    fn trace_batch(&self, b: &Batch<TraceOp>) {
+        if !self.trace_on.get() {
+            return;
+        }
+        let ts = self.trace_now_ns();
+        let mut tracer = self.tracer.borrow_mut();
+        for &tag in &b.tags {
+            tracer.net_inject(tag, b.msg, ts);
+        }
+        tracer.batch_flush(b.msg, b.ops, b.reason, ts);
+    }
+
+    fn trace_batches(&self, batches: &[Batch<TraceOp>]) -> usize {
+        for b in batches {
+            self.trace_batch(b);
+        }
+        batches.len()
+    }
+
+    /// Explicitly drain every aggregation buffer (barriers, quiescence,
+    /// user-requested flush). Returns the number of batches injected.
+    pub fn agg_flush_explicit(&self) -> usize {
+        let batches = match self.agg.borrow_mut().as_mut() {
+            Some(a) => a.flush_all(self.world.net(), FlushReason::Explicit),
+            None => return 0,
+        };
+        self.trace_batches(&batches)
     }
 
     /// The trace clock: the simulated network's wall/virtual time, so core
@@ -269,6 +335,23 @@ impl RankCtx {
                 q.push_front(item);
             }
         }
+        // Flush aged aggregation buffers. An otherwise-idle quantum
+        // (n == 0) flushes everything buffered: with no other traffic the
+        // virtual clock cannot advance, so the age timeout alone could
+        // never fire — the backstop keeps waits live. A flush is work
+        // (n counts it), so quiescence keeps spinning until the buffers
+        // and their in-flight batches drain.
+        let flushed = match self.agg.borrow_mut().as_mut() {
+            Some(a) => {
+                if n == 0 {
+                    a.flush_all(self.world.net(), FlushReason::Age)
+                } else {
+                    a.flush_due(self.world.net())
+                }
+            }
+            None => Vec::new(),
+        };
+        n += self.trace_batches(&flushed);
         // Record only productive quanta: quiesce spins through millions of
         // idle ones, which would flood the ring with noise.
         if n > 0 && self.trace_on.get() {
@@ -303,6 +386,7 @@ impl RankCtx {
             && self.world.ready_queued(self.me) == 0
             && self.replies.borrow().is_empty()
             && self.world.ams_queued(self.me) == 0
+            && self.agg.borrow().as_ref().is_none_or(|a| a.buffered() == 0)
     }
 }
 

@@ -83,4 +83,6 @@ pub use version::LibVersion;
 pub use vis::Strided;
 
 // Re-export the substrate types that appear in public signatures.
-pub use gasnex::{ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team};
+pub use gasnex::{
+    AggConfig, ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team,
+};

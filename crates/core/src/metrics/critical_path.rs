@@ -279,7 +279,7 @@ pub fn analyze(ranks: &[RankTrace], net: &[NetTraceEvent]) -> CriticalPathReport
                         segments,
                     });
                 }
-                EventKind::Init | EventKind::Drain { .. } => {}
+                EventKind::Init | EventKind::Drain { .. } | EventKind::BatchFlush { .. } => {}
             }
         }
     }

@@ -82,14 +82,18 @@ impl Upcr {
             let (rank, off, bits) = (dst.rank(), dst.offset(), val.to_bits());
             let src = ctx.me;
             let core2 = Arc::clone(&core);
-            let msg = ctx.world.net_inject(Box::new(move |w| {
-                w.segment(rank).write_scalar(off, T::SIZE, bits);
-                for f in rpcs {
-                    w.send_am(rank, src, move |_| f());
-                }
-                core2.signal();
-            }));
-            ctx.trace_net_inject(top, msg);
+            // Fine-grained scalar put: eligible for sender-side aggregation.
+            ctx.inject_routed(
+                rank,
+                top,
+                Box::new(move |w| {
+                    w.segment(rank).write_scalar(off, T::SIZE, bits);
+                    for f in rpcs {
+                        w.send_am(rank, src, move |_| f());
+                    }
+                    core2.signal();
+                }),
+            );
             cx.notify(&Notifier::pending(
                 ctx,
                 top,

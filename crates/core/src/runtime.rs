@@ -70,6 +70,12 @@ impl RuntimeConfig {
         self.gasnex = self.gasnex.with_net(net);
         self
     }
+
+    /// Configure per-target message aggregation (see [`gasnex::AggConfig`]).
+    pub fn with_agg(mut self, agg: gasnex::AggConfig) -> Self {
+        self.gasnex = self.gasnex.with_agg(agg);
+        self
+    }
 }
 
 /// The per-rank runtime handle. Not `Send`: it belongs to its rank's thread,
@@ -177,6 +183,15 @@ impl Upcr {
         self.ctx.progress_quantum();
     }
 
+    /// Explicitly flush this rank's aggregation buffers, injecting every
+    /// buffered batch immediately. Returns the number of batches flushed
+    /// (0 when aggregation is disabled or nothing was buffered). Barriers
+    /// and runtime teardown flush implicitly; call this to bound latency
+    /// of fire-and-forget fine-grained traffic between synchronizations.
+    pub fn agg_flush(&self) -> usize {
+        self.ctx.agg_flush_explicit()
+    }
+
     /// Barrier over all ranks (drives progress while waiting).
     pub fn barrier(&self) {
         let team = self.world_team();
@@ -184,7 +199,12 @@ impl Upcr {
     }
 
     /// Barrier over `team`.
+    ///
+    /// Entering a barrier is a synchronization point: any operations this
+    /// rank buffered in the aggregation layer are flushed first, so peers
+    /// observing the barrier's completion also observe this rank's writes.
     pub fn barrier_team(&self, team: &Team) {
+        self.ctx.agg_flush_explicit();
         let ctx = Rc::clone(&self.ctx);
         self.ctx.world.barrier(team, &mut || {
             ctx.progress_quantum();
@@ -326,6 +346,10 @@ impl Upcr {
     pub(crate) fn quiesce(&self) {
         const MAX_ROUNDS: usize = 1_000_000;
         let mut clean_rounds = 0;
+        // Flush aggregation buffers up front; the drain loop below also
+        // flushes (buffered batches count as progress work), so this is
+        // belt-and-braces for the first round.
+        self.ctx.agg_flush_explicit();
         for _ in 0..MAX_ROUNDS {
             while self.ctx.progress_quantum() > 0 {}
             let busy = u64::from(!self.ctx.locally_idle() || !self.ctx.world.substrate_quiet());

@@ -95,6 +95,16 @@ fn push_rank_event(out: &mut String, rank: u32, e: &TraceEvent, first: &mut bool
             let args = format!("\"items\":{},\"seq\":{}", items, e.seq);
             push_instant(out, "drain", pid, e.ts_ns, &args);
         }
+        EventKind::BatchFlush { msg, ops, reason } => {
+            let args = format!(
+                "\"msg\":{},\"ops\":{},\"reason\":\"{}\",\"seq\":{}",
+                msg,
+                ops,
+                reason.name(),
+                e.seq
+            );
+            push_instant(out, "batch_flush", pid, e.ts_ns, &args);
+        }
     }
 }
 

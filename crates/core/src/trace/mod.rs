@@ -131,6 +131,15 @@ pub enum EventKind {
     /// A progress quantum drained `items` work items (only quanta that did
     /// work are recorded; idle spins are not).
     Drain { items: u64 },
+    /// The aggregation layer flushed a batch of `ops` coalesced operations
+    /// as wire message `msg`. Each constituent op records its own
+    /// `NetInject { msg }` alongside, so spans still correlate with the
+    /// wire.
+    BatchFlush {
+        msg: u64,
+        ops: u32,
+        reason: gasnex::FlushReason,
+    },
 }
 
 /// One recorded event. `seq` is a per-rank monotonic counter, so event
@@ -248,6 +257,16 @@ impl RankTracer {
     /// Record a productive progress quantum.
     pub fn drain(&mut self, items: u64, ts_ns: u64) {
         self.push(ts_ns, TraceOp::NONE, EventKind::Drain { items });
+    }
+
+    /// Record an aggregation batch flush (a rank-level event; the
+    /// constituent ops record their own `NetInject`s).
+    pub fn batch_flush(&mut self, msg: u64, ops: u32, reason: gasnex::FlushReason, ts_ns: u64) {
+        self.push(
+            ts_ns,
+            TraceOp::NONE,
+            EventKind::BatchFlush { msg, ops, reason },
+        );
     }
 
     /// Drain the recorded events (histograms are kept).

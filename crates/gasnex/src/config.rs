@@ -271,6 +271,8 @@ pub struct GasnexConfig {
     pub conduit: Conduit,
     /// Simulated network parameters (only used when more than one node).
     pub net: NetConfig,
+    /// Sender-side aggregation knob for fine-grained cross-node ops.
+    pub agg: crate::aggregate::AggConfig,
 }
 
 impl GasnexConfig {
@@ -283,6 +285,7 @@ impl GasnexConfig {
             segment_size: 8 << 20,
             conduit: Conduit::Smp,
             net: NetConfig::default(),
+            agg: crate::aggregate::AggConfig::default(),
         }
     }
 
@@ -294,6 +297,7 @@ impl GasnexConfig {
             segment_size: 8 << 20,
             conduit: Conduit::Udp,
             net: NetConfig::default(),
+            agg: crate::aggregate::AggConfig::default(),
         }
     }
 
@@ -317,6 +321,13 @@ impl GasnexConfig {
         self
     }
 
+    /// Override the sender-side aggregation knob (validating it first).
+    pub fn with_agg(mut self, agg: crate::aggregate::AggConfig) -> Self {
+        agg.validate();
+        self.agg = agg;
+        self
+    }
+
     /// Number of simulated nodes implied by this configuration.
     pub fn nodes(&self) -> usize {
         self.ranks.div_ceil(self.ranks_per_node)
@@ -326,6 +337,7 @@ impl GasnexConfig {
     /// nonsensical parameters.
     pub fn validate(&self) {
         assert!(self.ranks > 0, "gasnex: world must have at least one rank");
+        self.agg.validate();
         assert!(
             self.ranks_per_node > 0,
             "gasnex: ranks_per_node must be positive"

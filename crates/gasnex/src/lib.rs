@@ -36,6 +36,7 @@
 //! runnable anywhere. See `DESIGN.md` at the repository root for the full
 //! substitution argument.
 
+pub mod aggregate;
 pub mod alloc;
 pub mod am;
 pub mod amo;
@@ -48,6 +49,7 @@ pub mod rank;
 pub mod segment;
 pub mod world;
 
+pub use aggregate::{AggConfig, Batch, Coalescer, FlushReason, Push};
 pub use alloc::{OutOfSegmentMemory, SegAlloc};
 pub use am::AmCtx;
 pub use amo::AmoOp;

@@ -27,11 +27,27 @@
 //!   (`rto_ns << attempt`, capped at `max_backoff_ns`) and re-enters fate
 //!   selection with `attempt + 1`. The attempt before `max_attempts` is
 //!   exempt from drops, so every message is eventually delivered.
-//! * **Duplicates** enqueue an extra payload-free copy of the message; the
-//!   receiver tracks delivered sequence numbers and suppresses the extra
-//!   copy (`dup_suppressed`), so the action still executes exactly once.
+//! * **Duplicates** enqueue a second wire copy of the message; the two
+//!   copies share the payload through one slot, so whichever copy arrives
+//!   first delivers the action and the other is suppressed
+//!   (`dup_suppressed`) — exactly-once execution without caring which copy
+//!   won the race. A duplicate that overtakes its reordered original is
+//!   *promoted* (`dup_promoted`), not swallowed. The receiver-side `acked`
+//!   set holds a message id only between the first and second copy's
+//!   arrival, so it stays bounded by the number of in-flight dup pairs.
 //! * **Reorder / burst / partition** only shift due times; they can starve
 //!   but never cancel a delivery.
+//!
+//! # Aggregation hooks
+//!
+//! The sender-side aggregation layer ([`crate::aggregate`]) injects batch
+//! messages through the ordinary [`SimNetwork::inject`] path — a batch is
+//! one logical message whose action fans out to its constituent ops, so
+//! drop/dup/reorder fates act on whole batches and a retransmission
+//! re-sends the batch payload. The network only keeps the aggregate
+//! counters (`batches_injected`, `ops_coalesced`, per-reason flush counts,
+//! buffer-occupancy high-water) so they surface in [`NetStats`] next to
+//! the reliability counters.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -116,6 +132,21 @@ pub struct NetStats {
     /// Largest retransmission backoff applied (gauge; bounded by the plan's
     /// `max_backoff_ns`).
     pub max_backoff_ns: u64,
+    /// Duplicate copies that arrived before their original and were
+    /// promoted to perform the delivery.
+    pub dup_promoted: u64,
+    /// Batch messages injected by the aggregation layer.
+    pub batches_injected: u64,
+    /// Fine-grained operations carried inside those batches.
+    pub ops_coalesced: u64,
+    /// Batch flushes triggered by the size threshold.
+    pub flushes_size: u64,
+    /// Batch flushes triggered by the age timeout.
+    pub flushes_age: u64,
+    /// Batch flushes triggered explicitly (barrier / quiesce / user flush).
+    pub flushes_explicit: u64,
+    /// Deepest per-target aggregation buffer observed (gauge).
+    pub agg_occupancy_highwater: u64,
 }
 
 impl NetStats {
@@ -131,6 +162,13 @@ impl NetStats {
         ("drops_injected", FieldClass::Counter),
         ("dup_suppressed", FieldClass::Counter),
         ("max_backoff_ns", FieldClass::Gauge),
+        ("dup_promoted", FieldClass::Counter),
+        ("batches_injected", FieldClass::Counter),
+        ("ops_coalesced", FieldClass::Counter),
+        ("flushes_size", FieldClass::Counter),
+        ("flushes_age", FieldClass::Counter),
+        ("flushes_explicit", FieldClass::Counter),
+        ("agg_occupancy_highwater", FieldClass::Gauge),
     ];
 
     /// Field values in the same order as [`NetStats::FIELDS`].
@@ -144,6 +182,13 @@ impl NetStats {
             self.drops_injected,
             self.dup_suppressed,
             self.max_backoff_ns,
+            self.dup_promoted,
+            self.batches_injected,
+            self.ops_coalesced,
+            self.flushes_size,
+            self.flushes_age,
+            self.flushes_explicit,
+            self.agg_occupancy_highwater,
         ]
     }
 
@@ -160,6 +205,17 @@ impl NetStats {
             drops_injected: self.drops_injected.saturating_sub(earlier.drops_injected),
             dup_suppressed: self.dup_suppressed.saturating_sub(earlier.dup_suppressed),
             max_backoff_ns: self.max_backoff_ns,
+            dup_promoted: self.dup_promoted.saturating_sub(earlier.dup_promoted),
+            batches_injected: self
+                .batches_injected
+                .saturating_sub(earlier.batches_injected),
+            ops_coalesced: self.ops_coalesced.saturating_sub(earlier.ops_coalesced),
+            flushes_size: self.flushes_size.saturating_sub(earlier.flushes_size),
+            flushes_age: self.flushes_age.saturating_sub(earlier.flushes_age),
+            flushes_explicit: self
+                .flushes_explicit
+                .saturating_sub(earlier.flushes_explicit),
+            agg_occupancy_highwater: self.agg_occupancy_highwater,
         }
     }
 }
@@ -175,9 +231,18 @@ enum Payload {
         dropped: bool,
         action: NetAction,
     },
-    /// A duplicated copy of message `msg`. Carries no payload — the
-    /// receiver's dedup discards it on arrival.
-    Dup { msg: u64 },
+    /// One of the two wire copies of a duplicated transmission. Both copies
+    /// share the payload through `slot`; whichever pops first takes it and
+    /// delivers, the other finds the slot empty and is suppressed.
+    /// `primary` marks the copy scheduled on the original (possibly
+    /// reordered) due time — when the trailing copy wins the race, the
+    /// delivery is counted as a promotion.
+    Copy {
+        msg: u64,
+        attempt: u32,
+        primary: bool,
+        slot: std::sync::Arc<Mutex<Option<NetAction>>>,
+    },
 }
 
 struct Delivery {
@@ -228,8 +293,17 @@ pub struct SimNetwork {
     drops_injected: AtomicU64,
     dup_suppressed: AtomicU64,
     max_backoff_ns: AtomicU64,
-    /// Receiver-side dedup: sequence numbers of delivered messages. Only
-    /// consulted when the fault plan can duplicate.
+    dup_promoted: AtomicU64,
+    batches_injected: AtomicU64,
+    ops_coalesced: AtomicU64,
+    flushes_size: AtomicU64,
+    flushes_age: AtomicU64,
+    flushes_explicit: AtomicU64,
+    agg_occupancy_highwater: AtomicU64,
+    /// Receiver-side dedup: ids of duplicated messages whose *first* copy
+    /// has arrived but whose second copy is still in flight. The second
+    /// copy's arrival evicts the id, and non-duplicated messages never
+    /// enter, so the set is bounded by the in-flight dup pairs.
     acked: Mutex<HashSet<u64>>,
     /// Counter baseline captured by [`SimNetwork::reset_stats`]. `stats()`
     /// reports counters relative to it; the raw atomics are never zeroed
@@ -264,6 +338,13 @@ impl SimNetwork {
             drops_injected: AtomicU64::new(0),
             dup_suppressed: AtomicU64::new(0),
             max_backoff_ns: AtomicU64::new(0),
+            dup_promoted: AtomicU64::new(0),
+            batches_injected: AtomicU64::new(0),
+            ops_coalesced: AtomicU64::new(0),
+            flushes_size: AtomicU64::new(0),
+            flushes_age: AtomicU64::new(0),
+            flushes_explicit: AtomicU64::new(0),
+            agg_occupancy_highwater: AtomicU64::new(0),
             acked: Mutex::new(HashSet::new()),
             stats_baseline: Mutex::new(NetStats::default()),
             trace_on: AtomicBool::new(false),
@@ -398,28 +479,49 @@ impl SimNetwork {
             _ => 0,
         };
         let due = self.shape(now + self.cfg.latency_ns + jitter + reorder);
-        q.push(Reverse(Delivery {
-            due_ns: due,
-            seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
-            payload: Payload::Attempt {
-                msg,
-                attempt,
-                dropped: false,
-                action,
-            },
-        }));
-        if let Some(plan) = &plan {
-            if ppm(self.mix(msg, attempt, 4)) < plan.dup_ppm {
-                // The wire carried two copies; the extra one trails the
-                // payload copy by a sub-latency offset.
-                let lag = 1 + self.mix(msg, attempt, 5) % self.cfg.latency_ns.max(1);
-                self.pending_len.fetch_add(1, Ordering::SeqCst);
-                q.push(Reverse(Delivery {
-                    due_ns: self.shape(due + lag),
-                    seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
-                    payload: Payload::Dup { msg },
-                }));
-            }
+        let duplicated = plan
+            .as_ref()
+            .is_some_and(|p| ppm(self.mix(msg, attempt, 4)) < p.dup_ppm);
+        if duplicated {
+            // The wire carried two copies sharing one payload slot. The
+            // primary keeps the reordered due time; the extra copy trails
+            // the *un-reordered* arrival by a sub-latency offset, so a
+            // heavily reordered primary can lose the race and the trailing
+            // copy gets promoted to deliver.
+            let lag = 1 + self.mix(msg, attempt, 5) % self.cfg.latency_ns.max(1);
+            let slot = std::sync::Arc::new(Mutex::new(Some(action)));
+            q.push(Reverse(Delivery {
+                due_ns: due,
+                seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+                payload: Payload::Copy {
+                    msg,
+                    attempt,
+                    primary: true,
+                    slot: std::sync::Arc::clone(&slot),
+                },
+            }));
+            self.pending_len.fetch_add(1, Ordering::SeqCst);
+            q.push(Reverse(Delivery {
+                due_ns: self.shape(now + self.cfg.latency_ns + jitter + lag),
+                seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+                payload: Payload::Copy {
+                    msg,
+                    attempt,
+                    primary: false,
+                    slot,
+                },
+            }));
+        } else {
+            q.push(Reverse(Delivery {
+                due_ns: due,
+                seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
+                payload: Payload::Attempt {
+                    msg,
+                    attempt,
+                    dropped: false,
+                    action,
+                },
+            }));
         }
     }
 
@@ -486,7 +588,6 @@ impl SimNetwork {
         }
         drop(q); // run actions without holding the lock: they may re-inject
         let n = due.len();
-        let dedup = self.cfg.faults.is_some_and(|p| p.dup_ppm > 0);
         for d in due {
             match d.payload {
                 Payload::Attempt {
@@ -496,7 +597,11 @@ impl SimNetwork {
                     action,
                 } => {
                     // Retransmission timer fired: resend with the next
-                    // attempt number. The logical message stays pending.
+                    // attempt number. The logical message stays pending:
+                    // this pops one heap entry and pushes exactly one (or
+                    // two sharing one extra `pending_len` increment if the
+                    // resend is duplicated), so `pending()` keeps mirroring
+                    // the heap length.
                     self.retries.fetch_add(1, Ordering::SeqCst);
                     self.trace_event(msg, attempt + 1, NetEventKind::Retry);
                     let mut q = self.queue.lock().unwrap();
@@ -508,9 +613,6 @@ impl SimNetwork {
                     dropped: false,
                     action,
                 } => {
-                    if dedup {
-                        self.acked.lock().unwrap().insert(msg);
-                    }
                     self.trace_event(msg, attempt, NetEventKind::Deliver);
                     (action)(world);
                     // Counted after the action so injected == delivered
@@ -519,15 +621,42 @@ impl SimNetwork {
                     self.delivered.fetch_add(1, Ordering::SeqCst);
                     self.pending_len.fetch_sub(1, Ordering::SeqCst);
                 }
-                Payload::Dup { msg } => {
-                    // Receiver-side dedup: the sequence number was (almost
-                    // always) already delivered; either way exactly one of
-                    // the two copies is discarded here.
-                    if dedup {
-                        let _seen = self.acked.lock().unwrap().contains(&msg);
+                Payload::Copy {
+                    msg,
+                    attempt,
+                    primary,
+                    slot,
+                } => {
+                    // Receiver-side dedup over the two wire copies. The
+                    // first arrival registers the id and takes the payload;
+                    // the second finds the id present, evicts it (keeping
+                    // `acked` bounded by in-flight dup pairs), and is
+                    // suppressed. A trailing copy that overtakes its
+                    // reordered primary is promoted, not swallowed.
+                    let first = {
+                        let mut acked = self.acked.lock().unwrap();
+                        let first = acked.insert(msg);
+                        if !first {
+                            acked.remove(&msg);
+                        }
+                        first
+                    };
+                    if first {
+                        let action = slot
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("first copy holds the payload");
+                        self.trace_event(msg, attempt, NetEventKind::Deliver);
+                        (action)(world);
+                        self.delivered.fetch_add(1, Ordering::SeqCst);
+                        if !primary {
+                            self.dup_promoted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    } else {
+                        self.trace_event(msg, attempt, NetEventKind::DupDiscard);
+                        self.dup_suppressed.fetch_add(1, Ordering::SeqCst);
                     }
-                    self.trace_event(msg, 0, NetEventKind::DupDiscard);
-                    self.dup_suppressed.fetch_add(1, Ordering::SeqCst);
                     self.pending_len.fetch_sub(1, Ordering::SeqCst);
                 }
             }
@@ -577,6 +706,46 @@ impl SimNetwork {
         self.max_backoff_ns.load(Ordering::SeqCst)
     }
 
+    /// Duplicate copies promoted to deliver ahead of their original.
+    pub fn dup_promoted(&self) -> u64 {
+        self.dup_promoted.load(Ordering::SeqCst)
+    }
+
+    /// Batch messages injected by the aggregation layer.
+    pub fn batches_injected(&self) -> u64 {
+        self.batches_injected.load(Ordering::SeqCst)
+    }
+
+    /// Fine-grained operations carried inside batches.
+    pub fn ops_coalesced(&self) -> u64 {
+        self.ops_coalesced.load(Ordering::SeqCst)
+    }
+
+    /// Record one batch flush: `ops` constituent operations left a
+    /// coalescer buffer as a single wire message for `reason`.
+    pub fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {
+        self.batches_injected.fetch_add(1, Ordering::SeqCst);
+        self.ops_coalesced.fetch_add(ops, Ordering::SeqCst);
+        let ctr = match reason {
+            crate::aggregate::FlushReason::Size => &self.flushes_size,
+            crate::aggregate::FlushReason::Age => &self.flushes_age,
+            crate::aggregate::FlushReason::Explicit => &self.flushes_explicit,
+        };
+        ctr.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record a coalescer buffer depth for the occupancy high-water gauge.
+    pub fn note_agg_occupancy(&self, depth: usize) {
+        self.agg_occupancy_highwater
+            .fetch_max(depth as u64, Ordering::SeqCst);
+    }
+
+    /// How many dup-pair ids the receiver-side dedup set currently holds
+    /// (first copy arrived, second still in flight). Bounded by `pending`.
+    pub fn acked_len(&self) -> usize {
+        self.acked.lock().unwrap().len()
+    }
+
     /// All counters since creation, ignoring any `reset_stats` baseline.
     fn raw_stats(&self) -> NetStats {
         NetStats {
@@ -588,6 +757,13 @@ impl SimNetwork {
             drops_injected: self.drops_injected(),
             dup_suppressed: self.dup_suppressed(),
             max_backoff_ns: self.max_backoff_ns(),
+            dup_promoted: self.dup_promoted(),
+            batches_injected: self.batches_injected(),
+            ops_coalesced: self.ops_coalesced(),
+            flushes_size: self.flushes_size.load(Ordering::SeqCst),
+            flushes_age: self.flushes_age.load(Ordering::SeqCst),
+            flushes_explicit: self.flushes_explicit.load(Ordering::SeqCst),
+            agg_occupancy_highwater: self.agg_occupancy_highwater.load(Ordering::SeqCst),
         }
     }
 
@@ -610,6 +786,7 @@ impl SimNetwork {
         let raw = self.raw_stats();
         *self.stats_baseline.lock().unwrap() = raw;
         self.max_backoff_ns.store(0, Ordering::SeqCst);
+        self.agg_occupancy_highwater.store(0, Ordering::SeqCst);
     }
 
     /// The configured latency parameters.
@@ -895,6 +1072,131 @@ mod tests {
         assert_eq!(live.injected, 1, "counters count from the baseline");
         while w.net().pending() > 0 {
             w.net().poll(&w);
+        }
+    }
+
+    #[test]
+    fn dup_racing_ahead_of_reordered_original_is_promoted() {
+        // Satellite regression: the duplicate copy trails the *un-reordered*
+        // arrival, so a primary pushed far out by reorder loses the race and
+        // the trailing copy must be promoted to deliver — the old code
+        // consulted the acked set and threw the answer away, silently
+        // swallowing exactly this schedule. With latency 1_000 the dup lag
+        // is at most 1_000 ns while reorder can add up to 50_000 ns, so
+        // promotions are guaranteed at these rates.
+        let plan = FaultPlan::seeded(17)
+            .with_dups(500_000)
+            .with_reorder(500_000, 50_000);
+        let net = NetConfig {
+            latency_ns: 1_000,
+            jitter_ns: 300,
+            ..NetConfig::default()
+        }
+        .with_virtual_clock()
+        .with_faults(plan);
+        let (order, stats) = delivery_schedule(net, 128);
+        assert_eq!(order.len(), 128, "every message delivers exactly once");
+        assert_eq!(stats.delivered, 128);
+        assert_eq!(stats.pending, 0);
+        assert!(
+            stats.dup_promoted > 0,
+            "schedule must exercise the dup-races-ahead path"
+        );
+        assert!(stats.dup_suppressed > 0, "losing copies are discarded");
+        let (order2, stats2) = delivery_schedule(net, 128);
+        assert_eq!(order, order2, "promotion is deterministic under a seed");
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn acked_set_stays_bounded_by_inflight_dup_pairs() {
+        // Satellite regression: the dedup set used to accumulate every
+        // delivered msg id forever. Now an id lives only between the two
+        // copies' arrivals, so at every step acked ≤ pending and the set is
+        // empty once the wire drains.
+        let plan = FaultPlan::seeded(23)
+            .with_drops(150_000)
+            .with_dups(400_000)
+            .with_reorder(300_000, 20_000)
+            .with_retry(2_000, 32_000, 6);
+        let net = NetConfig {
+            latency_ns: 1_000,
+            jitter_ns: 500,
+            ..NetConfig::default()
+        }
+        .with_virtual_clock()
+        .with_faults(plan);
+        let w = world_with_net(net);
+        let n = 512u64;
+        for _ in 0..n {
+            w.net().inject(Box::new(|_| {}));
+        }
+        let mut spins = 0u64;
+        while w.net().delivered() < n || w.net().pending() > 0 {
+            w.net().poll(&w);
+            assert!(
+                w.net().acked_len() <= w.net().pending(),
+                "dedup set must stay bounded by in-flight messages"
+            );
+            spins += 1;
+            assert!(spins < 1_000_000, "chaos schedule failed to terminate");
+        }
+        assert_eq!(w.net().acked_len(), 0, "drained wire leaves no dedup state");
+        let s = w.net().stats();
+        assert!(s.dup_suppressed > 0, "plan must actually duplicate");
+        assert_eq!(s.delivered, n);
+    }
+
+    #[test]
+    fn pending_mirrors_heap_length_under_every_plan() {
+        // Satellite audit: `pending()` must equal the heap length at every
+        // quiescent point under each fault-plan shape — the retry path pops
+        // one timer and pushes one attempt (plus a self-accounted dup
+        // copy), so no path may leak the counter in either direction.
+        let shapes: &[FaultPlan] = &[
+            FaultPlan::seeded(31)
+                .with_drops(250_000)
+                .with_retry(4_000, 64_000, 6),
+            FaultPlan::seeded(37)
+                .with_dups(200_000)
+                .with_reorder(300_000, 6_000),
+            FaultPlan::seeded(41)
+                .with_drops(150_000)
+                .with_dups(120_000)
+                .with_reorder(200_000, 5_000)
+                .with_retry(4_000, 64_000, 6),
+        ];
+        for plan in shapes {
+            let net = NetConfig {
+                latency_ns: 800,
+                jitter_ns: 300,
+                ..NetConfig::default()
+            }
+            .with_virtual_clock()
+            .with_faults(*plan);
+            let w = world_with_net(net);
+            let n = 256u64;
+            for _ in 0..n {
+                w.net().inject(Box::new(|_| {}));
+            }
+            let mut spins = 0u64;
+            loop {
+                let heap = w.net().queue.lock().unwrap().len();
+                assert_eq!(
+                    w.net().pending(),
+                    heap,
+                    "pending() must mirror the heap under seed {}",
+                    plan.seed
+                );
+                if w.net().delivered() >= n && heap == 0 {
+                    break;
+                }
+                w.net().poll(&w);
+                spins += 1;
+                assert!(spins < 1_000_000, "chaos schedule failed to terminate");
+            }
+            assert_eq!(w.net().pending(), 0);
+            assert_eq!(w.net().delivered(), n);
         }
     }
 

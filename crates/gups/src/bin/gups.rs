@@ -25,6 +25,7 @@ struct Args {
     batch: usize,
     version: LibVersion,
     verify: bool,
+    agg_flush: Option<usize>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     prom_out: Option<String>,
@@ -34,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gups [--variant NAME] [--ranks N] [--nodes N] [--log2-table N] [--batch N]\n\
          \x20           [--version eager|2021.3.0|2021.3.6-defer] [--verify] [--trace-out PATH]\n\
-         \x20           [--metrics-out PATH] [--prom-out PATH]\n\
+         \x20           [--agg] [--agg-flush N] [--metrics-out PATH] [--prom-out PATH]\n\
          variants: {}",
         Variant::ALL.map(|v| format!("{:?}", v.name())).join(", ")
     );
@@ -50,6 +51,7 @@ fn parse_args() -> Args {
         batch: 64,
         version: LibVersion::V2021_3_6Eager,
         verify: false,
+        agg_flush: None,
         trace_out: None,
         metrics_out: None,
         prom_out: None,
@@ -81,6 +83,14 @@ fn parse_args() -> Args {
                 };
             }
             "--verify" => args.verify = true,
+            // --agg enables per-target aggregation at the default flush
+            // threshold; --agg-flush N enables it with an explicit one.
+            "--agg" => {
+                args.agg_flush = args
+                    .agg_flush
+                    .or(Some(upcr::AggConfig::default().flush_ops))
+            }
+            "--agg-flush" => args.agg_flush = Some(val().parse().unwrap_or_else(|_| usage())),
             "--trace-out" => args.trace_out = Some(val()),
             "--metrics-out" => args.metrics_out = Some(val()),
             "--prom-out" => args.prom_out = Some(val()),
@@ -101,9 +111,12 @@ fn main() -> ExitCode {
     cfg.validate(args.ranks);
     let sampling = args.metrics_out.is_some() || args.prom_out.is_some();
     let tracing = args.trace_out.is_some() || sampling;
-    let rt = RuntimeConfig::udp(args.ranks, args.ranks_per_node)
+    let mut rt = RuntimeConfig::udp(args.ranks, args.ranks_per_node)
         .with_version(args.version)
         .with_segment_size((cfg.table_size() / args.ranks * 8 + (1 << 16)).next_power_of_two());
+    if let Some(flush) = args.agg_flush {
+        rt = rt.with_agg(upcr::AggConfig::enabled(flush));
+    }
 
     let results = launch(rt, |u| {
         u.trace_enabled(tracing);
@@ -118,7 +131,14 @@ fn main() -> ExitCode {
             Vec::new()
         };
         let series = sampling.then(|| u.take_metrics());
-        (r, u.take_trace(), u.latency_report(), net, series)
+        (
+            r,
+            u.net_stats(),
+            u.take_trace(),
+            u.latency_report(),
+            net,
+            series,
+        )
     });
 
     let run = results[0].0;
@@ -132,6 +152,21 @@ fn main() -> ExitCode {
         run.mups(),
         run.errors,
     );
+    if args.agg_flush.is_some() {
+        let ns = results[0].1;
+        println!(
+            "agg: flush_ops={} injected={} batches={} ops_coalesced={} \
+             flushes(size/age/explicit)={}/{}/{} occupancy_hw={}",
+            args.agg_flush.unwrap_or(0),
+            ns.injected,
+            ns.batches_injected,
+            ns.ops_coalesced,
+            ns.flushes_size,
+            ns.flushes_age,
+            ns.flushes_explicit,
+            ns.agg_occupancy_highwater,
+        );
+    }
 
     if tracing {
         let mut bundle = upcr::TraceBundle {
@@ -140,7 +175,7 @@ fn main() -> ExitCode {
         };
         let mut hists = upcr::Histograms::new();
         let mut parts = Vec::new();
-        for (_, trace, hist, net, series) in results {
+        for (_, _, trace, hist, net, series) in results {
             bundle.ranks.push(trace);
             hists.merge(&hist);
             if !net.is_empty() {

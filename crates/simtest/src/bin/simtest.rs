@@ -15,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use simtest::{fault_plans, run_observed, Workload};
+use simtest::{fault_plans, harness_agg, run_observed, Workload};
 use upcr::metrics::{metrics_json_multi, prometheus_text_multi};
 use upcr::trace::{count_notifications, parse_json, summary_table};
 use upcr::{LibVersion, MetricsConfig};
@@ -25,6 +25,7 @@ struct Args {
     seed: u64,
     plan: Option<String>,
     version: LibVersion,
+    agg_flush: Option<usize>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     prom_out: Option<String>,
@@ -35,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small]\n\
          \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
-         \x20              [--version eager|2021.3.0|2021.3.6-defer]\n\
+         \x20              [--version eager|2021.3.0|2021.3.6-defer] [--agg] [--agg-flush N]\n\
          \x20              [--trace-out PATH] [--metrics-out PATH] [--prom-out PATH]\n\
          \x20              [--check-notify]"
     );
@@ -48,6 +49,7 @@ fn parse_args() -> Args {
         seed: 42,
         plan: Some("combined".to_string()),
         version: LibVersion::V2021_3_6Eager,
+        agg_flush: None,
         trace_out: None,
         metrics_out: None,
         prom_out: None,
@@ -77,6 +79,10 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            // --agg enables batching at the harness flush threshold;
+            // --agg-flush N picks the size threshold explicitly.
+            "--agg" => args.agg_flush = args.agg_flush.or(Some(4)),
+            "--agg-flush" => args.agg_flush = Some(val().parse().unwrap_or_else(|_| usage())),
             "--trace-out" => args.trace_out = Some(val()),
             "--metrics-out" => args.metrics_out = Some(val()),
             "--prom-out" => args.prom_out = Some(val()),
@@ -99,7 +105,15 @@ fn main() -> ExitCode {
 
     let sample_metrics =
         (args.metrics_out.is_some() || args.prom_out.is_some()).then(MetricsConfig::default);
-    let observed = run_observed(args.workload, args.version, args.seed, plan, sample_metrics);
+    let agg = args.agg_flush.map(harness_agg);
+    let observed = run_observed(
+        args.workload,
+        args.version,
+        args.seed,
+        plan,
+        sample_metrics,
+        agg,
+    );
     let (outcome, bundle, hists) = (observed.outcome, &observed.bundle, &observed.hists);
     println!(
         "workload={} seed={} version={:?} digest={:#018x} completions={} injected={} retries={} drops={} dups={}",

@@ -17,7 +17,7 @@
 //! GUPS xor), so any divergence between library versions is a real
 //! semantics change, not a race artifact.
 
-use gasnex::{FaultPlan, NetConfig, NetStats};
+use gasnex::{AggConfig, FaultPlan, NetConfig, NetStats};
 use graphgen::SeededRng;
 use gups::{GupsConfig, Variant};
 use upcr::{conjoin, launch, GlobalPtr, LibVersion, RuntimeConfig, Upcr};
@@ -140,10 +140,40 @@ pub fn net_for(plan: Option<FaultPlan>) -> NetConfig {
 /// Run `workload` under `version` with the given seed and optional fault
 /// plan, reducing the run to its [`Outcome`].
 pub fn run(workload: Workload, version: LibVersion, seed: u64, plan: Option<FaultPlan>) -> Outcome {
-    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+    run_agg(workload, version, seed, plan, None).0
+}
+
+/// The aggregation configuration the differential harness sweeps when a
+/// test wants batching on: size-driven flushes only (`max_age_ns = 0`, so
+/// batch boundaries depend purely on program order, not clock readings)
+/// with enough in-flight headroom that backpressure bypass never triggers.
+/// Both properties keep eager and deferred runs injecting identical wire
+/// messages.
+pub fn harness_agg(flush_ops: usize) -> AggConfig {
+    AggConfig::enabled(flush_ops)
+        .with_max_age_ns(0)
+        .with_max_inflight(64)
+}
+
+/// Like [`run`], but with an optional per-target aggregation configuration,
+/// and returning the raw network counter snapshot alongside the outcome so
+/// tests can observe the batching counters (`batches_injected`,
+/// `ops_coalesced`, flush-reason counts) that are deliberately *not* part
+/// of the differential [`Outcome`].
+pub fn run_agg(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    agg: Option<AggConfig>,
+) -> (Outcome, NetStats) {
+    let mut rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
         .with_version(version)
         .with_segment_size(1 << 18)
         .with_net(net_for(plan));
+    if let Some(a) = agg {
+        rt = rt.with_agg(a);
+    }
     let results = launch(rt, move |u| {
         let digest = match workload {
             Workload::PutGetStorm => put_get_storm(u, seed),
@@ -167,7 +197,7 @@ pub fn run(workload: Workload, version: LibVersion, seed: u64, plan: Option<Faul
     for (d, c, _) in &results {
         assert_eq!((*d, *c), (digest, completions), "ranks disagree on outcome");
     }
-    outcome_from(digest, completions, net)
+    (outcome_from(digest, completions, net), net)
 }
 
 /// Like [`run`], but with operation-lifecycle tracing enabled: returns the
@@ -181,7 +211,7 @@ pub fn run_traced(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> (Outcome, upcr::TraceBundle, upcr::Histograms) {
-    let o = run_observed(workload, version, seed, plan, None);
+    let o = run_observed(workload, version, seed, plan, None, None);
     (o.outcome, o.bundle, o.hists)
 }
 
@@ -198,19 +228,24 @@ pub struct Observed {
 }
 
 /// Superset of [`run_traced`]: lifecycle tracing always on, plus optional
-/// fixed-interval metric sampling on every rank. Used by the `simtest`
-/// binary's `--metrics-out`/`--prom-out` modes.
+/// fixed-interval metric sampling on every rank and optional per-target
+/// aggregation. Used by the `simtest` binary's
+/// `--metrics-out`/`--prom-out`/`--agg` modes.
 pub fn run_observed(
     workload: Workload,
     version: LibVersion,
     seed: u64,
     plan: Option<FaultPlan>,
     metrics: Option<upcr::MetricsConfig>,
+    agg: Option<AggConfig>,
 ) -> Observed {
-    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+    let mut rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
         .with_version(version)
         .with_segment_size(1 << 18)
         .with_net(net_for(plan));
+    if let Some(a) = agg {
+        rt = rt.with_agg(a);
+    }
     let results = launch(rt, move |u| {
         u.trace_enabled(true);
         if let Some(cfg) = metrics {
