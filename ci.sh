@@ -15,6 +15,11 @@
 #                    bands; also proves the gate trips on the broken
 #                    fixture. Set BENCH_OUT to keep the generated files
 #                    (CI uploads them as artifacts).
+#   ./ci.sh conduit  conduit-swap gate: the trait-extraction golden suite
+#                    (SimNetwork behind the Conduit trait must reproduce
+#                    pre-refactor digests, counters, and wire traces) plus
+#                    the sim-vs-socket differential over real loopback UDP,
+#                    in-process and as separate OS processes (udprun).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -86,8 +91,29 @@ case "$job" in
 
     echo "Bench regression gate green."
     ;;
+  conduit)
+    # In-process half: the conduit-swap regression suite — pre-refactor
+    # goldens for SimNetwork-behind-the-trait, plus the sim-vs-UDP
+    # differential (bounded seeds, loopback only). `timeout` bounds the
+    # job: a wedged socket retransmit loop must fail CI, not hang it.
+    echo "==> cargo test -p simtest --release --test conduit"
+    timeout 300 cargo test -p simtest --release -q --test conduit
+
+    echo "==> cargo test -p gasnex --release conduit::udp"
+    timeout 120 cargo test -p gasnex --release -q conduit::udp
+
+    # Multi-process half: each rank is a real OS process; the payload
+    # words cross process boundaries inside loopback datagrams, and the
+    # folded digest must match the in-process simulator runs.
+    echo "==> udprun --ranks 4 --seed 0 / --ranks 8 --seed 1"
+    cargo build -p simtest --release -q --bin udprun
+    timeout 120 ./target/release/udprun --ranks 4 --seed 0
+    timeout 120 ./target/release/udprun --ranks 8 --seed 1
+
+    echo "Conduit gate green."
+    ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, trace, or bench)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, bench, or conduit)" >&2
     exit 2
     ;;
 esac

@@ -238,6 +238,43 @@ pub fn bench_gups_doc(quick: bool) -> String {
     b.finish()
 }
 
+/// `BENCH_matching.json`: the Figure-8 application — distributed maximal
+/// weighted matching over every paper preset, per library version. Only
+/// schedule-independent fields are emitted: the graph shape and the solve
+/// *result* (matched-edge count, total weight in milli-units so it stays
+/// exact in the JSON number space). Solve time and round/read counters
+/// are schedule-dependent and excluded. The per-version rows let the gate
+/// pin the paper's correctness claim: notification timing never changes
+/// the matching.
+pub fn bench_matching_doc(quick: bool) -> String {
+    let ranks = 4usize;
+    let scale = if quick { 0.02 } else { 0.05 };
+    let presets = graphgen::Preset::ALL;
+    let mut b = DocBuilder::new(
+        "matching",
+        mode_name(quick),
+        0,
+        ranks as u64,
+        presets.len() as u64,
+    );
+    for preset in presets {
+        let g = preset.generate(scale);
+        b.exact(&format!("{}.vertices", preset.name()), "n", g.n as f64);
+        b.exact(&format!("{}.edges", preset.name()), "m", g.edges() as f64);
+        for &version in &VERSIONS {
+            let r = matching::benchmark(ranks, version, &g);
+            let key = format!("{}.{}", preset.name(), version_slug(version));
+            b.exact(&format!("{key}.matched"), "edges", r.matched as f64);
+            b.exact(
+                &format!("{key}.weight_milli"),
+                "milli",
+                (r.weight * 1e3).round(),
+            );
+        }
+    }
+    b.finish()
+}
+
 /// `BENCH_trace_overhead.json`: wall-clock ns/op for the observability
 /// overhead series. Machine-dependent — wide bands, never committed as a
 /// gating baseline.
@@ -291,6 +328,40 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "v2021_3_6_eager.put_deferred_count" && m.value > 0.0));
+    }
+
+    #[test]
+    fn matching_doc_is_deterministic_and_parses() {
+        let a = bench_matching_doc(true);
+        assert_eq!(
+            a,
+            bench_matching_doc(true),
+            "matching doc must be replayable"
+        );
+        let d = parse_bench(&a).expect("emitted doc must parse");
+        assert_eq!(d.suite, "matching");
+        assert!(d
+            .metrics
+            .iter()
+            .all(|m| m.tol_rel == 0.0 && m.tol_abs == 0.0));
+        // Every version matches the same edges at the same weight — the
+        // paper's correctness claim, pinned per preset.
+        for preset in graphgen::Preset::ALL {
+            let row = |v: &str, f: &str| {
+                let name = format!("{}.{v}.{f}", preset.name());
+                d.metrics
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("missing metric {name}"))
+                    .value
+            };
+            for field in ["matched", "weight_milli"] {
+                let eager = row("v2021_3_6_eager", field);
+                assert!(eager > 0.0, "{}: empty matching", preset.name());
+                assert_eq!(eager, row("v2021_3_6_defer", field));
+                assert_eq!(eager, row("v2021_3_0", field));
+            }
+        }
     }
 
     #[test]

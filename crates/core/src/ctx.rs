@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use gasnex::net::NetAction;
-use gasnex::{Batch, Coalescer, Conduit, EventCore, FlushReason, Push, Rank, World};
+use gasnex::{Batch, Coalescer, ConduitKind, EventCore, FlushReason, Push, Rank, World};
 
 use crate::future::cell::{shared_ready_unit_cell, Cell};
 use crate::metrics::{MetricSeries, MetricsConfig};
@@ -90,11 +90,11 @@ pub(crate) struct RankCtx {
 impl RankCtx {
     pub fn new(world: Arc<World>, me: Rank, version: LibVersion) -> Rc<RankCtx> {
         let assume_all_local =
-            world.config().conduit == Conduit::Smp && version.has_constexpr_is_local();
+            world.config().conduit == ConduitKind::Smp && version.has_constexpr_is_local();
         let agg_cfg = world.config().agg;
         let agg = agg_cfg
             .enabled
-            .then(|| Coalescer::new(agg_cfg, world.ranks()));
+            .then(|| Coalescer::new(agg_cfg, world.ranks(), me));
         Rc::new(RankCtx {
             world,
             me,

@@ -84,5 +84,5 @@ pub use vis::Strided;
 
 // Re-export the substrate types that appear in public signatures.
 pub use gasnex::{
-    AggConfig, ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team,
+    AggConfig, ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team,
 };

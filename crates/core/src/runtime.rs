@@ -76,6 +76,12 @@ impl RuntimeConfig {
         self.gasnex = self.gasnex.with_agg(agg);
         self
     }
+
+    /// Select the wire implementation (see [`gasnex::Transport`]).
+    pub fn with_transport(mut self, transport: gasnex::Transport) -> Self {
+        self.gasnex = self.gasnex.with_transport(transport);
+        self
+    }
 }
 
 /// The per-rank runtime handle. Not `Send`: it belongs to its rank's thread,
@@ -686,11 +692,11 @@ mod tests {
         assert_eq!(c.gasnex.net.latency_ns, 9);
         assert!(matches!(
             RuntimeConfig::smp(2).gasnex.conduit,
-            gasnex::Conduit::Smp
+            gasnex::ConduitKind::Smp
         ));
         assert!(matches!(
             RuntimeConfig::mpi(2, 2).gasnex.conduit,
-            gasnex::Conduit::Mpi
+            gasnex::ConduitKind::Mpi
         ));
     }
 

@@ -4,7 +4,7 @@
 //! fine-grained remote atomics; the standard PGAS remedy is sender-side
 //! coalescing. This module packs fine-grained puts and non-fetching
 //! atomics headed for the same target into one batch message on the
-//! [`SimNetwork`], while preserving completion semantics exactly: each
+//! [`Conduit`], while preserving completion semantics exactly: each
 //! constituent op keeps its own completion object (and trace span — the
 //! `tag` threaded through [`Coalescer::push`]), and the batch's single
 //! delivery action fans out to the constituents in push order.
@@ -41,7 +41,9 @@ use std::mem;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::net::{NetAction, SimNetwork};
+use crate::conduit::Conduit;
+use crate::net::NetAction;
+use crate::rank::Rank;
 
 /// Why a batch left its buffer. Also recorded on the runtime's
 /// `BatchFlush` trace events.
@@ -164,15 +166,20 @@ struct Bucket<T> {
 /// the in-flight counters are shared with delivery actions.
 pub struct Coalescer<T> {
     cfg: AggConfig,
+    /// The initiating rank: the source half of every routed batch
+    /// injection (socket transports pick the source node socket from it).
+    me: Rank,
     buckets: Vec<Bucket<T>>,
 }
 
 impl<T: Copy> Coalescer<T> {
-    /// Buffers for `ranks` possible targets under `cfg`.
-    pub fn new(cfg: AggConfig, ranks: usize) -> Self {
+    /// Buffers for `ranks` possible targets under `cfg`, initiating from
+    /// rank `me`.
+    pub fn new(cfg: AggConfig, ranks: usize, me: Rank) -> Self {
         cfg.validate();
         Coalescer {
             cfg,
+            me,
             buckets: (0..ranks)
                 .map(|_| Bucket {
                     ops: Vec::new(),
@@ -186,11 +193,12 @@ impl<T: Copy> Coalescer<T> {
     /// Buffer `action` for `target`, flushing on the size threshold or
     /// bypassing a closed buffer. `tag` rides along so the caller can
     /// correlate each op with the batch message that carried it.
-    pub fn push(&mut self, target: usize, action: NetAction, tag: T, net: &SimNetwork) -> Push<T> {
+    pub fn push(&mut self, target: usize, action: NetAction, tag: T, net: &dyn Conduit) -> Push<T> {
+        let route = Some((self.me, Rank(target as u32)));
         let b = &mut self.buckets[target];
         if b.ops.is_empty() && b.inflight.load(Ordering::SeqCst) >= self.cfg.max_inflight {
             return Push::Bypassed {
-                msg: net.inject(action),
+                msg: net.inject_to(route, action),
             };
         }
         if b.ops.is_empty() {
@@ -199,7 +207,7 @@ impl<T: Copy> Coalescer<T> {
         b.ops.push((action, tag));
         net.note_agg_occupancy(b.ops.len());
         if b.ops.len() >= self.cfg.flush_ops {
-            Push::Flushed(Self::flush_bucket(b, net, FlushReason::Size))
+            Push::Flushed(Self::flush_bucket(b, route, net, FlushReason::Size))
         } else {
             Push::Buffered
         }
@@ -208,19 +216,27 @@ impl<T: Copy> Coalescer<T> {
     /// Inject one batch message carrying every op buffered in `b`. The
     /// delivery action fans out to the constituents in push order, then
     /// releases the target's in-flight slot.
-    fn flush_bucket(b: &mut Bucket<T>, net: &SimNetwork, reason: FlushReason) -> Batch<T> {
+    fn flush_bucket(
+        b: &mut Bucket<T>,
+        route: Option<(Rank, Rank)>,
+        net: &dyn Conduit,
+        reason: FlushReason,
+    ) -> Batch<T> {
         let buffered = mem::take(&mut b.ops);
         let tags: Vec<T> = buffered.iter().map(|(_, t)| *t).collect();
         let actions: Vec<NetAction> = buffered.into_iter().map(|(a, _)| a).collect();
         let k = actions.len();
         let inflight = Arc::clone(&b.inflight);
         inflight.fetch_add(1, Ordering::SeqCst);
-        let msg = net.inject(Box::new(move |w| {
-            for a in actions {
-                a(w);
-            }
-            inflight.fetch_sub(1, Ordering::SeqCst);
-        }));
+        let msg = net.inject_to(
+            route,
+            Box::new(move |w| {
+                for a in actions {
+                    a(w);
+                }
+                inflight.fetch_sub(1, Ordering::SeqCst);
+            }),
+        );
         net.note_batch(k as u64, reason);
         Batch {
             msg,
@@ -232,23 +248,27 @@ impl<T: Copy> Coalescer<T> {
 
     /// Flush every bucket whose oldest op has aged past `max_age_ns` on
     /// the network clock (all non-empty buckets when the timeout is 0).
-    pub fn flush_due(&mut self, net: &SimNetwork) -> Vec<Batch<T>> {
+    pub fn flush_due(&mut self, net: &dyn Conduit) -> Vec<Batch<T>> {
         let now = net.now_ns();
+        let me = self.me;
         let mut out = Vec::new();
-        for b in &mut self.buckets {
+        for (target, b) in self.buckets.iter_mut().enumerate() {
             if !b.ops.is_empty() && now.saturating_sub(b.opened_ns) >= self.cfg.max_age_ns {
-                out.push(Self::flush_bucket(b, net, FlushReason::Age));
+                let route = Some((me, Rank(target as u32)));
+                out.push(Self::flush_bucket(b, route, net, FlushReason::Age));
             }
         }
         out
     }
 
     /// Flush every non-empty bucket regardless of age.
-    pub fn flush_all(&mut self, net: &SimNetwork, reason: FlushReason) -> Vec<Batch<T>> {
+    pub fn flush_all(&mut self, net: &dyn Conduit, reason: FlushReason) -> Vec<Batch<T>> {
+        let me = self.me;
         let mut out = Vec::new();
-        for b in &mut self.buckets {
+        for (target, b) in self.buckets.iter_mut().enumerate() {
             if !b.ops.is_empty() {
-                out.push(Self::flush_bucket(b, net, reason));
+                let route = Some((me, Rank(target as u32)));
+                out.push(Self::flush_bucket(b, route, net, reason));
             }
         }
         out
@@ -288,7 +308,7 @@ mod tests {
     #[test]
     fn size_threshold_flushes_one_batch_in_push_order() {
         let w = quick_world();
-        let mut c: Coalescer<u32> = Coalescer::new(AggConfig::enabled(3), 2);
+        let mut c: Coalescer<u32> = Coalescer::new(AggConfig::enabled(3), 2, Rank(0));
         let log = Arc::new(std::sync::Mutex::new(Vec::new()));
         assert!(matches!(
             c.push(1, marker(&log, 0), 0, w.net()),
@@ -325,7 +345,7 @@ mod tests {
     fn age_and_explicit_flushes_count_separately() {
         let w = quick_world();
         let cfg = AggConfig::enabled(100).with_max_age_ns(0);
-        let mut c: Coalescer<()> = Coalescer::new(cfg, 2);
+        let mut c: Coalescer<()> = Coalescer::new(cfg, 2, Rank(0));
         c.push(0, Box::new(|_| {}), (), w.net());
         let due = c.flush_due(w.net());
         assert_eq!(due.len(), 1, "max_age_ns = 0 flushes at the next call");
@@ -351,7 +371,7 @@ mod tests {
     fn closed_buffer_bypasses_to_direct_injection() {
         let w = quick_world();
         let cfg = AggConfig::enabled(1).with_max_inflight(1);
-        let mut c: Coalescer<()> = Coalescer::new(cfg, 2);
+        let mut c: Coalescer<()> = Coalescer::new(cfg, 2, Rank(0));
         let hit = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hit);
         // flush_ops = 1: the first push flushes immediately, occupying the

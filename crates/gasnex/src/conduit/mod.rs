@@ -1,0 +1,314 @@
+//! The conduit abstraction: a transport the runtime injects delivery
+//! actions into and polls for progress.
+//!
+//! Everything above this layer (the `World`, the aggregation coalescer,
+//! the `upcr` runtime, the harnesses) speaks to the wire exclusively
+//! through the [`Conduit`] trait. Two implementations exist:
+//!
+//! * [`SimNetwork`](crate::net::SimNetwork) — the simulated delay queue
+//!   with the seeded chaos adversary and the deterministic virtual clock.
+//! * [`UdpConduit`](crate::conduit::udp::UdpConduit) — real loopback
+//!   `std::net::UdpSocket`s, one per simulated node, carrying a small
+//!   data/ack frame protocol with retransmission and receiver-side dedup
+//!   (the same reliability machinery the simulator models, run over an
+//!   actually lossy wire).
+//!
+//! The trait contract mirrors what the quiescence protocol and the
+//! observability stack already relied on:
+//!
+//! * [`Conduit::inject_to`] never executes the action synchronously —
+//!   delivery always happens at a later [`Conduit::poll`], so off-node
+//!   operations always take the deferred-notification path.
+//! * `injected() == delivered() && pending() == 0` means no delivery
+//!   action is buffered or mid-flight anywhere in the transport.
+//! * Counters are monotonic and lock-free to read; [`Conduit::stats`]
+//!   and [`Conduit::now_ns`] never contend with a delivery in progress.
+
+pub mod udp;
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::aggregate::FlushReason;
+use crate::net::{NetAction, NetEventKind, NetStats, NetTraceEvent};
+use crate::rank::Rank;
+use crate::world::World;
+
+/// A transport for cross-node delivery actions.
+///
+/// Implementations must be shareable across rank threads (`Send + Sync`);
+/// every method takes `&self`.
+pub trait Conduit: Send + Sync {
+    /// Inject `action` for asynchronous delivery, optionally routed from an
+    /// initiating rank to a target rank. Returns the logical message id.
+    ///
+    /// Routing is a hint: the simulated network keeps one global delay
+    /// queue and ignores it, while the UDP conduit uses it to pick the
+    /// source and destination node sockets. Injection must never run the
+    /// action synchronously.
+    fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64;
+
+    /// [`Conduit::inject_to`] without a routing hint.
+    fn inject(&self, action: NetAction) -> u64 {
+        self.inject_to(None, action)
+    }
+
+    /// Execute due deliveries. Returns the number of work items observed
+    /// (deliveries, suppressed duplicates, retransmissions), or a busy hint
+    /// of 1 when another rank is mid-drain while work is outstanding.
+    fn poll(&self, world: &World) -> usize;
+
+    /// The conduit's notion of "now", in nanoseconds. Lock-free: never
+    /// contends with a delivery in progress.
+    fn now_ns(&self) -> u64;
+
+    /// Logical messages injected since creation (raw, ignoring any
+    /// `reset_stats` baseline — quiescence detection depends on this).
+    fn injected(&self) -> u64;
+
+    /// Logical messages delivered since creation (raw).
+    fn delivered(&self) -> u64;
+
+    /// Messages injected but not yet delivered (including retransmission
+    /// timers and duplicate copies still in flight). Lock-free.
+    fn pending(&self) -> usize;
+
+    /// Snapshot every counter relative to the last [`Conduit::reset_stats`]
+    /// (or creation). Lock-free: reads only atomics, so it never contends
+    /// with delivery.
+    fn stats(&self) -> NetStats;
+
+    /// Re-baseline the observable counters; gauges re-prime rather than
+    /// zero. Raw `injected`/`delivered` are untouched.
+    fn reset_stats(&self);
+
+    /// Enable or disable the wire-event sink.
+    fn set_tracing(&self, on: bool);
+
+    /// Whether the wire-event sink is recording.
+    fn tracing(&self) -> bool;
+
+    /// Drain the recorded wire-level trace.
+    fn take_trace(&self) -> Vec<NetTraceEvent>;
+
+    /// Record one wire event (no-op unless tracing is on).
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind);
+
+    /// Record one aggregation batch flush of `ops` constituent operations.
+    fn note_batch(&self, ops: u64, reason: FlushReason);
+
+    /// Record a coalescer buffer depth for the occupancy high-water gauge.
+    fn note_agg_occupancy(&self, depth: usize);
+
+    /// Downcast hook for tests and impl-specific tooling.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// One monotonic counter per [`NetStats`] counter field.
+#[derive(Default)]
+struct Counters {
+    injected: AtomicU64,
+    delivered: AtomicU64,
+    contended_polls: AtomicU64,
+    retries: AtomicU64,
+    drops_injected: AtomicU64,
+    dup_suppressed: AtomicU64,
+    dup_promoted: AtomicU64,
+    batches_injected: AtomicU64,
+    ops_coalesced: AtomicU64,
+    flushes_size: AtomicU64,
+    flushes_age: AtomicU64,
+    flushes_explicit: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            injected: self.injected.load(Ordering::SeqCst),
+            delivered: self.delivered.load(Ordering::SeqCst),
+            pending: 0,
+            contended_polls: self.contended_polls.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            drops_injected: self.drops_injected.load(Ordering::SeqCst),
+            dup_suppressed: self.dup_suppressed.load(Ordering::SeqCst),
+            max_backoff_ns: 0,
+            dup_promoted: self.dup_promoted.load(Ordering::SeqCst),
+            batches_injected: self.batches_injected.load(Ordering::SeqCst),
+            ops_coalesced: self.ops_coalesced.load(Ordering::SeqCst),
+            flushes_size: self.flushes_size.load(Ordering::SeqCst),
+            flushes_age: self.flushes_age.load(Ordering::SeqCst),
+            flushes_explicit: self.flushes_explicit.load(Ordering::SeqCst),
+            agg_occupancy_highwater: 0,
+        }
+    }
+
+    fn store(&self, s: &NetStats) {
+        self.injected.store(s.injected, Ordering::SeqCst);
+        self.delivered.store(s.delivered, Ordering::SeqCst);
+        self.contended_polls
+            .store(s.contended_polls, Ordering::SeqCst);
+        self.retries.store(s.retries, Ordering::SeqCst);
+        self.drops_injected
+            .store(s.drops_injected, Ordering::SeqCst);
+        self.dup_suppressed
+            .store(s.dup_suppressed, Ordering::SeqCst);
+        self.dup_promoted.store(s.dup_promoted, Ordering::SeqCst);
+        self.batches_injected
+            .store(s.batches_injected, Ordering::SeqCst);
+        self.ops_coalesced.store(s.ops_coalesced, Ordering::SeqCst);
+        self.flushes_size.store(s.flushes_size, Ordering::SeqCst);
+        self.flushes_age.store(s.flushes_age, Ordering::SeqCst);
+        self.flushes_explicit
+            .store(s.flushes_explicit, Ordering::SeqCst);
+    }
+}
+
+/// Counter, gauge, and trace state shared by every conduit implementation.
+///
+/// The stats baseline is a second bank of atomics rather than a mutex-held
+/// [`NetStats`], so `stats()` and `reset_stats()` are lock-free and never
+/// contend with the delivery path — the lock-granularity split: the clock
+/// is atomic, the delivery queue has its own lock inside each impl, and
+/// statistics touch neither.
+pub(crate) struct ConduitCounters {
+    live: Counters,
+    /// Baseline captured by `reset_stats`; `stats()` reports live minus
+    /// baseline. The live bank is never zeroed because quiescence relies on
+    /// raw `injected == delivered`.
+    baseline: Counters,
+    /// Largest retransmission backoff applied (gauge; reset re-primes).
+    pub max_backoff_ns: AtomicU64,
+    /// Deepest coalescer bucket observed (gauge; reset re-primes).
+    pub agg_occupancy_highwater: AtomicU64,
+    /// Lock-free mirror of in-flight message count.
+    pub pending_len: AtomicUsize,
+    /// Wire-level trace gate: one relaxed load per recording site.
+    trace_on: AtomicBool,
+    /// Wire-level trace records, in recording order.
+    trace: Mutex<Vec<NetTraceEvent>>,
+}
+
+impl ConduitCounters {
+    pub fn new() -> Self {
+        ConduitCounters {
+            live: Counters::default(),
+            baseline: Counters::default(),
+            max_backoff_ns: AtomicU64::new(0),
+            agg_occupancy_highwater: AtomicU64::new(0),
+            pending_len: AtomicUsize::new(0),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocate the next logical message id (also the raw injected count).
+    pub fn next_msg(&self) -> u64 {
+        self.live.injected.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn injected(&self) -> u64 {
+        self.live.injected.load(Ordering::SeqCst)
+    }
+
+    pub fn delivered(&self) -> u64 {
+        self.live.delivered.load(Ordering::SeqCst)
+    }
+
+    pub fn pending(&self) -> usize {
+        self.pending_len.load(Ordering::SeqCst)
+    }
+
+    pub fn note_delivered(&self) {
+        self.live.delivered.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_contended_poll(&self) {
+        self.live.contended_polls.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn contended_polls(&self) -> u64 {
+        self.live.contended_polls.load(Ordering::SeqCst)
+    }
+
+    pub fn note_retry(&self) {
+        self.live.retries.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_drop(&self, backoff_ns: u64) {
+        self.live.drops_injected.fetch_add(1, Ordering::SeqCst);
+        self.max_backoff_ns.fetch_max(backoff_ns, Ordering::SeqCst);
+    }
+
+    pub fn note_dup_suppressed(&self) {
+        self.live.dup_suppressed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_dup_promoted(&self) {
+        self.live.dup_promoted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_batch(&self, ops: u64, reason: FlushReason) {
+        self.live.batches_injected.fetch_add(1, Ordering::SeqCst);
+        self.live.ops_coalesced.fetch_add(ops, Ordering::SeqCst);
+        let ctr = match reason {
+            FlushReason::Size => &self.live.flushes_size,
+            FlushReason::Age => &self.live.flushes_age,
+            FlushReason::Explicit => &self.live.flushes_explicit,
+        };
+        ctr.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_agg_occupancy(&self, depth: usize) {
+        self.agg_occupancy_highwater
+            .fetch_max(depth as u64, Ordering::SeqCst);
+    }
+
+    /// All counters since creation, with live gauge levels.
+    pub fn raw_stats(&self) -> NetStats {
+        NetStats {
+            pending: self.pending(),
+            max_backoff_ns: self.max_backoff_ns.load(Ordering::SeqCst),
+            agg_occupancy_highwater: self.agg_occupancy_highwater.load(Ordering::SeqCst),
+            ..self.live.snapshot()
+        }
+    }
+
+    /// Counters relative to the baseline; gauges report the live level.
+    pub fn stats(&self) -> NetStats {
+        self.raw_stats().since(&self.baseline.snapshot())
+    }
+
+    /// Capture the current raw counters as the new baseline and re-prime
+    /// the peak gauges.
+    pub fn reset_stats(&self) {
+        self.baseline.store(&self.live.snapshot());
+        self.max_backoff_ns.store(0, Ordering::SeqCst);
+        self.agg_occupancy_highwater.store(0, Ordering::SeqCst);
+    }
+
+    pub fn set_tracing(&self, on: bool) {
+        self.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    pub fn take_trace(&self) -> Vec<NetTraceEvent> {
+        std::mem::take(&mut self.trace.lock().unwrap())
+    }
+
+    /// Record one wire event at `ts_ns` (no-op unless tracing is on).
+    #[inline]
+    pub fn trace_event(&self, ts_ns: u64, msg: u64, attempt: u32, kind: NetEventKind) {
+        if self.trace_on.load(Ordering::Relaxed) {
+            self.trace.lock().unwrap().push(NetTraceEvent {
+                ts_ns,
+                msg,
+                attempt,
+                kind,
+            });
+        }
+    }
+}

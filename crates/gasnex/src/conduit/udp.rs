@@ -1,0 +1,579 @@
+//! Real-socket conduit: loopback UDP datagrams between per-node sockets.
+//!
+//! One nonblocking `std::net::UdpSocket` is bound per simulated node
+//! (127.0.0.1, ephemeral port); ranks stay threads, but every cross-node
+//! delivery is carried by an actual datagram through the kernel's loopback
+//! path. The reliability machinery is the same design the simulator
+//! models — sender-side retransmission with bounded exponential backoff,
+//! receiver-side dedup — run over a wire that can genuinely drop (socket
+//! buffer overflow) and reorder, so delivering the same digests as the
+//! simulator is evidence the runtime above is transport-independent.
+//!
+//! # Wire protocol
+//!
+//! An 18-byte frame, little-endian fields:
+//!
+//! ```text
+//! [0]      magic      0xC7
+//! [1]      kind       1 = DATA, 2 = ACK
+//! [2..10]  msg  u64   logical message id (Conduit::inject_to return)
+//! [10..14] attempt u32 transmission attempt, 0-based
+//! [14..18] src_node u32 sender's node index (ACK destination)
+//! ```
+//!
+//! A DATA frame carries no payload bytes: delivery actions are closures and
+//! cannot cross the wire, so the action is parked in a shared table keyed by
+//! `msg` before the datagram is sent, and the frame's arrival is what
+//! triggers its execution. What the wire proves is therefore the *control*
+//! path — which messages complete, when, in what order, after how many
+//! retries — which is exactly the part the eager-vs-deferred comparison is
+//! about. (The multi-process runner in `simtest` complements this with a
+//! protocol whose payloads really do cross process boundaries.)
+//!
+//! # Reliability
+//!
+//! * The sender records every transmission in `unacked` with a
+//!   retransmission deadline. Deadline passes without an ACK → resend with
+//!   `attempt + 1` and a backoff doubled up to the plan's cap (counted in
+//!   `retries`).
+//! * The receiver executes a DATA frame's action iff `msg` is still in the
+//!   payload table; taking the entry out *is* the dedup — a retransmitted
+//!   or duplicated frame finds the table empty, is counted as
+//!   `dup_suppressed`, and is re-ACKed (the original ACK may have been the
+//!   lost packet). No unbounded seen-set is needed.
+//! * An ACK removes the `unacked` entry. ACKs are not themselves acked;
+//!   a lost ACK surfaces as a retransmission plus a suppressed dup.
+//!
+//! # Fault injection on a real wire
+//!
+//! Only the fates that real packet handling can express are supported:
+//! deliberate **drops** (skip the `send_to`; the retransmission path
+//! recovers, same as the simulator's timer) and **duplicates** (send the
+//! frame twice; receiver dedup suppresses one). Both use the same seeded
+//! `mix(msg, attempt, salt)` fates as `SimNetwork`. Reorder/burst/partition
+//! schedules and the virtual clock require owning time, which a kernel
+//! socket does not allow — [`crate::config::GasnexConfig::validate`]
+//! rejects those knobs for this transport, and the constructor enforces the
+//! same contract for direct users.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::conduit::{Conduit, ConduitCounters};
+use crate::config::{ClockMode, FaultPlan, NetConfig};
+use crate::net::{ppm, splitmix64, NetAction, NetEventKind, NetStats, NetTraceEvent};
+use crate::rank::Rank;
+use crate::world::World;
+
+const MAGIC: u8 = 0xC7;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+const FRAME_LEN: usize = 18;
+
+/// Retransmission timer when no fault plan supplies one: loopback RTT is
+/// tens of microseconds, so 2 ms only fires on genuine kernel-level loss.
+const DEFAULT_RTO_NS: u64 = 2_000_000;
+const DEFAULT_MAX_BACKOFF_NS: u64 = 64_000_000;
+
+#[derive(Clone, Copy)]
+struct Frame {
+    kind: u8,
+    msg: u64,
+    attempt: u32,
+    src_node: u32,
+}
+
+impl Frame {
+    fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut b = [0u8; FRAME_LEN];
+        b[0] = MAGIC;
+        b[1] = self.kind;
+        b[2..10].copy_from_slice(&self.msg.to_le_bytes());
+        b[10..14].copy_from_slice(&self.attempt.to_le_bytes());
+        b[14..18].copy_from_slice(&self.src_node.to_le_bytes());
+        b
+    }
+
+    fn decode(b: &[u8]) -> Option<Frame> {
+        if b.len() != FRAME_LEN || b[0] != MAGIC {
+            return None;
+        }
+        let kind = b[1];
+        if kind != KIND_DATA && kind != KIND_ACK {
+            return None;
+        }
+        Some(Frame {
+            kind,
+            msg: u64::from_le_bytes(b[2..10].try_into().ok()?),
+            attempt: u32::from_le_bytes(b[10..14].try_into().ok()?),
+            src_node: u32::from_le_bytes(b[14..18].try_into().ok()?),
+        })
+    }
+}
+
+/// A sent-but-unacked transmission awaiting its retransmission deadline.
+struct Flight {
+    from_node: usize,
+    to_node: usize,
+    attempt: u32,
+    due_ns: u64,
+}
+
+/// The loopback-UDP [`Conduit`].
+pub struct UdpConduit {
+    cfg: NetConfig,
+    epoch: Instant,
+    ranks_per_node: u32,
+    /// One socket per simulated node, all nonblocking, plus each socket's
+    /// bound address (ACK and DATA destinations).
+    sockets: Vec<UdpSocket>,
+    addrs: Vec<SocketAddr>,
+    /// Delivery actions parked before their DATA frame is sent; removal on
+    /// arrival doubles as receiver-side dedup.
+    payloads: Mutex<HashMap<u64, NetAction>>,
+    /// Transmissions awaiting an ACK, keyed by message id.
+    unacked: Mutex<HashMap<u64, Flight>>,
+    /// One rank drains sockets at a time; losers take the busy-hint path.
+    poll_gate: Mutex<()>,
+    ctr: ConduitCounters,
+}
+
+impl UdpConduit {
+    /// Bind one loopback socket per simulated node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for [`ClockMode::Virtual`] or for fault
+    /// fates a real socket cannot express (reorder, burst, partition) —
+    /// the same contract `GasnexConfig::validate` enforces — or if binding
+    /// a loopback socket fails.
+    pub fn new(cfg: NetConfig, ranks: u32, ranks_per_node: u32) -> Self {
+        assert!(
+            cfg.clock == ClockMode::Wall,
+            "UDP conduit: real sockets cannot be time-warped; use ClockMode::Wall \
+             (virtual-clock chaos replay is simulator-only)"
+        );
+        if let Some(plan) = &cfg.faults {
+            plan.validate();
+            assert!(
+                plan.reorder_ppm == 0 && plan.burst_period_ns == 0 && plan.partition_until_ns == 0,
+                "UDP conduit: only drop/dup fault fates are expressible on a real wire; \
+                 reorder/burst/partition schedules require the simulated transport"
+            );
+        }
+        let nodes = ranks.div_ceil(ranks_per_node).max(1) as usize;
+        let mut sockets = Vec::with_capacity(nodes);
+        let mut addrs = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let s = UdpSocket::bind("127.0.0.1:0")
+                .unwrap_or_else(|e| panic!("UDP conduit: bind node {node} socket: {e}"));
+            s.set_nonblocking(true)
+                .expect("UDP conduit: set_nonblocking");
+            addrs.push(s.local_addr().expect("UDP conduit: local_addr"));
+            sockets.push(s);
+        }
+        UdpConduit {
+            cfg,
+            epoch: Instant::now(),
+            ranks_per_node,
+            sockets,
+            addrs,
+            payloads: Mutex::new(HashMap::new()),
+            unacked: Mutex::new(HashMap::new()),
+            poll_gate: Mutex::new(()),
+            ctr: ConduitCounters::new(),
+        }
+    }
+
+    /// The bound address of each node's socket (multi-process tooling hook).
+    pub fn node_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    fn node_of(&self, r: Rank) -> usize {
+        (r.0 / self.ranks_per_node) as usize % self.sockets.len()
+    }
+
+    /// Same deterministic fate hash as the simulator.
+    fn mix(&self, msg: u64, attempt: u32, salt: u64) -> u64 {
+        let seed = self.cfg.faults.map_or(0, |f| f.seed);
+        splitmix64(splitmix64(splitmix64(seed ^ msg) ^ u64::from(attempt)) ^ salt)
+    }
+
+    fn rto_ns(&self, attempt: u32) -> u64 {
+        let (rto, cap) = self
+            .cfg
+            .faults
+            .map_or((DEFAULT_RTO_NS, DEFAULT_MAX_BACKOFF_NS), |p| {
+                (p.rto_ns, p.max_backoff_ns)
+            });
+        rto.saturating_mul(1u64 << attempt.min(32)).min(cap).max(1)
+    }
+
+    /// Transmit attempt `attempt` of `msg` from `from_node` to `to_node`,
+    /// applying the deliberate drop/dup fates, and arm (or re-arm) its
+    /// retransmission deadline.
+    fn send_attempt(&self, msg: u64, attempt: u32, from_node: usize, to_node: usize) {
+        let plan: Option<&FaultPlan> = self.cfg.faults.as_ref();
+        let drop_this = plan.is_some_and(|p| {
+            attempt + 1 < p.max_attempts && ppm(self.mix(msg, attempt, 1)) < p.drop_ppm
+        });
+        let backoff = self.rto_ns(attempt);
+        if drop_this {
+            // Deliberate loss: never hand the frame to the kernel; the
+            // retransmission deadline recovers it, just like the
+            // simulator's drop-to-timer conversion.
+            self.ctr.note_drop(backoff);
+            self.trace_event(
+                msg,
+                attempt,
+                NetEventKind::Drop {
+                    backoff_ns: backoff,
+                },
+            );
+        } else {
+            let frame = Frame {
+                kind: KIND_DATA,
+                msg,
+                attempt,
+                src_node: from_node as u32,
+            }
+            .encode();
+            let copies = if plan.is_some_and(|p| ppm(self.mix(msg, attempt, 4)) < p.dup_ppm) {
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                // WouldBlock = the destination's socket buffer is full;
+                // treat it as wire loss and let retransmission recover.
+                let _ = self.sockets[from_node].send_to(&frame, self.addrs[to_node]);
+            }
+        }
+        self.unacked.lock().unwrap().insert(
+            msg,
+            Flight {
+                from_node,
+                to_node,
+                attempt,
+                due_ns: self.now_wall_ns() + backoff,
+            },
+        );
+    }
+
+    fn now_wall_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Drain one node socket, executing DATA deliveries and retiring ACKs.
+    fn drain_socket(&self, node: usize, world: &World) -> usize {
+        let mut work = 0;
+        let mut buf = [0u8; 64];
+        loop {
+            let (len, _peer) = match self.sockets[node].recv_from(&mut buf) {
+                Ok(r) => r,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            let Some(frame) = Frame::decode(&buf[..len]) else {
+                continue;
+            };
+            match frame.kind {
+                KIND_DATA => {
+                    work += 1;
+                    let action = self.payloads.lock().unwrap().remove(&frame.msg);
+                    // ACK first (either way): if our earlier ACK was lost
+                    // the sender is still retransmitting and needs another.
+                    let ack = Frame {
+                        kind: KIND_ACK,
+                        msg: frame.msg,
+                        attempt: frame.attempt,
+                        src_node: node as u32,
+                    }
+                    .encode();
+                    let _ = self.sockets[node]
+                        .send_to(&ack, self.addrs[frame.src_node as usize % self.addrs.len()]);
+                    match action {
+                        Some(action) => {
+                            self.trace_event(frame.msg, frame.attempt, NetEventKind::Deliver);
+                            (action)(world);
+                            self.ctr.note_delivered();
+                            self.ctr.pending_len.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            // Absent from the table = already executed: a
+                            // duplicated frame or a retransmission whose
+                            // original got through.
+                            self.trace_event(frame.msg, frame.attempt, NetEventKind::DupDiscard);
+                            self.ctr.note_dup_suppressed();
+                        }
+                    }
+                }
+                KIND_ACK => {
+                    self.unacked.lock().unwrap().remove(&frame.msg);
+                }
+                _ => {}
+            }
+        }
+        work
+    }
+
+    /// Resend every flight whose retransmission deadline has passed.
+    fn retransmit_due(&self) -> usize {
+        let now = self.now_wall_ns();
+        let due: Vec<(u64, usize, usize, u32)> = {
+            let unacked = self.unacked.lock().unwrap();
+            unacked
+                .iter()
+                .filter(|(_, f)| f.due_ns <= now)
+                .map(|(&msg, f)| (msg, f.from_node, f.to_node, f.attempt))
+                .collect()
+        };
+        let n = due.len();
+        for (msg, from, to, attempt) in due {
+            self.ctr.note_retry();
+            self.trace_event(msg, attempt + 1, NetEventKind::Retry);
+            self.send_attempt(msg, attempt + 1, from, to);
+        }
+        n
+    }
+}
+
+impl Conduit for UdpConduit {
+    fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        let msg = self.ctr.next_msg();
+        self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
+        self.trace_event(msg, 0, NetEventKind::Inject);
+        let nodes = self.sockets.len() as u64;
+        let (from_node, to_node) = match route {
+            Some((from, to)) => (self.node_of(from), self.node_of(to)),
+            // No hint: spread deterministically so unrouted traffic still
+            // exercises the wire between distinct sockets.
+            None => ((msg % nodes) as usize, ((msg + 1) % nodes) as usize),
+        };
+        // Park the payload before the frame can possibly arrive.
+        self.payloads.lock().unwrap().insert(msg, action);
+        self.send_attempt(msg, 0, from_node, to_node);
+        msg
+    }
+
+    fn poll(&self, world: &World) -> usize {
+        let _gate = match self.poll_gate.try_lock() {
+            Ok(g) => g,
+            Err(_) => {
+                std::thread::yield_now();
+                match self.poll_gate.try_lock() {
+                    Ok(g) => g,
+                    Err(_) => {
+                        self.ctr.note_contended_poll();
+                        return usize::from(self.ctr.pending() > 0);
+                    }
+                }
+            }
+        };
+        let mut work = 0;
+        for node in 0..self.sockets.len() {
+            work += self.drain_socket(node, world);
+        }
+        work += self.retransmit_due();
+        work
+    }
+
+    /// Wall clock only: a kernel socket cannot be time-warped.
+    fn now_ns(&self) -> u64 {
+        self.now_wall_ns()
+    }
+
+    fn injected(&self) -> u64 {
+        self.ctr.injected()
+    }
+
+    fn delivered(&self) -> u64 {
+        self.ctr.delivered()
+    }
+
+    fn pending(&self) -> usize {
+        self.ctr.pending()
+    }
+
+    fn stats(&self) -> NetStats {
+        self.ctr.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.ctr.reset_stats();
+    }
+
+    fn set_tracing(&self, on: bool) {
+        self.ctr.set_tracing(on);
+    }
+
+    fn tracing(&self) -> bool {
+        self.ctr.tracing()
+    }
+
+    fn take_trace(&self) -> Vec<NetTraceEvent> {
+        self.ctr.take_trace()
+    }
+
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+        if self.ctr.tracing() {
+            self.ctr.trace_event(self.now_wall_ns(), msg, attempt, kind);
+        }
+    }
+
+    fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {
+        self.ctr.note_batch(ops, reason);
+    }
+
+    fn note_agg_occupancy(&self, depth: usize) {
+        self.ctr.note_agg_occupancy(depth);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GasnexConfig, Transport};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn udp_world(faults: Option<FaultPlan>) -> Arc<World> {
+        let net = NetConfig {
+            faults,
+            ..NetConfig::default()
+        };
+        World::new(
+            GasnexConfig::udp(4, 2)
+                .with_segment_size(1 << 12)
+                .with_net(net)
+                .with_transport(Transport::UdpSocket),
+        )
+    }
+
+    fn drain(w: &World, n: u64) {
+        let start = Instant::now();
+        while w.net().delivered() < n || w.net().pending() > 0 {
+            w.net().poll(w);
+            assert!(
+                start.elapsed().as_secs() < 10,
+                "UDP conduit failed to drain: delivered {}/{n}, pending {}",
+                w.net().delivered(),
+                w.net().pending()
+            );
+        }
+    }
+
+    #[test]
+    fn datagrams_deliver_actions_exactly_once() {
+        let w = udp_world(None);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..64u64 {
+            let h = Arc::clone(&hits);
+            w.net().inject_to(
+                Some((Rank(i as u32 % 4), Rank((i as u32 + 1) % 4))),
+                Box::new(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            0,
+            "injection must never deliver synchronously"
+        );
+        drain(&w, 64);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(w.net().delivered(), 64);
+        assert_eq!(w.net().pending(), 0);
+    }
+
+    #[test]
+    fn deliberate_drops_recover_via_retransmission() {
+        let plan = FaultPlan::seeded(9)
+            .with_drops(300_000)
+            .with_retry(50_000, 400_000, 6);
+        let w = udp_world(Some(plan));
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..128u64 {
+            let h = Arc::clone(&hits);
+            w.net().inject(Box::new(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drain(&w, 128);
+        assert_eq!(hits.load(Ordering::Relaxed), 128);
+        let s = w.net().stats();
+        assert!(s.drops_injected > 0, "plan should have dropped frames");
+        assert!(
+            s.retries >= s.drops_injected,
+            "every deliberate drop needs at least one retransmission"
+        );
+        assert!(s.max_backoff_ns >= 50_000 && s.max_backoff_ns <= 400_000);
+    }
+
+    #[test]
+    fn duplicated_frames_are_suppressed() {
+        let plan = FaultPlan::seeded(13).with_dups(400_000);
+        let w = udp_world(Some(plan));
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..128u64 {
+            let h = Arc::clone(&hits);
+            w.net().inject(Box::new(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drain(&w, 128);
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            128,
+            "dedup must keep exactly-once execution"
+        );
+        assert!(
+            w.net().stats().dup_suppressed > 0,
+            "plan should have duplicated frames"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_is_rejected() {
+        let r = std::panic::catch_unwind(|| {
+            UdpConduit::new(NetConfig::default().with_virtual_clock(), 2, 1)
+        });
+        assert!(r.is_err(), "virtual clock must be rejected");
+    }
+
+    #[test]
+    fn unexpressible_fault_fates_are_rejected() {
+        let plan = FaultPlan::seeded(1).with_reorder(100_000, 5_000);
+        let r = std::panic::catch_unwind(|| {
+            UdpConduit::new(NetConfig::default().with_faults(plan), 2, 1)
+        });
+        assert!(r.is_err(), "reorder fate must be rejected on a real wire");
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame {
+            kind: KIND_DATA,
+            msg: 0xDEAD_BEEF_0123,
+            attempt: 7,
+            src_node: 3,
+        };
+        let d = Frame::decode(&f.encode()).expect("roundtrip");
+        assert_eq!(d.kind, KIND_DATA);
+        assert_eq!(d.msg, 0xDEAD_BEEF_0123);
+        assert_eq!(d.attempt, 7);
+        assert_eq!(d.src_node, 3);
+        assert!(Frame::decode(&[0u8; FRAME_LEN]).is_none(), "bad magic");
+        assert!(Frame::decode(&[MAGIC; 4]).is_none(), "short frame");
+    }
+}

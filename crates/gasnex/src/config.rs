@@ -3,20 +3,22 @@
 
 /// Which conduit flavor the world runs over.
 ///
-/// In the real GASNet-EX these select genuinely different transports. In this
-/// single-process reproduction all transports are shared memory; the conduit
-/// still matters because it controls what the layered runtime may assume:
+/// In the real GASNet-EX these select genuinely different transports. Here
+/// the kind controls what the layered runtime may *assume* about locality
+/// (the wire itself is chosen separately by [`Transport`]):
 ///
-/// * [`Conduit::Smp`] supports only a single (simulated) node, which lets the
-///   runtime treat every global pointer as directly addressable (the
-///   "constexpr `is_local`" optimization the paper describes for 2021.3.6).
-/// * [`Conduit::Udp`] and [`Conduit::Mpi`] permit multiple simulated nodes;
-///   co-located ranks communicate through process-shared memory while ranks
-///   on different simulated nodes go through the [`SimNetwork`] delay queue.
+/// * [`ConduitKind::Smp`] supports only a single (simulated) node, which
+///   lets the runtime treat every global pointer as directly addressable
+///   (the "constexpr `is_local`" optimization the paper describes for
+///   2021.3.6).
+/// * [`ConduitKind::Udp`] and [`ConduitKind::Mpi`] permit multiple
+///   simulated nodes; co-located ranks communicate through process-shared
+///   memory while ranks on different simulated nodes go through the
+///   [`Conduit`] transport.
 ///
-/// [`SimNetwork`]: crate::net::SimNetwork
+/// [`Conduit`]: crate::conduit::Conduit
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Conduit {
+pub enum ConduitKind {
     /// Shared-memory conduit: exactly one node.
     Smp,
     /// UDP conduit stand-in: multi-node capable, process-shared memory
@@ -27,12 +29,33 @@ pub enum Conduit {
     Mpi,
 }
 
-impl Conduit {
+impl ConduitKind {
     /// Whether this conduit guarantees that every rank is on the same node,
     /// making every global pointer directly addressable.
     pub fn single_node_only(self) -> bool {
-        matches!(self, Conduit::Smp)
+        matches!(self, ConduitKind::Smp)
     }
+}
+
+/// Which wire carries cross-node delivery actions — the [`Conduit`]
+/// implementation a [`World`] constructs.
+///
+/// [`Conduit`]: crate::conduit::Conduit
+/// [`World`]: crate::world::World
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Transport {
+    /// The simulated delay queue ([`SimNetwork`]): deterministic latency
+    /// and jitter, the full chaos adversary, and virtual-clock replay.
+    ///
+    /// [`SimNetwork`]: crate::net::SimNetwork
+    #[default]
+    Sim,
+    /// Real loopback UDP sockets ([`UdpConduit`]): one kernel socket per
+    /// simulated node, datagram framing, sender retransmission and
+    /// receiver dedup. Wall-clock only; fault plans limited to drop/dup.
+    ///
+    /// [`UdpConduit`]: crate::conduit::udp::UdpConduit
+    UdpSocket,
 }
 
 /// How the simulated network measures time.
@@ -267,9 +290,11 @@ pub struct GasnexConfig {
     pub ranks_per_node: usize,
     /// Size in bytes of each rank's shared segment.
     pub segment_size: usize,
-    /// Conduit flavor.
-    pub conduit: Conduit,
-    /// Simulated network parameters (only used when more than one node).
+    /// Conduit flavor (locality assumptions).
+    pub conduit: ConduitKind,
+    /// Wire implementation carrying cross-node deliveries.
+    pub transport: Transport,
+    /// Network parameters (only used when more than one node).
     pub net: NetConfig,
     /// Sender-side aggregation knob for fine-grained cross-node ops.
     pub agg: crate::aggregate::AggConfig,
@@ -283,7 +308,8 @@ impl GasnexConfig {
             ranks,
             ranks_per_node: ranks.max(1),
             segment_size: 8 << 20,
-            conduit: Conduit::Smp,
+            conduit: ConduitKind::Smp,
+            transport: Transport::Sim,
             net: NetConfig::default(),
             agg: crate::aggregate::AggConfig::default(),
         }
@@ -295,7 +321,8 @@ impl GasnexConfig {
             ranks,
             ranks_per_node: ranks_per_node.max(1),
             segment_size: 8 << 20,
-            conduit: Conduit::Udp,
+            conduit: ConduitKind::Udp,
+            transport: Transport::Sim,
             net: NetConfig::default(),
             agg: crate::aggregate::AggConfig::default(),
         }
@@ -304,9 +331,15 @@ impl GasnexConfig {
     /// Multi-node configuration over the MPI conduit stand-in.
     pub fn mpi(ranks: usize, ranks_per_node: usize) -> Self {
         GasnexConfig {
-            conduit: Conduit::Mpi,
+            conduit: ConduitKind::Mpi,
             ..Self::udp(ranks, ranks_per_node)
         }
+    }
+
+    /// Select the wire implementation ([`Transport::Sim`] by default).
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Override the per-rank segment size in bytes.
@@ -356,6 +389,28 @@ impl GasnexConfig {
                 self.ranks_per_node,
                 self.nodes()
             );
+        }
+        if self.transport == Transport::UdpSocket {
+            // Real sockets cannot be time-warped: the virtual clock only
+            // advances by time-warping to the earliest *simulated* due
+            // time, which a kernel wire does not expose. Byte-replayable
+            // chaos runs stay on the simulated transport.
+            assert!(
+                self.net.clock == ClockMode::Wall,
+                "gasnex: Transport::UdpSocket cannot run under ClockMode::Virtual — \
+                 real sockets cannot be time-warped; use Transport::Sim for \
+                 virtual-clock chaos replay"
+            );
+            if let Some(plan) = &self.net.faults {
+                assert!(
+                    plan.reorder_ppm == 0
+                        && plan.burst_period_ns == 0
+                        && plan.partition_until_ns == 0,
+                    "gasnex: Transport::UdpSocket supports only drop/dup fault fates \
+                     (deliberate packet loss and duplication); reorder/burst/partition \
+                     schedules require Transport::Sim"
+                );
+            }
         }
     }
 }
@@ -439,6 +494,35 @@ mod tests {
         FaultPlan::seeded(1)
             .with_drops(10_000)
             .with_retry(0, 0, 4)
+            .validate();
+    }
+
+    #[test]
+    fn udp_socket_transport_with_wall_clock_is_valid() {
+        let c = GasnexConfig::udp(4, 2)
+            .with_transport(Transport::UdpSocket)
+            .with_net(NetConfig::default().with_faults(FaultPlan::seeded(1).with_drops(10_000)));
+        c.validate();
+        assert_eq!(c.transport, Transport::UdpSocket);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be time-warped")]
+    fn udp_socket_transport_rejects_virtual_clock() {
+        GasnexConfig::udp(4, 2)
+            .with_transport(Transport::UdpSocket)
+            .with_net(NetConfig::default().with_virtual_clock())
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "only drop/dup fault fates")]
+    fn udp_socket_transport_rejects_reorder_fates() {
+        GasnexConfig::udp(4, 2)
+            .with_transport(Transport::UdpSocket)
+            .with_net(
+                NetConfig::default().with_faults(FaultPlan::seeded(1).with_reorder(10_000, 1_000)),
+            )
             .validate();
     }
 }

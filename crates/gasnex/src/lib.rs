@@ -21,9 +21,12 @@
 //!   signal-driven completion engine routes completion tokens through them
 //!   so an initiator discovers finished operations in O(ready) instead of
 //!   re-polling every pending event.
-//! * **Simulated network** ([`net::SimNetwork`]) — a global delay queue
-//!   modelling NIC-offloaded delivery for cross-node operations; injected
-//!   operations never complete synchronously.
+//! * **Conduit transports** ([`conduit::Conduit`]) — the wire abstraction
+//!   cross-node operations travel through; injected operations never
+//!   complete synchronously. Two impls: the simulated delay queue
+//!   ([`net::SimNetwork`], with the chaos adversary and virtual-clock
+//!   replay) and real loopback UDP sockets
+//!   ([`conduit::udp::UdpConduit`]).
 //! * **Remote atomics** ([`amo`]) — the `gex_AD`-style atomic operation set
 //!   over 64-bit words, including the fetching/non-fetching split the paper
 //!   exploits.
@@ -41,6 +44,7 @@ pub mod alloc;
 pub mod am;
 pub mod amo;
 pub mod collectives;
+pub mod conduit;
 pub mod config;
 pub mod event;
 pub mod mailbox;
@@ -53,10 +57,11 @@ pub use aggregate::{AggConfig, Batch, Coalescer, FlushReason, Push};
 pub use alloc::{OutOfSegmentMemory, SegAlloc};
 pub use am::AmCtx;
 pub use amo::AmoOp;
-pub use config::{ClockMode, Conduit, FaultPlan, GasnexConfig, NetConfig};
+pub use conduit::{udp::UdpConduit, Conduit};
+pub use config::{ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, Transport};
 pub use event::{Event, EventCore};
 pub use mailbox::{MpQueue, ReadyQueue};
-pub use net::{FieldClass, NetEventKind, NetStats, NetTraceEvent};
+pub use net::{FieldClass, NetEventKind, NetStats, NetTraceEvent, SimNetwork};
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

@@ -1,4 +1,4 @@
-//! Simulated inter-node network.
+//! Simulated inter-node network: the [`Conduit`] impl used by default.
 //!
 //! Operations between ranks on different simulated nodes are injected here
 //! as boxed delivery actions with a due time (`now + latency ± jitter`).
@@ -41,31 +41,41 @@
 //! # Aggregation hooks
 //!
 //! The sender-side aggregation layer ([`crate::aggregate`]) injects batch
-//! messages through the ordinary [`SimNetwork::inject`] path — a batch is
+//! messages through the ordinary [`Conduit::inject_to`] path — a batch is
 //! one logical message whose action fans out to its constituent ops, so
 //! drop/dup/reorder fates act on whole batches and a retransmission
 //! re-sends the batch payload. The network only keeps the aggregate
 //! counters (`batches_injected`, `ops_coalesced`, per-reason flush counts,
 //! buffer-occupancy high-water) so they surface in [`NetStats`] next to
 //! the reliability counters.
+//!
+//! # Lock granularity
+//!
+//! Three independent pieces of state, so observers never contend with
+//! delivery: the **clock** is an atomic (`vclock`) or a lock-free `Instant`
+//! read; the **delivery heap** has the only lock the delivery path takes
+//! (plus the dedup set); and **statistics** — including the `reset_stats`
+//! baseline — live entirely in atomics ([`ConduitCounters`]), so `now_ns()`
+//! and `stats()` are wait-free with respect to a poll in progress.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::conduit::{Conduit, ConduitCounters};
 use crate::config::{ClockMode, FaultPlan, NetConfig};
+use crate::rank::Rank;
 use crate::world::World;
 
 /// A delivery action: performs the remote side of an operation (data
 /// movement, atomic execution, AM enqueue) and signals its event.
 pub type NetAction = Box<dyn FnOnce(&World) + Send>;
 
-/// What happened to a message on the simulated wire (trace-mode only).
+/// What happened to a message on the wire (trace-mode only).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NetEventKind {
-    /// Message entered the delay queue (`SimNetwork::inject`).
+    /// Message entered the conduit (`Conduit::inject_to`).
     Inject,
     /// The fault plan dropped this transmission attempt; a retransmission
     /// timer was armed `backoff_ns` in the future.
@@ -77,18 +87,18 @@ pub enum NetEventKind {
     /// A duplicated wire copy was discarded by receiver-side dedup.
     DupDiscard,
     /// An initiator-side completion signal was routed to a rank's ready
-    /// queue (recorded by `World::route_signal`, not by the network).
+    /// queue (recorded by `World::route_signal`, not by the conduit).
     Signal { rank: u32, token: u64 },
 }
 
 /// One wire-level trace record. `msg` is the logical message id returned by
-/// [`SimNetwork::inject`], which lets core-level operation traces correlate
+/// [`Conduit::inject_to`], which lets core-level operation traces correlate
 /// their `NetInject` events with the retries and delivery seen down here.
 /// `Signal` events use `msg = u64::MAX` (they belong to an event core, not
 /// a wire message).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NetTraceEvent {
-    /// Timestamp from the network clock (wall or virtual, per `ClockMode`).
+    /// Timestamp from the conduit clock (wall or virtual, per `ClockMode`).
     pub ts_ns: u64,
     /// Logical message id (`u64::MAX` for `Signal` events).
     pub msg: u64,
@@ -109,16 +119,16 @@ pub enum FieldClass {
     Gauge,
 }
 
-/// Snapshot of the network's counters, including the chaos-mode reliability
-/// layer. `injected`/`delivered`/`pending` count logical messages and heap
-/// entries exactly as the quiescence protocol sees them.
+/// Snapshot of a conduit's counters, including the chaos-mode reliability
+/// layer. `injected`/`delivered`/`pending` count logical messages exactly
+/// as the quiescence protocol sees them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct NetStats {
     /// Logical messages injected since creation.
     pub injected: u64,
     /// Logical messages delivered (each action executes exactly once).
     pub delivered: u64,
-    /// Heap entries awaiting a poll: undelivered messages, pending
+    /// Messages awaiting delivery: undelivered messages, pending
     /// retransmission timers, and duplicate copies not yet suppressed.
     pub pending: usize,
     /// Polls that lost the queue-lock race twice and returned a busy hint.
@@ -268,55 +278,31 @@ impl Ord for Delivery {
     }
 }
 
-/// The global delay queue.
+/// The global delay queue: the simulated [`Conduit`].
 pub struct SimNetwork {
     cfg: NetConfig,
     epoch: Instant,
     /// Logical nanoseconds under `ClockMode::Virtual`; advances only inside
     /// `poll` (under the queue lock), time-warping to the earliest due
     /// delivery when nothing is currently due.
-    vclock: AtomicU64,
-    /// Logical message ids; `injected()` reports this for quiescence.
-    msg_seq: AtomicU64,
-    /// Heap tie-break sequence. Distinct from `msg_seq` because retries and
-    /// duplicates push extra heap entries for the same logical message.
-    heap_seq: AtomicU64,
+    vclock: std::sync::atomic::AtomicU64,
+    /// Heap tie-break sequence. Distinct from the message counter because
+    /// retries and duplicates push extra heap entries for the same logical
+    /// message.
+    heap_seq: std::sync::atomic::AtomicU64,
     queue: Mutex<BinaryHeap<Reverse<Delivery>>>,
-    /// Lock-free mirror of the queue length, so a rank that loses the
-    /// `poll` lock race can still tell whether deliveries are outstanding.
-    pending_len: AtomicUsize,
-    /// Polls that lost the lock race twice and reported a busy hint instead
-    /// of draining (observability for the quiescence fix).
-    contended_polls: AtomicU64,
-    delivered: AtomicU64,
-    retries: AtomicU64,
-    drops_injected: AtomicU64,
-    dup_suppressed: AtomicU64,
-    max_backoff_ns: AtomicU64,
-    dup_promoted: AtomicU64,
-    batches_injected: AtomicU64,
-    ops_coalesced: AtomicU64,
-    flushes_size: AtomicU64,
-    flushes_age: AtomicU64,
-    flushes_explicit: AtomicU64,
-    agg_occupancy_highwater: AtomicU64,
     /// Receiver-side dedup: ids of duplicated messages whose *first* copy
     /// has arrived but whose second copy is still in flight. The second
     /// copy's arrival evicts the id, and non-duplicated messages never
     /// enter, so the set is bounded by the in-flight dup pairs.
     acked: Mutex<HashSet<u64>>,
-    /// Counter baseline captured by [`SimNetwork::reset_stats`]. `stats()`
-    /// reports counters relative to it; the raw atomics are never zeroed
-    /// because quiescence detection relies on raw `injected == delivered`.
-    stats_baseline: Mutex<NetStats>,
-    /// Wire-level trace gate. One relaxed load guards every recording site;
-    /// the default (off) makes tracing free on the delivery path.
-    trace_on: AtomicBool,
-    /// Wire-level trace records, in recording order. Under a single-threaded
-    /// drive (the deterministic-replay tests) this order is a pure function
-    /// of the seed.
-    trace: Mutex<Vec<NetTraceEvent>>,
+    /// Counters, gauges, baseline, and the wire-event sink — all atomic or
+    /// independently locked, never touched under the queue lock's scope in
+    /// a way an observer would wait on.
+    ctr: ConduitCounters,
 }
+
+use std::sync::atomic::Ordering;
 
 impl SimNetwork {
     /// Create a network with the given latency parameters.
@@ -327,28 +313,11 @@ impl SimNetwork {
         SimNetwork {
             cfg,
             epoch: Instant::now(),
-            vclock: AtomicU64::new(0),
-            msg_seq: AtomicU64::new(0),
-            heap_seq: AtomicU64::new(0),
+            vclock: std::sync::atomic::AtomicU64::new(0),
+            heap_seq: std::sync::atomic::AtomicU64::new(0),
             queue: Mutex::new(BinaryHeap::new()),
-            pending_len: AtomicUsize::new(0),
-            contended_polls: AtomicU64::new(0),
-            delivered: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            drops_injected: AtomicU64::new(0),
-            dup_suppressed: AtomicU64::new(0),
-            max_backoff_ns: AtomicU64::new(0),
-            dup_promoted: AtomicU64::new(0),
-            batches_injected: AtomicU64::new(0),
-            ops_coalesced: AtomicU64::new(0),
-            flushes_size: AtomicU64::new(0),
-            flushes_age: AtomicU64::new(0),
-            flushes_explicit: AtomicU64::new(0),
-            agg_occupancy_highwater: AtomicU64::new(0),
             acked: Mutex::new(HashSet::new()),
-            stats_baseline: Mutex::new(NetStats::default()),
-            trace_on: AtomicBool::new(false),
-            trace: Mutex::new(Vec::new()),
+            ctr: ConduitCounters::new(),
         }
     }
 
@@ -364,31 +333,11 @@ impl SimNetwork {
         }
     }
 
-    /// Enable or disable wire-level tracing.
-    pub fn set_tracing(&self, on: bool) {
-        self.trace_on.store(on, Ordering::Relaxed);
-    }
-
-    /// Whether wire-level tracing is currently enabled.
-    pub fn tracing(&self) -> bool {
-        self.trace_on.load(Ordering::Relaxed)
-    }
-
-    /// Drain the recorded wire-level trace.
-    pub fn take_trace(&self) -> Vec<NetTraceEvent> {
-        std::mem::take(&mut self.trace.lock().unwrap())
-    }
-
     /// Record one wire event (no-op unless tracing is on).
     #[inline]
-    pub fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
-        if self.trace_on.load(Ordering::Relaxed) {
-            self.trace.lock().unwrap().push(NetTraceEvent {
-                ts_ns: self.now_ns(),
-                msg,
-                attempt,
-                kind,
-            });
+    fn record(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+        if self.ctr.tracing() {
+            self.ctr.trace_event(self.now_ns(), msg, attempt, kind);
         }
     }
 
@@ -442,9 +391,8 @@ impl SimNetwork {
                 // so nothing can leak, and re-enter fate selection when the
                 // timer fires.
                 let backoff = Self::backoff_ns(plan, attempt);
-                self.drops_injected.fetch_add(1, Ordering::SeqCst);
-                self.max_backoff_ns.fetch_max(backoff, Ordering::SeqCst);
-                self.trace_event(
+                self.ctr.note_drop(backoff);
+                self.record(
                     msg,
                     attempt,
                     NetEventKind::Drop {
@@ -500,7 +448,7 @@ impl SimNetwork {
                     slot: std::sync::Arc::clone(&slot),
                 },
             }));
-            self.pending_len.fetch_add(1, Ordering::SeqCst);
+            self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
             q.push(Reverse(Delivery {
                 due_ns: self.shape(now + self.cfg.latency_ns + jitter + lag),
                 seq: self.heap_seq.fetch_add(1, Ordering::Relaxed),
@@ -525,13 +473,44 @@ impl SimNetwork {
         }
     }
 
-    /// Inject an operation for delivery after the configured latency.
-    /// Returns the logical message id, so initiator-side traces can
-    /// correlate the operation with its wire-level events.
-    pub fn inject(&self, action: NetAction) -> u64 {
-        let msg = self.msg_seq.fetch_add(1, Ordering::Relaxed);
-        self.pending_len.fetch_add(1, Ordering::SeqCst);
-        self.trace_event(msg, 0, NetEventKind::Inject);
+    /// Polls that lost the queue-lock race twice and returned a busy hint.
+    pub fn contended_polls(&self) -> u64 {
+        self.ctr.contended_polls()
+    }
+
+    /// How many dup-pair ids the receiver-side dedup set currently holds
+    /// (first copy arrived, second still in flight). Bounded by `pending`.
+    pub fn acked_len(&self) -> usize {
+        self.acked.lock().unwrap().len()
+    }
+
+    /// Heap entries currently queued (test hook; takes the queue lock).
+    pub fn heap_len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// Hold the queue lock and run `f` (test hook for simulating a rank
+    /// mid-drain).
+    pub fn while_queue_locked<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.queue.lock().unwrap();
+        f()
+    }
+
+    /// The configured latency parameters.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+}
+
+impl Conduit for SimNetwork {
+    /// Inject an operation for delivery after the configured latency. The
+    /// simulated network keeps one global delay queue, so the routing hint
+    /// is ignored — exactly the pre-trait behaviour, preserving every
+    /// seeded schedule byte-for-byte.
+    fn inject_to(&self, _route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        let msg = self.ctr.next_msg();
+        self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
+        self.record(msg, 0, NetEventKind::Inject);
         let mut q = self.queue.lock().unwrap();
         self.schedule_attempt(&mut q, msg, 0, action);
         msg
@@ -544,7 +523,7 @@ impl SimNetwork {
     /// a rank that loses the lock race must not conclude "locally idle"
     /// while due work may exist (it would make quiescence sampling
     /// transiently wrong).
-    pub fn poll(&self, world: &World) -> usize {
+    fn poll(&self, world: &World) -> usize {
         let mut q = match self.queue.try_lock() {
             Ok(q) => q,
             Err(_) => {
@@ -554,8 +533,8 @@ impl SimNetwork {
                 match self.queue.try_lock() {
                     Ok(q) => q,
                     Err(_) => {
-                        self.contended_polls.fetch_add(1, Ordering::SeqCst);
-                        return usize::from(self.pending_len.load(Ordering::SeqCst) > 0);
+                        self.ctr.note_contended_poll();
+                        return usize::from(self.ctr.pending() > 0);
                     }
                 }
             }
@@ -602,8 +581,8 @@ impl SimNetwork {
                     // two sharing one extra `pending_len` increment if the
                     // resend is duplicated), so `pending()` keeps mirroring
                     // the heap length.
-                    self.retries.fetch_add(1, Ordering::SeqCst);
-                    self.trace_event(msg, attempt + 1, NetEventKind::Retry);
+                    self.ctr.note_retry();
+                    self.record(msg, attempt + 1, NetEventKind::Retry);
                     let mut q = self.queue.lock().unwrap();
                     self.schedule_attempt(&mut q, msg, attempt + 1, action);
                 }
@@ -613,13 +592,13 @@ impl SimNetwork {
                     dropped: false,
                     action,
                 } => {
-                    self.trace_event(msg, attempt, NetEventKind::Deliver);
+                    self.record(msg, attempt, NetEventKind::Deliver);
                     (action)(world);
                     // Counted after the action so injected == delivered
                     // implies no action is mid-flight (quiescence
                     // detection).
-                    self.delivered.fetch_add(1, Ordering::SeqCst);
-                    self.pending_len.fetch_sub(1, Ordering::SeqCst);
+                    self.ctr.note_delivered();
+                    self.ctr.pending_len.fetch_sub(1, Ordering::SeqCst);
                 }
                 Payload::Copy {
                     msg,
@@ -647,161 +626,84 @@ impl SimNetwork {
                             .unwrap()
                             .take()
                             .expect("first copy holds the payload");
-                        self.trace_event(msg, attempt, NetEventKind::Deliver);
+                        self.record(msg, attempt, NetEventKind::Deliver);
                         (action)(world);
-                        self.delivered.fetch_add(1, Ordering::SeqCst);
+                        self.ctr.note_delivered();
                         if !primary {
-                            self.dup_promoted.fetch_add(1, Ordering::SeqCst);
+                            self.ctr.note_dup_promoted();
                         }
                     } else {
-                        self.trace_event(msg, attempt, NetEventKind::DupDiscard);
-                        self.dup_suppressed.fetch_add(1, Ordering::SeqCst);
+                        self.record(msg, attempt, NetEventKind::DupDiscard);
+                        self.ctr.note_dup_suppressed();
                     }
-                    self.pending_len.fetch_sub(1, Ordering::SeqCst);
+                    self.ctr.pending_len.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
         n
     }
 
-    /// Total operations injected since creation.
-    pub fn injected(&self) -> u64 {
-        self.msg_seq.load(Ordering::SeqCst)
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        SimNetwork::now_ns(self)
     }
 
-    /// Number of heap entries awaiting delivery (including any being
-    /// drained right now). Lock-free, so it stays readable while a poll is
-    /// running.
-    pub fn pending(&self) -> usize {
-        self.pending_len.load(Ordering::SeqCst)
+    fn injected(&self) -> u64 {
+        self.ctr.injected()
     }
 
-    /// Polls that lost the queue-lock race twice and returned a busy hint.
-    pub fn contended_polls(&self) -> u64 {
-        self.contended_polls.load(Ordering::SeqCst)
+    fn delivered(&self) -> u64 {
+        self.ctr.delivered()
     }
 
-    /// Total operations delivered since creation.
-    pub fn delivered(&self) -> u64 {
-        self.delivered.load(Ordering::Relaxed)
+    fn pending(&self) -> usize {
+        self.ctr.pending()
     }
 
-    /// Retransmissions performed after injected drops.
-    pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::SeqCst)
+    fn stats(&self) -> NetStats {
+        self.ctr.stats()
     }
 
-    /// Transmission attempts the fault plan dropped.
-    pub fn drops_injected(&self) -> u64 {
-        self.drops_injected.load(Ordering::SeqCst)
+    fn reset_stats(&self) {
+        self.ctr.reset_stats();
     }
 
-    /// Duplicate copies discarded by receiver dedup.
-    pub fn dup_suppressed(&self) -> u64 {
-        self.dup_suppressed.load(Ordering::SeqCst)
+    fn set_tracing(&self, on: bool) {
+        self.ctr.set_tracing(on);
     }
 
-    /// Largest retransmission backoff applied so far.
-    pub fn max_backoff_ns(&self) -> u64 {
-        self.max_backoff_ns.load(Ordering::SeqCst)
+    fn tracing(&self) -> bool {
+        self.ctr.tracing()
     }
 
-    /// Duplicate copies promoted to deliver ahead of their original.
-    pub fn dup_promoted(&self) -> u64 {
-        self.dup_promoted.load(Ordering::SeqCst)
+    fn take_trace(&self) -> Vec<NetTraceEvent> {
+        self.ctr.take_trace()
     }
 
-    /// Batch messages injected by the aggregation layer.
-    pub fn batches_injected(&self) -> u64 {
-        self.batches_injected.load(Ordering::SeqCst)
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+        self.record(msg, attempt, kind);
     }
 
-    /// Fine-grained operations carried inside batches.
-    pub fn ops_coalesced(&self) -> u64 {
-        self.ops_coalesced.load(Ordering::SeqCst)
+    fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {
+        self.ctr.note_batch(ops, reason);
     }
 
-    /// Record one batch flush: `ops` constituent operations left a
-    /// coalescer buffer as a single wire message for `reason`.
-    pub fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {
-        self.batches_injected.fetch_add(1, Ordering::SeqCst);
-        self.ops_coalesced.fetch_add(ops, Ordering::SeqCst);
-        let ctr = match reason {
-            crate::aggregate::FlushReason::Size => &self.flushes_size,
-            crate::aggregate::FlushReason::Age => &self.flushes_age,
-            crate::aggregate::FlushReason::Explicit => &self.flushes_explicit,
-        };
-        ctr.fetch_add(1, Ordering::SeqCst);
+    fn note_agg_occupancy(&self, depth: usize) {
+        self.ctr.note_agg_occupancy(depth);
     }
 
-    /// Record a coalescer buffer depth for the occupancy high-water gauge.
-    pub fn note_agg_occupancy(&self, depth: usize) {
-        self.agg_occupancy_highwater
-            .fetch_max(depth as u64, Ordering::SeqCst);
-    }
-
-    /// How many dup-pair ids the receiver-side dedup set currently holds
-    /// (first copy arrived, second still in flight). Bounded by `pending`.
-    pub fn acked_len(&self) -> usize {
-        self.acked.lock().unwrap().len()
-    }
-
-    /// All counters since creation, ignoring any `reset_stats` baseline.
-    fn raw_stats(&self) -> NetStats {
-        NetStats {
-            injected: self.injected(),
-            delivered: self.delivered(),
-            pending: self.pending(),
-            contended_polls: self.contended_polls(),
-            retries: self.retries(),
-            drops_injected: self.drops_injected(),
-            dup_suppressed: self.dup_suppressed(),
-            max_backoff_ns: self.max_backoff_ns(),
-            dup_promoted: self.dup_promoted(),
-            batches_injected: self.batches_injected(),
-            ops_coalesced: self.ops_coalesced(),
-            flushes_size: self.flushes_size.load(Ordering::SeqCst),
-            flushes_age: self.flushes_age.load(Ordering::SeqCst),
-            flushes_explicit: self.flushes_explicit.load(Ordering::SeqCst),
-            agg_occupancy_highwater: self.agg_occupancy_highwater.load(Ordering::SeqCst),
-        }
-    }
-
-    /// Snapshot all counters at once, relative to the last
-    /// [`SimNetwork::reset_stats`] (or creation). Gauges (`pending`,
-    /// `max_backoff_ns`) always report the current level.
-    pub fn stats(&self) -> NetStats {
-        let baseline = *self.stats_baseline.lock().unwrap();
-        self.raw_stats().since(&baseline)
-    }
-
-    /// Re-baseline the observable counters at the current raw values, so a
-    /// following `stats()` reports zeros for counters until new traffic
-    /// occurs. Gauges are re-primed, not zeroed: `pending` keeps reporting
-    /// the live queue depth, and `max_backoff_ns` restarts peak-tracking
-    /// from the current point (`fetch_max` re-primes it on the next
-    /// backoff). The raw atomics backing quiescence detection
-    /// (`injected`/`delivered`) are untouched.
-    pub fn reset_stats(&self) {
-        let raw = self.raw_stats();
-        *self.stats_baseline.lock().unwrap() = raw;
-        self.max_backoff_ns.store(0, Ordering::SeqCst);
-        self.agg_occupancy_highwater.store(0, Ordering::SeqCst);
-    }
-
-    /// The configured latency parameters.
-    pub fn config(&self) -> NetConfig {
-        self.cfg
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
 #[inline]
-fn ppm(x: u64) -> u32 {
+pub(crate) fn ppm(x: u64) -> u32 {
     (x % 1_000_000) as u32
 }
 
 /// SplitMix64 mixer, used for deterministic jitter and fault fates.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -812,6 +714,7 @@ fn splitmix64(mut x: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::config::GasnexConfig;
+    use std::sync::atomic::AtomicU64;
 
     fn test_world() -> std::sync::Arc<World> {
         World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12))
@@ -823,6 +726,15 @@ mod tests {
                 .with_segment_size(1 << 12)
                 .with_net(net),
         )
+    }
+
+    /// The concrete simulator behind the world's conduit (these tests
+    /// exercise SimNetwork internals the trait doesn't expose).
+    fn sim(w: &World) -> &SimNetwork {
+        w.net()
+            .as_any()
+            .downcast_ref()
+            .expect("default transport is the simulator")
     }
 
     #[test]
@@ -894,19 +806,19 @@ mod tests {
         });
         w.net().inject(Box::new(|_| {}));
         // Simulate another rank mid-drain by holding the queue lock.
-        let guard = w.net().queue.lock().unwrap();
-        assert_eq!(
-            w.net().poll(&w),
-            1,
-            "lost lock race with pending work must report busy"
-        );
-        assert_eq!(w.net().contended_polls(), 1);
-        assert_eq!(
-            w.net().delivered(),
-            0,
-            "busy hint must not deliver anything"
-        );
-        drop(guard);
+        sim(&w).while_queue_locked(|| {
+            assert_eq!(
+                w.net().poll(&w),
+                1,
+                "lost lock race with pending work must report busy"
+            );
+            assert_eq!(sim(&w).contended_polls(), 1);
+            assert_eq!(
+                w.net().delivered(),
+                0,
+                "busy hint must not deliver anything"
+            );
+        });
         assert_eq!(
             w.net().poll(&w),
             1,
@@ -914,9 +826,9 @@ mod tests {
         );
         assert_eq!(w.net().pending(), 0);
         // With an empty queue, a lost race reports idle (nothing due).
-        let guard = w.net().queue.lock().unwrap();
-        assert_eq!(w.net().poll(&w), 0);
-        drop(guard);
+        sim(&w).while_queue_locked(|| {
+            assert_eq!(w.net().poll(&w), 0);
+        });
     }
 
     #[test]
@@ -1135,13 +1047,13 @@ mod tests {
         while w.net().delivered() < n || w.net().pending() > 0 {
             w.net().poll(&w);
             assert!(
-                w.net().acked_len() <= w.net().pending(),
+                sim(&w).acked_len() <= w.net().pending(),
                 "dedup set must stay bounded by in-flight messages"
             );
             spins += 1;
             assert!(spins < 1_000_000, "chaos schedule failed to terminate");
         }
-        assert_eq!(w.net().acked_len(), 0, "drained wire leaves no dedup state");
+        assert_eq!(sim(&w).acked_len(), 0, "drained wire leaves no dedup state");
         let s = w.net().stats();
         assert!(s.dup_suppressed > 0, "plan must actually duplicate");
         assert_eq!(s.delivered, n);
@@ -1181,7 +1093,7 @@ mod tests {
             }
             let mut spins = 0u64;
             loop {
-                let heap = w.net().queue.lock().unwrap().len();
+                let heap = sim(&w).heap_len();
                 assert_eq!(
                     w.net().pending(),
                     heap,

@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use crate::alloc::SegAlloc;
 use crate::am::{AmCtx, AmMsg, AmQueues};
-use crate::config::GasnexConfig;
+use crate::conduit::udp::UdpConduit;
+use crate::conduit::Conduit;
+use crate::config::{GasnexConfig, Transport};
 use crate::event::EventCore;
 use crate::mailbox::ReadyQueue;
 use crate::net::{NetAction, SimNetwork};
@@ -12,7 +14,7 @@ use crate::rank::{Rank, Team, Topology};
 use crate::segment::Segment;
 
 /// All state shared by the ranks of one job: segments, allocators, AM
-/// mailboxes, the simulated network, and collective state.
+/// mailboxes, the conduit, and collective state.
 ///
 /// Created once and shared via `Arc` by every rank thread.
 pub struct World {
@@ -21,7 +23,7 @@ pub struct World {
     segments: Box<[Segment]>,
     allocs: Box<[SegAlloc]>,
     am: AmQueues,
-    net: SimNetwork,
+    net: Box<dyn Conduit>,
     /// Per-rank ready-notification queues: completion tokens deposited by
     /// whichever thread signals an event a rank registered a waiter on,
     /// drained FIFO by the owning rank during its progress quantum.
@@ -57,9 +59,17 @@ impl World {
                 Team::from_members(topo.node_ranks(node).map(Rank).collect(), 1 + node as u64)
             })
             .collect();
+        let net: Box<dyn Conduit> = match cfg.transport {
+            Transport::Sim => Box::new(SimNetwork::new(cfg.net)),
+            Transport::UdpSocket => Box::new(UdpConduit::new(
+                cfg.net,
+                cfg.ranks as u32,
+                cfg.ranks_per_node as u32,
+            )),
+        };
         Arc::new(World {
             am: AmQueues::new(cfg.ranks),
-            net: SimNetwork::new(cfg.net),
+            net,
             ready: (0..cfg.ranks).map(|_| ReadyQueue::new()).collect(),
             segments,
             allocs,
@@ -113,10 +123,10 @@ impl World {
         &self.allocs[r.idx()]
     }
 
-    /// The simulated network.
+    /// The conduit carrying cross-node deliveries.
     #[inline]
-    pub fn net(&self) -> &SimNetwork {
-        &self.net
+    pub fn net(&self) -> &dyn Conduit {
+        &*self.net
     }
 
     /// Whether `from` can directly address `to`'s segment (same simulated
@@ -152,9 +162,16 @@ impl World {
         );
     }
 
-    /// Inject an operation into the simulated network.
+    /// Inject an operation into the conduit with no routing hint.
     pub fn net_inject(&self, action: NetAction) -> u64 {
         self.net.inject(action)
+    }
+
+    /// Inject an operation into the conduit, routed from the initiating
+    /// rank to the target rank (socket transports use the hint to pick
+    /// source and destination node sockets; the simulator ignores it).
+    pub fn net_inject_routed(&self, from: Rank, to: Rank, action: NetAction) -> u64 {
+        self.net.inject_to(Some((from, to)), action)
     }
 
     /// Route `ev`'s completion signal to `initiator`'s ready queue as

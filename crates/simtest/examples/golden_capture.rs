@@ -1,0 +1,30 @@
+//! One-shot golden capture for the conduit-swap regression suite.
+//!
+//! Prints the outcome and wire-trace goldens `tests/conduit.rs` pins. Run
+//! it before and after a conduit-layer change and diff the output: any
+//! difference is a behaviour change the refactor was not allowed to make.
+
+use simtest::{fault_plans, run, wire_trace_probe, Workload};
+use upcr::LibVersion;
+
+fn main() {
+    // Digest goldens: 8 seeds x eager/defer x all three fault plans.
+    for seed in 0..8u64 {
+        for version in [LibVersion::V2021_3_6Eager, LibVersion::V2021_3_6Defer] {
+            for (plan_name, plan) in fault_plans(seed) {
+                let o = run(Workload::PutGetStorm, version, seed, Some(plan));
+                println!(
+                    "OUTCOME seed={} version={:?} plan={} digest={:#018x} completions={} injected={} retries={} drops={} dups={} backoff={}",
+                    seed, version, plan_name, o.digest, o.completions, o.injected,
+                    o.retries, o.drops_injected, o.dup_suppressed, o.max_backoff_ns
+                );
+            }
+        }
+    }
+    // Wire-trace goldens: a single-threaded drive of the conduit under each
+    // plan, with tracing on. The event stream is a pure function of the seed.
+    for (plan_name, plan) in fault_plans(3) {
+        let (events, hash) = wire_trace_probe(plan, 64);
+        println!("TRACE plan={plan_name} events={events} hash={hash:#018x}");
+    }
+}

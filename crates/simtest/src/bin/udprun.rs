@@ -1,0 +1,326 @@
+//! Multi-process UDP runner: ranks as real OS processes, data as real
+//! datagrams.
+//!
+//! The in-process `UdpConduit` proves the *control* path is
+//! transport-independent (closures cannot cross the wire, so its DATA
+//! frames carry no payload). This runner closes the remaining gap: it
+//! forks each rank as a separate OS process, and the PutGetStorm payload
+//! words themselves travel inside loopback datagrams between processes
+//! that share no memory at all. Each rank builds its slice of the final
+//! image purely out of what arrived on the wire, digests it, and the
+//! parent folds the per-rank digests in rank order — the same digest
+//! formula the in-process harness uses — then checks the result against
+//! the analytic final image and (unless `--no-sim`) against in-process
+//! simulator runs of the same workload under both notification versions.
+//!
+//! ```text
+//! udprun [--ranks N] [--seed S] [--no-sim]
+//! ```
+//!
+//! Protocol (parent <-> child over pipes, child <-> child over UDP):
+//!
+//! 1. Parent spawns `udprun --child R --ranks N --seed S` per rank.
+//! 2. Each child binds 127.0.0.1:0 and prints `ADDR <addr>`.
+//! 3. Parent broadcasts `PEERS <addr0> <addr1> ...` on every stdin.
+//! 4. Children exchange PUT/ACK datagrams (retransmitting on a timer,
+//!    deduplicating by `(src, msg)`) until every PUT they sent is acked,
+//!    then print `PUTS_DONE`.
+//! 5. Parent waits for all, broadcasts `GO`; children digest their local
+//!    arrays and print `DIGEST <hex> APPLIED <n>`.
+//! 6. Parent folds digests in rank order and verifies.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, UdpSocket};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use simtest::{fold, run, storm_slot_val, Workload, STORM_WORDS};
+use upcr::LibVersion;
+
+const MAGIC: u8 = 0xC8;
+const KIND_PUT: u8 = 3;
+const KIND_ACK: u8 = 4;
+const FRAME_LEN: usize = 30;
+const RTO: Duration = Duration::from_millis(5);
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// `[magic][kind][msg u64][src u32][target u32][slot u32][value u64]`;
+/// ACK frames echo the PUT's header and ignore the value field.
+fn encode(kind: u8, msg: u64, src: u32, target: u32, slot: u32, value: u64) -> [u8; FRAME_LEN] {
+    let mut b = [0u8; FRAME_LEN];
+    b[0] = MAGIC;
+    b[1] = kind;
+    b[2..10].copy_from_slice(&msg.to_le_bytes());
+    b[10..14].copy_from_slice(&src.to_le_bytes());
+    b[14..18].copy_from_slice(&target.to_le_bytes());
+    b[18..22].copy_from_slice(&slot.to_le_bytes());
+    b[22..30].copy_from_slice(&value.to_le_bytes());
+    b
+}
+
+fn decode(b: &[u8]) -> Option<(u8, u64, u32, u32, u32, u64)> {
+    if b.len() != FRAME_LEN || b[0] != MAGIC {
+        return None;
+    }
+    Some((
+        b[1],
+        u64::from_le_bytes(b[2..10].try_into().ok()?),
+        u32::from_le_bytes(b[10..14].try_into().ok()?),
+        u32::from_le_bytes(b[14..18].try_into().ok()?),
+        u32::from_le_bytes(b[18..22].try_into().ok()?),
+        u64::from_le_bytes(b[22..30].try_into().ok()?),
+    ))
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ranks: usize = parse_flag(&args, "--ranks")
+        .map(|v| v.parse().expect("--ranks"))
+        .unwrap_or(4);
+    let seed: u64 = parse_flag(&args, "--seed")
+        .map(|v| v.parse().expect("--seed"))
+        .unwrap_or(0);
+    if let Some(me) = parse_flag(&args, "--child") {
+        child(me.parse().expect("--child"), ranks, seed);
+    } else {
+        parent(ranks, seed, !args.iter().any(|a| a == "--no-sim"));
+    }
+}
+
+fn child(me: usize, ranks: usize, seed: u64) {
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sock.set_nonblocking(true).expect("nonblocking");
+    println!("ADDR {}", sock.local_addr().expect("local_addr"));
+    std::io::stdout().flush().unwrap();
+
+    // Stdin lines arrive on a channel so the main loop can keep serving
+    // datagrams while waiting for the parent's coordination messages.
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(std::io::stdin()).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let peers: Vec<SocketAddr> = loop {
+        let line = rx.recv().expect("parent closed stdin before PEERS");
+        if let Some(rest) = line.strip_prefix("PEERS ") {
+            break rest
+                .split_whitespace()
+                .map(|a| a.parse().expect("peer addr"))
+                .collect();
+        }
+    };
+    assert_eq!(peers.len(), ranks, "parent sent wrong peer count");
+
+    // Queue every PUT this rank owns: slot j of target t for j ≡ me (mod n).
+    struct Flight {
+        frame: [u8; FRAME_LEN],
+        to: SocketAddr,
+        due: Instant,
+    }
+    let mut unacked: HashMap<u64, Flight> = HashMap::new();
+    let mut msg_seq = 0u64;
+    for (t, peer) in peers.iter().enumerate() {
+        for j in (me..STORM_WORDS).step_by(ranks) {
+            let v = storm_slot_val(seed, t, j);
+            let frame = encode(KIND_PUT, msg_seq, me as u32, t as u32, j as u32, v);
+            let _ = sock.send_to(&frame, peer);
+            unacked.insert(
+                msg_seq,
+                Flight {
+                    frame,
+                    to: *peer,
+                    due: Instant::now() + RTO,
+                },
+            );
+            msg_seq += 1;
+        }
+    }
+
+    let mut array = [0u64; STORM_WORDS];
+    let mut applied: HashSet<(u32, u64)> = HashSet::new();
+    let mut announced = false;
+    let mut buf = [0u8; 64];
+    let start = Instant::now();
+    loop {
+        assert!(start.elapsed() < DEADLINE, "rank {me}: protocol deadline");
+        // Serve the wire.
+        loop {
+            let (len, _) = match sock.recv_from(&mut buf) {
+                Ok(r) => r,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => panic!("rank {me}: recv: {e}"),
+            };
+            let Some((kind, msg, src, target, slot, value)) = decode(&buf[..len]) else {
+                continue;
+            };
+            match kind {
+                KIND_PUT => {
+                    assert_eq!(target as usize, me, "rank {me}: misrouted PUT");
+                    if applied.insert((src, msg)) {
+                        array[slot as usize] = value;
+                    }
+                    // Ack (and re-ack duplicates: our previous ack may be
+                    // the datagram that got lost).
+                    let ack = encode(KIND_ACK, msg, me as u32, src, slot, 0);
+                    let _ = sock.send_to(&ack, peers[src as usize]);
+                }
+                KIND_ACK => {
+                    unacked.remove(&msg);
+                }
+                _ => {}
+            }
+        }
+        // Retransmit overdue flights.
+        let now = Instant::now();
+        for f in unacked.values_mut() {
+            if f.due <= now {
+                let _ = sock.send_to(&f.frame, f.to);
+                f.due = now + RTO;
+            }
+        }
+        if unacked.is_empty() && !announced {
+            println!("PUTS_DONE");
+            std::io::stdout().flush().unwrap();
+            announced = true;
+        }
+        // GO only arrives after every rank's PUTs are acked, i.e. applied.
+        match rx.try_recv() {
+            Ok(line) if line.trim() == "GO" => break,
+            Ok(_) => {}
+            Err(mpsc::TryRecvError::Empty) => {}
+            Err(mpsc::TryRecvError::Disconnected) => panic!("rank {me}: parent vanished"),
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for w in array {
+        h = fold(h, w);
+    }
+    println!("DIGEST {h:016x} APPLIED {}", applied.len());
+    std::io::stdout().flush().unwrap();
+}
+
+fn parent(ranks: usize, seed: u64, verify_sim: bool) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut children = Vec::new();
+    for r in 0..ranks {
+        let child = Command::new(&exe)
+            .args([
+                "--child",
+                &r.to_string(),
+                "--ranks",
+                &ranks.to_string(),
+                "--seed",
+                &seed.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn child rank");
+        children.push(child);
+    }
+    let mut stdins = Vec::new();
+    let mut stdouts = Vec::new();
+    for c in &mut children {
+        stdins.push(c.stdin.take().expect("child stdin"));
+        stdouts.push(BufReader::new(c.stdout.take().expect("child stdout")));
+    }
+    let expect_line = |r: &mut BufReader<std::process::ChildStdout>, prefix: &str| -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            assert!(
+                r.read_line(&mut line).expect("read child") > 0,
+                "child exited before sending {prefix}"
+            );
+            if let Some(rest) = line.trim_end().strip_prefix(prefix) {
+                return rest.to_string();
+            }
+        }
+    };
+
+    let addrs: Vec<String> = stdouts
+        .iter_mut()
+        .map(|r| expect_line(r, "ADDR "))
+        .collect();
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for s in &mut stdins {
+        s.write_all(peers_line.as_bytes()).expect("send PEERS");
+        s.flush().unwrap();
+    }
+    for r in &mut stdouts {
+        expect_line(r, "PUTS_DONE");
+    }
+    for s in &mut stdins {
+        s.write_all(b"GO\n").expect("send GO");
+        s.flush().unwrap();
+    }
+
+    let mut digest = 0u64;
+    let mut total_applied = 0u64;
+    for (rank, r) in stdouts.iter_mut().enumerate() {
+        let rest = expect_line(r, "DIGEST ");
+        let mut it = rest.split_whitespace();
+        let h = u64::from_str_radix(it.next().expect("digest"), 16).expect("digest hex");
+        let applied: u64 = match (it.next(), it.next()) {
+            (Some("APPLIED"), Some(n)) => n.parse().expect("applied count"),
+            _ => panic!("malformed DIGEST line from rank {rank}"),
+        };
+        digest = fold(digest, h);
+        total_applied += applied;
+    }
+    for c in &mut children {
+        assert!(c.wait().expect("wait child").success(), "child rank failed");
+    }
+
+    // Analytic expectation: the same fold over the known final image.
+    let mut expected = 0u64;
+    for t in 0..ranks {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64;
+        for j in 0..STORM_WORDS {
+            h = fold(h, storm_slot_val(seed, t, j));
+        }
+        expected = fold(expected, h);
+    }
+    println!(
+        "udprun: ranks={ranks} seed={seed} datagrams_applied={total_applied} \
+         digest={digest:#018x}"
+    );
+    assert_eq!(
+        digest, expected,
+        "multi-process digest diverged from the analytic final image"
+    );
+    assert_eq!(total_applied as usize, ranks * STORM_WORDS);
+
+    if verify_sim && ranks != simtest::RANKS {
+        println!(
+            "udprun: skipping sim differential (harness is fixed at {} ranks)",
+            simtest::RANKS
+        );
+    } else if verify_sim {
+        // The same workload through the in-process runtime on the simulated
+        // conduit, both notification versions — the three-way differential.
+        for version in [LibVersion::V2021_3_6Eager, LibVersion::V2021_3_6Defer] {
+            let o = run(Workload::PutGetStorm, version, seed, None);
+            assert_eq!(
+                o.digest, digest,
+                "{version:?} simulator digest diverged from the multi-process run"
+            );
+            println!("udprun: {version:?} sim digest matches");
+        }
+    }
+    println!("udprun: OK");
+}

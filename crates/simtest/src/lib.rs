@@ -17,7 +17,7 @@
 //! GUPS xor), so any divergence between library versions is a real
 //! semantics change, not a race artifact.
 
-use gasnex::{AggConfig, FaultPlan, NetConfig, NetStats};
+use gasnex::{AggConfig, FaultPlan, NetConfig, NetStats, Transport};
 use graphgen::SeededRng;
 use gups::{GupsConfig, Variant};
 use upcr::{conjoin, launch, GlobalPtr, LibVersion, RuntimeConfig, Upcr};
@@ -141,6 +141,128 @@ pub fn net_for(plan: Option<FaultPlan>) -> NetConfig {
 /// plan, reducing the run to its [`Outcome`].
 pub fn run(workload: Workload, version: LibVersion, seed: u64, plan: Option<FaultPlan>) -> Outcome {
     run_agg(workload, version, seed, plan, None).0
+}
+
+/// The named fault plans a real-socket run can honour: only deliberate
+/// drops (skip the `send_to`) and duplicates (send the frame twice) are
+/// expressible on a kernel wire, and the retransmission timers are scaled
+/// to loopback RTTs rather than the simulator's nanosecond latencies.
+pub fn udp_fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drop-heavy",
+            FaultPlan::seeded(seed)
+                .with_drops(250_000)
+                .with_retry(300_000, 4_800_000, 6),
+        ),
+        (
+            "dup-heavy",
+            FaultPlan::seeded(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5).with_dups(200_000),
+        ),
+    ]
+}
+
+/// Network configuration for a real-socket run: wall clock (kernel sockets
+/// cannot be time-warped) and optionally a drop/dup-only fault plan. The
+/// latency knobs are irrelevant — the loopback path sets the real latency.
+pub fn net_for_udp(plan: Option<FaultPlan>) -> NetConfig {
+    let base = NetConfig::default();
+    match plan {
+        Some(p) => base.with_faults(p),
+        None => base,
+    }
+}
+
+/// Like [`run`], but carried by the real loopback-UDP socket conduit
+/// instead of the simulated network: every cross-node delivery travels as
+/// an actual kernel datagram, with sender retransmission and receiver
+/// dedup on the wire.
+///
+/// The digest and completion count must match the simulated run for the
+/// same `(workload, seed)` — that equality is the transport-independence
+/// claim the differential tests pin. The reliability counters are *not*
+/// comparable: real-wire retransmission races (an ACK arriving just after
+/// a timer fires) make them schedule-dependent.
+pub fn run_udp(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Outcome {
+    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+        .with_version(version)
+        .with_segment_size(1 << 18)
+        .with_net(net_for_udp(plan))
+        .with_transport(Transport::UdpSocket);
+    let results = launch(rt, move |u| {
+        let digest = match workload {
+            Workload::PutGetStorm => put_get_storm(u, seed),
+            Workload::AtomicStorm => atomic_storm(u, seed),
+            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
+            Workload::GupsSmall => gups_small(u),
+        };
+        u.barrier();
+        while u.net_stats().pending > 0 {
+            u.progress();
+        }
+        u.barrier();
+        let s = u.stats();
+        let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
+        let net = u.net_stats();
+        (digest, completions, net)
+    });
+    let (digest, completions, net) = results[0];
+    for (d, c, _) in &results {
+        assert_eq!((*d, *c), (digest, completions), "ranks disagree on outcome");
+    }
+    outcome_from(digest, completions, net)
+}
+
+/// Hash a wire-level trace into one word (order-sensitive over every field
+/// of every event) — the compact form the conduit-swap golden tests pin.
+pub fn wire_trace_hash(events: &[gasnex::NetTraceEvent]) -> u64 {
+    let mut h = 0u64;
+    for e in events {
+        h = fold(h, e.ts_ns);
+        h = fold(h, e.msg);
+        h = fold(h, u64::from(e.attempt));
+        h = fold(
+            h,
+            match e.kind {
+                gasnex::NetEventKind::Inject => 1,
+                gasnex::NetEventKind::Drop { backoff_ns } => fold(2, backoff_ns),
+                gasnex::NetEventKind::Retry => 3,
+                gasnex::NetEventKind::Deliver => 4,
+                gasnex::NetEventKind::DupDiscard => 5,
+                gasnex::NetEventKind::Signal { rank, token } => {
+                    fold(fold(6, u64::from(rank)), token)
+                }
+            },
+        );
+    }
+    h
+}
+
+/// Drive a fresh 2-rank world single-threadedly under `plan` with wire
+/// tracing on: inject `n` empty deliveries, drain, and return the traced
+/// event count and [`wire_trace_hash`]. With the virtual clock the result
+/// is a pure function of the plan, which makes it a golden-testable probe
+/// of the conduit's whole drop/retry/dup/dedup schedule.
+pub fn wire_trace_probe(plan: FaultPlan, n: u64) -> (usize, u64) {
+    let w = gasnex::World::new(
+        gasnex::GasnexConfig::udp(2, 1)
+            .with_segment_size(1 << 12)
+            .with_net(net_for(Some(plan))),
+    );
+    w.net().set_tracing(true);
+    for _ in 0..n {
+        w.net().inject(Box::new(|_| {}));
+    }
+    while w.net().pending() > 0 {
+        w.net().poll(&w);
+    }
+    let events = w.net().take_trace();
+    (events.len(), wire_trace_hash(&events))
 }
 
 /// The aggregation configuration the differential harness sweeps when a
@@ -334,6 +456,18 @@ pub fn fold(h: u64, v: u64) -> u64 {
     graphgen::splitmix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Words per rank in [`Workload::PutGetStorm`]'s array. Public because the
+/// multi-process UDP runner reproduces the same final image out of real
+/// datagrams and folds it with [`storm_slot_val`]/[`fold`].
+pub const STORM_WORDS: usize = 48;
+
+/// The value [`Workload::PutGetStorm`] leaves in slot `slot` of rank
+/// `target`'s array (round 0) — the analytic final image the multi-process
+/// runner checks its datagram-built state against.
+pub fn storm_slot_val(seed: u64, target: usize, slot: usize) -> u64 {
+    slot_val(seed, target, slot, 0)
+}
+
 /// Deterministic per-slot value, independent of which rank computes it.
 fn slot_val(seed: u64, target: usize, slot: usize, round: usize) -> u64 {
     fold(
@@ -372,7 +506,7 @@ fn digest_arrays(u: &Upcr, base: GlobalPtr<u64>, words: usize) -> u64 {
 /// writer reads every slot back and checks the value survived the faulted
 /// network intact.
 fn put_get_storm(u: &Upcr, seed: u64) -> u64 {
-    const WORDS: usize = 48;
+    const WORDS: usize = STORM_WORDS;
     let n = u.rank_n();
     let me = u.rank_me();
     let base = u.new_array::<u64>(WORDS);
