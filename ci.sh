@@ -20,6 +20,12 @@
 #                    pre-refactor digests, counters, and wire traces) plus
 #                    the sim-vs-socket differential over real loopback UDP,
 #                    in-process and as separate OS processes (udprun).
+#   ./ci.sh signals  notifiable-RMA gate: badge-coalescing property tests,
+#                    the signal-storm chaos differential (exactly-once
+#                    delivery + eager/defer digest equality), the sim-vs-UDP
+#                    signal differential, and the multi-process parked-waiter
+#                    run (udprun --signals). All timeout-bounded: a waiter
+#                    that never wakes must fail CI, not hang it.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -112,8 +118,37 @@ case "$job" in
 
     echo "Conduit gate green."
     ;;
+  signals)
+    # Substrate first: notification-object state machine, parking, and
+    # SIGNAL-frame wire tests inside gasnex; then the unit layer
+    # (put/amo_signal + wait_signal on the runtime), the property suite,
+    # and the chaos/transport differentials.
+    echo "==> cargo test -p gasnex --release notify event"
+    timeout 120 cargo test -p gasnex --release -q notify
+    timeout 120 cargo test -p gasnex --release -q event
+
+    echo "==> cargo test -p upcr --release signal"
+    timeout 180 cargo test -p upcr --release -q signal
+
+    echo "==> cargo test --release --test property badge wait_mask waiter"
+    timeout 120 cargo test --release -q --test property badge
+    timeout 120 cargo test --release -q --test property wait_mask
+    timeout 120 cargo test --release -q --test property waiter
+
+    echo "==> cargo test -p simtest --release --test signals"
+    timeout 300 cargo test -p simtest --release -q --test signals
+
+    echo "==> cargo test -p simtest --release --test conduit signal"
+    timeout 300 cargo test -p simtest --release -q --test conduit signal
+
+    echo "==> udprun --ranks 4 --seed 0 --signals"
+    cargo build -p simtest --release -q --bin udprun
+    timeout 120 ./target/release/udprun --ranks 4 --seed 0 --signals
+
+    echo "Signals gate green."
+    ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, trace, bench, or conduit)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, or signals)" >&2
     exit 2
     ;;
 esac

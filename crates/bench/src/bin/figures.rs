@@ -135,10 +135,11 @@ fn emit_bench_json(args: &Args) {
     std::fs::create_dir_all(&args.out_dir)
         .unwrap_or_else(|e| panic!("creating {}: {e}", args.out_dir));
     type SuiteEmit = fn(bool) -> String;
-    let suites: [(&str, SuiteEmit); 3] = [
+    let suites: [(&str, SuiteEmit); 4] = [
         ("micro", bench::emit::bench_micro_doc),
         ("gups", bench::emit::bench_gups_doc),
         ("matching", bench::emit::bench_matching_doc),
+        ("signals", bench::emit::bench_signals_doc),
     ];
     for (suite, emit) in suites {
         if !want(args, suite) {

@@ -238,6 +238,88 @@ pub fn bench_gups_doc(quick: bool) -> String {
     b.finish()
 }
 
+/// `BENCH_signals.json`: the notifiable-RMA suite. Two halves:
+///
+/// * **park** — a wall-clock 4-rank world (2 ranks per node) where rank 0
+///   blocks in `wait_signal` while ranks 1..3 `put_signal` distinct
+///   badges. Emits only schedule-independent fields: the number of signal
+///   ops, how many rode the conduit (exactly the two off-node senders),
+///   the badge mask rank 0 woke with — and `polls_while_parked`, which the
+///   committed baseline pins at **zero**: a parked waiter must burn no
+///   progress polls. (`park_wakeups` and `signals_coalesced` depend on
+///   arrival timing and are deliberately excluded.)
+/// * **signal-storm** — the virtual-clock chaos workload per library
+///   version under the `combined` fault plan: digest, completions, and
+///   reliability counters, all pure functions of `(seed, plan)`.
+pub fn bench_signals_doc(quick: bool) -> String {
+    let seed = 42u64;
+    let mut b = DocBuilder::new("signals", mode_name(quick), seed, simtest::RANKS as u64, 1);
+
+    // Park half: wall clock, so rank 0 genuinely parks on a condvar.
+    let results = upcr::launch(
+        upcr::RuntimeConfig::udp(simtest::RANKS, simtest::RANKS_PER_NODE)
+            .with_segment_size(1 << 16),
+        |u| {
+            let mine = u.new_::<u64>(0);
+            let target = u.broadcast(mine, 0);
+            u.barrier();
+            u.reset_stats();
+            let me = u.rank_me();
+            let mask = if me == 0 {
+                let want = 0b1110u64;
+                let mut seen = 0u64;
+                while seen != want {
+                    seen |= u.wait_signal(0, want & !seen);
+                }
+                seen
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                u.put_signal(me as u64, target, 0, 1 << me).wait();
+                0
+            };
+            u.barrier();
+            (u.stats(), u.net_stats(), mask)
+        },
+    );
+    let signals_sent: u64 = results.iter().map(|(s, _, _)| s.signals_sent).sum();
+    let polls_parked: u64 = results.iter().map(|(s, _, _)| s.polls_while_parked).sum();
+    b.exact("park.signals_sent", "ops", signals_sent as f64);
+    b.exact("park.net_signals", "msgs", results[0].1.signals as f64);
+    b.exact("park.woken_mask", "bits", results[0].2 as f64);
+    b.exact("park.polls_while_parked", "polls", polls_parked as f64);
+
+    // Chaos half: deterministic outcomes for the signal workload.
+    let plan = simtest::fault_plans(seed)
+        .into_iter()
+        .find(|(n, _)| *n == "combined")
+        .expect("combined plan exists")
+        .1;
+    for &version in &VERSIONS {
+        let o = simtest::run(Workload::SignalStorm, version, seed, Some(plan));
+        let key = format!("signal-storm.{}", version_slug(version));
+        b.exact(&format!("{key}.digest_hi"), "hash", (o.digest >> 32) as f64);
+        b.exact(
+            &format!("{key}.digest_lo"),
+            "hash",
+            (o.digest & 0xFFFF_FFFF) as f64,
+        );
+        b.exact(&format!("{key}.completions"), "ops", o.completions as f64);
+        b.exact(&format!("{key}.injected"), "msgs", o.injected as f64);
+        b.exact(&format!("{key}.retries"), "msgs", o.retries as f64);
+        b.exact(
+            &format!("{key}.drops_injected"),
+            "msgs",
+            o.drops_injected as f64,
+        );
+        b.exact(
+            &format!("{key}.dup_suppressed"),
+            "msgs",
+            o.dup_suppressed as f64,
+        );
+    }
+    b.finish()
+}
+
 /// `BENCH_matching.json`: the Figure-8 application — distributed maximal
 /// weighted matching over every paper preset, per library version. Only
 /// schedule-independent fields are emitted: the graph shape and the solve
@@ -362,6 +444,39 @@ mod tests {
                 assert_eq!(eager, row("v2021_3_0", field));
             }
         }
+    }
+
+    #[test]
+    fn signals_doc_is_deterministic_and_pins_zero_parked_polls() {
+        let a = bench_signals_doc(true);
+        assert_eq!(a, bench_signals_doc(true), "signals doc must be replayable");
+        let d = parse_bench(&a).expect("emitted doc must parse");
+        assert_eq!(d.suite, "signals");
+        assert!(d
+            .metrics
+            .iter()
+            .all(|m| m.tol_rel == 0.0 && m.tol_abs == 0.0));
+        let val = |name: &str| {
+            d.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .value
+        };
+        // The acceptance criterion: a parked rank performs zero progress
+        // polls; and exactly the two off-node signals rode the conduit.
+        assert_eq!(val("park.polls_while_parked"), 0.0);
+        assert_eq!(val("park.signals_sent"), 3.0);
+        assert_eq!(val("park.net_signals"), 2.0);
+        assert_eq!(val("park.woken_mask"), 14.0);
+        // Eager and defer agree on the chaos half, field for field.
+        for field in ["digest_hi", "digest_lo", "completions", "injected"] {
+            assert_eq!(
+                val(&format!("signal-storm.v2021_3_6_eager.{field}")),
+                val(&format!("signal-storm.v2021_3_6_defer.{field}"))
+            );
+        }
+        assert_eq!(val("signal-storm.v2021_3_6_eager.completions"), 24.0);
     }
 
     #[test]

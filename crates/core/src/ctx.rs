@@ -209,6 +209,15 @@ impl RankCtx {
         }
     }
 
+    /// Record a `wait_signal` badge consumption on this rank.
+    #[inline]
+    pub fn trace_signal(&self, word: usize, badge: u64) {
+        if self.trace_on.get() {
+            let ts = self.trace_now_ns();
+            self.tracer.borrow_mut().signal(word as u32, badge, ts);
+        }
+    }
+
     /// Whether `target`'s segment is directly addressable from this rank.
     #[inline]
     pub fn addressable(&self, target: Rank) -> bool {

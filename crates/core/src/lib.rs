@@ -58,6 +58,7 @@ pub mod rma;
 pub mod rpc;
 pub mod runtime;
 pub mod ser;
+pub mod signal;
 pub mod stats;
 pub mod trace;
 pub mod version;
@@ -84,5 +85,6 @@ pub use vis::Strided;
 
 // Re-export the substrate types that appear in public signatures.
 pub use gasnex::{
-    AggConfig, ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, NetStats, Rank, Team,
+    AggConfig, AmoOp, ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, NetStats,
+    NotifyTable, Rank, Team,
 };

@@ -279,7 +279,10 @@ pub fn analyze(ranks: &[RankTrace], net: &[NetTraceEvent]) -> CriticalPathReport
                         segments,
                     });
                 }
-                EventKind::Init | EventKind::Drain { .. } | EventKind::BatchFlush { .. } => {}
+                EventKind::Init
+                | EventKind::Drain { .. }
+                | EventKind::BatchFlush { .. }
+                | EventKind::Signal { .. } => {}
             }
         }
     }

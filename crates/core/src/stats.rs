@@ -136,6 +136,17 @@ per_rank_stats! {
     /// High-water mark of simultaneously pending notifications (registered
     /// event waiters plus queued rank-local deferred entries).
     pending_highwater: gauge,
+    /// Put/amo-with-signal operations initiated.
+    signals_sent: counter,
+    /// Signal badges that OR-coalesced into an already-Active notification
+    /// word on this rank (delivery-side; attributed to the target rank).
+    signals_coalesced: counter,
+    /// Times a `wait_signal` park on this rank was woken by a badge.
+    park_wakeups: counter,
+    /// Progress polls performed by `wait_signal` while it *wanted* to park
+    /// (refused reservation or virtual clock). A parked rank contributes
+    /// zero — the idle-CPU guarantee the bench gate checks.
+    polls_while_parked: counter,
 }
 
 #[inline]

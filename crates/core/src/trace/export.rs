@@ -105,6 +105,10 @@ fn push_rank_event(out: &mut String, rank: u32, e: &TraceEvent, first: &mut bool
             );
             push_instant(out, "batch_flush", pid, e.ts_ns, &args);
         }
+        EventKind::Signal { word, badge } => {
+            let args = format!("\"word\":{},\"badge\":{},\"seq\":{}", word, badge, e.seq);
+            push_instant(out, "signal", pid, e.ts_ns, &args);
+        }
     }
 }
 

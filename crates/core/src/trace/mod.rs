@@ -140,6 +140,10 @@ pub enum EventKind {
         ops: u32,
         reason: gasnex::FlushReason,
     },
+    /// `wait_signal` consumed `badge` bits from notification word `word`
+    /// (a rank-level event: the badges may have been coalesced from many
+    /// signal ops, so no single span owns the consumption).
+    Signal { word: u32, badge: u64 },
 }
 
 /// One recorded event. `seq` is a per-rank monotonic counter, so event
@@ -257,6 +261,11 @@ impl RankTracer {
     /// Record a productive progress quantum.
     pub fn drain(&mut self, items: u64, ts_ns: u64) {
         self.push(ts_ns, TraceOp::NONE, EventKind::Drain { items });
+    }
+
+    /// Record a `wait_signal` badge consumption.
+    pub fn signal(&mut self, word: u32, badge: u64, ts_ns: u64) {
+        self.push(ts_ns, TraceOp::NONE, EventKind::Signal { word, badge });
     }
 
     /// Record an aggregation batch flush (a rank-level event; the

@@ -54,6 +54,17 @@ pub trait Conduit: Send + Sync {
         self.inject_to(None, action)
     }
 
+    /// Inject a *signal-bearing* delivery action (a put-with-signal or
+    /// amo-with-signal). Semantically identical to [`Conduit::inject_to`]
+    /// — same reliability machinery, same exactly-once delivery — but the
+    /// transport may mark the traffic on the wire (the UDP conduit stamps
+    /// a SIGNAL frame kind) and counts it in `NetStats::signals`. The
+    /// default forwards to `inject_to` uncounted, for transports that do
+    /// not distinguish signal traffic.
+    fn inject_signal_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        self.inject_to(route, action)
+    }
+
     /// Execute due deliveries. Returns the number of work items observed
     /// (deliveries, suppressed duplicates, retransmissions), or a busy hint
     /// of 1 when another rank is mid-drain while work is outstanding.
@@ -120,6 +131,7 @@ struct Counters {
     flushes_size: AtomicU64,
     flushes_age: AtomicU64,
     flushes_explicit: AtomicU64,
+    signals: AtomicU64,
 }
 
 impl Counters {
@@ -140,6 +152,7 @@ impl Counters {
             flushes_age: self.flushes_age.load(Ordering::SeqCst),
             flushes_explicit: self.flushes_explicit.load(Ordering::SeqCst),
             agg_occupancy_highwater: 0,
+            signals: self.signals.load(Ordering::SeqCst),
         }
     }
 
@@ -161,6 +174,7 @@ impl Counters {
         self.flushes_age.store(s.flushes_age, Ordering::SeqCst);
         self.flushes_explicit
             .store(s.flushes_explicit, Ordering::SeqCst);
+        self.signals.store(s.signals, Ordering::SeqCst);
     }
 }
 
@@ -246,6 +260,10 @@ impl ConduitCounters {
 
     pub fn note_dup_promoted(&self) {
         self.live.dup_promoted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn note_signal(&self) {
+        self.live.signals.fetch_add(1, Ordering::SeqCst);
     }
 
     pub fn note_batch(&self, ops: u64, reason: FlushReason) {

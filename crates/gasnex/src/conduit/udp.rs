@@ -15,11 +15,16 @@
 //!
 //! ```text
 //! [0]      magic      0xC7
-//! [1]      kind       1 = DATA, 2 = ACK
+//! [1]      kind       1 = DATA, 2 = ACK, 3 = SIGNAL
 //! [2..10]  msg  u64   logical message id (Conduit::inject_to return)
 //! [10..14] attempt u32 transmission attempt, 0-based
 //! [14..18] src_node u32 sender's node index (ACK destination)
 //! ```
+//!
+//! A SIGNAL frame is a DATA frame whose parked action carries a
+//! notification badge (put/amo-with-signal): it rides the identical
+//! ack/retransmit/dedup flights, so badge coalescing at the target happens
+//! exactly once per signal op no matter what the wire did to the frame.
 //!
 //! A DATA frame carries no payload bytes: delivery actions are closures and
 //! cannot cross the wire, so the action is parked in a shared table keyed by
@@ -72,6 +77,7 @@ use crate::world::World;
 const MAGIC: u8 = 0xC7;
 const KIND_DATA: u8 = 1;
 const KIND_ACK: u8 = 2;
+const KIND_SIGNAL: u8 = 3;
 const FRAME_LEN: usize = 18;
 
 /// Retransmission timer when no fault plan supplies one: loopback RTT is
@@ -103,7 +109,7 @@ impl Frame {
             return None;
         }
         let kind = b[1];
-        if kind != KIND_DATA && kind != KIND_ACK {
+        if kind != KIND_DATA && kind != KIND_ACK && kind != KIND_SIGNAL {
             return None;
         }
         Some(Frame {
@@ -116,11 +122,14 @@ impl Frame {
 }
 
 /// A sent-but-unacked transmission awaiting its retransmission deadline.
+/// `kind` is preserved across retransmissions so a resent SIGNAL frame
+/// stays a SIGNAL frame.
 struct Flight {
     from_node: usize,
     to_node: usize,
     attempt: u32,
     due_ns: u64,
+    kind: u8,
 }
 
 /// The loopback-UDP [`Conduit`].
@@ -217,7 +226,7 @@ impl UdpConduit {
     /// Transmit attempt `attempt` of `msg` from `from_node` to `to_node`,
     /// applying the deliberate drop/dup fates, and arm (or re-arm) its
     /// retransmission deadline.
-    fn send_attempt(&self, msg: u64, attempt: u32, from_node: usize, to_node: usize) {
+    fn send_attempt(&self, msg: u64, attempt: u32, from_node: usize, to_node: usize, kind: u8) {
         let plan: Option<&FaultPlan> = self.cfg.faults.as_ref();
         let drop_this = plan.is_some_and(|p| {
             attempt + 1 < p.max_attempts && ppm(self.mix(msg, attempt, 1)) < p.drop_ppm
@@ -237,7 +246,7 @@ impl UdpConduit {
             );
         } else {
             let frame = Frame {
-                kind: KIND_DATA,
+                kind,
                 msg,
                 attempt,
                 src_node: from_node as u32,
@@ -261,6 +270,7 @@ impl UdpConduit {
                 to_node,
                 attempt,
                 due_ns: self.now_wall_ns() + backoff,
+                kind,
             },
         );
     }
@@ -283,7 +293,10 @@ impl UdpConduit {
                 continue;
             };
             match frame.kind {
-                KIND_DATA => {
+                // A SIGNAL frame is handled exactly like DATA — the badge
+                // post lives inside the parked action, and the
+                // take-from-table dedup is what makes it coalesce once.
+                KIND_DATA | KIND_SIGNAL => {
                     work += 1;
                     let action = self.payloads.lock().unwrap().remove(&frame.msg);
                     // ACK first (either way): if our earlier ACK was lost
@@ -325,26 +338,26 @@ impl UdpConduit {
     /// Resend every flight whose retransmission deadline has passed.
     fn retransmit_due(&self) -> usize {
         let now = self.now_wall_ns();
-        let due: Vec<(u64, usize, usize, u32)> = {
+        let due: Vec<(u64, usize, usize, u32, u8)> = {
             let unacked = self.unacked.lock().unwrap();
             unacked
                 .iter()
                 .filter(|(_, f)| f.due_ns <= now)
-                .map(|(&msg, f)| (msg, f.from_node, f.to_node, f.attempt))
+                .map(|(&msg, f)| (msg, f.from_node, f.to_node, f.attempt, f.kind))
                 .collect()
         };
         let n = due.len();
-        for (msg, from, to, attempt) in due {
+        for (msg, from, to, attempt, kind) in due {
             self.ctr.note_retry();
             self.trace_event(msg, attempt + 1, NetEventKind::Retry);
-            self.send_attempt(msg, attempt + 1, from, to);
+            self.send_attempt(msg, attempt + 1, from, to, kind);
         }
         n
     }
-}
 
-impl Conduit for UdpConduit {
-    fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+    /// Shared injection path: park the payload, then put attempt 0 of a
+    /// `kind` frame on the wire.
+    fn inject_kind(&self, route: Option<(Rank, Rank)>, action: NetAction, kind: u8) -> u64 {
         let msg = self.ctr.next_msg();
         self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
         self.trace_event(msg, 0, NetEventKind::Inject);
@@ -357,8 +370,21 @@ impl Conduit for UdpConduit {
         };
         // Park the payload before the frame can possibly arrive.
         self.payloads.lock().unwrap().insert(msg, action);
-        self.send_attempt(msg, 0, from_node, to_node);
+        self.send_attempt(msg, 0, from_node, to_node, kind);
         msg
+    }
+}
+
+impl Conduit for UdpConduit {
+    fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        self.inject_kind(route, action, KIND_DATA)
+    }
+
+    /// Signal-carrying injection: a SIGNAL frame on the same
+    /// ack/retransmit/dedup flights as DATA, plus the signal counter.
+    fn inject_signal_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        self.ctr.note_signal();
+        self.inject_kind(route, action, KIND_SIGNAL)
     }
 
     fn poll(&self, world: &World) -> usize {
@@ -561,6 +587,37 @@ mod tests {
     }
 
     #[test]
+    fn signal_frames_survive_wire_faults_exactly_once() {
+        // SIGNAL frames ride the same ack/retransmit/dedup flights as
+        // DATA: under drops + dups every signal action still runs exactly
+        // once, and the signal counter sees every injection.
+        let plan = FaultPlan::seeded(29)
+            .with_drops(250_000)
+            .with_dups(300_000)
+            .with_retry(50_000, 400_000, 6);
+        let w = udp_world(Some(plan));
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..96u64 {
+            let h = Arc::clone(&hits);
+            w.net().inject_signal_to(
+                Some((Rank(i as u32 % 4), Rank((i as u32 + 1) % 4))),
+                Box::new(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        drain(&w, 96);
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            96,
+            "signal delivery must stay exactly-once under wire faults"
+        );
+        let s = w.net().stats();
+        assert_eq!(s.signals, 96);
+        assert!(s.drops_injected > 0, "plan should have dropped frames");
+    }
+
+    #[test]
     fn frame_roundtrip() {
         let f = Frame {
             kind: KIND_DATA,
@@ -573,6 +630,12 @@ mod tests {
         assert_eq!(d.msg, 0xDEAD_BEEF_0123);
         assert_eq!(d.attempt, 7);
         assert_eq!(d.src_node, 3);
+        let sig = Frame {
+            kind: KIND_SIGNAL,
+            ..f
+        };
+        let d = Frame::decode(&sig.encode()).expect("signal roundtrip");
+        assert_eq!(d.kind, KIND_SIGNAL);
         assert!(Frame::decode(&[0u8; FRAME_LEN]).is_none(), "bad magic");
         assert!(Frame::decode(&[MAGIC; 4]).is_none(), "short frame");
     }

@@ -97,6 +97,38 @@ impl EventCore {
     pub fn has_waiter(&self) -> bool {
         self.waiter.lock().unwrap().is_some()
     }
+
+    /// Block the calling thread — zero CPU — until the event is signalled,
+    /// or until `timeout` elapses. Returns `true` when the event fired.
+    ///
+    /// This extends the signal-driven wakeup engine from intra-rank token
+    /// routing to cross-rank blocking: the condvar bridge is registered
+    /// through [`EventCore::on_signal`], so whichever thread signals the
+    /// event (typically a peer rank delivering a notification badge) wakes
+    /// the parked thread directly. The caller is responsible for ensuring
+    /// some other thread still drives conduit progress while this one is
+    /// parked — see `NotifyTable::try_reserve_park`.
+    pub fn park(&self, timeout: std::time::Duration) -> bool {
+        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let g2 = Arc::clone(&gate);
+        self.on_signal(move || {
+            let (lock, cv) = &*g2;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*gate;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut fired = lock.lock().unwrap();
+        while !*fired {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (g, _) = cv.wait_timeout(fired, left).unwrap();
+            fired = g;
+        }
+        true
+    }
 }
 
 /// A completion handle for one communication operation.
@@ -230,6 +262,31 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert!(!core.has_waiter());
+    }
+
+    #[test]
+    fn park_blocks_until_cross_thread_signal() {
+        let core = EventCore::new();
+        let c2 = Arc::clone(&core);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            c2.signal();
+        });
+        assert!(core.park(std::time::Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn park_after_signal_returns_immediately() {
+        let core = EventCore::new();
+        core.signal();
+        assert!(core.park(std::time::Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn park_times_out_without_signal() {
+        let core = EventCore::new();
+        assert!(!core.park(std::time::Duration::from_millis(5)));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   signal-driven completion engine routes completion tokens through them
 //!   so an initiator discovers finished operations in O(ready) instead of
 //!   re-polling every pending event.
+//! * **Notification objects** ([`notify::NotifyTable`]) — seL4-style
+//!   badge-coalescing notification words with parked waiters, the
+//!   target-side half of put-with-signal RMA.
 //! * **Conduit transports** ([`conduit::Conduit`]) — the wire abstraction
 //!   cross-node operations travel through; injected operations never
 //!   complete synchronously. Two impls: the simulated delay queue
@@ -49,6 +52,7 @@ pub mod config;
 pub mod event;
 pub mod mailbox;
 pub mod net;
+pub mod notify;
 pub mod rank;
 pub mod segment;
 pub mod world;
@@ -62,6 +66,7 @@ pub use config::{ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, Tra
 pub use event::{Event, EventCore};
 pub use mailbox::{MpQueue, ReadyQueue};
 pub use net::{FieldClass, NetEventKind, NetStats, NetTraceEvent, SimNetwork};
+pub use notify::NotifyTable;
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

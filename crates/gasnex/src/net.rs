@@ -157,6 +157,8 @@ pub struct NetStats {
     pub flushes_explicit: u64,
     /// Deepest per-target aggregation buffer observed (gauge).
     pub agg_occupancy_highwater: u64,
+    /// Signal-carrying messages (put/amo-with-signal) injected.
+    pub signals: u64,
 }
 
 impl NetStats {
@@ -179,6 +181,7 @@ impl NetStats {
         ("flushes_age", FieldClass::Counter),
         ("flushes_explicit", FieldClass::Counter),
         ("agg_occupancy_highwater", FieldClass::Gauge),
+        ("signals", FieldClass::Counter),
     ];
 
     /// Field values in the same order as [`NetStats::FIELDS`].
@@ -199,6 +202,7 @@ impl NetStats {
             self.flushes_age,
             self.flushes_explicit,
             self.agg_occupancy_highwater,
+            self.signals,
         ]
     }
 
@@ -226,6 +230,7 @@ impl NetStats {
                 .flushes_explicit
                 .saturating_sub(earlier.flushes_explicit),
             agg_occupancy_highwater: self.agg_occupancy_highwater,
+            signals: self.signals.saturating_sub(earlier.signals),
         }
     }
 }
@@ -514,6 +519,14 @@ impl Conduit for SimNetwork {
         let mut q = self.queue.lock().unwrap();
         self.schedule_attempt(&mut q, msg, 0, action);
         msg
+    }
+
+    /// Signal-carrying injection: identical wire behaviour to `inject_to`
+    /// (the badge rides inside the delivery action, which the chaos layer
+    /// already executes exactly once post-dedup), plus the signal counter.
+    fn inject_signal_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+        self.ctr.note_signal();
+        self.inject_to(route, action)
     }
 
     /// Execute all deliveries whose due time has passed. Returns the number

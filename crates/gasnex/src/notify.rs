@@ -1,0 +1,253 @@
+//! Notification objects: badge-coalescing words with parked waiters.
+//!
+//! Modeled on the seL4 notification object (and the UNR paper's unified
+//! put+notify RMA): every rank owns a small array of 64-bit *notification
+//! words*. A put-with-signal delivery posts a badge that is OR-coalesced
+//! into the target's word, and a rank may wait on a word with a mask,
+//! *parking its thread* — zero CPU — until a matching badge arrives.
+//!
+//! Each word is a tiny three-state machine, the OR making every
+//! transition lossless:
+//!
+//! ```text
+//!            post(badge)                    post(badge), mask match
+//!   Idle ───────────────────▶ Active   Waiting ─────────────────────▶ Idle*
+//!   (bits == 0, no waiter)    (bits |= badge)   (waiter taken, EventCore
+//!                                                signalled; consumed bits
+//!   Active ─ post ─▶ Active (bits |= badge,      cleared by the waker)
+//!                    "coalesced")
+//!   Idle ─ wait(mask) ─▶ Waiting (waiter parked on the word)
+//! ```
+//!
+//! **Coalescing happens after dedup**: `post` is only ever called from
+//! inside a delivery action, and both conduits (the chaos simulator's
+//! ack/retry/dedup heap and the UDP frame layer) execute each delivery
+//! action exactly once — so a badge is OR-ed exactly once no matter how
+//! many times the wire dropped, duplicated, or reordered the message.
+//!
+//! Parking is bounded by a reservation counter: at most `ranks - 1`
+//! threads may be parked at once, guaranteeing at least one awake rank to
+//! drive conduit progress (both conduits deliver *all* due traffic from
+//! any caller's poll). A rank refused a reservation falls back to polling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::EventCore;
+use crate::rank::Rank;
+
+/// A parked waiter: wake the event when `bits & mask != 0`.
+struct Waiter {
+    mask: u64,
+    ev: Arc<EventCore>,
+}
+
+/// One notification word: the badge accumulator plus at most one waiter.
+#[derive(Default)]
+struct WordState {
+    bits: u64,
+    waiter: Option<Waiter>,
+}
+
+/// Per-world table of notification words, indexed `[rank][word]`.
+pub struct NotifyTable {
+    words: Box<[Box<[Mutex<WordState>]>]>,
+    /// Threads currently parked via [`NotifyTable::try_reserve_park`];
+    /// capped at `ranks - 1` so conduit progress never stalls.
+    parked: AtomicUsize,
+    ranks: usize,
+}
+
+impl NotifyTable {
+    /// A table of `words` zeroed notification words per rank.
+    pub fn new(ranks: usize, words: usize) -> Self {
+        NotifyTable {
+            words: (0..ranks)
+                .map(|_| (0..words).map(|_| Mutex::default()).collect())
+                .collect(),
+            parked: AtomicUsize::new(0),
+            ranks,
+        }
+    }
+
+    /// Notification words per rank.
+    pub fn words_per_rank(&self) -> usize {
+        self.words.first().map_or(0, |w| w.len())
+    }
+
+    fn word(&self, rank: Rank, word: usize) -> &Mutex<WordState> {
+        &self.words[rank.0 as usize][word]
+    }
+
+    /// OR `badge` into `(rank, word)` and wake a matching parked waiter.
+    /// Returns `true` when the post *coalesced* — the word was already
+    /// Active (non-zero) when the badge arrived.
+    ///
+    /// Must only be called from a post-dedup context (a delivery action):
+    /// the OR itself is idempotent, but the coalescing counter and the
+    /// exactly-once signal test suite both assume one call per signal op.
+    pub fn post(&self, rank: Rank, word: usize, badge: u64) -> bool {
+        let mut st = self.word(rank, word).lock().unwrap();
+        let coalesced = st.bits != 0;
+        st.bits |= badge;
+        let wake = match &st.waiter {
+            Some(w) if w.mask & st.bits != 0 => st.waiter.take(),
+            _ => None,
+        };
+        drop(st);
+        if let Some(w) = wake {
+            w.ev.signal();
+        }
+        coalesced
+    }
+
+    /// Consume and return the currently-set bits of `mask` on `(rank,
+    /// word)` — zero when none are set. The returned bits are cleared, so
+    /// repeated waits observe each badge exactly once.
+    pub fn try_consume(&self, rank: Rank, word: usize, mask: u64) -> u64 {
+        let mut st = self.word(rank, word).lock().unwrap();
+        let got = st.bits & mask;
+        st.bits &= !mask;
+        got
+    }
+
+    /// Register `ev` to be signalled when any bit of `mask` is set on
+    /// `(rank, word)`. If bits already match, the event is signalled
+    /// immediately (the Waiting state is never entered). At most one
+    /// waiter per word — ranks wait on their own words only.
+    pub fn register_waiter(&self, rank: Rank, word: usize, mask: u64, ev: Arc<EventCore>) {
+        assert_ne!(mask, 0, "waiting with an empty mask would never wake");
+        let mut st = self.word(rank, word).lock().unwrap();
+        if st.bits & mask != 0 {
+            drop(st);
+            ev.signal();
+            return;
+        }
+        assert!(
+            st.waiter.is_none(),
+            "notification word supports a single parked waiter"
+        );
+        st.waiter = Some(Waiter { mask, ev });
+    }
+
+    /// Drop the registered waiter on `(rank, word)`, if any — used when a
+    /// park attempt is abandoned after registration.
+    pub fn clear_waiter(&self, rank: Rank, word: usize) {
+        self.word(rank, word).lock().unwrap().waiter = None;
+    }
+
+    /// Reserve a parking slot. Fails when the reservation would leave no
+    /// rank awake to drive the conduit; the caller must poll instead.
+    pub fn try_reserve_park(&self) -> bool {
+        self.parked
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                if p + 1 < self.ranks {
+                    Some(p + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Release a reservation taken by [`NotifyTable::try_reserve_park`].
+    pub fn unreserve_park(&self) {
+        self.parked.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Threads currently holding a park reservation (diagnostics).
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::Acquire)
+    }
+
+    /// Signal every registered waiter (world abort: parked threads must
+    /// wake, observe the abort flag, and unwind instead of hanging).
+    pub fn wake_all(&self) {
+        for per_rank in self.words.iter() {
+            for w in per_rank.iter() {
+                let taken = w.lock().unwrap().waiter.take();
+                if let Some(w) = taken {
+                    w.ev.signal();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R0: Rank = Rank(0);
+
+    #[test]
+    fn post_sets_and_consume_clears() {
+        let t = NotifyTable::new(2, 2);
+        assert!(!t.post(R0, 0, 0b01), "Idle -> Active is not a coalesce");
+        assert!(t.post(R0, 0, 0b10), "Active -> Active coalesces");
+        assert_eq!(t.try_consume(R0, 0, 0b11), 0b11);
+        assert_eq!(t.try_consume(R0, 0, 0b11), 0, "badges consumed once");
+        // Other words and ranks are untouched.
+        assert_eq!(t.try_consume(R0, 1, u64::MAX), 0);
+        assert_eq!(t.try_consume(Rank(1), 0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn consume_is_mask_selective() {
+        let t = NotifyTable::new(1, 1);
+        t.post(R0, 0, 0b1110);
+        assert_eq!(t.try_consume(R0, 0, 0b0110), 0b0110);
+        assert_eq!(t.try_consume(R0, 0, u64::MAX), 0b1000, "unmasked bits stay");
+    }
+
+    #[test]
+    fn waiter_wakes_on_matching_post_only() {
+        let t = NotifyTable::new(1, 1);
+        let ev = EventCore::new();
+        t.register_waiter(R0, 0, 0b100, Arc::clone(&ev));
+        t.post(R0, 0, 0b001);
+        assert!(!ev.is_done(), "non-matching badge must not wake");
+        t.post(R0, 0, 0b100);
+        assert!(ev.is_done());
+        // The waiter is one-shot: a further post coalesces quietly.
+        assert!(t.post(R0, 0, 0b010));
+        assert_eq!(t.try_consume(R0, 0, u64::MAX), 0b111, "no badge lost");
+    }
+
+    #[test]
+    fn register_on_already_active_word_signals_immediately() {
+        let t = NotifyTable::new(1, 1);
+        t.post(R0, 0, 0b1);
+        let ev = EventCore::new();
+        t.register_waiter(R0, 0, 0b1, Arc::clone(&ev));
+        assert!(ev.is_done());
+    }
+
+    #[test]
+    fn park_reservations_leave_one_rank_awake() {
+        let t = NotifyTable::new(3, 1);
+        assert!(t.try_reserve_park());
+        assert!(t.try_reserve_park());
+        assert!(!t.try_reserve_park(), "third of three must stay awake");
+        t.unreserve_park();
+        assert!(t.try_reserve_park());
+        assert_eq!(t.parked(), 2);
+    }
+
+    #[test]
+    fn single_rank_world_never_parks() {
+        let t = NotifyTable::new(1, 1);
+        assert!(!t.try_reserve_park());
+    }
+
+    #[test]
+    fn wake_all_signals_parked_waiters() {
+        let t = NotifyTable::new(2, 2);
+        let a = EventCore::new();
+        let b = EventCore::new();
+        t.register_waiter(R0, 0, 1, Arc::clone(&a));
+        t.register_waiter(Rank(1), 1, 1, Arc::clone(&b));
+        t.wake_all();
+        assert!(a.is_done() && b.is_done());
+    }
+}

@@ -10,6 +10,7 @@ use crate::config::{GasnexConfig, Transport};
 use crate::event::EventCore;
 use crate::mailbox::ReadyQueue;
 use crate::net::{NetAction, SimNetwork};
+use crate::notify::NotifyTable;
 use crate::rank::{Rank, Team, Topology};
 use crate::segment::Segment;
 
@@ -37,6 +38,9 @@ pub struct World {
     splits: std::sync::Mutex<std::collections::HashMap<(u64, u64, u64), Team>>,
     /// Uid source for split-created teams.
     next_team_uid: std::sync::atomic::AtomicU64,
+    /// Per-rank notification words for put-with-signal badges and their
+    /// parked waiters.
+    notify: NotifyTable,
     /// Set when a rank dies abnormally, so peers spinning in barriers or
     /// waits bail out instead of deadlocking.
     aborted: std::sync::atomic::AtomicBool,
@@ -77,6 +81,7 @@ impl World {
             local_teams,
             splits: std::sync::Mutex::new(std::collections::HashMap::new()),
             next_team_uid: std::sync::atomic::AtomicU64::new(1_000),
+            notify: NotifyTable::new(cfg.ranks, cfg.notify_words),
             topo,
             cfg,
             aborted: std::sync::atomic::AtomicBool::new(false),
@@ -88,6 +93,9 @@ impl World {
     pub fn abort(&self) {
         self.aborted
             .store(true, std::sync::atomic::Ordering::SeqCst);
+        // Parked waiters cannot poll the abort flag; wake them so they
+        // observe it and unwind instead of hanging on their condvar.
+        self.notify.wake_all();
     }
 
     /// Whether a rank has died abnormally.
@@ -172,6 +180,20 @@ impl World {
     /// source and destination node sockets; the simulator ignores it).
     pub fn net_inject_routed(&self, from: Rank, to: Rank, action: NetAction) -> u64 {
         self.net.inject_to(Some((from, to)), action)
+    }
+
+    /// Inject a *signal-bearing* operation (a put-with-signal delivery),
+    /// routed like [`net_inject_routed`](Self::net_inject_routed) but
+    /// carried as signal traffic: the UDP conduit stamps a SIGNAL frame
+    /// kind on the wire and both conduits count it in `NetStats::signals`.
+    pub fn net_inject_signal(&self, from: Rank, to: Rank, action: NetAction) -> u64 {
+        self.net.inject_signal_to(Some((from, to)), action)
+    }
+
+    /// The notification-word table (badge coalescing + parked waiters).
+    #[inline]
+    pub fn notify(&self) -> &NotifyTable {
+        &self.notify
     }
 
     /// Route `ev`'s completion signal to `initiator`'s ready queue as

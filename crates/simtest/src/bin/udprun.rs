@@ -14,8 +14,15 @@
 //! simulator runs of the same workload under both notification versions.
 //!
 //! ```text
-//! udprun [--ranks N] [--seed S] [--no-sim]
+//! udprun [--ranks N] [--seed S] [--no-sim] [--signals]
 //! ```
+//!
+//! With `--signals` the storm is replaced by the multi-process analogue of
+//! `wait_signal`: each rank datagrams its badge (`1 << rank`) to every
+//! peer as a SIG frame, a socket-service thread ORs arriving badges into a
+//! condvar-guarded notification word, and the **main thread parks on the
+//! condvar** — never touching the socket — until the expected mask is
+//! covered, then reports `SIGDONE <mask>` for the parent to verify.
 //!
 //! Protocol (parent <-> child over pipes, child <-> child over UDP):
 //!
@@ -42,6 +49,8 @@ use upcr::LibVersion;
 const MAGIC: u8 = 0xC8;
 const KIND_PUT: u8 = 3;
 const KIND_ACK: u8 = 4;
+const KIND_SIG: u8 = 5;
+const KIND_SIGACK: u8 = 6;
 const FRAME_LEN: usize = 30;
 const RTO: Duration = Duration::from_millis(5);
 const DEADLINE: Duration = Duration::from_secs(30);
@@ -88,21 +97,24 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed")
         .map(|v| v.parse().expect("--seed"))
         .unwrap_or(0);
+    let signals = args.iter().any(|a| a == "--signals");
     if let Some(me) = parse_flag(&args, "--child") {
-        child(me.parse().expect("--child"), ranks, seed);
+        let me = me.parse().expect("--child");
+        if signals {
+            child_signals(me, ranks);
+        } else {
+            child(me, ranks, seed);
+        }
+    } else if signals {
+        parent_signals(ranks, seed);
     } else {
         parent(ranks, seed, !args.iter().any(|a| a == "--no-sim"));
     }
 }
 
-fn child(me: usize, ranks: usize, seed: u64) {
-    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
-    sock.set_nonblocking(true).expect("nonblocking");
-    println!("ADDR {}", sock.local_addr().expect("local_addr"));
-    std::io::stdout().flush().unwrap();
-
-    // Stdin lines arrive on a channel so the main loop can keep serving
-    // datagrams while waiting for the parent's coordination messages.
+/// Receive the `PEERS` broadcast (spawning the stdin-relay thread) and
+/// return the peer address list plus the stdin channel.
+fn recv_peers(ranks: usize) -> (Vec<SocketAddr>, mpsc::Receiver<String>) {
     let (tx, rx) = mpsc::channel::<String>();
     std::thread::spawn(move || {
         for line in BufReader::new(std::io::stdin()).lines() {
@@ -122,6 +134,208 @@ fn child(me: usize, ranks: usize, seed: u64) {
         }
     };
     assert_eq!(peers.len(), ranks, "parent sent wrong peer count");
+    (peers, rx)
+}
+
+/// Multi-process `wait_signal`: each rank datagrams its badge (`1 << me`)
+/// to every peer as a SIG frame (retransmitted until SIGACKed, duplicates
+/// re-acked and OR-suppressed), while a dedicated socket-service thread
+/// ORs arriving badges into a condvar-guarded notification word. The main
+/// thread **parks on the condvar** — it never touches the socket, the
+/// process-level analogue of the in-runtime zero-polls-while-parked
+/// guarantee — until the word covers the full expected mask, then prints
+/// `SIGDONE <mask>` for the parent to verify.
+fn child_signals(me: usize, ranks: usize) {
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sock.set_nonblocking(true).expect("nonblocking");
+    println!("ADDR {}", sock.local_addr().expect("local_addr"));
+    std::io::stdout().flush().unwrap();
+    let (peers, rx) = recv_peers(ranks);
+
+    let expected: u64 = (0..ranks)
+        .filter(|&r| r != me)
+        .fold(0, |m, r| m | (1u64 << r));
+    let word = std::sync::Arc::new((std::sync::Mutex::new(0u64), std::sync::Condvar::new()));
+
+    let w2 = std::sync::Arc::clone(&word);
+    let service = std::thread::spawn(move || {
+        struct Flight {
+            frame: [u8; FRAME_LEN],
+            to: SocketAddr,
+            due: Instant,
+        }
+        let badge = 1u64 << me;
+        let mut unacked: HashMap<u64, Flight> = HashMap::new();
+        for (t, peer) in peers.iter().enumerate() {
+            if t == me {
+                continue;
+            }
+            let frame = encode(KIND_SIG, t as u64, me as u32, t as u32, 0, badge);
+            let _ = sock.send_to(&frame, peer);
+            unacked.insert(
+                t as u64,
+                Flight {
+                    frame,
+                    to: *peer,
+                    due: Instant::now() + RTO,
+                },
+            );
+        }
+        let mut applied: HashSet<(u32, u64)> = HashSet::new();
+        let mut buf = [0u8; 64];
+        let start = Instant::now();
+        loop {
+            assert!(start.elapsed() < DEADLINE, "rank {me}: signal deadline");
+            loop {
+                let (len, _) = match sock.recv_from(&mut buf) {
+                    Ok(r) => r,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("rank {me}: recv: {e}"),
+                };
+                let Some((kind, msg, src, target, _slot, value)) = decode(&buf[..len]) else {
+                    continue;
+                };
+                match kind {
+                    KIND_SIG => {
+                        assert_eq!(target as usize, me, "rank {me}: misrouted SIG");
+                        // First arrival ORs the badge in and wakes the
+                        // parked main thread if the mask is now covered;
+                        // duplicates only re-ack (the badge OR would be
+                        // idempotent anyway — that's the coalescing law).
+                        if applied.insert((src, msg)) {
+                            let (lock, cv) = &*w2;
+                            let mut bits = lock.lock().unwrap();
+                            *bits |= value;
+                            if *bits & expected == expected {
+                                cv.notify_all();
+                            }
+                        }
+                        let ack = encode(KIND_SIGACK, msg, me as u32, src, 0, 0);
+                        let _ = sock.send_to(&ack, peers[src as usize]);
+                    }
+                    KIND_SIGACK => {
+                        unacked.remove(&msg);
+                    }
+                    _ => {}
+                }
+            }
+            let now = Instant::now();
+            for f in unacked.values_mut() {
+                if f.due <= now {
+                    let _ = sock.send_to(&f.frame, f.to);
+                    f.due = now + RTO;
+                }
+            }
+            // Keep serving (re-acks for peers whose SIGACKs got lost)
+            // until the parent releases the world.
+            match rx.try_recv() {
+                Ok(line) if line.trim() == "GO" => break,
+                Ok(_) => {}
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => panic!("rank {me}: parent vanished"),
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(unacked.is_empty(), "rank {me}: exited with unacked signals");
+    });
+
+    // The parked waiter: condvar only, no socket, no spinning.
+    let (lock, cv) = &*word;
+    let mut bits = lock.lock().unwrap();
+    while *bits & expected != expected {
+        let (guard, timeout) = cv
+            .wait_timeout(bits, DEADLINE)
+            .expect("notification word poisoned");
+        bits = guard;
+        assert!(!timeout.timed_out(), "rank {me}: parked past the deadline");
+    }
+    let got = *bits;
+    drop(bits);
+    println!("SIGDONE {got:016x}");
+    std::io::stdout().flush().unwrap();
+    service.join().expect("service thread");
+}
+
+/// Parent half of `--signals`: same PEERS handshake, then each child must
+/// report a `SIGDONE` mask equal to everyone-but-itself.
+fn parent_signals(ranks: usize, seed: u64) {
+    assert!(ranks <= 64, "badges are bits of one u64 word");
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut children = Vec::new();
+    for r in 0..ranks {
+        let child = Command::new(&exe)
+            .args([
+                "--child",
+                &r.to_string(),
+                "--ranks",
+                &ranks.to_string(),
+                "--seed",
+                &seed.to_string(),
+                "--signals",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn child rank");
+        children.push(child);
+    }
+    let mut stdins = Vec::new();
+    let mut stdouts = Vec::new();
+    for c in &mut children {
+        stdins.push(c.stdin.take().expect("child stdin"));
+        stdouts.push(BufReader::new(c.stdout.take().expect("child stdout")));
+    }
+    let expect_line = |r: &mut BufReader<std::process::ChildStdout>, prefix: &str| -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            assert!(
+                r.read_line(&mut line).expect("read child") > 0,
+                "child exited before sending {prefix}"
+            );
+            if let Some(rest) = line.trim_end().strip_prefix(prefix) {
+                return rest.to_string();
+            }
+        }
+    };
+
+    let addrs: Vec<String> = stdouts
+        .iter_mut()
+        .map(|r| expect_line(r, "ADDR "))
+        .collect();
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for s in &mut stdins {
+        s.write_all(peers_line.as_bytes()).expect("send PEERS");
+        s.flush().unwrap();
+    }
+    for (rank, r) in stdouts.iter_mut().enumerate() {
+        let rest = expect_line(r, "SIGDONE ");
+        let got = u64::from_str_radix(rest.trim(), 16).expect("SIGDONE hex");
+        let expected: u64 = (0..ranks)
+            .filter(|&p| p != rank)
+            .fold(0, |m, p| m | (1u64 << p));
+        assert_eq!(got, expected, "rank {rank} woke with the wrong badge mask");
+    }
+    for s in &mut stdins {
+        s.write_all(b"GO\n").expect("send GO");
+        s.flush().unwrap();
+    }
+    for c in &mut children {
+        assert!(c.wait().expect("wait child").success(), "child rank failed");
+    }
+    println!("udprun: ranks={ranks} signal masks verified, waiters parked without polling");
+    println!("udprun: OK");
+}
+
+fn child(me: usize, ranks: usize, seed: u64) {
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sock.set_nonblocking(true).expect("nonblocking");
+    println!("ADDR {}", sock.local_addr().expect("local_addr"));
+    std::io::stdout().flush().unwrap();
+
+    // Stdin lines arrive on a channel so the main loop can keep serving
+    // datagrams while waiting for the parent's coordination messages.
+    let (peers, rx) = recv_peers(ranks);
 
     // Queue every PUT this rank owns: slot j of target t for j ≡ me (mod n).
     struct Flight {

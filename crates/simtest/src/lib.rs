@@ -43,10 +43,18 @@ pub enum Workload {
     /// A small GUPS run (atomic-xor variant, exact) over the faulted
     /// network, verified against the race-free table.
     GupsSmall,
+    /// Notifiable-RMA storm: every rank put-signals a private slot on every
+    /// peer and amo-signals a shared counter, then blocks in `wait_signal`
+    /// for the full badge mask. The counter proves exactly-once delivery
+    /// (`Add` is duplicate-sensitive where the badge OR is duplicate-blind).
+    SignalStorm,
 }
 
 impl Workload {
-    /// All workloads, in sweep order.
+    /// The original golden-pinned workloads, in sweep order. Deliberately
+    /// excludes [`Workload::SignalStorm`]: the signal differential sweeps
+    /// it explicitly, and keeping this list stable proves the pre-signal
+    /// workloads' wire schedules (and digests) did not move.
     pub const ALL: [Workload; 4] = [
         Workload::PutGetStorm,
         Workload::AtomicStorm,
@@ -61,6 +69,7 @@ impl Workload {
             Workload::AtomicStorm => "atomic-storm",
             Workload::WhenAllFanIn => "when-all-fan-in",
             Workload::GupsSmall => "gups-small",
+            Workload::SignalStorm => "signal-storm",
         }
     }
 }
@@ -200,6 +209,7 @@ pub fn run_udp(
             Workload::AtomicStorm => atomic_storm(u, seed),
             Workload::WhenAllFanIn => when_all_fan_in(u, seed),
             Workload::GupsSmall => gups_small(u),
+            Workload::SignalStorm => signal_storm(u, seed),
         };
         u.barrier();
         while u.net_stats().pending > 0 {
@@ -302,6 +312,7 @@ pub fn run_agg(
             Workload::AtomicStorm => atomic_storm(u, seed),
             Workload::WhenAllFanIn => when_all_fan_in(u, seed),
             Workload::GupsSmall => gups_small(u),
+            Workload::SignalStorm => signal_storm(u, seed),
         };
         // Drain duplicate echoes so the reliability counters are final and
         // deterministic, then snapshot everything.
@@ -379,6 +390,7 @@ pub fn run_observed(
             Workload::AtomicStorm => atomic_storm(u, seed),
             Workload::WhenAllFanIn => when_all_fan_in(u, seed),
             Workload::GupsSmall => gups_small(u),
+            Workload::SignalStorm => signal_storm(u, seed),
         };
         u.barrier();
         while u.net_stats().pending > 0 {
@@ -606,6 +618,71 @@ fn when_all_fan_in(u: &Upcr, seed: u64) -> u64 {
     }
     u.barrier();
     digest_arrays(u, base, WORDS)
+}
+
+/// Notifiable-RMA storm. Each rank owns an array of `rank_n + 1` words:
+/// slots `0..n` are put-signal landing pads (slot `r` written only by rank
+/// `r`, so the image is race-free) and slot `n` is a counter taking only
+/// commutative `Add`s. Every rank `r` sends every peer `t`:
+///
+/// * `put_signal(slot_val, t.slot[r], word 0, badge 1 << r)`
+/// * `amo_signal(Add 1, t.slot[n], word 0, badge 1 << (r + n))`
+///
+/// then blocks in `wait_signal` until the full mask (both badges from all
+/// `n - 1` peers) has arrived, and checks the counter equals `n - 1`.
+/// `Add` is duplicate-sensitive where the badge OR is duplicate-blind: a
+/// replayed signal message would leave the badge mask unchanged but push
+/// the counter past `n - 1`, so the equality is an exactly-once proof for
+/// the whole signal path under drops, dups, and reordering.
+fn signal_storm(u: &Upcr, seed: u64) -> u64 {
+    let n = u.rank_n();
+    let me = u.rank_me();
+    let words = n + 1;
+    let base = u.new_array::<u64>(words);
+    let bases = gather_ptrs(u, base);
+    u.barrier();
+    let mut pending = Vec::new();
+    for (t, b) in bases.iter().enumerate().take(n) {
+        if t == me {
+            continue;
+        }
+        pending.push(u.put_signal(slot_val(seed, t, me, 0), b.add(me), 0, 1 << me));
+        pending.push(u.amo_signal(b.add(n), upcr::AmoOp::Add, 1u64, 0, 1 << (me + n)));
+    }
+    for f in &pending {
+        f.wait();
+    }
+    // Full badge mask: every peer's put badge and amo badge.
+    let expected: u64 = (0..n)
+        .filter(|&r| r != me)
+        .map(|r| (1u64 << r) | (1u64 << (r + n)))
+        .fold(0, |m, b| m | b);
+    let mut seen = 0u64;
+    while seen != expected {
+        seen |= u.wait_signal(0, expected & !seen);
+    }
+    // Badges are observed-exactly-once: the word is now empty.
+    assert_eq!(u.test_signal(0, u64::MAX), 0, "badge observed twice");
+    // Every peer's put landed before (or with) its badge...
+    let slice = u.local_slice_u64(base, words);
+    for r in (0..n).filter(|&r| r != me) {
+        assert_eq!(
+            slice[r].load(std::sync::atomic::Ordering::Relaxed),
+            slot_val(seed, me, r, 0),
+            "peer {r}'s put-with-signal payload lost or corrupted"
+        );
+    }
+    // ...and the counter took each peer's Add exactly once.
+    assert_eq!(
+        slice[n].load(std::sync::atomic::Ordering::Relaxed),
+        (n - 1) as u64,
+        "amo-with-signal applied a duplicate or lost an update"
+    );
+    u.barrier();
+    // `seen` is rank-specific (each rank waits on a different mask), so it
+    // must not enter the cross-rank digest; the loop exit already proved
+    // `seen == expected`.
+    digest_arrays(u, base, words)
 }
 
 /// Small GUPS (atomic-xor variant — exact by construction): the digest is

@@ -129,6 +129,74 @@ fn sim_behind_trait_matches_prerefactor_wire_traces() {
     }
 }
 
+/// Pre-signal fault-free digests for the remaining three workloads,
+/// captured before the notifiable-RMA (put/amo-with-signal) layer was
+/// added. The signal machinery rides the same conduits, injection paths,
+/// and message IDs as ordinary traffic — so workloads that never issue a
+/// signal op must reproduce these values bit-for-bit. Each entry is
+/// `(digest per seed 0..8, completions, injected)`.
+const GOLDEN_PRESIGNAL_ATOMIC_STORM: ([u64; 8], u64, [u64; 8]) = (
+    [
+        0x9851_ac3a_b163_ac05,
+        0x4a76_229b_ff73_b8c3,
+        0xc470_7263_7fbd_a8a9,
+        0x326c_8b8c_ff5a_2663,
+        0x2e1d_3647_d788_a36a,
+        0x2832_592e_c291_a113,
+        0xf6dc_d153_3de5_0c47,
+        0xefa4_0d1c_2e1b_e985,
+    ],
+    256,
+    [127, 132, 128, 134, 129, 132, 129, 138],
+);
+const GOLDEN_PRESIGNAL_WHEN_ALL: ([u64; 8], u64, u64) = (
+    [
+        0xe40f_ceb3_cb6f_ff7e,
+        0x3951_fc33_39f1_05f4,
+        0xc453_9ac5_13e0_a8cf,
+        0xe981_2fb3_c119_795e,
+        0x1d0d_0e16_ffd0_1c43,
+        0x2ab8_7788_2a5c_404a,
+        0xb517_414e_ff16_4d77,
+        0x5b96_6874_9b25_bcd2,
+    ],
+    768,
+    192,
+);
+/// GUPS folds (updates, errors), both seed-independent: one value.
+const GOLDEN_PRESIGNAL_GUPS: (u64, u64, u64) = (0x1b38_a3dc_4e0d_1752, 1024, 464);
+
+#[test]
+fn signal_free_workloads_match_presignal_goldens() {
+    // The no-behaviour-change proof for the signal PR: on fault-free runs
+    // of every pre-existing workload, digests, completion counts, and
+    // injection counts are unchanged from before the signal layer existed.
+    for version in [LibVersion::V2021_3_6Eager, LibVersion::V2021_3_6Defer] {
+        for seed in 0..8u64 {
+            let o = run(Workload::AtomicStorm, version, seed, None);
+            let (digests, completions, injected) = GOLDEN_PRESIGNAL_ATOMIC_STORM;
+            assert_eq!(
+                (o.digest, o.completions, o.injected),
+                (digests[seed as usize], completions, injected[seed as usize]),
+                "atomic-storm seed {seed} {version:?} drifted from the pre-signal golden"
+            );
+            let o = run(Workload::WhenAllFanIn, version, seed, None);
+            let (digests, completions, injected) = GOLDEN_PRESIGNAL_WHEN_ALL;
+            assert_eq!(
+                (o.digest, o.completions, o.injected),
+                (digests[seed as usize], completions, injected),
+                "when-all-fan-in seed {seed} {version:?} drifted from the pre-signal golden"
+            );
+            let o = run(Workload::GupsSmall, version, seed, None);
+            assert_eq!(
+                (o.digest, o.completions, o.injected),
+                GOLDEN_PRESIGNAL_GUPS,
+                "gups-small seed {seed} {version:?} drifted from the pre-signal golden"
+            );
+        }
+    }
+}
+
 /// The differential the tentpole exists for: same seed, same workload,
 /// identical digests and completion counts on the simulated conduit and
 /// the real UDP socket conduit — eager and deferred builds.
@@ -165,6 +233,39 @@ fn udp_socket_matches_sim_when_all_fan_in() {
 #[test]
 fn udp_socket_matches_sim_gups_small() {
     assert_transport_independent(Workload::GupsSmall, 5);
+}
+
+#[test]
+fn udp_socket_matches_sim_signal_storm() {
+    // Signal frames on a real kernel wire (KIND_SIGNAL datagrams with
+    // retransmission and dedup) versus the simulator's delivery heap: the
+    // badge masks, payloads, and amo counter must agree exactly. The UDP
+    // run uses a wall clock, so ranks genuinely park in `wait_signal` and
+    // are woken by the conduit-polling rank.
+    for seed in [0, 7] {
+        assert_transport_independent(Workload::SignalStorm, seed);
+    }
+}
+
+#[test]
+fn udp_socket_signal_storm_survives_wire_faults() {
+    // Deliberately dropped and duplicated SIGNAL datagrams: retransmission
+    // must re-carry the badge and receiver dedup must keep the amo counter
+    // exact (the workload asserts counter == ranks-1 internally).
+    for (plan_name, plan) in udp_fault_plans(9) {
+        let sim = run(Workload::SignalStorm, LibVersion::V2021_3_6Eager, 9, None);
+        let udp = run_udp(
+            Workload::SignalStorm,
+            LibVersion::V2021_3_6Eager,
+            9,
+            Some(plan),
+        );
+        assert_eq!(
+            (sim.digest, sim.completions),
+            (udp.digest, udp.completions),
+            "plan {plan_name}: faulted signal-storm socket run diverged"
+        );
+    }
 }
 
 #[test]

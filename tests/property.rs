@@ -528,6 +528,127 @@ fn strided_roundtrip_random_shapes() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Notification objects: badge coalescing is a set union (idempotent,
+// commutative, associative), `wait_signal` masks select exactly the
+// requested bits, and the Idle/Waiting/Active state machine never loses a
+// badge under seeded cross-thread interleavings.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn badge_coalescing_is_order_and_duplicate_insensitive() {
+    use gasnex::{NotifyTable, Rank};
+    let mut r = rng(0xBAD6E);
+    for _case in 0..128 {
+        let n = 1 + r.below(24);
+        let badges: Vec<u64> = (0..n).map(|_| 1u64 << r.below(64)).collect();
+        let union: u64 = badges.iter().fold(0, |m, &b| m | b);
+
+        // Commutativity/associativity: any posting order yields the union.
+        let mut shuffled = badges.clone();
+        shuffle(&mut shuffled, &mut r);
+        let a = NotifyTable::new(1, 1);
+        let b = NotifyTable::new(1, 1);
+        for &x in &badges {
+            a.post(Rank(0), 0, x);
+        }
+        for &x in &shuffled {
+            b.post(Rank(0), 0, x);
+        }
+        // Idempotence: replaying a random subset (a duplicated delivery
+        // that slipped past dedup would look like this) changes nothing.
+        for &x in &badges {
+            if r.below(2) == 0 {
+                b.post(Rank(0), 0, x);
+            }
+        }
+        assert_eq!(a.try_consume(Rank(0), 0, u64::MAX), union);
+        assert_eq!(b.try_consume(Rank(0), 0, u64::MAX), union);
+        // Consumption drains: the word returns to Idle.
+        assert_eq!(a.try_consume(Rank(0), 0, u64::MAX), 0);
+        assert_eq!(b.try_consume(Rank(0), 0, u64::MAX), 0);
+    }
+}
+
+#[test]
+fn wait_mask_selects_exactly_the_requested_bits() {
+    use gasnex::{NotifyTable, Rank};
+    let mut r = rng(0x3A5C);
+    for _case in 0..128 {
+        let t = NotifyTable::new(1, 1);
+        let mut posted = 0u64;
+        for _ in 0..1 + r.below(12) {
+            let b = r.next_u64();
+            if b == 0 {
+                continue;
+            }
+            posted |= b;
+            t.post(Rank(0), 0, b);
+        }
+        let mask = r.next_u64();
+        let got = t.try_consume(Rank(0), 0, mask);
+        assert_eq!(got, posted & mask, "consume returns exactly mask ∩ word");
+        // Unselected bits stay behind for a later wait.
+        assert_eq!(t.try_consume(Rank(0), 0, u64::MAX), posted & !mask);
+    }
+}
+
+#[test]
+fn waiter_state_machine_never_loses_a_badge_under_interleaving() {
+    // Poster threads race a consuming waiter through every transition —
+    // Idle → Active (post before wait), Active → Idle (consume), and
+    // Waiting → Active → wake (post lands while a waiter is registered).
+    // Whatever the interleaving (seeded per case), the consumed union must
+    // equal the posted union: no badge is lost and none invented.
+    use gasnex::{EventCore, NotifyTable, Rank};
+    use std::sync::Arc;
+    let mut r = rng(0x1A7E27);
+    for _case in 0..24 {
+        let ranks = 2 + r.below(3);
+        let t = Arc::new(NotifyTable::new(ranks, 2));
+        // Distinct badge bits: each is posted exactly once, so a consumed
+        // bit reappearing can only mean the state machine re-delivered it.
+        let n_posts = 1 + r.below(15);
+        let mut positions: Vec<usize> = (0..63).collect();
+        shuffle(&mut positions, &mut r);
+        let badges: Vec<u64> = positions[..n_posts].iter().map(|&p| 1u64 << p).collect();
+        let union: u64 = badges.iter().fold(0, |m, &b| m | b);
+        let delays: Vec<u64> = (0..n_posts).map(|_| r.below(300) as u64).collect();
+
+        let t2 = Arc::clone(&t);
+        let b2 = badges.clone();
+        let poster = std::thread::spawn(move || {
+            for (i, &b) in b2.iter().enumerate() {
+                if delays[i] > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(delays[i]));
+                }
+                t2.post(Rank(0), 0, b);
+            }
+        });
+
+        let mut seen = 0u64;
+        while seen != union {
+            let got = t.try_consume(Rank(0), 0, u64::MAX);
+            assert_eq!(got & seen, 0, "a consumed badge reappeared");
+            seen |= got;
+            if seen == union {
+                break;
+            }
+            // Park like wait_signal does; a post racing the registration
+            // is caught under the word lock and signals immediately.
+            let ev = EventCore::new();
+            t.register_waiter(Rank(0), 0, !seen, Arc::clone(&ev));
+            let fired = ev.park(std::time::Duration::from_secs(10));
+            t.clear_waiter(Rank(0), 0);
+            assert!(fired, "waiter starved with badges still outstanding");
+        }
+        poster.join().unwrap();
+        // Everything was consumed exactly once; the word ends Idle.
+        assert_eq!(seen, union);
+        assert_eq!(t.try_consume(Rank(0), 0, u64::MAX), 0);
+    }
+}
+
 #[test]
 fn vector_reduce_matches_scalar() {
     let mut r = rng(0x7EC);
