@@ -26,6 +26,14 @@
 #                    signal differential, and the multi-process parked-waiter
 #                    run (udprun --signals). All timeout-bounded: a waiter
 #                    that never wakes must fail CI, not hang it.
+#   ./ci.sh watchdog introspection gate: deliberately provoke a partition
+#                    stall (simtest --watchdog-demo) and require the stall
+#                    watchdog's wait-graph diagnosis to name the blocked
+#                    rank, the stuck carrier, and the flight-recorder
+#                    event; then the snapshot-determinism + diagnosis-
+#                    replay suite. Timeout-bounded by construction — the
+#                    watchdog exists so stalls fail fast instead of
+#                    hanging.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -147,8 +155,29 @@ case "$job" in
 
     echo "Signals gate green."
     ;;
+  watchdog)
+    # The demo run injects a put-with-signal into an hour-long partition
+    # window while the waiter parks behind a 700 ms watchdog; the binary
+    # exits non-zero unless the diagnosis names the blocked rank, and the
+    # greps pin the edge and flight-recorder lines the diagnosis must
+    # carry. Panic backtraces from the deliberately-aborted ranks go to
+    # stderr; stdout carries only the diagnosis.
+    out="$(mktemp -d)/watchdog.txt"
+    echo "==> simtest --watchdog-demo --watchdog-ms 700"
+    cargo build -p simtest --release -q --bin simtest
+    timeout 60 ./target/release/simtest --watchdog-demo --watchdog-ms 700 \
+      > "$out" 2>/dev/null
+    grep -q "wait-graph stall: rank 0 blocked 700ms in wait_signal on notify word 0 mask 0x2" "$out"
+    grep -q "candidate carriers in flight toward rank 0" "$out"
+    grep -q "flight recorder: last wire event touching this edge" "$out"
+
+    echo "==> cargo test -p simtest --release --test introspect"
+    timeout 300 cargo test -p simtest --release -q --test introspect
+
+    echo "Watchdog gate green."
+    ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, or signals)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, signals, or watchdog)" >&2
     exit 2
     ;;
 esac

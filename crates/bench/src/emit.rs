@@ -246,8 +246,10 @@ pub fn bench_gups_doc(quick: bool) -> String {
 ///   ops, how many rode the conduit (exactly the two off-node senders),
 ///   the badge mask rank 0 woke with — and `polls_while_parked`, which the
 ///   committed baseline pins at **zero**: a parked waiter must burn no
-///   progress polls. (`park_wakeups` and `signals_coalesced` depend on
-///   arrival timing and are deliberately excluded.)
+///   progress polls. The derived `idle_fraction` (pinned 1.0, hard [0,1]
+///   range in the gate) and `polls_per_op` (pinned 0) rows are computed
+///   from the same pinned counts. (`park_wakeups` and `signals_coalesced`
+///   depend on arrival timing and are deliberately excluded.)
 /// * **signal-storm** — the virtual-clock chaos workload per library
 ///   version under the `combined` fault plan: digest, completions, and
 ///   reliability counters, all pure functions of `(seed, plan)`.
@@ -287,6 +289,25 @@ pub fn bench_signals_doc(quick: bool) -> String {
     b.exact("park.net_signals", "msgs", results[0].1.signals as f64);
     b.exact("park.woken_mask", "bits", results[0].2 as f64);
     b.exact("park.polls_while_parked", "polls", polls_parked as f64);
+    // Idle-efficiency gate rows, count-based so they stay exact (the
+    // wall-clock `parked_ns`/`spinning_ns` counters are real time and
+    // cannot carry a zero band): a parked waiter's idle fraction is
+    // wakeups/(wakeups + polls) — pinned at 1.0 since polls_while_parked
+    // is pinned at zero — and its polls per signal op is pinned at 0. The
+    // regression gate additionally enforces a hard [0, 1] range on every
+    // `*.idle_fraction` metric, baseline or not.
+    let park_wakeups: u64 = results.iter().map(|(s, _, _)| s.park_wakeups).sum();
+    let idle_fraction = if park_wakeups + polls_parked == 0 {
+        1.0
+    } else {
+        park_wakeups as f64 / (park_wakeups + polls_parked) as f64
+    };
+    b.exact("park.idle_fraction", "ratio", idle_fraction);
+    b.exact(
+        "park.polls_per_op",
+        "polls",
+        polls_parked as f64 / signals_sent as f64,
+    );
 
     // Chaos half: deterministic outcomes for the signal workload.
     let plan = simtest::fault_plans(seed)
@@ -469,6 +490,9 @@ mod tests {
         assert_eq!(val("park.signals_sent"), 3.0);
         assert_eq!(val("park.net_signals"), 2.0);
         assert_eq!(val("park.woken_mask"), 14.0);
+        // The derived idle-efficiency rows those pins imply.
+        assert_eq!(val("park.idle_fraction"), 1.0);
+        assert_eq!(val("park.polls_per_op"), 0.0);
         // Eager and defer agree on the chaos half, field for field.
         for field in ["digest_hi", "digest_lo", "completions", "injected"] {
             assert_eq!(

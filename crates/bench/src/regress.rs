@@ -122,11 +122,14 @@ impl Report {
 
 /// Compare a current run against a baseline using the baseline's
 /// tolerance bands. Metrics only the current run has are ignored (new
-/// measurements start gating once they land in the baseline) — with one
-/// exception: any current metric named `*.agg_speedup` carries a hard
-/// `>= 1.0` floor regardless of the baseline, because a message-count
-/// "speedup" below one means aggregation made the wire traffic *worse*,
-/// which no committed band may excuse.
+/// measurements start gating once they land in the baseline) — with two
+/// exceptions that gate regardless of the baseline, because no committed
+/// band may excuse them: any current metric named `*.agg_speedup` carries
+/// a hard `>= 1.0` floor (a message-count "speedup" below one means
+/// aggregation made the wire traffic *worse*), and any current metric
+/// named `*.idle_fraction` carries a hard `[0, 1]` range (it is a
+/// fraction of accounted wait time; a value outside the unit interval
+/// means the idle-time accounting itself is broken).
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
     let mut failures = Vec::new();
     for (field, b, c) in [
@@ -179,6 +182,21 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
             failures.push(format!(
                 "{}: aggregation speedup {} below the hard 1.0 floor \
                  (batching must not inflate wire traffic)",
+                cm.name, cm.value,
+            ));
+        }
+    }
+    for cm in &current.metrics {
+        if !cm.name.ends_with(".idle_fraction") {
+            continue;
+        }
+        if baseline.metrics.iter().all(|m| m.name != cm.name) {
+            checked += 1;
+        }
+        if !(0.0..=1.0).contains(&cm.value) {
+            failures.push(format!(
+                "{}: idle fraction {} outside the hard [0, 1] range \
+                 (parked time cannot exceed total accounted wait time)",
                 cm.name, cm.value,
             ));
         }
@@ -274,6 +292,26 @@ mod tests {
         assert_eq!(r.checked, 1, "in-baseline metric is not double counted");
         assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
         assert!(r.failures[0].contains("hard 1.0 floor"));
+    }
+
+    #[test]
+    fn idle_fraction_range_gates_even_without_baseline_entry() {
+        let base = doc(vec![]);
+        for bad in [-0.1, 1.5] {
+            let cur = doc(vec![metric("park.idle_fraction", bad, 0.0, 0.0)]);
+            let r = compare(&base, &cur);
+            assert_eq!(r.checked, 1);
+            assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+            assert!(
+                r.failures[0].contains("hard [0, 1] range"),
+                "{:?}",
+                r.failures
+            );
+        }
+        for ok_val in [0.0, 0.5, 1.0] {
+            let ok = doc(vec![metric("park.idle_fraction", ok_val, 0.0, 0.0)]);
+            assert!(compare(&base, &ok).passed());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use gasnex::net::NetAction;
-use gasnex::{Batch, Coalescer, ConduitKind, EventCore, FlushReason, Push, Rank, World};
+use gasnex::{Batch, ClockMode, Coalescer, ConduitKind, EventCore, FlushReason, Push, Rank, World};
 
 use crate::future::cell::{shared_ready_unit_cell, Cell};
 use crate::metrics::{MetricSeries, MetricsConfig};
@@ -68,6 +68,14 @@ pub(crate) struct RankCtx {
     /// (when the version has the elision).
     pub ready_unit: Rc<Cell<()>>,
     pub stats: Stats,
+    /// Whether the conduit clock is wall time. Idle-efficiency time
+    /// accounting (`parked_ns`/`spinning_ns`/`progress_ns`) reads `Instant`
+    /// only when this is set; virtual-clock runs keep the counters at zero
+    /// so their exports stay byte-replayable.
+    pub wall_clock: bool,
+    /// Stall-watchdog timeout for parked waits
+    /// ([`crate::RuntimeConfig::watchdog_ms`]).
+    pub watchdog_ms: u64,
     /// Re-entrancy guard: progress calls from inside progress are no-ops.
     in_progress: StdCell<bool>,
     /// Lifecycle-trace gate: the single predictably-taken branch every
@@ -88,13 +96,14 @@ pub(crate) struct RankCtx {
 }
 
 impl RankCtx {
-    pub fn new(world: Arc<World>, me: Rank, version: LibVersion) -> Rc<RankCtx> {
+    pub fn new(world: Arc<World>, me: Rank, version: LibVersion, watchdog_ms: u64) -> Rc<RankCtx> {
         let assume_all_local =
             world.config().conduit == ConduitKind::Smp && version.has_constexpr_is_local();
         let agg_cfg = world.config().agg;
         let agg = agg_cfg
             .enabled
             .then(|| Coalescer::new(agg_cfg, world.ranks(), me));
+        let wall_clock = world.config().net.clock == ClockMode::Wall;
         Rc::new(RankCtx {
             world,
             me,
@@ -107,6 +116,8 @@ impl RankCtx {
             replies: RefCell::new(HashMap::new()),
             next_reply_id: StdCell::new(0),
             ready_unit: shared_ready_unit_cell(),
+            wall_clock,
+            watchdog_ms,
             stats: Stats::default(),
             in_progress: StdCell::new(false),
             trace_on: StdCell::new(false),
@@ -288,6 +299,10 @@ impl RankCtx {
         }
         self.in_progress.set(true);
         bump(&self.stats.progress_calls);
+        // Idle-efficiency accounting: time spent inside the quantum is
+        // "progress time". Wall clock only — virtual-clock runs must stay
+        // deterministic, so they never read `Instant`.
+        let quantum_start = self.wall_clock.then(std::time::Instant::now);
         let mut n = self.world.poll_rank(self.me, 64);
 
         // Ready-queue drain: bounded to the tokens present now (callbacks
@@ -375,6 +390,12 @@ impl RankCtx {
             self.metrics
                 .borrow_mut()
                 .maybe_sample(now, || crate::metrics::collect_values(self));
+        }
+        if let Some(start) = quantum_start {
+            let spent = start.elapsed().as_nanos() as u64;
+            self.stats
+                .progress_ns
+                .set(self.stats.progress_ns.get() + spent);
         }
         self.in_progress.set(false);
         n
@@ -531,7 +552,7 @@ mod tests {
 
     fn test_ctx() -> Rc<RankCtx> {
         let world = World::new(GasnexConfig::smp(1).with_segment_size(1 << 12));
-        RankCtx::new(world, Rank(0), LibVersion::V2021_3_6Eager)
+        RankCtx::new(world, Rank(0), LibVersion::V2021_3_6Eager, 30_000)
     }
 
     #[test]
@@ -720,7 +741,7 @@ mod tests {
     #[test]
     fn ready_unit_cell_fresh_under_legacy() {
         let world = World::new(GasnexConfig::smp(1).with_segment_size(1 << 12));
-        let ctx = RankCtx::new(world, Rank(0), LibVersion::V2021_3_0);
+        let ctx = RankCtx::new(world, Rank(0), LibVersion::V2021_3_0, 30_000);
         let _g = CtxGuard::install(Rc::clone(&ctx));
         let a = ready_unit_future_cell();
         let b = ready_unit_future_cell();
@@ -732,10 +753,16 @@ mod tests {
     fn assume_all_local_only_on_smp_with_new_version() {
         let smp = World::new(GasnexConfig::smp(2).with_segment_size(1 << 12));
         assert!(
-            RankCtx::new(Arc::clone(&smp), Rank(0), LibVersion::V2021_3_6Eager).assume_all_local
+            RankCtx::new(
+                Arc::clone(&smp),
+                Rank(0),
+                LibVersion::V2021_3_6Eager,
+                30_000
+            )
+            .assume_all_local
         );
-        assert!(!RankCtx::new(smp, Rank(0), LibVersion::V2021_3_0).assume_all_local);
+        assert!(!RankCtx::new(smp, Rank(0), LibVersion::V2021_3_0, 30_000).assume_all_local);
         let udp = World::new(GasnexConfig::udp(2, 1).with_segment_size(1 << 12));
-        assert!(!RankCtx::new(udp, Rank(0), LibVersion::V2021_3_6Eager).assume_all_local);
+        assert!(!RankCtx::new(udp, Rank(0), LibVersion::V2021_3_6Eager, 30_000).assume_all_local);
     }
 }

@@ -52,6 +52,7 @@ mod ctx;
 pub mod dist_object;
 pub mod future;
 pub mod global_ptr;
+pub mod introspect;
 pub mod metrics;
 pub mod reduce;
 pub mod rma;
@@ -72,14 +73,15 @@ pub use future::{
     Future, Promise,
 };
 pub use global_ptr::{GlobalPtr, LocalRef, SegValue};
+pub use introspect::{diagnose_stall, wait_graph, Snapshot, WaitEdge, WaitEdgeKind};
 pub use metrics::{
     CriticalPathReport, MetricClass, MetricDesc, MetricsConfig, OpBreakdown, RankSeries, Segment,
 };
 pub use reduce::{ReduceOp, ReduceVal};
-pub use runtime::{api, launch, RuntimeConfig, Upcr};
+pub use runtime::{api, launch, RuntimeConfig, Upcr, DEFAULT_WATCHDOG_MS};
 pub use ser::{SerDe, SerError};
 pub use stats::StatsSnapshot;
-pub use trace::{CompletionPath, Histograms, OpKind, RankTrace, TraceBundle};
+pub use trace::{CompletionPath, Histograms, OpKind, OpenSpan, RankTrace, TraceBundle};
 pub use version::LibVersion;
 pub use vis::Strided;
 

@@ -100,7 +100,12 @@ pub fn run(cfg: &ProbeConfig) -> ProbeReport {
             .with_segment_size(1 << 16)
             .with_net(net),
     );
-    let ctx = RankCtx::new(Arc::clone(&world), Rank(0), cfg.version);
+    let ctx = RankCtx::new(
+        Arc::clone(&world),
+        Rank(0),
+        cfg.version,
+        crate::runtime::DEFAULT_WATCHDOG_MS,
+    );
     let _guard = CtxGuard::install(Rc::clone(&ctx));
     let u = Upcr {
         ctx: Rc::clone(&ctx),

@@ -26,7 +26,18 @@ pub struct RuntimeConfig {
     pub gasnex: GasnexConfig,
     /// Library version semantics (defaults to "2021.3.6 eager").
     pub version: LibVersion,
+    /// Stall-watchdog timeout in milliseconds: how long a parked
+    /// `wait_signal` sleeps before the watchdog walks the wait graph and
+    /// panics with a stall diagnosis (see [`crate::introspect`]). Only
+    /// wall-clock parks arm the watchdog; virtual-clock waits poll
+    /// deterministically and are bounded by quiescence instead.
+    pub watchdog_ms: u64,
 }
+
+/// Default [`RuntimeConfig::watchdog_ms`]: generous — a healthy signal
+/// crosses the loopback wire in microseconds, so 30s means nobody will
+/// ever post the badge.
+pub const DEFAULT_WATCHDOG_MS: u64 = 30_000;
 
 impl RuntimeConfig {
     /// Single-node SMP runtime with `ranks` ranks.
@@ -34,6 +45,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             gasnex: GasnexConfig::smp(ranks),
             version: LibVersion::V2021_3_6Eager,
+            watchdog_ms: DEFAULT_WATCHDOG_MS,
         }
     }
 
@@ -42,6 +54,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             gasnex: GasnexConfig::udp(ranks, ranks_per_node),
             version: LibVersion::V2021_3_6Eager,
+            watchdog_ms: DEFAULT_WATCHDOG_MS,
         }
     }
 
@@ -50,12 +63,21 @@ impl RuntimeConfig {
         RuntimeConfig {
             gasnex: GasnexConfig::mpi(ranks, ranks_per_node),
             version: LibVersion::V2021_3_6Eager,
+            watchdog_ms: DEFAULT_WATCHDOG_MS,
         }
     }
 
     /// Select the library version semantics.
     pub fn with_version(mut self, v: LibVersion) -> Self {
         self.version = v;
+        self
+    }
+
+    /// Override the stall-watchdog timeout (milliseconds). Tests and the
+    /// watchdog smoke job set this low to turn a would-be hang into a
+    /// prompt, diagnosable failure.
+    pub fn with_watchdog_ms(mut self, ms: u64) -> Self {
+        self.watchdog_ms = ms;
         self
     }
 
@@ -106,6 +128,7 @@ where
     cfg.gasnex.validate();
     let world = World::new(cfg.gasnex.clone());
     let version = cfg.version;
+    let watchdog_ms = cfg.watchdog_ms;
     let ranks = cfg.gasnex.ranks;
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(ranks);
@@ -113,7 +136,7 @@ where
             let world = Arc::clone(&world);
             let f = &f;
             handles.push(s.spawn(move || {
-                let ctx = RankCtx::new(Arc::clone(&world), Rank::from_idx(r), version);
+                let ctx = RankCtx::new(Arc::clone(&world), Rank::from_idx(r), version, watchdog_ms);
                 let _guard = CtxGuard::install(Rc::clone(&ctx));
                 let u = Upcr { ctx };
                 u.barrier();
@@ -474,6 +497,26 @@ impl Upcr {
     /// `dup_suppressed`, and the largest retransmission backoff applied.
     pub fn net_stats(&self) -> gasnex::NetStats {
         self.ctx.world.net().stats()
+    }
+
+    // ---- runtime introspection ------------------------------------------------
+
+    /// Capture a live snapshot of everything pending right now: this
+    /// rank's open operation spans (with their lifecycle phase) and
+    /// aggregation buckets, plus the world-global in-flight conduit
+    /// messages and notification words. Render with
+    /// [`render_text`](crate::introspect::Snapshot::render_text) /
+    /// [`render_json`](crate::introspect::Snapshot::render_json) — both
+    /// deterministic, so a quiesced snapshot is byte-identical across
+    /// same-seed runs.
+    pub fn snapshot(&self) -> crate::introspect::Snapshot {
+        crate::introspect::Snapshot::capture(&self.ctx)
+    }
+
+    /// The current wait-for graph (parked notification waiters plus
+    /// in-flight wire deliveries) — the structure the stall watchdog walks.
+    pub fn wait_graph(&self) -> Vec<crate::introspect::WaitEdge> {
+        crate::introspect::wait_graph(&self.ctx.world)
     }
 
     // ---- operation-lifecycle tracing ------------------------------------------

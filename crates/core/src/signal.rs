@@ -45,11 +45,6 @@ use crate::runtime::Upcr;
 use crate::stats::bump;
 use crate::trace::OpKind;
 
-/// How long a parked `wait_signal` sleeps before declaring the program
-/// deadlocked. Generous: a healthy signal crosses the loopback wire in
-/// microseconds, so hitting this means nobody will ever post the badge.
-const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
-
 /// Validate a `(word, badge)` pair against the world's notification table.
 fn check_signal_args(ctx: &RankCtx, word: usize, badge: u64) {
     let words = ctx.world.notify().words_per_rank();
@@ -208,9 +203,11 @@ impl Upcr {
     ///
     /// # Panics
     ///
-    /// Panics when parked for [`PARK_TIMEOUT`] without a matching badge
-    /// (the program is deadlocked: nobody can still post it), or when
-    /// another rank aborts the world.
+    /// Panics when parked for the configured watchdog timeout
+    /// ([`crate::RuntimeConfig::watchdog_ms`]) without a matching badge —
+    /// the panic payload is the watchdog's wait-graph stall diagnosis
+    /// (see [`crate::introspect::diagnose_stall`]) — or when another rank
+    /// aborts the world.
     pub fn wait_signal(&self, word: usize, mask: u64) -> u64 {
         let ctx = &*self.ctx;
         check_signal_args(ctx, word, mask);
@@ -220,7 +217,8 @@ impl Upcr {
         ctx.agg_flush_explicit();
         let nt = ctx.world.notify();
         let me = ctx.me;
-        let wall = ctx.world.config().net.clock == gasnex::ClockMode::Wall;
+        let wall = ctx.wall_clock;
+        let watchdog = std::time::Duration::from_millis(ctx.watchdog_ms);
         loop {
             let got = nt.try_consume(me, word, mask);
             if got != 0 {
@@ -238,22 +236,47 @@ impl Upcr {
                 // A badge that raced in between try_consume and here is
                 // caught under the word lock: register signals immediately.
                 nt.register_waiter(me, word, mask, Arc::clone(&ev));
-                let fired = ev.park(PARK_TIMEOUT);
+                let parked_at = std::time::Instant::now();
+                let fired = ev.park(watchdog);
+                let parked = parked_at.elapsed().as_nanos() as u64;
+                ctx.stats.parked_ns.set(ctx.stats.parked_ns.get() + parked);
+                if !fired {
+                    // The watchdog fired: walk the wait graph and the
+                    // flight recorder *while this waiter is still
+                    // registered* (so the diagnosis shows our own edge),
+                    // then die with the diagnosis as the panic payload
+                    // (launch propagates it to the caller).
+                    let diagnosis = crate::introspect::diagnose_stall(
+                        &ctx.world,
+                        me.0,
+                        word,
+                        mask,
+                        ctx.watchdog_ms,
+                    );
+                    nt.clear_waiter(me, word);
+                    nt.unreserve_park();
+                    panic!("{diagnosis}");
+                }
                 nt.clear_waiter(me, word);
                 nt.unreserve_park();
-                if fired {
-                    bump(&ctx.stats.park_wakeups);
-                } else {
-                    panic!(
-                        "wait_signal deadlock: rank {} parked {}s on word {word} \
-                         mask {mask:#x} with no matching badge posted",
-                        me.0,
-                        PARK_TIMEOUT.as_secs()
-                    );
-                }
+                bump(&ctx.stats.park_wakeups);
             } else {
                 bump(&ctx.stats.polls_while_parked);
-                ctx.progress_quantum();
+                if wall {
+                    // Refused reservation: this rank burns CPU re-testing.
+                    // Whatever part of the iteration was *not* inside the
+                    // progress quantum is spinning time.
+                    let t0 = std::time::Instant::now();
+                    let p0 = ctx.stats.progress_ns.get();
+                    ctx.progress_quantum();
+                    let spent = t0.elapsed().as_nanos() as u64;
+                    let in_progress = ctx.stats.progress_ns.get().saturating_sub(p0);
+                    ctx.stats
+                        .spinning_ns
+                        .set(ctx.stats.spinning_ns.get() + spent.saturating_sub(in_progress));
+                } else {
+                    ctx.progress_quantum();
+                }
             }
         }
     }

@@ -147,6 +147,17 @@ per_rank_stats! {
     /// (refused reservation or virtual clock). A parked rank contributes
     /// zero — the idle-CPU guarantee the bench gate checks.
     polls_while_parked: counter,
+    /// Wall-clock nanoseconds this rank spent parked on a condvar (zero
+    /// CPU). Measured only under `ClockMode::Wall`; deterministic
+    /// virtual-clock runs report zero so their exports stay replayable.
+    parked_ns: counter,
+    /// Wall-clock nanoseconds this rank spent in wait loops *between*
+    /// progress quanta — burning CPU on re-tests rather than useful
+    /// progress. Wall-clock only, like `parked_ns`.
+    spinning_ns: counter,
+    /// Wall-clock nanoseconds spent inside progress quanta (conduit polls,
+    /// deferred drains, coalescer flushes). Wall-clock only.
+    progress_ns: counter,
 }
 
 #[inline]

@@ -168,6 +168,25 @@ pub struct RankTrace {
     pub dropped: u64,
 }
 
+/// One still-open (initiated, not yet notified) operation with its current
+/// lifecycle phase, reconstructed from the trace ring by
+/// [`RankTracer::open_spans`] for the live-snapshot API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenSpan {
+    /// Per-rank op id.
+    pub id: u64,
+    /// Operation kind, when its events are still in the ring window
+    /// (`None` when they were displaced).
+    pub kind: Option<OpKind>,
+    /// Current phase: `"initiated"`, `"on-wire"`, or `"unknown"` (events
+    /// displaced from the ring).
+    pub phase: &'static str,
+    /// Initiation timestamp on the conduit clock.
+    pub init_ts_ns: u64,
+    /// The wire message carrying the op, once injected.
+    pub wire_msg: Option<u64>,
+}
+
 /// The per-rank span recorder. Lives in the rank context behind a
 /// `RefCell`; all methods take `&mut self` and are only reached when the
 /// rank's trace flag is set.
@@ -276,6 +295,49 @@ impl RankTracer {
             TraceOp::NONE,
             EventKind::BatchFlush { msg, ops, reason },
         );
+    }
+
+    /// The lifecycle phase of one still-open operation, reconstructed from
+    /// the ring for the live-snapshot API.
+    pub fn open_spans(&self) -> Vec<OpenSpan> {
+        let mut spans: Vec<OpenSpan> = self
+            .open
+            .iter()
+            .map(|(&id, &init_ts)| OpenSpan {
+                id,
+                // Kind and phase are refined from the ring below; an op
+                // whose events were displaced stays "unknown".
+                kind: None,
+                phase: "unknown",
+                init_ts_ns: init_ts,
+                wire_msg: None,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.id);
+        for ev in self.ring.iter() {
+            if ev.op.is_none() {
+                continue;
+            }
+            let Ok(i) = spans.binary_search_by_key(&ev.op.id, |s| s.id) else {
+                continue;
+            };
+            let s = &mut spans[i];
+            s.kind = Some(ev.op.kind);
+            // Events arrive in ring (= lifecycle) order, so the last one
+            // seen for the op is its current phase.
+            match ev.kind {
+                EventKind::Init => s.phase = "initiated",
+                EventKind::NetInject { msg } => {
+                    s.phase = "on-wire";
+                    s.wire_msg = Some(msg);
+                }
+                // An open span with a Notify event should not exist (notify
+                // closes it), but render it honestly if it does.
+                EventKind::Notify { .. } => s.phase = "notified",
+                _ => {}
+            }
+        }
+        spans
     }
 
     /// Drain the recorded events (histograms are kept).

@@ -61,6 +61,12 @@ impl<T> Ring<T> {
         let dropped = std::mem::take(&mut self.dropped);
         (self.buf.drain(..).collect(), dropped)
     }
+
+    /// Iterate the retained items oldest-first without draining them —
+    /// live snapshots and the flight recorder read the ring in place.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,21 @@ impl AggConfig {
     }
 }
 
+/// Point-in-time view of one non-empty coalescer bucket, produced by
+/// [`Coalescer::snapshot_buckets`] for the live-snapshot API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// Target rank the bucket buffers operations for.
+    pub target: u32,
+    /// Operations currently buffered.
+    pub occupancy: usize,
+    /// Age of the oldest buffered op on the network clock (`now -
+    /// opened_ns`, saturating).
+    pub age_ns: u64,
+    /// Batches injected for this target and not yet delivered.
+    pub inflight: usize,
+}
+
 /// What [`Coalescer::push`] did with an operation.
 pub enum Push<T> {
     /// Buffered; a later size/age/explicit flush will carry it.
@@ -278,6 +293,31 @@ impl<T: Copy> Coalescer<T> {
     /// treats a non-empty coalescer as outstanding local work.
     pub fn buffered(&self) -> usize {
         self.buckets.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Snapshot every bucket that holds buffered ops or in-flight batches,
+    /// in ascending target order, against `now` on the network clock.
+    pub fn snapshot_buckets(&self, now_ns: u64) -> Vec<BucketSnapshot> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(target, b)| {
+                let inflight = b.inflight.load(Ordering::SeqCst);
+                if b.ops.is_empty() && inflight == 0 {
+                    return None;
+                }
+                Some(BucketSnapshot {
+                    target: target as u32,
+                    occupancy: b.ops.len(),
+                    age_ns: if b.ops.is_empty() {
+                        0
+                    } else {
+                        now_ns.saturating_sub(b.opened_ns)
+                    },
+                    inflight,
+                })
+            })
+            .collect()
     }
 }
 

@@ -35,6 +35,30 @@ use crate::net::{NetAction, NetEventKind, NetStats, NetTraceEvent};
 use crate::rank::Rank;
 use crate::world::World;
 
+/// A point-in-time view of one message the transport still owes a
+/// delivery for: queued, mid-retransmission, or a duplicate copy.
+///
+/// Produced by [`Conduit::inflight`] for the live-snapshot API. The
+/// fields describe the *reliability* state — how many transmission
+/// attempts have happened and when the transport will next act on the
+/// message — not the payload, which is an opaque delivery action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InFlight {
+    /// Logical message id (allocation order).
+    pub msg: u64,
+    /// Transmission attempts so far (0 = first attempt still pending).
+    pub attempt: u32,
+    /// Whether this entry is a retransmission timer for a dropped
+    /// attempt (true) or a copy awaiting delivery (false).
+    pub retransmit: bool,
+    /// When the transport next acts on this entry, on the conduit clock:
+    /// the delivery due time, or the retransmission backoff deadline.
+    pub due_ns: u64,
+    /// Routing hint recorded at injection, when the initiator supplied
+    /// one: `(source rank, target rank)`.
+    pub route: Option<(u32, u32)>,
+}
+
 /// A transport for cross-node delivery actions.
 ///
 /// Implementations must be shareable across rank threads (`Send + Sync`);
@@ -102,6 +126,21 @@ pub trait Conduit: Send + Sync {
 
     /// Drain the recorded wire-level trace.
     fn take_trace(&self) -> Vec<NetTraceEvent>;
+
+    /// Copy the recorded wire-level trace *without* draining it — the
+    /// flight recorder reads the ring in place so a snapshot or watchdog
+    /// diagnosis never perturbs a later `take_trace`. Default: empty, for
+    /// transports without a trace sink.
+    fn peek_trace(&self) -> Vec<NetTraceEvent> {
+        Vec::new()
+    }
+
+    /// Snapshot every message the transport still owes a delivery for, in
+    /// deterministic `(msg, due_ns)` order. Default: empty, for transports
+    /// that cannot enumerate their queues.
+    fn inflight(&self) -> Vec<InFlight> {
+        Vec::new()
+    }
 
     /// Record one wire event (no-op unless tracing is on).
     fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind);
@@ -315,6 +354,11 @@ impl ConduitCounters {
 
     pub fn take_trace(&self) -> Vec<NetTraceEvent> {
         std::mem::take(&mut self.trace.lock().unwrap())
+    }
+
+    /// Clone the recorded wire events without draining the sink.
+    pub fn peek_trace(&self) -> Vec<NetTraceEvent> {
+        self.trace.lock().unwrap().clone()
     }
 
     /// Record one wire event at `ts_ns` (no-op unless tracing is on).

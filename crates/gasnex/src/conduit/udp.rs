@@ -68,7 +68,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::conduit::{Conduit, ConduitCounters};
+use crate::conduit::{Conduit, ConduitCounters, InFlight};
 use crate::config::{ClockMode, FaultPlan, NetConfig};
 use crate::net::{ppm, splitmix64, NetAction, NetEventKind, NetStats, NetTraceEvent};
 use crate::rank::Rank;
@@ -124,12 +124,16 @@ impl Frame {
 /// A sent-but-unacked transmission awaiting its retransmission deadline.
 /// `kind` is preserved across retransmissions so a resent SIGNAL frame
 /// stays a SIGNAL frame.
+#[derive(Clone, Copy)]
 struct Flight {
     from_node: usize,
     to_node: usize,
     attempt: u32,
     due_ns: u64,
     kind: u8,
+    /// Rank route recorded at injection (when the initiator supplied one),
+    /// surfaced by `inflight()` for stall diagnosis.
+    route: Option<(u32, u32)>,
 }
 
 /// The loopback-UDP [`Conduit`].
@@ -226,7 +230,15 @@ impl UdpConduit {
     /// Transmit attempt `attempt` of `msg` from `from_node` to `to_node`,
     /// applying the deliberate drop/dup fates, and arm (or re-arm) its
     /// retransmission deadline.
-    fn send_attempt(&self, msg: u64, attempt: u32, from_node: usize, to_node: usize, kind: u8) {
+    fn send_attempt(
+        &self,
+        msg: u64,
+        attempt: u32,
+        from_node: usize,
+        to_node: usize,
+        kind: u8,
+        route: Option<(u32, u32)>,
+    ) {
         let plan: Option<&FaultPlan> = self.cfg.faults.as_ref();
         let drop_this = plan.is_some_and(|p| {
             attempt + 1 < p.max_attempts && ppm(self.mix(msg, attempt, 1)) < p.drop_ppm
@@ -271,6 +283,7 @@ impl UdpConduit {
                 attempt,
                 due_ns: self.now_wall_ns() + backoff,
                 kind,
+                route,
             },
         );
     }
@@ -338,19 +351,19 @@ impl UdpConduit {
     /// Resend every flight whose retransmission deadline has passed.
     fn retransmit_due(&self) -> usize {
         let now = self.now_wall_ns();
-        let due: Vec<(u64, usize, usize, u32, u8)> = {
+        let due: Vec<(u64, Flight)> = {
             let unacked = self.unacked.lock().unwrap();
             unacked
                 .iter()
                 .filter(|(_, f)| f.due_ns <= now)
-                .map(|(&msg, f)| (msg, f.from_node, f.to_node, f.attempt, f.kind))
+                .map(|(&msg, f)| (msg, *f))
                 .collect()
         };
         let n = due.len();
-        for (msg, from, to, attempt, kind) in due {
+        for (msg, f) in due {
             self.ctr.note_retry();
-            self.trace_event(msg, attempt + 1, NetEventKind::Retry);
-            self.send_attempt(msg, attempt + 1, from, to, kind);
+            self.trace_event(msg, f.attempt + 1, NetEventKind::Retry);
+            self.send_attempt(msg, f.attempt + 1, f.from_node, f.to_node, f.kind, f.route);
         }
         n
     }
@@ -370,7 +383,14 @@ impl UdpConduit {
         };
         // Park the payload before the frame can possibly arrive.
         self.payloads.lock().unwrap().insert(msg, action);
-        self.send_attempt(msg, 0, from_node, to_node, kind);
+        self.send_attempt(
+            msg,
+            0,
+            from_node,
+            to_node,
+            kind,
+            route.map(|(s, t)| (s.0, t.0)),
+        );
         msg
     }
 }
@@ -444,6 +464,28 @@ impl Conduit for UdpConduit {
 
     fn take_trace(&self) -> Vec<NetTraceEvent> {
         self.ctr.take_trace()
+    }
+
+    fn peek_trace(&self) -> Vec<NetTraceEvent> {
+        self.ctr.peek_trace()
+    }
+
+    /// Every sent-but-unacked flight, in ascending `msg` order. An entry's
+    /// `retransmit` flag is true once at least one resend happened.
+    fn inflight(&self) -> Vec<InFlight> {
+        let unacked = self.unacked.lock().unwrap();
+        let mut out: Vec<InFlight> = unacked
+            .iter()
+            .map(|(&msg, f)| InFlight {
+                msg,
+                attempt: f.attempt,
+                retransmit: f.attempt > 0,
+                due_ns: f.due_ns,
+                route: f.route,
+            })
+            .collect();
+        out.sort_by_key(|f| (f.msg, f.due_ns));
+        out
     }
 
     fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {

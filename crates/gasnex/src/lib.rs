@@ -57,16 +57,16 @@ pub mod rank;
 pub mod segment;
 pub mod world;
 
-pub use aggregate::{AggConfig, Batch, Coalescer, FlushReason, Push};
+pub use aggregate::{AggConfig, Batch, BucketSnapshot, Coalescer, FlushReason, Push};
 pub use alloc::{OutOfSegmentMemory, SegAlloc};
 pub use am::AmCtx;
 pub use amo::AmoOp;
-pub use conduit::{udp::UdpConduit, Conduit};
+pub use conduit::{udp::UdpConduit, Conduit, InFlight};
 pub use config::{ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, Transport};
 pub use event::{Event, EventCore};
 pub use mailbox::{MpQueue, ReadyQueue};
 pub use net::{FieldClass, NetEventKind, NetStats, NetTraceEvent, SimNetwork};
-pub use notify::NotifyTable;
+pub use notify::{NotifyTable, NotifyWordSnapshot};
 pub use rank::{Rank, Team, Topology};
 pub use segment::Segment;
 pub use world::World;

@@ -63,7 +63,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::conduit::{Conduit, ConduitCounters};
+use crate::conduit::{Conduit, ConduitCounters, InFlight};
 use crate::config::{ClockMode, FaultPlan, NetConfig};
 use crate::rank::Rank;
 use crate::world::World;
@@ -244,6 +244,10 @@ enum Payload {
         msg: u64,
         attempt: u32,
         dropped: bool,
+        /// Routing hint recorded at injection — not used for delivery
+        /// (the queue is global) but surfaced by `inflight()` so a stall
+        /// diagnosis can name the rank pair a stuck message belongs to.
+        route: Option<(u32, u32)>,
         action: NetAction,
     },
     /// One of the two wire copies of a duplicated transmission. Both copies
@@ -256,6 +260,7 @@ enum Payload {
         msg: u64,
         attempt: u32,
         primary: bool,
+        route: Option<(u32, u32)>,
         slot: std::sync::Arc<Mutex<Option<NetAction>>>,
     },
 }
@@ -385,6 +390,7 @@ impl SimNetwork {
         q: &mut BinaryHeap<Reverse<Delivery>>,
         msg: u64,
         attempt: u32,
+        route: Option<(u32, u32)>,
         action: NetAction,
     ) {
         let now = self.now_ns();
@@ -411,6 +417,7 @@ impl SimNetwork {
                         msg,
                         attempt,
                         dropped: true,
+                        route,
                         action,
                     },
                 }));
@@ -450,6 +457,7 @@ impl SimNetwork {
                     msg,
                     attempt,
                     primary: true,
+                    route,
                     slot: std::sync::Arc::clone(&slot),
                 },
             }));
@@ -461,6 +469,7 @@ impl SimNetwork {
                     msg,
                     attempt,
                     primary: false,
+                    route,
                     slot,
                 },
             }));
@@ -472,6 +481,7 @@ impl SimNetwork {
                     msg,
                     attempt,
                     dropped: false,
+                    route,
                     action,
                 },
             }));
@@ -505,19 +515,61 @@ impl SimNetwork {
     pub fn config(&self) -> NetConfig {
         self.cfg
     }
+
+    /// Snapshot every heap entry the network still owes a delivery for,
+    /// in deterministic `(msg, due_ns, seq)` order. Takes the queue lock
+    /// briefly; never executes actions.
+    pub fn inflight(&self) -> Vec<InFlight> {
+        let q = self.queue.lock().unwrap();
+        let mut out: Vec<(u64, InFlight)> = q
+            .iter()
+            .map(|Reverse(d)| {
+                let (msg, attempt, retransmit, route) = match &d.payload {
+                    Payload::Attempt {
+                        msg,
+                        attempt,
+                        dropped,
+                        route,
+                        ..
+                    } => (*msg, *attempt, *dropped, *route),
+                    Payload::Copy {
+                        msg,
+                        attempt,
+                        route,
+                        ..
+                    } => (*msg, *attempt, false, *route),
+                };
+                (
+                    d.seq,
+                    InFlight {
+                        msg,
+                        attempt,
+                        retransmit,
+                        due_ns: d.due_ns,
+                        route,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by_key(|(seq, f)| (f.msg, f.due_ns, *seq));
+        out.into_iter().map(|(_, f)| f).collect()
+    }
 }
 
 impl Conduit for SimNetwork {
     /// Inject an operation for delivery after the configured latency. The
     /// simulated network keeps one global delay queue, so the routing hint
-    /// is ignored — exactly the pre-trait behaviour, preserving every
-    /// seeded schedule byte-for-byte.
-    fn inject_to(&self, _route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
+    /// does not affect delivery — exactly the pre-trait behaviour,
+    /// preserving every seeded schedule byte-for-byte — but it is recorded
+    /// on the heap entry so `inflight()` can name the rank pair a stuck
+    /// message belongs to.
+    fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
         let msg = self.ctr.next_msg();
         self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
         self.record(msg, 0, NetEventKind::Inject);
+        let route = route.map(|(s, t)| (s.0, t.0));
         let mut q = self.queue.lock().unwrap();
-        self.schedule_attempt(&mut q, msg, 0, action);
+        self.schedule_attempt(&mut q, msg, 0, route, action);
         msg
     }
 
@@ -586,6 +638,7 @@ impl Conduit for SimNetwork {
                     msg,
                     attempt,
                     dropped: true,
+                    route,
                     action,
                 } => {
                     // Retransmission timer fired: resend with the next
@@ -597,13 +650,14 @@ impl Conduit for SimNetwork {
                     self.ctr.note_retry();
                     self.record(msg, attempt + 1, NetEventKind::Retry);
                     let mut q = self.queue.lock().unwrap();
-                    self.schedule_attempt(&mut q, msg, attempt + 1, action);
+                    self.schedule_attempt(&mut q, msg, attempt + 1, route, action);
                 }
                 Payload::Attempt {
                     msg,
                     attempt,
                     dropped: false,
                     action,
+                    ..
                 } => {
                     self.record(msg, attempt, NetEventKind::Deliver);
                     (action)(world);
@@ -618,6 +672,7 @@ impl Conduit for SimNetwork {
                     attempt,
                     primary,
                     slot,
+                    ..
                 } => {
                     // Receiver-side dedup over the two wire copies. The
                     // first arrival registers the id and takes the payload;
@@ -691,6 +746,14 @@ impl Conduit for SimNetwork {
 
     fn take_trace(&self) -> Vec<NetTraceEvent> {
         self.ctr.take_trace()
+    }
+
+    fn peek_trace(&self) -> Vec<NetTraceEvent> {
+        self.ctr.peek_trace()
+    }
+
+    fn inflight(&self) -> Vec<InFlight> {
+        SimNetwork::inflight(self)
     }
 
     fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {

@@ -49,6 +49,20 @@ struct WordState {
     waiter: Option<Waiter>,
 }
 
+/// Point-in-time view of one non-idle notification word, produced by
+/// [`NotifyTable::snapshot`] for the live-snapshot API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotifyWordSnapshot {
+    /// Owning rank.
+    pub rank: u32,
+    /// Word index within the rank's table.
+    pub word: usize,
+    /// Posted-but-unconsumed badge bits.
+    pub bits: u64,
+    /// Mask of the registered waiter, when one is parked on the word.
+    pub waiter_mask: Option<u64>,
+}
+
 /// Per-world table of notification words, indexed `[rank][word]`.
 pub struct NotifyTable {
     words: Box<[Box<[Mutex<WordState>]>]>,
@@ -158,6 +172,30 @@ impl NotifyTable {
     /// Threads currently holding a park reservation (diagnostics).
     pub fn parked(&self) -> usize {
         self.parked.load(Ordering::Acquire)
+    }
+
+    /// Snapshot every non-idle notification word in canonical
+    /// `(rank, word)` order: the posted-but-unconsumed badge bits and the
+    /// registered waiter's mask (if one is parked). Idle words (no bits,
+    /// no waiter) are skipped so quiesced tables render identically
+    /// regardless of table size.
+    pub fn snapshot(&self) -> Vec<NotifyWordSnapshot> {
+        let mut out = Vec::new();
+        for (rank, per_rank) in self.words.iter().enumerate() {
+            for (word, w) in per_rank.iter().enumerate() {
+                let st = w.lock().unwrap();
+                if st.bits == 0 && st.waiter.is_none() {
+                    continue;
+                }
+                out.push(NotifyWordSnapshot {
+                    rank: rank as u32,
+                    word,
+                    bits: st.bits,
+                    waiter_mask: st.waiter.as_ref().map(|w| w.mask),
+                });
+            }
+        }
+        out
     }
 
     /// Signal every registered waiter (world abort: parked threads must

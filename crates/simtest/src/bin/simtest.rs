@@ -12,10 +12,19 @@
 //! `--check-notify` re-parses the exported JSON and fails unless it
 //! contains at least one eager and one deferred notification event — the
 //! CI trace-smoke job's acceptance check.
+//!
+//! `--snapshot-out PATH` writes every rank's quiesced introspection
+//! snapshot (`snapshot.v1` JSON, one document per rank in a top-level
+//! array). `--watchdog-demo` runs no workload: it deliberately provokes a
+//! partition stall, prints the watchdog's wait-graph diagnosis, and fails
+//! unless the diagnosis names the blocked rank — the CI watchdog-smoke
+//! job's acceptance check. `--watchdog-ms N` sets the demo's stall
+//! watchdog (default 700 ms; must exceed the demo's ~250 ms injection
+//! delay so the stuck carrier is on the wire when the watchdog trips).
 
 use std::process::ExitCode;
 
-use simtest::{fault_plans, harness_agg, run_observed, Workload};
+use simtest::{fault_plans, harness_agg, run_observed, watchdog_stall_demo, Workload};
 use upcr::metrics::{metrics_json_multi, prometheus_text_multi};
 use upcr::trace::{count_notifications, parse_json, summary_table};
 use upcr::{LibVersion, MetricsConfig};
@@ -29,7 +38,10 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     prom_out: Option<String>,
+    snapshot_out: Option<String>,
     check_notify: bool,
+    watchdog_demo: bool,
+    watchdog_ms: u64,
 }
 
 fn usage() -> ! {
@@ -38,7 +50,8 @@ fn usage() -> ! {
          \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
          \x20              [--version eager|2021.3.0|2021.3.6-defer] [--agg] [--agg-flush N]\n\
          \x20              [--trace-out PATH] [--metrics-out PATH] [--prom-out PATH]\n\
-         \x20              [--check-notify]"
+         \x20              [--snapshot-out PATH] [--check-notify]\n\
+         \x20              [--watchdog-demo] [--watchdog-ms N]"
     );
     std::process::exit(2);
 }
@@ -53,7 +66,10 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         prom_out: None,
+        snapshot_out: None,
         check_notify: false,
+        watchdog_demo: false,
+        watchdog_ms: 700,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,7 +102,10 @@ fn parse_args() -> Args {
             "--trace-out" => args.trace_out = Some(val()),
             "--metrics-out" => args.metrics_out = Some(val()),
             "--prom-out" => args.prom_out = Some(val()),
+            "--snapshot-out" => args.snapshot_out = Some(val()),
             "--check-notify" => args.check_notify = true,
+            "--watchdog-demo" => args.watchdog_demo = true,
+            "--watchdog-ms" => args.watchdog_ms = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -95,6 +114,16 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.watchdog_demo {
+        let diagnosis = watchdog_stall_demo(args.watchdog_ms);
+        print!("{diagnosis}");
+        if diagnosis.starts_with("wait-graph stall: rank 0 blocked") {
+            println!("watchdog-demo: ok (diagnosis names the blocked rank)");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("error: diagnosis does not name the blocked rank");
+        return ExitCode::FAILURE;
+    }
     let plan = args.plan.as_deref().map(|name| {
         fault_plans(args.seed)
             .into_iter()
@@ -143,6 +172,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("prometheus exposition: {} ranks -> {path}", parts.len());
+    }
+
+    if let Some(path) = &args.snapshot_out {
+        let docs: Vec<&str> = observed.snapshots.iter().map(|(_, j)| j.as_str()).collect();
+        let body = format!("[\n{}\n]\n", docs.join(",\n"));
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "snapshots: {} quiesced rank snapshots -> {path}",
+            observed.snapshots.len()
+        );
     }
 
     let json = upcr::trace::chrome_trace_json(bundle);

@@ -14,7 +14,7 @@
 //! simulator runs of the same workload under both notification versions.
 //!
 //! ```text
-//! udprun [--ranks N] [--seed S] [--no-sim] [--signals]
+//! udprun [--ranks N] [--seed S] [--no-sim] [--signals] [--watchdog-ms N]
 //! ```
 //!
 //! With `--signals` the storm is replaced by the multi-process analogue of
@@ -53,6 +53,9 @@ const KIND_SIG: u8 = 5;
 const KIND_SIGACK: u8 = 6;
 const FRAME_LEN: usize = 30;
 const RTO: Duration = Duration::from_millis(5);
+/// Default protocol watchdog: any child stuck past this long (serving the
+/// wire, or parked on the signal condvar) aborts with a diagnosis line
+/// instead of hanging CI. Override with `--watchdog-ms N`.
 const DEADLINE: Duration = Duration::from_secs(30);
 
 /// `[magic][kind][msg u64][src u32][target u32][slot u32][value u64]`;
@@ -98,17 +101,25 @@ fn main() {
         .map(|v| v.parse().expect("--seed"))
         .unwrap_or(0);
     let signals = args.iter().any(|a| a == "--signals");
+    let watchdog_ms: Option<u64> =
+        parse_flag(&args, "--watchdog-ms").map(|v| v.parse().expect("--watchdog-ms"));
+    let deadline = watchdog_ms.map_or(DEADLINE, Duration::from_millis);
     if let Some(me) = parse_flag(&args, "--child") {
         let me = me.parse().expect("--child");
         if signals {
-            child_signals(me, ranks);
+            child_signals(me, ranks, deadline);
         } else {
-            child(me, ranks, seed);
+            child(me, ranks, seed, deadline);
         }
     } else if signals {
-        parent_signals(ranks, seed);
+        parent_signals(ranks, seed, watchdog_ms);
     } else {
-        parent(ranks, seed, !args.iter().any(|a| a == "--no-sim"));
+        parent(
+            ranks,
+            seed,
+            !args.iter().any(|a| a == "--no-sim"),
+            watchdog_ms,
+        );
     }
 }
 
@@ -145,7 +156,7 @@ fn recv_peers(ranks: usize) -> (Vec<SocketAddr>, mpsc::Receiver<String>) {
 /// process-level analogue of the in-runtime zero-polls-while-parked
 /// guarantee — until the word covers the full expected mask, then prints
 /// `SIGDONE <mask>` for the parent to verify.
-fn child_signals(me: usize, ranks: usize) {
+fn child_signals(me: usize, ranks: usize, deadline: Duration) {
     let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
     sock.set_nonblocking(true).expect("nonblocking");
     println!("ADDR {}", sock.local_addr().expect("local_addr"));
@@ -185,7 +196,11 @@ fn child_signals(me: usize, ranks: usize) {
         let mut buf = [0u8; 64];
         let start = Instant::now();
         loop {
-            assert!(start.elapsed() < DEADLINE, "rank {me}: signal deadline");
+            assert!(
+                start.elapsed() < deadline,
+                "rank {me}: signal watchdog ({deadline:?}) expired with {} unacked signals",
+                unacked.len()
+            );
             loop {
                 let (len, _) = match sock.recv_from(&mut buf) {
                     Ok(r) => r,
@@ -244,10 +259,15 @@ fn child_signals(me: usize, ranks: usize) {
     let mut bits = lock.lock().unwrap();
     while *bits & expected != expected {
         let (guard, timeout) = cv
-            .wait_timeout(bits, DEADLINE)
+            .wait_timeout(bits, deadline)
             .expect("notification word poisoned");
         bits = guard;
-        assert!(!timeout.timed_out(), "rank {me}: parked past the deadline");
+        assert!(
+            !timeout.timed_out(),
+            "rank {me}: parked past the watchdog ({deadline:?}) still missing badge \
+             bits {:#x} of {expected:#x}",
+            expected & !*bits
+        );
     }
     let got = *bits;
     drop(bits);
@@ -258,21 +278,26 @@ fn child_signals(me: usize, ranks: usize) {
 
 /// Parent half of `--signals`: same PEERS handshake, then each child must
 /// report a `SIGDONE` mask equal to everyone-but-itself.
-fn parent_signals(ranks: usize, seed: u64) {
+fn parent_signals(ranks: usize, seed: u64, watchdog_ms: Option<u64>) {
     assert!(ranks <= 64, "badges are bits of one u64 word");
     let exe = std::env::current_exe().expect("current_exe");
     let mut children = Vec::new();
     for r in 0..ranks {
+        let mut args = vec![
+            "--child".to_string(),
+            r.to_string(),
+            "--ranks".to_string(),
+            ranks.to_string(),
+            "--seed".to_string(),
+            seed.to_string(),
+            "--signals".to_string(),
+        ];
+        if let Some(ms) = watchdog_ms {
+            args.push("--watchdog-ms".to_string());
+            args.push(ms.to_string());
+        }
         let child = Command::new(&exe)
-            .args([
-                "--child",
-                &r.to_string(),
-                "--ranks",
-                &ranks.to_string(),
-                "--seed",
-                &seed.to_string(),
-                "--signals",
-            ])
+            .args(&args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
@@ -327,7 +352,7 @@ fn parent_signals(ranks: usize, seed: u64) {
     println!("udprun: OK");
 }
 
-fn child(me: usize, ranks: usize, seed: u64) {
+fn child(me: usize, ranks: usize, seed: u64, deadline: Duration) {
     let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
     sock.set_nonblocking(true).expect("nonblocking");
     println!("ADDR {}", sock.local_addr().expect("local_addr"));
@@ -368,7 +393,11 @@ fn child(me: usize, ranks: usize, seed: u64) {
     let mut buf = [0u8; 64];
     let start = Instant::now();
     loop {
-        assert!(start.elapsed() < DEADLINE, "rank {me}: protocol deadline");
+        assert!(
+            start.elapsed() < deadline,
+            "rank {me}: protocol watchdog ({deadline:?}) expired with {} unacked puts",
+            unacked.len()
+        );
         // Serve the wire.
         loop {
             let (len, _) = match sock.recv_from(&mut buf) {
@@ -427,19 +456,24 @@ fn child(me: usize, ranks: usize, seed: u64) {
     std::io::stdout().flush().unwrap();
 }
 
-fn parent(ranks: usize, seed: u64, verify_sim: bool) {
+fn parent(ranks: usize, seed: u64, verify_sim: bool, watchdog_ms: Option<u64>) {
     let exe = std::env::current_exe().expect("current_exe");
     let mut children = Vec::new();
     for r in 0..ranks {
+        let mut args = vec![
+            "--child".to_string(),
+            r.to_string(),
+            "--ranks".to_string(),
+            ranks.to_string(),
+            "--seed".to_string(),
+            seed.to_string(),
+        ];
+        if let Some(ms) = watchdog_ms {
+            args.push("--watchdog-ms".to_string());
+            args.push(ms.to_string());
+        }
         let child = Command::new(&exe)
-            .args([
-                "--child",
-                &r.to_string(),
-                "--ranks",
-                &ranks.to_string(),
-                "--seed",
-                &seed.to_string(),
-            ])
+            .args(&args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()

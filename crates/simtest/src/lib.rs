@@ -17,6 +17,8 @@
 //! GUPS xor), so any divergence between library versions is a real
 //! semantics change, not a race artifact.
 
+use std::sync::Mutex;
+
 use gasnex::{AggConfig, FaultPlan, NetConfig, NetStats, Transport};
 use graphgen::SeededRng;
 use gups::{GupsConfig, Variant};
@@ -99,6 +101,46 @@ pub struct Outcome {
     pub dup_suppressed: u64,
     /// Largest retransmission backoff applied, bounded by the plan.
     pub max_backoff_ns: u64,
+}
+
+/// Per-rank quiesced snapshots (rendered text) from the most recent
+/// harness run in this process, retained so a digest mismatch — inside a
+/// run or across the two runs of a differential pair — can dump the
+/// runtime's introspection state before the panic unwinds. Diagnostics
+/// only: parallel tests may interleave runs, so on a failure the dump is
+/// best-effort about *which* run it shows, but every line it prints is a
+/// real quiesced snapshot.
+static LAST_RUN_SNAPSHOTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn record_snapshots(snaps: &[(String, String)]) {
+    *LAST_RUN_SNAPSHOTS.lock().unwrap() = snaps.iter().map(|(text, _)| text.clone()).collect();
+}
+
+/// Dump every rank's quiesced snapshot from the most recent harness run to
+/// stderr. Called automatically on any differential mismatch; public so
+/// ad-hoc tests can dump too.
+pub fn dump_last_snapshots(context: &str) {
+    let snaps = LAST_RUN_SNAPSHOTS.lock().unwrap();
+    eprintln!("--- per-rank quiesced snapshots ({context}) ---");
+    if snaps.is_empty() {
+        eprintln!("(none recorded: no harness run completed in this process)");
+    }
+    for s in snaps.iter() {
+        eprint!("{s}");
+    }
+    eprintln!("--- end snapshots ---");
+}
+
+/// Assert two runs of a differential pair produced the same [`Outcome`],
+/// auto-dumping the most recent run's per-rank snapshots before panicking
+/// on a divergence. Every equivalence sweep routes through this so a
+/// digest mismatch always arrives with runtime state attached.
+#[track_caller]
+pub fn assert_outcomes_match(context: &str, a: Outcome, b: Outcome) {
+    if a != b {
+        dump_last_snapshots(context);
+        panic!("{context}: runs are not observationally equivalent:\n  a = {a:?}\n  b = {b:?}");
+    }
 }
 
 /// The named fault plans the harness sweeps for a given seed. Includes the
@@ -198,11 +240,32 @@ pub fn run_udp(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> Outcome {
+    run_with_snapshots(workload, version, seed, plan, Transport::UdpSocket).0
+}
+
+/// Run `workload` on the chosen conduit and return the outcome plus every
+/// rank's quiesced snapshot as `(text, json)` renderings, in rank order.
+/// The simulated conduit gets the harness's virtual-clock chaos network
+/// ([`net_for`]); the kernel-socket conduit gets the wall-clock socket
+/// network ([`net_for_udp`]). The snapshot renderings are taken at
+/// quiesce, so they are a pure function of the program — the
+/// conduit-independence tests compare them byte for byte.
+pub fn run_with_snapshots(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    transport: Transport,
+) -> (Outcome, Vec<(String, String)>) {
+    let net = match transport {
+        Transport::Sim => net_for(plan),
+        Transport::UdpSocket => net_for_udp(plan),
+    };
     let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
         .with_version(version)
         .with_segment_size(1 << 18)
-        .with_net(net_for_udp(plan))
-        .with_transport(Transport::UdpSocket);
+        .with_net(net)
+        .with_transport(transport);
     let results = launch(rt, move |u| {
         let digest = match workload {
             Workload::PutGetStorm => put_get_storm(u, seed),
@@ -219,13 +282,13 @@ pub fn run_udp(
         let s = u.stats();
         let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
         let net = u.net_stats();
-        (digest, completions, net)
+        (digest, completions, net, quiesced_snapshot(u))
     });
-    let (digest, completions, net) = results[0];
-    for (d, c, _) in &results {
-        assert_eq!((*d, *c), (digest, completions), "ranks disagree on outcome");
-    }
-    outcome_from(digest, completions, net)
+    let net = results[0].2;
+    let per_rank: Vec<(u64, u64)> = results.iter().map(|r| (r.0, r.1)).collect();
+    let snaps: Vec<(String, String)> = results.into_iter().map(|r| r.3).collect();
+    check_rank_agreement(&per_rank, &snaps);
+    (outcome_from(per_rank[0].0, per_rank[0].1, net), snaps)
 }
 
 /// Hash a wire-level trace into one word (order-sensitive over every field
@@ -324,13 +387,13 @@ pub fn run_agg(
         let s = u.stats();
         let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
         let net = u.net_stats();
-        (digest, completions, net)
+        (digest, completions, net, quiesced_snapshot(u))
     });
-    let (digest, completions, net) = results[0];
-    for (d, c, _) in &results {
-        assert_eq!((*d, *c), (digest, completions), "ranks disagree on outcome");
-    }
-    (outcome_from(digest, completions, net), net)
+    let net = results[0].2;
+    let per_rank: Vec<(u64, u64)> = results.iter().map(|r| (r.0, r.1)).collect();
+    let snaps: Vec<(String, String)> = results.into_iter().map(|r| r.3).collect();
+    check_rank_agreement(&per_rank, &snaps);
+    (outcome_from(per_rank[0].0, per_rank[0].1, net), net)
 }
 
 /// Like [`run`], but with operation-lifecycle tracing enabled: returns the
@@ -358,6 +421,11 @@ pub struct Observed {
     pub bundle: upcr::TraceBundle,
     pub hists: upcr::Histograms,
     pub per_rank: Vec<(upcr::RankSeries, upcr::Histograms)>,
+    /// Each rank's quiesced introspection snapshot as `(text, json)`
+    /// renderings, in rank order. Taken at quiesce, so they are a pure
+    /// function of the program — byte-identical across library versions
+    /// and conduits for the same `(workload, seed)`.
+    pub snapshots: Vec<(String, String)>,
 }
 
 /// Superset of [`run_traced`]: lifecycle tracing always on, plus optional
@@ -416,17 +484,20 @@ pub fn run_observed(
             u.latency_report(),
             net_trace,
             series,
+            quiesced_snapshot(u),
         )
     });
     let (digest, completions, net) = (results[0].0, results[0].1, results[0].2);
+    let agreement: Vec<(u64, u64)> = results.iter().map(|r| (r.0, r.1)).collect();
+    let snapshots: Vec<(String, String)> = results.iter().map(|r| r.7.clone()).collect();
+    check_rank_agreement(&agreement, &snapshots);
     let mut bundle = upcr::TraceBundle {
         ranks: Vec::new(),
         net: Vec::new(),
     };
     let mut hists = upcr::Histograms::new();
     let mut per_rank = Vec::new();
-    for (d, c, _, trace, hist, net_trace, series) in results {
-        assert_eq!((d, c), (digest, completions), "ranks disagree on outcome");
+    for (_, _, _, trace, hist, net_trace, series, _) in results {
         bundle.ranks.push(trace);
         hists.merge(&hist);
         if !net_trace.is_empty() {
@@ -441,6 +512,34 @@ pub fn run_observed(
         bundle,
         hists,
         per_rank,
+        snapshots,
+    }
+}
+
+/// Capture this rank's quiesced introspection snapshot as
+/// `(text, json)` — the closure tail of every harness runner. Taken after
+/// the final barrier, so the dynamic sections (pending ops, buckets,
+/// in-flight messages) are empty and the rendering is a pure function of
+/// the program: byte-identical across library versions and conduits.
+fn quiesced_snapshot(u: &Upcr) -> (String, String) {
+    let s = u.snapshot();
+    (s.render_text(), s.render_json())
+}
+
+/// Verify every rank agreed with rank 0 on `(digest, completions)`,
+/// auto-dumping all ranks' quiesced snapshots before panicking on a
+/// divergence.
+fn check_rank_agreement(per_rank: &[(u64, u64)], snaps: &[(String, String)]) {
+    record_snapshots(snaps);
+    let (digest, completions) = per_rank[0];
+    for (r, &(d, c)) in per_rank.iter().enumerate() {
+        if (d, c) != (digest, completions) {
+            dump_last_snapshots("ranks disagree on outcome");
+            panic!(
+                "rank {r} disagrees on outcome: digest {d:#018x} completions {c} \
+                 vs rank 0's digest {digest:#018x} completions {completions}"
+            );
+        }
     }
 }
 
@@ -698,4 +797,55 @@ fn gups_small(u: &Upcr) -> u64 {
     let r = gups::run(u, &cfg, Variant::AmoFuture);
     assert_eq!(r.errors, 0, "atomic GUPS must stay exact under chaos");
     fold(fold(0, r.updates as u64), r.errors as u64)
+}
+
+/// Wall-clock nanoseconds after the epoch of this run at which the
+/// partition window opens in [`watchdog_stall_demo`]. Setup (allocation,
+/// pointer gather, one barrier) finishes orders of magnitude earlier, so
+/// only the deliberately-delayed signal lands inside the window.
+const STALL_PARTITION_AT_NS: u64 = 100_000_000;
+
+/// Deliberately provoke a wait-graph stall and return the watchdog's
+/// diagnosis text — the CI smoke path for the stall watchdog.
+///
+/// Two single-rank nodes on the *simulated* conduit under the wall clock
+/// (partition windows are expressible there; the kernel-socket conduit
+/// rejects them), with a partition lasting an hour: after a 100 ms grace
+/// window for setup traffic, rank 1's put-with-signal is injected inside
+/// the partition and its delivery shifted to the window's end, while rank
+/// 0 parks in `wait_signal` on the never-arriving badge. The watchdog
+/// (armed at `watchdog_ms`, which must exceed the ~250 ms injection
+/// delay for the carrier edge to be visible) trips and panics with a
+/// diagnosis naming the blocked rank, its notify-word edge, the stuck
+/// in-flight carrier from rank 1, and the last wire event touching it.
+pub fn watchdog_stall_demo(watchdog_ms: u64) -> String {
+    let plan = FaultPlan::seeded(1).with_partition(STALL_PARTITION_AT_NS, 3_600_000_000_000);
+    let rt = RuntimeConfig::udp(2, 1)
+        .with_segment_size(1 << 14)
+        .with_net(NetConfig::default().with_faults(plan))
+        .with_watchdog_ms(watchdog_ms);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        launch(rt, |u| {
+            u.trace_enabled(true);
+            let base = u.new_array::<u64>(1);
+            let bases = gather_ptrs(u, base);
+            u.barrier();
+            if u.rank_me() == 1 {
+                // Inject well inside the partition window: the carrier
+                // enters the wire but its delivery is shifted an hour out,
+                // far past rank 0's watchdog.
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                let _pending = u.put_signal(7u64, bases[0], 0, 0b10);
+                // Never waited: rank 0's watchdog aborts the world first.
+            } else {
+                u.wait_signal(0, 0b10);
+            }
+            u.barrier();
+        });
+    }));
+    let payload = result.expect_err("partition stall must trip the watchdog");
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(other) => std::panic::resume_unwind(other),
+    }
 }

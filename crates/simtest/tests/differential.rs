@@ -16,15 +16,9 @@ use upcr::LibVersion;
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
 fn assert_equivalent(w: Workload, seed: u64, plan_name: &str, a: Outcome, b: Outcome) {
-    assert_eq!(
-        a,
-        b,
-        "{} seed={} plan={}: defer and eager runs must be observationally \
-         equivalent",
-        w.name(),
-        seed,
-        plan_name
-    );
+    // Routed through the harness helper so a digest mismatch auto-dumps
+    // every rank's quiesced introspection snapshot before panicking.
+    simtest::assert_outcomes_match(&format!("{} seed={seed} plan={plan_name}", w.name()), a, b);
 }
 
 fn assert_faults_exercised(w: Workload, seed: u64, name: &str, plan: &FaultPlan, o: &Outcome) {

@@ -16,11 +16,9 @@ use upcr::LibVersion;
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
 fn assert_equivalent(seed: u64, plan_name: &str, a: Outcome, b: Outcome) {
-    assert_eq!(
-        a, b,
-        "signal-storm seed={seed} plan={plan_name}: defer and eager runs \
-         must be observationally equivalent"
-    );
+    // Routed through the harness helper so a digest mismatch auto-dumps
+    // every rank's quiesced introspection snapshot before panicking.
+    simtest::assert_outcomes_match(&format!("signal-storm seed={seed} plan={plan_name}"), a, b);
 }
 
 #[test]
