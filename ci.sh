@@ -26,6 +26,14 @@
 #                    signal differential, and the multi-process parked-waiter
 #                    run (udprun --signals). All timeout-bounded: a waiter
 #                    that never wakes must fail CI, not hang it.
+#   ./ci.sh causal   causal-tracing gate: assemble the cross-rank
+#                    happens-before timeline from Lamport-stamped traces
+#                    and require zero causality violations on virtual-clock
+#                    runs (simtest --causal-out on gups-small and the
+#                    signal storm), ship real multi-process traces over the
+#                    pipe protocol (udprun --trace-out), and run the
+#                    byte-determinism + eager-vs-defer contrast suite
+#                    (crates/simtest/tests/causal.rs).
 #   ./ci.sh watchdog introspection gate: deliberately provoke a partition
 #                    stall (simtest --watchdog-demo) and require the stall
 #                    watchdog's wait-graph diagnosis to name the blocked
@@ -155,6 +163,37 @@ case "$job" in
 
     echo "Signals gate green."
     ;;
+  causal)
+    # Virtual-clock runs make the zero-violations requirement absolute:
+    # Lamport order and the simulated clock cannot disagree, so the
+    # simtest binary itself fails on any violation. The udprun half ships
+    # real per-process traces over the pipes; its violation count is
+    # reported (cross-process kernel clocks may skew) but the run must
+    # still produce a valid flow-event JSON.
+    out="$(mktemp -d)"
+    echo "==> simtest --workload gups-small --causal-out"
+    cargo build -p simtest --release -q --bin simtest --bin udprun
+    timeout 120 ./target/release/simtest --workload gups-small --seed 42 \
+      --plan combined --causal-out "$out/causal-gups.json"
+    test -s "$out/causal-gups.json" || { echo "causal export missing" >&2; exit 1; }
+
+    echo "==> simtest --workload signal-storm --causal-out"
+    timeout 120 ./target/release/simtest --workload signal-storm --seed 42 \
+      --plan combined --causal-out "$out/causal-signals.json"
+
+    echo "==> udprun --ranks 4 --seed 0 --trace-out"
+    timeout 120 ./target/release/udprun --ranks 4 --seed 0 \
+      --trace-out "$out/causal-udp.json"
+    test -s "$out/causal-udp.json" || { echo "udprun trace export missing" >&2; exit 1; }
+
+    echo "==> cargo test -p simtest --release --test causal"
+    timeout 300 cargo test -p simtest --release -q --test causal
+
+    echo "==> cargo test -p upcr --release causal"
+    timeout 300 cargo test -p upcr --release -q causal
+
+    echo "Causal gate green."
+    ;;
   watchdog)
     # The demo run injects a put-with-signal into an hour-long partition
     # window while the waiter parks behind a 700 ms watchdog; the binary
@@ -177,7 +216,7 @@ case "$job" in
     echo "Watchdog gate green."
     ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, signals, or watchdog)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, signals, causal, or watchdog)" >&2
     exit 2
     ;;
 esac

@@ -124,6 +124,9 @@ fn main() {
     if want(&args, "latency") {
         latency_histograms(&args);
     }
+    if want(&args, "causal") {
+        causal_profiles(&args);
+    }
     if want(&args, "matching-mp") || args.sections.iter().any(|x| x == "all") {
         matching_mp_comparison(&args);
     }
@@ -135,11 +138,12 @@ fn emit_bench_json(args: &Args) {
     std::fs::create_dir_all(&args.out_dir)
         .unwrap_or_else(|e| panic!("creating {}: {e}", args.out_dir));
     type SuiteEmit = fn(bool) -> String;
-    let suites: [(&str, SuiteEmit); 4] = [
+    let suites: [(&str, SuiteEmit); 5] = [
         ("micro", bench::emit::bench_micro_doc),
         ("gups", bench::emit::bench_gups_doc),
         ("matching", bench::emit::bench_matching_doc),
         ("signals", bench::emit::bench_signals_doc),
+        ("causal", bench::emit::bench_causal_doc),
     ];
     for (suite, emit) in suites {
         if !want(args, suite) {
@@ -228,6 +232,48 @@ fn latency_histograms(args: &Args) {
                 row.p99_ns,
                 row.max_ns
             );
+        }
+    }
+    println!();
+}
+
+/// Cross-rank causal timelines from the seeded chaos probe: the paper's
+/// eager-vs-defer claim restated as happens-before chain lengths, plus
+/// the distributed critical-path header per library version.
+fn causal_profiles(args: &Args) {
+    let iters: u64 = if args.quick { 24 } else { 96 };
+    println!("== Causal timelines (chaos probe, virtual clock, seed 1) ==\n");
+    for &version in &VERSIONS {
+        let r = upcr::metrics::probe::run(&upcr::metrics::probe::ProbeConfig {
+            version,
+            iters,
+            seed: 1,
+            chaos: true,
+            trace: true,
+            metrics: false,
+            ..Default::default()
+        });
+        let bundle = r.bundle.as_ref().expect("probe ran with tracing on");
+        let asm = upcr::trace::assemble(bundle);
+        println!("  {version}:");
+        println!(
+            "    nodes {:>5}  hb_edges {:>5}  violations {}  chain_depth {:>4}  span {:>8} ns",
+            asm.nodes.len(),
+            asm.hb_edges(),
+            asm.violations,
+            asm.chain_depth,
+            asm.critical_span_ns()
+        );
+        for path in upcr::trace::CompletionPath::ALL {
+            match asm.mean_chain_len_milli(path) {
+                Some(m) => println!(
+                    "    mean chain ({:<8}) {:>3}.{:03} hops",
+                    path.name(),
+                    m / 1000,
+                    m % 1000
+                ),
+                None => println!("    mean chain ({:<8})    (no ops)", path.name()),
+            }
         }
     }
     println!();

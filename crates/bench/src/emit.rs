@@ -341,6 +341,96 @@ pub fn bench_signals_doc(quick: bool) -> String {
     b.finish()
 }
 
+/// `BENCH_causal.json`: the cross-rank causal-tracing suite. Probes every
+/// library version under the seeded chaos plan with tracing on, feeds the
+/// bundle through the happens-before assembler, and emits the assembly's
+/// shape: node/edge counts, the causal chain depth, the virtual-clock
+/// critical span, the violation count, and the per-completion-path mean
+/// chain lengths (milli-hops). All byte-identical across runs (virtual
+/// clock, single-threaded drive, deterministic assembly).
+///
+/// Two rows carry hard rules in the regression gate regardless of the
+/// committed baseline: every `*.causal_violations` must be exactly zero
+/// (Lamport order cannot disagree with a virtual clock), and
+/// `probe.causal_len_advantage` — the defer-build mean chain length minus
+/// the eager-build mean, in milli-hops — must stay strictly positive: the
+/// paper's claim, in happens-before hops, is that eager notification
+/// shortens the initiation→notification causal chain.
+pub fn bench_causal_doc(quick: bool) -> String {
+    let iters: u64 = if quick { 24 } else { 96 };
+    let seed = 1u64;
+    let mut b = DocBuilder::new("causal", mode_name(quick), seed, 2, iters);
+    let mut mean_by_version = Vec::new();
+    for &version in &VERSIONS {
+        let r = probe_run(&ProbeConfig {
+            version,
+            iters,
+            seed,
+            chaos: true,
+            trace: true,
+            metrics: false,
+            ..ProbeConfig::default()
+        });
+        let bundle = r.bundle.as_ref().expect("probe ran with tracing on");
+        let asm = upcr::trace::assemble(bundle);
+        let slug = version_slug(version);
+        b.exact(
+            &format!("{slug}.causal_nodes"),
+            "events",
+            asm.nodes.len() as f64,
+        );
+        b.exact(&format!("{slug}.hb_edges"), "edges", asm.hb_edges() as f64);
+        b.exact(
+            &format!("{slug}.causal_violations"),
+            "events",
+            asm.violations as f64,
+        );
+        b.exact(
+            &format!("{slug}.chain_depth"),
+            "hops",
+            asm.chain_depth as f64,
+        );
+        b.exact(
+            &format!("{slug}.critical_span_ns"),
+            "ns",
+            asm.critical_span_ns() as f64,
+        );
+        for path in upcr::trace::CompletionPath::ALL {
+            if let Some(m) = asm.mean_chain_len_milli(path) {
+                b.exact(
+                    &format!("{slug}.mean_chain_{}_milli", path.name()),
+                    "milli-hops",
+                    m as f64,
+                );
+            }
+        }
+        // Overall mean across both paths — the cross-version comparand.
+        let n = asm.op_chains.len() as u64;
+        let mean_milli = (asm.op_chains.iter().map(|c| c.len).sum::<u64>() * 1000)
+            .checked_div(n)
+            .unwrap_or(0);
+        b.exact(
+            &format!("{slug}.mean_chain_milli"),
+            "milli-hops",
+            mean_milli as f64,
+        );
+        mean_by_version.push((version, mean_milli));
+    }
+    let mean_of = |v: LibVersion| {
+        mean_by_version
+            .iter()
+            .find(|(mv, _)| *mv == v)
+            .expect("version probed")
+            .1 as f64
+    };
+    b.exact(
+        "probe.causal_len_advantage",
+        "milli-hops",
+        mean_of(LibVersion::V2021_3_6Defer) - mean_of(LibVersion::V2021_3_6Eager),
+    );
+    b.finish()
+}
+
 /// `BENCH_matching.json`: the Figure-8 application — distributed maximal
 /// weighted matching over every paper preset, per library version. Only
 /// schedule-independent fields are emitted: the graph shape and the solve
@@ -501,6 +591,39 @@ mod tests {
             );
         }
         assert_eq!(val("signal-storm.v2021_3_6_eager.completions"), 24.0);
+    }
+
+    #[test]
+    fn causal_doc_is_deterministic_and_pins_eager_advantage() {
+        let a = bench_causal_doc(true);
+        assert_eq!(a, bench_causal_doc(true), "causal doc must be replayable");
+        let d = parse_bench(&a).expect("emitted doc must parse");
+        assert_eq!(d.suite, "causal");
+        assert!(d
+            .metrics
+            .iter()
+            .all(|m| m.tol_rel == 0.0 && m.tol_abs == 0.0));
+        let val = |name: &str| {
+            d.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .value
+        };
+        // Virtual clock: Lamport order and wall order can never disagree.
+        for v in &VERSIONS {
+            assert_eq!(val(&format!("{}.causal_violations", version_slug(*v))), 0.0);
+        }
+        // The paper's claim in happens-before hops: the eager build's mean
+        // causal chain is strictly shorter than the defer build's.
+        assert!(val("probe.causal_len_advantage") > 0.0);
+        // The defer build never completes anything on the eager path, so
+        // its per-path eager row is absent from the document.
+        assert!(!d
+            .metrics
+            .iter()
+            .any(|m| m.name == "v2021_3_6_defer.mean_chain_eager_milli"));
+        assert!(val("v2021_3_6_eager.mean_chain_eager_milli") > 0.0);
     }
 
     #[test]

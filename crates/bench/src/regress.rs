@@ -129,7 +129,14 @@ impl Report {
 /// aggregation made the wire traffic *worse*), and any current metric
 /// named `*.idle_fraction` carries a hard `[0, 1]` range (it is a
 /// fraction of accounted wait time; a value outside the unit interval
-/// means the idle-time accounting itself is broken).
+/// means the idle-time accounting itself is broken). Two more hard rules
+/// guard the causal-tracing suite the same way: any `*.causal_violations`
+/// must be exactly zero (the gated suites run the virtual clock, where
+/// Lamport order and wall order cannot disagree — a violation is a tracer
+/// bug, not a measurement), and any `*.causal_len_advantage` must be
+/// strictly positive (the paper's claim in happens-before hops: eager
+/// notification shortens the mean causal chain; zero or negative means
+/// the optimization stopped optimizing).
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
     let mut failures = Vec::new();
     for (field, b, c) in [
@@ -197,6 +204,36 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
             failures.push(format!(
                 "{}: idle fraction {} outside the hard [0, 1] range \
                  (parked time cannot exceed total accounted wait time)",
+                cm.name, cm.value,
+            ));
+        }
+    }
+    for cm in &current.metrics {
+        if !cm.name.ends_with(".causal_violations") {
+            continue;
+        }
+        if baseline.metrics.iter().all(|m| m.name != cm.name) {
+            checked += 1;
+        }
+        if cm.value != 0.0 {
+            failures.push(format!(
+                "{}: {} causality violations on a virtual-clock run \
+                 (Lamport order must agree with the virtual clock)",
+                cm.name, cm.value,
+            ));
+        }
+    }
+    for cm in &current.metrics {
+        if !cm.name.ends_with(".causal_len_advantage") {
+            continue;
+        }
+        if baseline.metrics.iter().all(|m| m.name != cm.name) {
+            checked += 1;
+        }
+        if cm.value <= 0.0 {
+            failures.push(format!(
+                "{}: eager causal-chain advantage {} not strictly positive \
+                 (eager notification must shorten the mean happens-before chain)",
                 cm.name, cm.value,
             ));
         }
@@ -312,6 +349,50 @@ mod tests {
             let ok = doc(vec![metric("park.idle_fraction", ok_val, 0.0, 0.0)]);
             assert!(compare(&base, &ok).passed());
         }
+    }
+
+    #[test]
+    fn causal_violations_zero_pin_gates_even_without_baseline_entry() {
+        let base = doc(vec![]);
+        let cur = doc(vec![metric(
+            "v2021_3_6_eager.causal_violations",
+            2.0,
+            0.0,
+            0.0,
+        )]);
+        let r = compare(&base, &cur);
+        assert_eq!(r.checked, 1);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(
+            r.failures[0].contains("causality violations"),
+            "{:?}",
+            r.failures
+        );
+        let ok = doc(vec![metric(
+            "v2021_3_6_eager.causal_violations",
+            0.0,
+            0.0,
+            0.0,
+        )]);
+        assert!(compare(&base, &ok).passed());
+    }
+
+    #[test]
+    fn causal_len_advantage_floor_gates_even_without_baseline_entry() {
+        let base = doc(vec![]);
+        for bad in [0.0, -250.0] {
+            let cur = doc(vec![metric("probe.causal_len_advantage", bad, 0.0, 0.0)]);
+            let r = compare(&base, &cur);
+            assert_eq!(r.checked, 1);
+            assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+            assert!(
+                r.failures[0].contains("not strictly positive"),
+                "{:?}",
+                r.failures
+            );
+        }
+        let ok = doc(vec![metric("probe.causal_len_advantage", 333.0, 0.0, 0.0)]);
+        assert!(compare(&base, &ok).passed());
     }
 
     #[test]

@@ -104,6 +104,7 @@ impl RankCtx {
             .enabled
             .then(|| Coalescer::new(agg_cfg, world.ranks(), me));
         let wall_clock = world.config().net.clock == ClockMode::Wall;
+        let clocks = Arc::clone(world.clocks());
         Rc::new(RankCtx {
             world,
             me,
@@ -121,7 +122,7 @@ impl RankCtx {
             stats: Stats::default(),
             in_progress: StdCell::new(false),
             trace_on: StdCell::new(false),
-            tracer: RefCell::new(RankTracer::new(me.0)),
+            tracer: RefCell::new(RankTracer::with_clocks(me.0, clocks)),
             metrics_on: StdCell::new(false),
             metrics: RefCell::new(MetricSeries::new(MetricsConfig::default())),
             agg: RefCell::new(agg),
@@ -139,7 +140,11 @@ impl RankCtx {
                 Some(a) => a.push(target.0 as usize, action, top, self.world.net()),
                 None => {
                     drop(agg);
-                    let msg = self.world.net_inject(action);
+                    // Keep the routing hint: socket transports pick the
+                    // node sockets from it, and the conduit's Lamport
+                    // stamp lands on the initiating rank's clock slot
+                    // instead of the shared unrouted slot.
+                    let msg = self.world.net_inject_routed(self.me, target, action);
                     self.trace_net_inject(top, msg);
                     return;
                 }

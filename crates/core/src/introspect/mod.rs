@@ -45,6 +45,10 @@ pub struct Snapshot {
     pub rank: u32,
     /// Total ranks in the world.
     pub ranks: u32,
+    /// The rank's Lamport clock at capture time (PR 9). Zero on untraced
+    /// runs — the clocks only tick while tracing — so quiesced-snapshot
+    /// byte-identity is unaffected by the causal subsystem existing.
+    pub lclock: u64,
     /// Open (initiated but not yet notified) operation spans, with the
     /// lifecycle phase reconstructed from the trace ring. Empty when
     /// tracing is off (spans are only recorded while tracing).
@@ -65,9 +69,11 @@ impl Snapshot {
     /// world-global.
     pub(crate) fn capture(ctx: &RankCtx) -> Snapshot {
         let now = ctx.trace_now_ns();
+        let clocks = ctx.world.clocks();
         Snapshot {
             rank: ctx.me.0,
             ranks: ctx.world.ranks() as u32,
+            lclock: clocks.peek(clocks.slot_for(Some(ctx.me.0))),
             pending_ops: ctx.tracer.borrow().open_spans(),
             agg_buckets: ctx
                 .agg
@@ -89,6 +95,7 @@ impl Snapshot {
             "=== upcr snapshot: rank {}/{} ===",
             self.rank, self.ranks
         );
+        let _ = writeln!(s, "lamport clock: {}", self.lclock);
         let _ = writeln!(s, "pending ops: {}", self.pending_ops.len());
         for op in &self.pending_ops {
             let kind = op.kind.map_or("?", |k| k.name());
@@ -149,8 +156,8 @@ impl Snapshot {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"schema\":\"snapshot.v1\",\"rank\":{},\"ranks\":{},\"pending_ops\":[",
-            self.rank, self.ranks
+            "{{\"schema\":\"snapshot.v1\",\"rank\":{},\"ranks\":{},\"lclock\":{},\"pending_ops\":[",
+            self.rank, self.ranks, self.lclock
         );
         for (i, op) in self.pending_ops.iter().enumerate() {
             if i > 0 {

@@ -332,6 +332,7 @@ mod tests {
             msg,
             attempt,
             kind,
+            lclock: 0,
         }
     }
 

@@ -93,6 +93,15 @@ pub fn run(cfg: &ProbeConfig) -> ProbeReport {
         }
         .with_virtual_clock()
     };
+    run_with_net(cfg, net)
+}
+
+/// [`run`] with an explicit wire configuration (the `chaos` flag is
+/// ignored). Lets callers sweep the probe across their own fault plans —
+/// the causal-determinism tests drive it with every differential-harness
+/// plan — while keeping the single-threaded deterministic drive. The
+/// caller must supply a virtual-clock config for byte-determinism.
+pub fn run_with_net(cfg: &ProbeConfig, net: NetConfig) -> ProbeReport {
     // Two single-rank nodes: rank 1 is remote from rank 0, so remote ops
     // exercise the full inject → deliver → signal → wakeup pipeline.
     let world = World::new(

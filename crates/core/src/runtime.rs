@@ -570,6 +570,56 @@ impl Upcr {
         self.ctx.tracer.borrow().histograms()
     }
 
+    // ---- cross-rank causal tracing --------------------------------------------
+
+    /// Collectively assemble the cross-rank causal timeline (PR 9).
+    ///
+    /// Every rank must call this (it contains barriers). Each rank drains
+    /// its span trace and deposits it with the world; after a barrier,
+    /// rank 0 collects the deposits plus the world-global wire trace into
+    /// a [`crate::trace::TraceBundle`] and runs [`crate::trace::assemble`]
+    /// over it — merging the per-rank rings by Lamport stamp, building the
+    /// happens-before DAG, checking for causality violations, and
+    /// profiling the distributed critical path. Returns
+    /// `Some((bundle, assembly))` on rank 0, `None` elsewhere.
+    ///
+    /// Rank 0's `hb_edges` / `causal_violations` counters and the
+    /// `causal_chain_depth` high-water gauge are updated from the result.
+    pub fn take_causal(&self) -> Option<(crate::trace::TraceBundle, crate::trace::CausalAssembly)> {
+        let trace = self.ctx.tracer.borrow_mut().take();
+        self.ctx.world.deposit(self.ctx.me.0, Box::new(trace));
+        self.barrier();
+        if self.ctx.me.0 != 0 {
+            // Hold everyone until rank 0 has drained the deposit bin, so a
+            // subsequent take_causal cannot interleave deposits.
+            self.barrier();
+            return None;
+        }
+        let mut bundle = crate::trace::TraceBundle::default();
+        for (_, item) in self.ctx.world.drain_deposits() {
+            if let Ok(rt) = item.downcast::<crate::trace::RankTrace>() {
+                bundle.ranks.push(*rt);
+            }
+        }
+        bundle.net = self.ctx.world.net().take_trace();
+        let asm = crate::trace::assemble(&bundle);
+        let s = &self.ctx.stats;
+        s.hb_edges.set(s.hb_edges.get() + asm.hb_edges());
+        s.causal_violations
+            .set(s.causal_violations.get() + asm.violations);
+        s.causal_chain_depth
+            .set(s.causal_chain_depth.get().max(asm.chain_depth));
+        self.barrier();
+        Some((bundle, asm))
+    }
+
+    /// Collective convenience over [`take_causal`](Self::take_causal):
+    /// returns the deterministic text rendering of the assembled causal
+    /// timeline on rank 0, `None` elsewhere.
+    pub fn causal_report(&self) -> Option<String> {
+        self.take_causal().map(|(_, asm)| asm.render_text())
+    }
+
     // ---- metric time-series ---------------------------------------------------
 
     /// Enable or disable fixed-interval metric sampling on this rank.

@@ -158,6 +158,17 @@ per_rank_stats! {
     /// Wall-clock nanoseconds spent inside progress quanta (conduit polls,
     /// deferred drains, coalescer flushes). Wall-clock only.
     progress_ns: counter,
+    /// Happens-before edges assembled by the causal tracer on this rank
+    /// (rank 0 assembles; other ranks report zero).
+    hb_edges: counter,
+    /// Causality violations detected by causal assembly: a happens-before
+    /// edge whose destination carries an earlier wall timestamp than its
+    /// source. Pinned to zero under `ClockMode::Virtual`; nonzero flags
+    /// cross-process clock skew on the UDP conduit.
+    causal_violations: counter,
+    /// High-water mark of the assembled causal chain depth (longest
+    /// happens-before path, in hops).
+    causal_chain_depth: gauge,
 }
 
 #[inline]

@@ -23,6 +23,7 @@
 
 use std::fmt::Write as _;
 
+use super::causal::{CausalAssembly, EdgeKind, WIRE_LANE};
 use super::hist::Histograms;
 use super::{EventKind, NetEventKind, NetTraceEvent, RankTrace, TraceEvent};
 
@@ -148,49 +149,120 @@ fn push_net_event(out: &mut String, e: &NetTraceEvent, first: &mut bool) {
     }
 }
 
-/// Render a bundle as Chrome `trace_event` JSON. Deterministic: ranks in
-/// ascending rank order, events in recording order, fixed field order.
-pub fn chrome_trace_json(bundle: &TraceBundle) -> String {
+/// Emit the `"ph":"M"` metadata pair naming one Chrome-trace row: the
+/// process label shown in the track header plus a thread label for its
+/// single lane.
+fn push_row_metadata(out: &mut String, pid: u64, name: &str, thread: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{name}\"}}}},\
+         {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{thread}\"}}}}"
+    );
+}
+
+/// Shared body of the Chrome exporters: metadata rows, rank events, wire
+/// events — everything except the enclosing object and any flow events.
+fn push_trace_events(bundle: &TraceBundle, out: &mut String, first: &mut bool) {
     let mut ranks: Vec<&RankTrace> = bundle.ranks.iter().collect();
     ranks.sort_by_key(|r| r.rank);
-    let mut out = String::new();
-    out.push_str("{\"traceEvents\":[");
-    let mut first = true;
     for r in &ranks {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let _ = write!(
-            out,
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
-             \"args\":{{\"name\":\"rank {}\"}}}}",
-            r.rank, r.rank
-        );
+        let name = format!("rank {}", r.rank);
+        push_row_metadata(out, u64::from(r.rank), &name, "ops", first);
         if r.dropped > 0 {
-            out.push(',');
             let args = format!("\"dropped\":{}", r.dropped);
-            push_instant(&mut out, "ring:dropped", u64::from(r.rank), 0, &args);
+            push_instant_ev(out, "ring:dropped", u64::from(r.rank), 0, &args, first);
         }
     }
     if !bundle.net.is_empty() {
+        push_row_metadata(out, NET_PID, "wire", "wire", first);
+    }
+    for r in &ranks {
+        for e in &r.events {
+            push_rank_event(out, r.rank, e, first);
+        }
+    }
+    for e in &bundle.net {
+        push_net_event(out, e, first);
+    }
+}
+
+fn push_instant_ev(
+    out: &mut String,
+    name: &str,
+    pid: u64,
+    ts_ns: u64,
+    args: &str,
+    first: &mut bool,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_instant(out, name, pid, ts_ns, args);
+}
+
+/// Render a bundle as Chrome `trace_event` JSON. Deterministic: ranks in
+/// ascending rank order, events in recording order, fixed field order.
+pub fn chrome_trace_json(bundle: &TraceBundle) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    push_trace_events(bundle, &mut out, &mut first);
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Like [`chrome_trace_json`], plus Chrome *flow* events (`"ph":"s"` /
+/// `"ph":"f"`) for every cross-lane happens-before edge of `assembly` —
+/// Perfetto draws them as arrows from the injecting rank onto the wire
+/// row and from wire signals back into the waking rank. Program-order
+/// edges are omitted (within-row arrows are noise). Flow ids are the
+/// edge's index in [`CausalAssembly::edges`], so the export stays a pure
+/// deterministic function of (bundle, assembly).
+pub fn chrome_trace_json_with_flows(bundle: &TraceBundle, assembly: &CausalAssembly) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    push_trace_events(bundle, &mut out, &mut first);
+    let pid_of = |lane: u32| -> u64 {
+        if lane == WIRE_LANE {
+            NET_PID
+        } else {
+            u64::from(lane)
+        }
+    };
+    for (id, e) in assembly.edges.iter().enumerate() {
+        if e.kind == EdgeKind::Program {
+            continue;
+        }
+        let (from, to) = (&assembly.nodes[e.from], &assembly.nodes[e.to]);
         if !first {
             out.push(',');
         }
         first = false;
         let _ = write!(
             out,
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{NET_PID},\"tid\":0,\
-             \"args\":{{\"name\":\"net\"}}}}"
+            "{{\"name\":\"{name}\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":{id},\
+             \"pid\":{fpid},\"tid\":0,\"ts\":",
+            name = e.kind.name(),
+            fpid = pid_of(from.lane),
         );
-    }
-    for r in &ranks {
-        for e in &r.events {
-            push_rank_event(&mut out, r.rank, e, &mut first);
-        }
-    }
-    for e in &bundle.net {
-        push_net_event(&mut out, e, &mut first);
+        push_ts(&mut out, from.ts_ns);
+        let _ = write!(
+            out,
+            "}},{{\"name\":\"{name}\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"id\":{id},\"pid\":{tpid},\"tid\":0,\"ts\":",
+            name = e.kind.name(),
+            tpid = pid_of(to.lane),
+        );
+        push_ts(&mut out, to.ts_ns);
+        out.push('}');
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
     out
@@ -495,24 +567,28 @@ mod tests {
                     msg: 0,
                     attempt: 0,
                     kind: NetEventKind::Inject,
+                    lclock: 3,
                 },
                 NetTraceEvent {
                     ts_ns: 1_120,
                     msg: 0,
                     attempt: 0,
                     kind: NetEventKind::Drop { backoff_ns: 800 },
+                    lclock: 3,
                 },
                 NetTraceEvent {
                     ts_ns: 1_920,
                     msg: 0,
                     attempt: 1,
                     kind: NetEventKind::Retry,
+                    lclock: 3,
                 },
                 NetTraceEvent {
                     ts_ns: 2_400,
                     msg: 0,
                     attempt: 1,
                     kind: NetEventKind::Deliver,
+                    lclock: 4,
                 },
             ],
         }
@@ -523,8 +599,9 @@ mod tests {
         let json = chrome_trace_json(&sample_bundle());
         let doc = parse_json(&json).expect("exported trace must be valid JSON");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // 3 process_name metadata + 9 rank events + 4 net events.
-        assert_eq!(events.len(), 16);
+        // 3 × (process_name + thread_name) metadata + 9 rank events +
+        // 4 net events.
+        assert_eq!(events.len(), 19);
         let (eager, deferred) = count_notifications(&json).unwrap();
         assert_eq!(eager, 1);
         assert_eq!(deferred, 2);
@@ -539,6 +616,33 @@ mod tests {
         let a = chrome_trace_json(&sample_bundle());
         let b = chrome_trace_json(&sample_bundle());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flow_export_adds_cross_lane_arrows() {
+        let bundle = sample_bundle();
+        let assembly = super::super::causal::assemble(&bundle);
+        let json = chrome_trace_json_with_flows(&bundle, &assembly);
+        let doc = parse_json(&json).expect("flow export must stay valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ph = |e: &Json| e.get("ph").and_then(|p| p.as_str()).map(str::to_owned);
+        let starts = events
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some("s"))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some("f"))
+            .count();
+        // msg 0's wire chain (3 edges) + the inject fan-in (1) — program
+        // edges draw no arrows.
+        assert_eq!(starts, 4);
+        assert_eq!(starts, finishes);
+        // The wire row is labeled "wire", not "net".
+        assert!(json.contains("\"name\":\"wire\""));
+        assert!(!json.contains("\"name\":\"net\""));
+        // And it is deterministic like the plain exporter.
+        assert_eq!(json, chrome_trace_json_with_flows(&bundle, &assembly));
     }
 
     #[test]

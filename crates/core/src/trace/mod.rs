@@ -24,16 +24,20 @@
 //! overhead is one predictably-taken branch (measured by
 //! `crates/bench/benches/trace_overhead.rs`).
 
+pub mod causal;
 pub mod export;
 pub mod hist;
 pub mod ring;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+pub use causal::{assemble, CausalAssembly, CausalEdge, CausalNode, EdgeKind, PathStep};
 pub use export::{
-    chrome_trace_json, count_notifications, parse_json, summary_table, Json, TraceBundle,
+    chrome_trace_json, chrome_trace_json_with_flows, count_notifications, parse_json,
+    summary_table, Json, TraceBundle,
 };
-pub use gasnex::{NetEventKind, NetTraceEvent};
+pub use gasnex::{LamportClocks, NetEventKind, NetTraceEvent};
 pub use hist::{Histograms, LatencyHistogram, LatencyRow};
 
 /// Default per-rank ring capacity (events).
@@ -157,6 +161,11 @@ pub struct TraceEvent {
     /// `Wakeup`/`Drain`).
     pub op: TraceOp,
     pub kind: EventKind,
+    /// Lamport stamp from the rank's logical clock, ticked per recorded
+    /// event — strictly monotone within a rank, merged across ranks by the
+    /// conduit piggyback, so the causal assembler can order events
+    /// globally without trusting wall clocks.
+    pub lclock: u64,
 }
 
 /// Everything one rank recorded: its events (most recent window) and how
@@ -199,11 +208,28 @@ pub struct RankTracer {
     /// Open spans: op id → initiation timestamp (for latency on notify).
     open: HashMap<u64, u64>,
     hist: Histograms,
+    /// The world's shared Lamport clock bank, when the tracer is wired
+    /// into a running job. Standalone tracers (tests, tooling) fall back
+    /// to a private per-rank counter — same strict monotonicity, no
+    /// cross-rank merge.
+    clocks: Option<Arc<LamportClocks>>,
+    /// Fallback logical clock for tracers without a shared bank.
+    local_lc: u64,
 }
 
 impl RankTracer {
     pub fn new(rank: u32) -> Self {
         Self::with_capacity(rank, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer stamping events from the world's shared Lamport clock
+    /// bank, so rank-side stamps interleave causally with the conduit's
+    /// wire stamps.
+    pub fn with_clocks(rank: u32, clocks: Arc<LamportClocks>) -> Self {
+        RankTracer {
+            clocks: Some(clocks),
+            ..Self::new(rank)
+        }
     }
 
     pub fn with_capacity(rank: u32, capacity: usize) -> Self {
@@ -214,6 +240,8 @@ impl RankTracer {
             next_seq: 0,
             open: HashMap::new(),
             hist: Histograms::new(),
+            clocks: None,
+            local_lc: 0,
         }
     }
 
@@ -221,11 +249,19 @@ impl RankTracer {
     fn push(&mut self, ts_ns: u64, op: TraceOp, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let lclock = match &self.clocks {
+            Some(c) => c.tick(c.slot_for(Some(self.rank))),
+            None => {
+                self.local_lc += 1;
+                self.local_lc
+            }
+        };
         self.ring.push(TraceEvent {
             ts_ns,
             seq,
             op,
             kind,
+            lclock,
         });
     }
 

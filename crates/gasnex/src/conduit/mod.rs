@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::aggregate::FlushReason;
+use crate::clock::LamportClocks;
 use crate::net::{NetAction, NetEventKind, NetStats, NetTraceEvent};
 use crate::rank::Rank;
 use crate::world::World;
@@ -142,8 +143,13 @@ pub trait Conduit: Send + Sync {
         Vec::new()
     }
 
-    /// Record one wire event (no-op unless tracing is on).
-    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind);
+    /// Record one wire event with its Lamport stamp (no-op unless tracing
+    /// is on).
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind, lclock: u64);
+
+    /// The shared per-rank Lamport clock bank stamping this conduit's
+    /// traffic.
+    fn clocks(&self) -> &std::sync::Arc<LamportClocks>;
 
     /// Record one aggregation batch flush of `ops` constituent operations.
     fn note_batch(&self, ops: u64, reason: FlushReason);
@@ -171,6 +177,10 @@ struct Counters {
     flushes_age: AtomicU64,
     flushes_explicit: AtomicU64,
     signals: AtomicU64,
+    /// Baseline slot for the Lamport tick count: the live value is read
+    /// from the shared clock bank, not from this bank, so only the
+    /// baseline side of this atomic is ever written.
+    lclock_ticks: AtomicU64,
 }
 
 impl Counters {
@@ -192,6 +202,7 @@ impl Counters {
             flushes_explicit: self.flushes_explicit.load(Ordering::SeqCst),
             agg_occupancy_highwater: 0,
             signals: self.signals.load(Ordering::SeqCst),
+            lclock_ticks: self.lclock_ticks.load(Ordering::SeqCst),
         }
     }
 
@@ -214,6 +225,7 @@ impl Counters {
         self.flushes_explicit
             .store(s.flushes_explicit, Ordering::SeqCst);
         self.signals.store(s.signals, Ordering::SeqCst);
+        self.lclock_ticks.store(s.lclock_ticks, Ordering::SeqCst);
     }
 }
 
@@ -240,10 +252,13 @@ pub(crate) struct ConduitCounters {
     trace_on: AtomicBool,
     /// Wire-level trace records, in recording order.
     trace: Mutex<Vec<NetTraceEvent>>,
+    /// Shared Lamport clock bank: the live `lclock_ticks` value is read
+    /// from here so both conduit implementations report it uniformly.
+    clocks: std::sync::Arc<LamportClocks>,
 }
 
 impl ConduitCounters {
-    pub fn new() -> Self {
+    pub fn new(clocks: std::sync::Arc<LamportClocks>) -> Self {
         ConduitCounters {
             live: Counters::default(),
             baseline: Counters::default(),
@@ -252,6 +267,7 @@ impl ConduitCounters {
             pending_len: AtomicUsize::new(0),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
+            clocks,
         }
     }
 
@@ -327,6 +343,7 @@ impl ConduitCounters {
             pending: self.pending(),
             max_backoff_ns: self.max_backoff_ns.load(Ordering::SeqCst),
             agg_occupancy_highwater: self.agg_occupancy_highwater.load(Ordering::SeqCst),
+            lclock_ticks: self.clocks.ticks(),
             ..self.live.snapshot()
         }
     }
@@ -339,7 +356,10 @@ impl ConduitCounters {
     /// Capture the current raw counters as the new baseline and re-prime
     /// the peak gauges.
     pub fn reset_stats(&self) {
-        self.baseline.store(&self.live.snapshot());
+        self.baseline.store(&NetStats {
+            lclock_ticks: self.clocks.ticks(),
+            ..self.live.snapshot()
+        });
         self.max_backoff_ns.store(0, Ordering::SeqCst);
         self.agg_occupancy_highwater.store(0, Ordering::SeqCst);
     }
@@ -363,13 +383,14 @@ impl ConduitCounters {
 
     /// Record one wire event at `ts_ns` (no-op unless tracing is on).
     #[inline]
-    pub fn trace_event(&self, ts_ns: u64, msg: u64, attempt: u32, kind: NetEventKind) {
+    pub fn trace_event(&self, ts_ns: u64, msg: u64, attempt: u32, kind: NetEventKind, lclock: u64) {
         if self.trace_on.load(Ordering::Relaxed) {
             self.trace.lock().unwrap().push(NetTraceEvent {
                 ts_ns,
                 msg,
                 attempt,
                 kind,
+                lclock,
             });
         }
     }

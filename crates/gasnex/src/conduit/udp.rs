@@ -11,7 +11,7 @@
 //!
 //! # Wire protocol
 //!
-//! An 18-byte frame, little-endian fields:
+//! A 26-byte frame, little-endian fields:
 //!
 //! ```text
 //! [0]      magic      0xC7
@@ -19,7 +19,15 @@
 //! [2..10]  msg  u64   logical message id (Conduit::inject_to return)
 //! [10..14] attempt u32 transmission attempt, 0-based
 //! [14..18] src_node u32 sender's node index (ACK destination)
+//! [18..26] lclock u64 sender's Lamport stamp (causal tracing; 0 untraced)
 //! ```
+//!
+//! The `lclock` field (the PR-9 frame-format bump from 18 to 26 bytes) is
+//! the sender's logical clock at injection, constant across
+//! retransmissions — the resend is the same logical send. The receiver
+//! merges it into the destination rank's clock (`max(local, remote) + 1`)
+//! before executing the parked action, so causal stamps cross the real
+//! wire the same way they cross the simulator.
 //!
 //! A SIGNAL frame is a DATA frame whose parked action carries a
 //! notification badge (put/amo-with-signal): it rides the identical
@@ -68,6 +76,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::clock::LamportClocks;
 use crate::conduit::{Conduit, ConduitCounters, InFlight};
 use crate::config::{ClockMode, FaultPlan, NetConfig};
 use crate::net::{ppm, splitmix64, NetAction, NetEventKind, NetStats, NetTraceEvent};
@@ -78,7 +87,7 @@ const MAGIC: u8 = 0xC7;
 const KIND_DATA: u8 = 1;
 const KIND_ACK: u8 = 2;
 const KIND_SIGNAL: u8 = 3;
-const FRAME_LEN: usize = 18;
+const FRAME_LEN: usize = 26;
 
 /// Retransmission timer when no fault plan supplies one: loopback RTT is
 /// tens of microseconds, so 2 ms only fires on genuine kernel-level loss.
@@ -91,6 +100,8 @@ struct Frame {
     msg: u64,
     attempt: u32,
     src_node: u32,
+    /// Sender's Lamport stamp, piggybacked on every frame (0 untraced).
+    lclock: u64,
 }
 
 impl Frame {
@@ -101,6 +112,7 @@ impl Frame {
         b[2..10].copy_from_slice(&self.msg.to_le_bytes());
         b[10..14].copy_from_slice(&self.attempt.to_le_bytes());
         b[14..18].copy_from_slice(&self.src_node.to_le_bytes());
+        b[18..26].copy_from_slice(&self.lclock.to_le_bytes());
         b
     }
 
@@ -117,6 +129,7 @@ impl Frame {
             msg: u64::from_le_bytes(b[2..10].try_into().ok()?),
             attempt: u32::from_le_bytes(b[10..14].try_into().ok()?),
             src_node: u32::from_le_bytes(b[14..18].try_into().ok()?),
+            lclock: u64::from_le_bytes(b[18..26].try_into().ok()?),
         })
     }
 }
@@ -134,6 +147,15 @@ struct Flight {
     /// Rank route recorded at injection (when the initiator supplied one),
     /// surfaced by `inflight()` for stall diagnosis.
     route: Option<(u32, u32)>,
+    /// Lamport stamp from injection, resent unchanged on every attempt.
+    lclock: u64,
+}
+
+/// A delivery action parked until its DATA frame arrives, together with
+/// the destination rank the receiver-side Lamport merge targets.
+struct Parked {
+    dst_rank: Option<u32>,
+    action: NetAction,
 }
 
 /// The loopback-UDP [`Conduit`].
@@ -147,12 +169,15 @@ pub struct UdpConduit {
     addrs: Vec<SocketAddr>,
     /// Delivery actions parked before their DATA frame is sent; removal on
     /// arrival doubles as receiver-side dedup.
-    payloads: Mutex<HashMap<u64, NetAction>>,
+    payloads: Mutex<HashMap<u64, Parked>>,
     /// Transmissions awaiting an ACK, keyed by message id.
     unacked: Mutex<HashMap<u64, Flight>>,
     /// One rank drains sockets at a time; losers take the busy-hint path.
     poll_gate: Mutex<()>,
     ctr: ConduitCounters,
+    /// Shared per-rank Lamport clocks: ticked at injection, merged at
+    /// delivery — only while tracing is on.
+    clocks: std::sync::Arc<LamportClocks>,
 }
 
 impl UdpConduit {
@@ -164,7 +189,12 @@ impl UdpConduit {
     /// fates a real socket cannot express (reorder, burst, partition) —
     /// the same contract `GasnexConfig::validate` enforces — or if binding
     /// a loopback socket fails.
-    pub fn new(cfg: NetConfig, ranks: u32, ranks_per_node: u32) -> Self {
+    pub fn new(
+        cfg: NetConfig,
+        ranks: u32,
+        ranks_per_node: u32,
+        clocks: std::sync::Arc<LamportClocks>,
+    ) -> Self {
         assert!(
             cfg.clock == ClockMode::Wall,
             "UDP conduit: real sockets cannot be time-warped; use ClockMode::Wall \
@@ -198,7 +228,8 @@ impl UdpConduit {
             payloads: Mutex::new(HashMap::new()),
             unacked: Mutex::new(HashMap::new()),
             poll_gate: Mutex::new(()),
-            ctr: ConduitCounters::new(),
+            ctr: ConduitCounters::new(std::sync::Arc::clone(&clocks)),
+            clocks,
         }
     }
 
@@ -230,6 +261,7 @@ impl UdpConduit {
     /// Transmit attempt `attempt` of `msg` from `from_node` to `to_node`,
     /// applying the deliberate drop/dup fates, and arm (or re-arm) its
     /// retransmission deadline.
+    #[allow(clippy::too_many_arguments)]
     fn send_attempt(
         &self,
         msg: u64,
@@ -238,6 +270,7 @@ impl UdpConduit {
         to_node: usize,
         kind: u8,
         route: Option<(u32, u32)>,
+        lclock: u64,
     ) {
         let plan: Option<&FaultPlan> = self.cfg.faults.as_ref();
         let drop_this = plan.is_some_and(|p| {
@@ -255,6 +288,7 @@ impl UdpConduit {
                 NetEventKind::Drop {
                     backoff_ns: backoff,
                 },
+                lclock,
             );
         } else {
             let frame = Frame {
@@ -262,6 +296,7 @@ impl UdpConduit {
                 msg,
                 attempt,
                 src_node: from_node as u32,
+                lclock,
             }
             .encode();
             let copies = if plan.is_some_and(|p| ppm(self.mix(msg, attempt, 4)) < p.dup_ppm) {
@@ -284,6 +319,7 @@ impl UdpConduit {
                 due_ns: self.now_wall_ns() + backoff,
                 kind,
                 route,
+                lclock,
             },
         );
     }
@@ -311,7 +347,7 @@ impl UdpConduit {
                 // take-from-table dedup is what makes it coalesce once.
                 KIND_DATA | KIND_SIGNAL => {
                     work += 1;
-                    let action = self.payloads.lock().unwrap().remove(&frame.msg);
+                    let parked = self.payloads.lock().unwrap().remove(&frame.msg);
                     // ACK first (either way): if our earlier ACK was lost
                     // the sender is still retransmitting and needs another.
                     let ack = Frame {
@@ -319,14 +355,30 @@ impl UdpConduit {
                         msg: frame.msg,
                         attempt: frame.attempt,
                         src_node: node as u32,
+                        lclock: 0,
                     }
                     .encode();
                     let _ = self.sockets[node]
                         .send_to(&ack, self.addrs[frame.src_node as usize % self.addrs.len()]);
-                    match action {
-                        Some(action) => {
-                            self.trace_event(frame.msg, frame.attempt, NetEventKind::Deliver);
-                            (action)(world);
+                    match parked {
+                        Some(parked) => {
+                            // Lamport receive: merge the stamp the frame
+                            // actually carried across the kernel into the
+                            // destination rank's clock before the action
+                            // runs.
+                            let merged = if self.ctr.tracing() {
+                                self.clocks
+                                    .merge(self.clocks.slot_for(parked.dst_rank), frame.lclock)
+                            } else {
+                                0
+                            };
+                            self.trace_event(
+                                frame.msg,
+                                frame.attempt,
+                                NetEventKind::Deliver,
+                                merged,
+                            );
+                            (parked.action)(world);
                             self.ctr.note_delivered();
                             self.ctr.pending_len.fetch_sub(1, Ordering::SeqCst);
                         }
@@ -334,7 +386,12 @@ impl UdpConduit {
                             // Absent from the table = already executed: a
                             // duplicated frame or a retransmission whose
                             // original got through.
-                            self.trace_event(frame.msg, frame.attempt, NetEventKind::DupDiscard);
+                            self.trace_event(
+                                frame.msg,
+                                frame.attempt,
+                                NetEventKind::DupDiscard,
+                                frame.lclock,
+                            );
                             self.ctr.note_dup_suppressed();
                         }
                     }
@@ -362,8 +419,16 @@ impl UdpConduit {
         let n = due.len();
         for (msg, f) in due {
             self.ctr.note_retry();
-            self.trace_event(msg, f.attempt + 1, NetEventKind::Retry);
-            self.send_attempt(msg, f.attempt + 1, f.from_node, f.to_node, f.kind, f.route);
+            self.trace_event(msg, f.attempt + 1, NetEventKind::Retry, f.lclock);
+            self.send_attempt(
+                msg,
+                f.attempt + 1,
+                f.from_node,
+                f.to_node,
+                f.kind,
+                f.route,
+                f.lclock,
+            );
         }
         n
     }
@@ -373,24 +438,33 @@ impl UdpConduit {
     fn inject_kind(&self, route: Option<(Rank, Rank)>, action: NetAction, kind: u8) -> u64 {
         let msg = self.ctr.next_msg();
         self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
-        self.trace_event(msg, 0, NetEventKind::Inject);
+        let route = route.map(|(s, t)| (s.0, t.0));
+        // Lamport send event: tick the injecting rank's clock; the stamp
+        // rides every frame of this message (tracing-gated).
+        let lclock = if self.ctr.tracing() {
+            self.clocks
+                .tick(self.clocks.slot_for(route.map(|(s, _)| s)))
+        } else {
+            0
+        };
+        self.trace_event(msg, 0, NetEventKind::Inject, lclock);
         let nodes = self.sockets.len() as u64;
         let (from_node, to_node) = match route {
-            Some((from, to)) => (self.node_of(from), self.node_of(to)),
+            Some((from, to)) => (self.node_of(Rank(from)), self.node_of(Rank(to))),
             // No hint: spread deterministically so unrouted traffic still
             // exercises the wire between distinct sockets.
             None => ((msg % nodes) as usize, ((msg + 1) % nodes) as usize),
         };
-        // Park the payload before the frame can possibly arrive.
-        self.payloads.lock().unwrap().insert(msg, action);
-        self.send_attempt(
+        // Park the payload (and the merge target) before the frame can
+        // possibly arrive.
+        self.payloads.lock().unwrap().insert(
             msg,
-            0,
-            from_node,
-            to_node,
-            kind,
-            route.map(|(s, t)| (s.0, t.0)),
+            Parked {
+                dst_rank: route.map(|(_, t)| t),
+                action,
+            },
         );
+        self.send_attempt(msg, 0, from_node, to_node, kind, route, lclock);
         msg
     }
 }
@@ -488,10 +562,15 @@ impl Conduit for UdpConduit {
         out
     }
 
-    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind, lclock: u64) {
         if self.ctr.tracing() {
-            self.ctr.trace_event(self.now_wall_ns(), msg, attempt, kind);
+            self.ctr
+                .trace_event(self.now_wall_ns(), msg, attempt, kind, lclock);
         }
+    }
+
+    fn clocks(&self) -> &std::sync::Arc<LamportClocks> {
+        &self.clocks
     }
 
     fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {
@@ -614,7 +693,12 @@ mod tests {
     #[test]
     fn virtual_clock_is_rejected() {
         let r = std::panic::catch_unwind(|| {
-            UdpConduit::new(NetConfig::default().with_virtual_clock(), 2, 1)
+            UdpConduit::new(
+                NetConfig::default().with_virtual_clock(),
+                2,
+                1,
+                LamportClocks::new(2),
+            )
         });
         assert!(r.is_err(), "virtual clock must be rejected");
     }
@@ -623,7 +707,12 @@ mod tests {
     fn unexpressible_fault_fates_are_rejected() {
         let plan = FaultPlan::seeded(1).with_reorder(100_000, 5_000);
         let r = std::panic::catch_unwind(|| {
-            UdpConduit::new(NetConfig::default().with_faults(plan), 2, 1)
+            UdpConduit::new(
+                NetConfig::default().with_faults(plan),
+                2,
+                1,
+                LamportClocks::new(2),
+            )
         });
         assert!(r.is_err(), "reorder fate must be rejected on a real wire");
     }
@@ -666,12 +755,14 @@ mod tests {
             msg: 0xDEAD_BEEF_0123,
             attempt: 7,
             src_node: 3,
+            lclock: 0x0123_4567_89AB_CDEF,
         };
         let d = Frame::decode(&f.encode()).expect("roundtrip");
         assert_eq!(d.kind, KIND_DATA);
         assert_eq!(d.msg, 0xDEAD_BEEF_0123);
         assert_eq!(d.attempt, 7);
         assert_eq!(d.src_node, 3);
+        assert_eq!(d.lclock, 0x0123_4567_89AB_CDEF);
         let sig = Frame {
             kind: KIND_SIGNAL,
             ..f

@@ -46,6 +46,7 @@ pub mod aggregate;
 pub mod alloc;
 pub mod am;
 pub mod amo;
+pub mod clock;
 pub mod collectives;
 pub mod conduit;
 pub mod config;
@@ -61,6 +62,7 @@ pub use aggregate::{AggConfig, Batch, BucketSnapshot, Coalescer, FlushReason, Pu
 pub use alloc::{OutOfSegmentMemory, SegAlloc};
 pub use am::AmCtx;
 pub use amo::AmoOp;
+pub use clock::LamportClocks;
 pub use conduit::{udp::UdpConduit, Conduit, InFlight};
 pub use config::{ClockMode, ConduitKind, FaultPlan, GasnexConfig, NetConfig, Transport};
 pub use event::{Event, EventCore};

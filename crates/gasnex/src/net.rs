@@ -63,6 +63,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::clock::LamportClocks;
 use crate::conduit::{Conduit, ConduitCounters, InFlight};
 use crate::config::{ClockMode, FaultPlan, NetConfig};
 use crate::rank::Rank;
@@ -105,6 +106,11 @@ pub struct NetTraceEvent {
     /// Transmission attempt the event belongs to (0-based).
     pub attempt: u32,
     pub kind: NetEventKind,
+    /// Lamport stamp: the sender's post-tick clock on `Inject` (carried
+    /// unchanged by `Drop`/`Retry`/`DupDiscard`), the receiver's merged
+    /// clock on `Deliver`, the signalled rank's tick on `Signal`. Zero
+    /// when tracing was off at the recording site.
+    pub lclock: u64,
 }
 
 /// Whether a statistic is a monotonic counter or a level gauge. Declared
@@ -159,6 +165,9 @@ pub struct NetStats {
     pub agg_occupancy_highwater: u64,
     /// Signal-carrying messages (put/amo-with-signal) injected.
     pub signals: u64,
+    /// Lamport clock advances (ticks + merges) performed by the causal
+    /// tracing layer. Zero unless tracing is enabled.
+    pub lclock_ticks: u64,
 }
 
 impl NetStats {
@@ -182,6 +191,7 @@ impl NetStats {
         ("flushes_explicit", FieldClass::Counter),
         ("agg_occupancy_highwater", FieldClass::Gauge),
         ("signals", FieldClass::Counter),
+        ("lclock_ticks", FieldClass::Counter),
     ];
 
     /// Field values in the same order as [`NetStats::FIELDS`].
@@ -203,6 +213,7 @@ impl NetStats {
             self.flushes_explicit,
             self.agg_occupancy_highwater,
             self.signals,
+            self.lclock_ticks,
         ]
     }
 
@@ -231,6 +242,7 @@ impl NetStats {
                 .saturating_sub(earlier.flushes_explicit),
             agg_occupancy_highwater: self.agg_occupancy_highwater,
             signals: self.signals.saturating_sub(earlier.signals),
+            lclock_ticks: self.lclock_ticks.saturating_sub(earlier.lclock_ticks),
         }
     }
 }
@@ -248,6 +260,9 @@ enum Payload {
         /// (the queue is global) but surfaced by `inflight()` so a stall
         /// diagnosis can name the rank pair a stuck message belongs to.
         route: Option<(u32, u32)>,
+        /// The sender's Lamport stamp, piggybacked on the wire message
+        /// (zero when tracing was off at injection).
+        lclock: u64,
         action: NetAction,
     },
     /// One of the two wire copies of a duplicated transmission. Both copies
@@ -261,6 +276,8 @@ enum Payload {
         attempt: u32,
         primary: bool,
         route: Option<(u32, u32)>,
+        /// The sender's Lamport stamp (both copies carry the same stamp).
+        lclock: u64,
         slot: std::sync::Arc<Mutex<Option<NetAction>>>,
     },
 }
@@ -310,13 +327,17 @@ pub struct SimNetwork {
     /// independently locked, never touched under the queue lock's scope in
     /// a way an observer would wait on.
     ctr: ConduitCounters,
+    /// Shared per-rank Lamport clocks: ticked at injection, merged at
+    /// delivery — only while tracing is on.
+    clocks: std::sync::Arc<LamportClocks>,
 }
 
 use std::sync::atomic::Ordering;
 
 impl SimNetwork {
-    /// Create a network with the given latency parameters.
-    pub fn new(cfg: NetConfig) -> Self {
+    /// Create a network with the given latency parameters, sharing the
+    /// world's Lamport clock bank for causal stamps.
+    pub fn new(cfg: NetConfig, clocks: std::sync::Arc<LamportClocks>) -> Self {
         if let Some(plan) = cfg.faults {
             plan.validate();
         }
@@ -327,7 +348,8 @@ impl SimNetwork {
             heap_seq: std::sync::atomic::AtomicU64::new(0),
             queue: Mutex::new(BinaryHeap::new()),
             acked: Mutex::new(HashSet::new()),
-            ctr: ConduitCounters::new(),
+            ctr: ConduitCounters::new(std::sync::Arc::clone(&clocks)),
+            clocks,
         }
     }
 
@@ -343,11 +365,13 @@ impl SimNetwork {
         }
     }
 
-    /// Record one wire event (no-op unless tracing is on).
+    /// Record one wire event with its Lamport stamp (no-op unless tracing
+    /// is on).
     #[inline]
-    fn record(&self, msg: u64, attempt: u32, kind: NetEventKind) {
+    fn record(&self, msg: u64, attempt: u32, kind: NetEventKind, lclock: u64) {
         if self.ctr.tracing() {
-            self.ctr.trace_event(self.now_ns(), msg, attempt, kind);
+            self.ctr
+                .trace_event(self.now_ns(), msg, attempt, kind, lclock);
         }
     }
 
@@ -391,6 +415,7 @@ impl SimNetwork {
         msg: u64,
         attempt: u32,
         route: Option<(u32, u32)>,
+        lclock: u64,
         action: NetAction,
     ) {
         let now = self.now_ns();
@@ -409,6 +434,7 @@ impl SimNetwork {
                     NetEventKind::Drop {
                         backoff_ns: backoff,
                     },
+                    lclock,
                 );
                 q.push(Reverse(Delivery {
                     due_ns: now + backoff,
@@ -418,6 +444,7 @@ impl SimNetwork {
                         attempt,
                         dropped: true,
                         route,
+                        lclock,
                         action,
                     },
                 }));
@@ -458,6 +485,7 @@ impl SimNetwork {
                     attempt,
                     primary: true,
                     route,
+                    lclock,
                     slot: std::sync::Arc::clone(&slot),
                 },
             }));
@@ -470,6 +498,7 @@ impl SimNetwork {
                     attempt,
                     primary: false,
                     route,
+                    lclock,
                     slot,
                 },
             }));
@@ -482,6 +511,7 @@ impl SimNetwork {
                     attempt,
                     dropped: false,
                     route,
+                    lclock,
                     action,
                 },
             }));
@@ -566,10 +596,19 @@ impl Conduit for SimNetwork {
     fn inject_to(&self, route: Option<(Rank, Rank)>, action: NetAction) -> u64 {
         let msg = self.ctr.next_msg();
         self.ctr.pending_len.fetch_add(1, Ordering::SeqCst);
-        self.record(msg, 0, NetEventKind::Inject);
         let route = route.map(|(s, t)| (s.0, t.0));
+        // Lamport send event: tick the injecting rank's clock and stamp
+        // the wire message with the post-tick value (tracing-gated, so
+        // untraced runs never touch the clock bank).
+        let lclock = if self.ctr.tracing() {
+            self.clocks
+                .tick(self.clocks.slot_for(route.map(|(s, _)| s)))
+        } else {
+            0
+        };
+        self.record(msg, 0, NetEventKind::Inject, lclock);
         let mut q = self.queue.lock().unwrap();
-        self.schedule_attempt(&mut q, msg, 0, route, action);
+        self.schedule_attempt(&mut q, msg, 0, route, lclock, action);
         msg
     }
 
@@ -639,6 +678,7 @@ impl Conduit for SimNetwork {
                     attempt,
                     dropped: true,
                     route,
+                    lclock,
                     action,
                 } => {
                     // Retransmission timer fired: resend with the next
@@ -646,20 +686,32 @@ impl Conduit for SimNetwork {
                     // this pops one heap entry and pushes exactly one (or
                     // two sharing one extra `pending_len` increment if the
                     // resend is duplicated), so `pending()` keeps mirroring
-                    // the heap length.
+                    // the heap length. The retransmission carries the
+                    // original send stamp — it is the same logical send.
                     self.ctr.note_retry();
-                    self.record(msg, attempt + 1, NetEventKind::Retry);
+                    self.record(msg, attempt + 1, NetEventKind::Retry, lclock);
                     let mut q = self.queue.lock().unwrap();
-                    self.schedule_attempt(&mut q, msg, attempt + 1, route, action);
+                    self.schedule_attempt(&mut q, msg, attempt + 1, route, lclock, action);
                 }
                 Payload::Attempt {
                     msg,
                     attempt,
                     dropped: false,
+                    route,
+                    lclock,
                     action,
-                    ..
                 } => {
-                    self.record(msg, attempt, NetEventKind::Deliver);
+                    // Lamport receive: merge the carried stamp into the
+                    // destination rank's clock before the action runs, so
+                    // every rank-side event the delivery causes is stamped
+                    // after the wire hop.
+                    let merged = if self.ctr.tracing() {
+                        self.clocks
+                            .merge(self.clocks.slot_for(route.map(|(_, t)| t)), lclock)
+                    } else {
+                        0
+                    };
+                    self.record(msg, attempt, NetEventKind::Deliver, merged);
                     (action)(world);
                     // Counted after the action so injected == delivered
                     // implies no action is mid-flight (quiescence
@@ -671,8 +723,9 @@ impl Conduit for SimNetwork {
                     msg,
                     attempt,
                     primary,
+                    route,
+                    lclock,
                     slot,
-                    ..
                 } => {
                     // Receiver-side dedup over the two wire copies. The
                     // first arrival registers the id and takes the payload;
@@ -694,14 +747,20 @@ impl Conduit for SimNetwork {
                             .unwrap()
                             .take()
                             .expect("first copy holds the payload");
-                        self.record(msg, attempt, NetEventKind::Deliver);
+                        let merged = if self.ctr.tracing() {
+                            self.clocks
+                                .merge(self.clocks.slot_for(route.map(|(_, t)| t)), lclock)
+                        } else {
+                            0
+                        };
+                        self.record(msg, attempt, NetEventKind::Deliver, merged);
                         (action)(world);
                         self.ctr.note_delivered();
                         if !primary {
                             self.ctr.note_dup_promoted();
                         }
                     } else {
-                        self.record(msg, attempt, NetEventKind::DupDiscard);
+                        self.record(msg, attempt, NetEventKind::DupDiscard, lclock);
                         self.ctr.note_dup_suppressed();
                     }
                     self.ctr.pending_len.fetch_sub(1, Ordering::SeqCst);
@@ -756,8 +815,12 @@ impl Conduit for SimNetwork {
         SimNetwork::inflight(self)
     }
 
-    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind) {
-        self.record(msg, attempt, kind);
+    fn trace_event(&self, msg: u64, attempt: u32, kind: NetEventKind, lclock: u64) {
+        self.record(msg, attempt, kind, lclock);
+    }
+
+    fn clocks(&self) -> &std::sync::Arc<LamportClocks> {
+        &self.clocks
     }
 
     fn note_batch(&self, ops: u64, reason: crate::aggregate::FlushReason) {

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::alloc::SegAlloc;
 use crate::am::{AmCtx, AmMsg, AmQueues};
+use crate::clock::LamportClocks;
 use crate::conduit::udp::UdpConduit;
 use crate::conduit::Conduit;
 use crate::config::{GasnexConfig, Transport};
@@ -41,6 +42,14 @@ pub struct World {
     /// Per-rank notification words for put-with-signal badges and their
     /// parked waiters.
     notify: NotifyTable,
+    /// Shared per-rank Lamport clocks for causal tracing: one slot per
+    /// rank plus the unrouted/wire slot, ticked only while tracing is on.
+    clocks: Arc<LamportClocks>,
+    /// Opaque per-rank deposits for cross-layer collection: the runtime's
+    /// causal assembler parks each rank's drained trace here (as a boxed
+    /// `Any`, since this crate cannot name the runtime's trace types) and
+    /// one rank drains them all after a barrier.
+    deposits: std::sync::Mutex<Vec<(u32, Box<dyn std::any::Any + Send>)>>,
     /// Set when a rank dies abnormally, so peers spinning in barriers or
     /// waits bail out instead of deadlocking.
     aborted: std::sync::atomic::AtomicBool,
@@ -63,12 +72,14 @@ impl World {
                 Team::from_members(topo.node_ranks(node).map(Rank).collect(), 1 + node as u64)
             })
             .collect();
+        let clocks = LamportClocks::new(cfg.ranks);
         let net: Box<dyn Conduit> = match cfg.transport {
-            Transport::Sim => Box::new(SimNetwork::new(cfg.net)),
+            Transport::Sim => Box::new(SimNetwork::new(cfg.net, Arc::clone(&clocks))),
             Transport::UdpSocket => Box::new(UdpConduit::new(
                 cfg.net,
                 cfg.ranks as u32,
                 cfg.ranks_per_node as u32,
+                Arc::clone(&clocks),
             )),
         };
         Arc::new(World {
@@ -82,6 +93,8 @@ impl World {
             splits: std::sync::Mutex::new(std::collections::HashMap::new()),
             next_team_uid: std::sync::atomic::AtomicU64::new(1_000),
             notify: NotifyTable::new(cfg.ranks, cfg.notify_words),
+            clocks,
+            deposits: std::sync::Mutex::new(Vec::new()),
             topo,
             cfg,
             aborted: std::sync::atomic::AtomicBool::new(false),
@@ -196,6 +209,28 @@ impl World {
         &self.notify
     }
 
+    /// The shared per-rank Lamport clock bank for causal tracing.
+    #[inline]
+    pub fn clocks(&self) -> &Arc<LamportClocks> {
+        &self.clocks
+    }
+
+    /// Park an opaque per-rank item for later collection by one rank (see
+    /// [`drain_deposits`](Self::drain_deposits)). The causal assembler
+    /// uses this to ship every rank's trace to rank 0 without the
+    /// substrate knowing the runtime's trace types.
+    pub fn deposit(&self, rank: u32, item: Box<dyn std::any::Any + Send>) {
+        self.deposits.lock().unwrap().push((rank, item));
+    }
+
+    /// Drain every parked deposit, sorted by depositing rank (stable for
+    /// multiple deposits from one rank).
+    pub fn drain_deposits(&self) -> Vec<(u32, Box<dyn std::any::Any + Send>)> {
+        let mut out = std::mem::take(&mut *self.deposits.lock().unwrap());
+        out.sort_by_key(|(r, _)| *r);
+        out
+    }
+
     /// Route `ev`'s completion signal to `initiator`'s ready queue as
     /// `token`. Registers a one-shot waiter on the event: whichever thread
     /// signals it (network delivery, AM executor, remote AMO) deposits the
@@ -205,6 +240,14 @@ impl World {
     pub fn route_signal(self: &Arc<Self>, ev: &EventCore, initiator: Rank, token: u64) {
         let world = Arc::clone(self);
         ev.on_signal(move || {
+            // Lamport stamp for the signal routing: a local event on the
+            // initiator's clock (the rank whose ready queue receives the
+            // token), ordered before the Wakeup the drain will record.
+            let lclock = if world.net.tracing() {
+                world.clocks.tick(world.clocks.slot_for(Some(initiator.0)))
+            } else {
+                0
+            };
             world.net.trace_event(
                 u64::MAX,
                 0,
@@ -212,6 +255,7 @@ impl World {
                     rank: initiator.0,
                     token,
                 },
+                lclock,
             );
             world.ready[initiator.idx()].push(token)
         });

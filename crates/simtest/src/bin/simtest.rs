@@ -13,6 +13,13 @@
 //! contains at least one eager and one deferred notification event — the
 //! CI trace-smoke job's acceptance check.
 //!
+//! `--causal-out PATH` assembles the cross-rank causal timeline (the
+//! Lamport-merged rank rings plus the wire trace) and writes the Chrome
+//! trace JSON *with flow arrows* (`"ph":"s"/"f"`), so Perfetto draws the
+//! inject→deliver and signal→wakeup edges across rank rows. The bin fails
+//! if the assembly reports any causality violation — impossible under the
+//! sim conduit's virtual clock, so a nonzero count is a tracing bug.
+//!
 //! `--snapshot-out PATH` writes every rank's quiesced introspection
 //! snapshot (`snapshot.v1` JSON, one document per rank in a top-level
 //! array). `--watchdog-demo` runs no workload: it deliberately provokes a
@@ -36,6 +43,7 @@ struct Args {
     version: LibVersion,
     agg_flush: Option<usize>,
     trace_out: Option<String>,
+    causal_out: Option<String>,
     metrics_out: Option<String>,
     prom_out: Option<String>,
     snapshot_out: Option<String>,
@@ -46,10 +54,11 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small]\n\
+        "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small|signal-storm]\n\
          \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
          \x20              [--version eager|2021.3.0|2021.3.6-defer] [--agg] [--agg-flush N]\n\
-         \x20              [--trace-out PATH] [--metrics-out PATH] [--prom-out PATH]\n\
+         \x20              [--trace-out PATH] [--causal-out PATH]\n\
+         \x20              [--metrics-out PATH] [--prom-out PATH]\n\
          \x20              [--snapshot-out PATH] [--check-notify]\n\
          \x20              [--watchdog-demo] [--watchdog-ms N]"
     );
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
         version: LibVersion::V2021_3_6Eager,
         agg_flush: None,
         trace_out: None,
+        causal_out: None,
         metrics_out: None,
         prom_out: None,
         snapshot_out: None,
@@ -77,8 +87,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--workload" => {
                 let v = val();
+                // `Workload::ALL` deliberately excludes SignalStorm (its
+                // stability pins the pre-signal wire schedules); the bin
+                // still drives it for the signal/causal smoke jobs.
                 args.workload = Workload::ALL
                     .into_iter()
+                    .chain([Workload::SignalStorm])
                     .find(|w| w.name() == v)
                     .unwrap_or_else(|| usage());
             }
@@ -100,6 +114,7 @@ fn parse_args() -> Args {
             "--agg" => args.agg_flush = args.agg_flush.or(Some(4)),
             "--agg-flush" => args.agg_flush = Some(val().parse().unwrap_or_else(|_| usage())),
             "--trace-out" => args.trace_out = Some(val()),
+            "--causal-out" => args.causal_out = Some(val()),
             "--metrics-out" => args.metrics_out = Some(val()),
             "--prom-out" => args.prom_out = Some(val()),
             "--snapshot-out" => args.snapshot_out = Some(val()),
@@ -199,6 +214,33 @@ fn main() -> ExitCode {
             events,
             bundle.net.len()
         );
+    }
+
+    if let Some(path) = &args.causal_out {
+        // The sim conduit runs the virtual clock, where Lamport order and
+        // wall order cannot disagree — a nonzero violation count here is a
+        // bug in the assembler or the clock piggyback, so the bin fails.
+        let asm = upcr::trace::assemble(bundle);
+        let flows = upcr::trace::chrome_trace_json_with_flows(bundle, &asm);
+        if let Err(e) = std::fs::write(path, &flows) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "causal: nodes={} hb_edges={} violations={} chain_depth={} span={}ns -> {path}",
+            asm.nodes.len(),
+            asm.hb_edges(),
+            asm.violations,
+            asm.chain_depth,
+            asm.critical_span_ns()
+        );
+        if asm.violations != 0 {
+            eprintln!(
+                "error: {} causality violations on a virtual-clock run",
+                asm.violations
+            );
+            return ExitCode::FAILURE;
+        }
     }
 
     if args.check_notify {
