@@ -34,6 +34,18 @@
 #                    pipe protocol (udprun --trace-out), and run the
 #                    byte-determinism + eager-vs-defer contrast suite
 #                    (crates/simtest/tests/causal.rs).
+#   ./ci.sh continuations
+#                    continuation gate: the callback completion mode and
+#                    the background progress thread. Unit layers first
+#                    (callback queue, completion composition, reentrancy
+#                    deferral, wait_signal-in-callback diagnosis), then the
+#                    callback-storm chaos differential under all three
+#                    fault plans with and without the progress thread (a
+#                    strict no-op on the virtual clock), the age-flush
+#                    starvation regressions, and the sim-vs-UDP
+#                    progress-thread smoke (simtest --progress-thread +
+#                    udprun --progress-thread). Timeout-bounded: a lost
+#                    continuation must fail CI, not hang it.
 #   ./ci.sh watchdog introspection gate: deliberately provoke a partition
 #                    stall (simtest --watchdog-demo) and require the stall
 #                    watchdog's wait-graph diagnosis to name the blocked
@@ -194,6 +206,36 @@ case "$job" in
 
     echo "Causal gate green."
     ;;
+  continuations)
+    # Unit layers first: the callback queue (reentrancy deferral, drain
+    # exclusivity), the completion-object composition, the registration
+    # race, and the wait_signal-in-callback diagnosis panic.
+    echo "==> cargo test -p upcr --release callback continuation"
+    timeout 180 cargo test -p upcr --release -q callback
+    timeout 180 cargo test -p upcr --release -q continuation
+
+    # The chaos differential (8 seeds x 3 fault plans, with and without
+    # the progress thread — a strict no-op on the virtual clock), the
+    # age-flush starvation regressions, and the sim-vs-UDP agreement run.
+    echo "==> cargo test -p simtest --release --test continuations"
+    timeout 600 cargo test -p simtest --release -q --test continuations
+
+    # Smoke the flag end to end on both runners: the simtest bin on the
+    # virtual clock (where the thread must change nothing) under every
+    # fault plan, and udprun's multi-process digest cross-checked against
+    # a thread-on in-process run over real kernel sockets.
+    echo "==> simtest --workload callback-storm --progress-thread (all plans)"
+    cargo build -p simtest --release -q --bin simtest --bin udprun
+    for plan in drop-heavy dup-reorder combined; do
+      timeout 120 ./target/release/simtest --workload callback-storm \
+        --seed 42 --plan "$plan" --progress-thread > /dev/null
+    done
+
+    echo "==> udprun --ranks 4 --seed 0 --progress-thread"
+    timeout 120 ./target/release/udprun --ranks 4 --seed 0 --progress-thread
+
+    echo "Continuations gate green."
+    ;;
   watchdog)
     # The demo run injects a put-with-signal into an hour-long partition
     # window while the waiter parks behind a 700 ms watchdog; the binary
@@ -216,7 +258,7 @@ case "$job" in
     echo "Watchdog gate green."
     ;;
   *)
-    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, signals, causal, or watchdog)" >&2
+    echo "unknown job: $job (expected tier1, chaos, trace, bench, conduit, signals, causal, continuations, or watchdog)" >&2
     exit 2
     ;;
 esac

@@ -238,7 +238,8 @@ pub fn bench_gups_doc(quick: bool) -> String {
     b.finish()
 }
 
-/// `BENCH_signals.json`: the notifiable-RMA suite. Two halves:
+/// `BENCH_signals.json`: the notifiable-RMA + continuation suite. Four
+/// halves:
 ///
 /// * **park** — a wall-clock 4-rank world (2 ranks per node) where rank 0
 ///   blocks in `wait_signal` while ranks 1..3 `put_signal` distinct
@@ -253,6 +254,19 @@ pub fn bench_gups_doc(quick: bool) -> String {
 /// * **signal-storm** — the virtual-clock chaos workload per library
 ///   version under the `combined` fault plan: digest, completions, and
 ///   reliability counters, all pure functions of `(seed, plan)`.
+/// * **callback-storm / continuations** — the continuation-callback chaos
+///   workload per library version (same deterministic outcome fields),
+///   plus the world-summed continuation counters from the eager run:
+///   `continuations.callbacks_run`, the analytic
+///   `continuations.ops_with_callbacks`, and their difference
+///   `continuations.callback_loss`, which carries a hard ==0 rule in the
+///   regression gate regardless of the committed baseline — every
+///   callback-carrying op must run its continuation exactly once.
+/// * **notify** — wall-clock p50/p99 issue→continuation latency for a
+///   cross-node `rput` with a callback, measured without and with the
+///   background progress thread. Real time: wide bands, never committed
+///   to the baseline (the determinism test filters these rows), purely
+///   the informational with/without-thread comparison.
 pub fn bench_signals_doc(quick: bool) -> String {
     let seed = 42u64;
     let mut b = DocBuilder::new("signals", mode_name(quick), seed, simtest::RANKS as u64, 1);
@@ -338,7 +352,130 @@ pub fn bench_signals_doc(quick: bool) -> String {
             o.dup_suppressed as f64,
         );
     }
+
+    // Continuations half: deterministic callback-storm outcomes per
+    // version under the same chaos plan, plus the measured world-summed
+    // continuation counters from the eager run.
+    let mut eager_counters = None;
+    for &version in &VERSIONS {
+        let (o, callbacks_run, ops_with_callbacks) =
+            simtest::run_callback_storm_counters(version, seed, Some(plan));
+        let key = format!("callback-storm.{}", version_slug(version));
+        b.exact(&format!("{key}.digest_hi"), "hash", (o.digest >> 32) as f64);
+        b.exact(
+            &format!("{key}.digest_lo"),
+            "hash",
+            (o.digest & 0xFFFF_FFFF) as f64,
+        );
+        b.exact(&format!("{key}.completions"), "ops", o.completions as f64);
+        b.exact(&format!("{key}.injected"), "msgs", o.injected as f64);
+        b.exact(&format!("{key}.retries"), "msgs", o.retries as f64);
+        b.exact(
+            &format!("{key}.drops_injected"),
+            "msgs",
+            o.drops_injected as f64,
+        );
+        b.exact(
+            &format!("{key}.dup_suppressed"),
+            "msgs",
+            o.dup_suppressed as f64,
+        );
+        if version == LibVersion::V2021_3_6Eager {
+            eager_counters = Some((callbacks_run, ops_with_callbacks));
+        }
+    }
+    let (callbacks_run, ops_with_callbacks) = eager_counters.expect("eager version is swept");
+    b.exact("continuations.callbacks_run", "ops", callbacks_run as f64);
+    b.exact(
+        "continuations.ops_with_callbacks",
+        "ops",
+        ops_with_callbacks as f64,
+    );
+    // Exactly-once, as a gated metric: ops minus runs. The regression gate
+    // hard-pins every `*.callback_loss` at exactly zero.
+    b.exact(
+        "continuations.callback_loss",
+        "ops",
+        ops_with_callbacks as f64 - callbacks_run as f64,
+    );
+
+    // Notify-latency half: wall clock, wide bands, not committed as a
+    // baseline (strip `notify.*` rows when regenerating `ci/baseline/`).
+    for (mode, thread) in [("thread_off", false), ("thread_on", true)] {
+        let (p50, p99) = notify_latency_ns(thread);
+        b.metric(
+            &format!("notify.{mode}.p50_notify_ns"),
+            "ns",
+            p50 as f64,
+            5.0,
+            1e7,
+        );
+        b.metric(
+            &format!("notify.{mode}.p99_notify_ns"),
+            "ns",
+            p99 as f64,
+            5.0,
+            1e7,
+        );
+    }
     b.finish()
+}
+
+/// Measure wall-clock issue→continuation latency for a cross-node
+/// `rput_with(as_callback)`, without or with the background progress
+/// thread. Rank 0 issues one put at a time to a rank on the other node
+/// and waits for its continuation to fire: by spinning in `progress` when
+/// the rank itself must drive completion, or by *sleeping* when the
+/// progress thread is responsible — the measured gap is then pure
+/// notification latency with zero rank-side polling. The remaining ranks
+/// sit in the closing barrier, which drives progress while waiting.
+/// Returns `(p50, p99)` in nanoseconds.
+fn notify_latency_ns(progress_thread: bool) -> (u64, u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    const SAMPLES: usize = 64;
+    let results = upcr::launch(
+        upcr::RuntimeConfig::udp(simtest::RANKS, simtest::RANKS_PER_NODE)
+            .with_segment_size(1 << 16)
+            .with_progress_thread(progress_thread),
+        move |u| {
+            let mine = u.new_array::<u64>(SAMPLES);
+            // Rank 2 lives on the other node: every put rides the conduit.
+            let target = u.broadcast(mine, 2);
+            u.barrier();
+            let mut lat = Vec::new();
+            if u.rank_me() == 0 {
+                for i in 0..SAMPLES {
+                    let done = Arc::new(AtomicU64::new(0));
+                    let d = Arc::clone(&done);
+                    let t0 = std::time::Instant::now();
+                    u.rput_with(
+                        i as u64,
+                        target.add(i),
+                        upcr::operation_cx::as_callback(move |_: ()| {
+                            d.store(1, Ordering::Release);
+                        }),
+                    );
+                    while done.load(Ordering::Acquire) == 0 {
+                        if progress_thread {
+                            std::thread::sleep(std::time::Duration::from_micros(20));
+                        } else {
+                            u.progress();
+                        }
+                    }
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            u.barrier();
+            lat
+        },
+    );
+    let mut lat = results
+        .into_iter()
+        .find(|l| !l.is_empty())
+        .expect("rank 0 measured");
+    lat.sort_unstable();
+    (lat[lat.len() / 2], lat[lat.len() * 99 / 100])
 }
 
 /// `BENCH_causal.json`: the cross-rank causal-tracing suite. Probes every
@@ -559,14 +696,45 @@ mod tests {
 
     #[test]
     fn signals_doc_is_deterministic_and_pins_zero_parked_polls() {
+        // The wall-clock `notify.*` rows are real time and cannot replay
+        // byte-identically; everything else must.
+        let stable = |doc: &str| {
+            let d = parse_bench(doc).expect("emitted doc must parse");
+            d.metrics
+                .into_iter()
+                .filter(|m| !m.name.starts_with("notify."))
+                .collect::<Vec<_>>()
+        };
         let a = bench_signals_doc(true);
-        assert_eq!(a, bench_signals_doc(true), "signals doc must be replayable");
+        assert_eq!(
+            stable(&a),
+            stable(&bench_signals_doc(true)),
+            "deterministic signal rows must be replayable"
+        );
         let d = parse_bench(&a).expect("emitted doc must parse");
         assert_eq!(d.suite, "signals");
-        assert!(d
-            .metrics
-            .iter()
-            .all(|m| m.tol_rel == 0.0 && m.tol_abs == 0.0));
+        for m in &d.metrics {
+            if m.name.starts_with("notify.") {
+                // Informational wall-clock rows carry wide bands and are
+                // never committed to the baseline.
+                assert!(m.tol_rel > 0.0 && m.tol_abs > 0.0, "{}", m.name);
+                assert!(m.name.contains("_notify_ns"), "{}", m.name);
+            } else {
+                assert!(m.tol_rel == 0.0 && m.tol_abs == 0.0, "{}", m.name);
+            }
+        }
+        // Both progress-thread modes contributed latency quantiles.
+        for mode in ["thread_off", "thread_on"] {
+            for q in ["p50", "p99"] {
+                let name = format!("notify.{mode}.{q}_notify_ns");
+                let row = d
+                    .metrics
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("missing metric {name}"));
+                assert!(row.value > 0.0, "{name} must be a real latency");
+            }
+        }
         let val = |name: &str| {
             d.metrics
                 .iter()
@@ -583,14 +751,21 @@ mod tests {
         // The derived idle-efficiency rows those pins imply.
         assert_eq!(val("park.idle_fraction"), 1.0);
         assert_eq!(val("park.polls_per_op"), 0.0);
-        // Eager and defer agree on the chaos half, field for field.
-        for field in ["digest_hi", "digest_lo", "completions", "injected"] {
-            assert_eq!(
-                val(&format!("signal-storm.v2021_3_6_eager.{field}")),
-                val(&format!("signal-storm.v2021_3_6_defer.{field}"))
-            );
+        // Eager and defer agree on both chaos halves, field for field.
+        for storm in ["signal-storm", "callback-storm"] {
+            for field in ["digest_hi", "digest_lo", "completions", "injected"] {
+                assert_eq!(
+                    val(&format!("{storm}.v2021_3_6_eager.{field}")),
+                    val(&format!("{storm}.v2021_3_6_defer.{field}"))
+                );
+            }
         }
         assert_eq!(val("signal-storm.v2021_3_6_eager.completions"), 24.0);
+        // The exactly-once pin: every callback-carrying op ran its
+        // continuation, so the loss row is exactly zero.
+        assert_eq!(val("continuations.ops_with_callbacks"), 24.0);
+        assert_eq!(val("continuations.callbacks_run"), 24.0);
+        assert_eq!(val("continuations.callback_loss"), 0.0);
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl Report {
 /// bug, not a measurement), and any `*.causal_len_advantage` must be
 /// strictly positive (the paper's claim in happens-before hops: eager
 /// notification shortens the mean causal chain; zero or negative means
-/// the optimization stopped optimizing).
+/// the optimization stopped optimizing). A fifth hard rule guards the
+/// continuation suite: any current `*.callback_loss` must be exactly zero
+/// — it is `ops_with_callbacks - callbacks_run`, so a nonzero value in
+/// either direction means a completion callback was lost or ran more than
+/// once, and no committed band may excuse that.
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
     let mut failures = Vec::new();
     for (field, b, c) in [
@@ -234,6 +238,21 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> Report {
             failures.push(format!(
                 "{}: eager causal-chain advantage {} not strictly positive \
                  (eager notification must shorten the mean happens-before chain)",
+                cm.name, cm.value,
+            ));
+        }
+    }
+    for cm in &current.metrics {
+        if !cm.name.ends_with(".callback_loss") {
+            continue;
+        }
+        if baseline.metrics.iter().all(|m| m.name != cm.name) {
+            checked += 1;
+        }
+        if cm.value != 0.0 {
+            failures.push(format!(
+                "{}: callback loss {} is not exactly zero \
+                 (every callback-carrying op must run its continuation exactly once)",
                 cm.name, cm.value,
             ));
         }
@@ -392,6 +411,22 @@ mod tests {
             );
         }
         let ok = doc(vec![metric("probe.causal_len_advantage", 333.0, 0.0, 0.0)]);
+        assert!(compare(&base, &ok).passed());
+    }
+
+    #[test]
+    fn callback_loss_zero_pin_gates_even_without_baseline_entry() {
+        let base = doc(vec![]);
+        // Loss in either direction fails: a lost callback (positive) and a
+        // double-run callback (negative) are both exactly-once violations.
+        for bad in [1.0, -2.0] {
+            let cur = doc(vec![metric("continuations.callback_loss", bad, 0.0, 0.0)]);
+            let r = compare(&base, &cur);
+            assert_eq!(r.checked, 1);
+            assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+            assert!(r.failures[0].contains("exactly once"), "{:?}", r.failures);
+        }
+        let ok = doc(vec![metric("continuations.callback_loss", 0.0, 0.0, 0.0)]);
         assert!(compare(&base, &ok).passed());
     }
 

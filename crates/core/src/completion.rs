@@ -300,6 +300,47 @@ impl<'a, V: CxValue> Notifier<'a, V> {
         }
     }
 
+    /// Operation-completion continuation callback
+    /// (`operation_cx::as_callback`) — the third completion mode.
+    ///
+    /// The closure never runs inline on the injecting call, whatever the
+    /// version or disposition: a synchronously-completed operation enqueues
+    /// onto the rank's callback FIFO (drained by the next progress quantum
+    /// or by the background progress thread), and an asynchronous one
+    /// registers an `EventCore` waiter that enqueues at signal time. A
+    /// callback enqueued from inside a running callback joins the live
+    /// drain's FIFO — same quantum, never reentrant.
+    pub fn op_callback(&self, f: Box<dyn FnOnce(V) + Send>) {
+        let top = self.top;
+        match &self.op {
+            Disp::Sync(v) => {
+                let v = v.clone();
+                self.ctx.enqueue_callback(Box::new(move || f(v)), top);
+            }
+            Disp::Async { ev, slot } => {
+                let slot = Arc::clone(slot);
+                let q = Arc::clone(&self.ctx.callbacks);
+                let stats = Arc::clone(&self.ctx.stats);
+                let world = Arc::clone(&self.ctx.world);
+                ev.on_signal(move || {
+                    let v = slot
+                        .lock()
+                        .unwrap()
+                        .clone()
+                        .expect("operation event signalled before its value was stored");
+                    // The signalling thread may be mid-drain of this very
+                    // queue (a callback issued the op): count the deferral,
+                    // exactly as enqueue_callback does on the rank thread.
+                    let during_drain = q.push(Box::new(move || f(v)), top);
+                    if during_drain {
+                        bump(&stats.callbacks_deferred);
+                    }
+                    world.wake_progress();
+                });
+            }
+        }
+    }
+
     /// Source-completion notification via a future.
     ///
     /// In this implementation the source payload is always captured during
@@ -365,6 +406,11 @@ pub struct OpLpc<F> {
     f: F,
     mode: Mode,
 }
+/// Requested operation-completion continuation callback (never inline,
+/// never reentrant; see [`operation_cx::as_callback`]).
+pub struct OpCallback<F> {
+    f: F,
+}
 /// Requested source-completion future.
 pub struct SrcFuture {
     mode: Mode,
@@ -402,6 +448,14 @@ impl<V: CxValue, F: FnOnce(V) + 'static> Completions<V> for OpLpc<F> {
     fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
     fn notify(self, n: &Notifier<'_, V>) {
         n.op_lpc(Box::new(self.f), self.mode)
+    }
+}
+
+impl<V: CxValue, F: FnOnce(V) + Send + 'static> Completions<V> for OpCallback<F> {
+    type Out = ();
+    fn take_remote(&mut self, _sink: &mut Vec<RemoteFn>) {}
+    fn notify(self, n: &Notifier<'_, V>) {
+        n.op_callback(Box::new(self.f))
     }
 }
 
@@ -453,6 +507,7 @@ macro_rules! impl_bitor {
 impl_bitor!(OpFuture);
 impl_bitor!(OpPromise<V>, V: CxValue);
 impl_bitor!(OpLpc<F>, F);
+impl_bitor!(OpCallback<F>, F);
 impl_bitor!(SrcFuture);
 impl_bitor!(SrcPromise);
 impl_bitor!(RemoteRpc);
@@ -504,6 +559,21 @@ pub mod operation_cx {
             f,
             mode: Mode::Default,
         }
+    }
+    /// Continuation callback on operation completion — the third
+    /// completion mode, after futures/promises and signals.
+    ///
+    /// The closure runs **exactly once** when the operation completes:
+    /// from a progress quantum's callback drain, from the signalling
+    /// thread's enqueue path, or from the background progress thread
+    /// (`RuntimeConfig::with_progress_thread`). It never runs inline on
+    /// the injecting call (even for synchronously-completed local
+    /// operations — there is no eager/defer mode axis here) and never
+    /// reentrantly inside another callback: enqueues made during a drain
+    /// join the same FIFO and are delivered by that drain. The closure
+    /// must be `Send` — a foreign thread may execute it.
+    pub fn as_callback<V: CxValue, F: FnOnce(V) + Send + 'static>(f: F) -> OpCallback<F> {
+        OpCallback { f }
     }
 }
 
@@ -594,6 +664,97 @@ mod tests {
             );
             assert!(src.is_ready() && op.is_ready());
             u.progress(); // drain the self-targeted rpc
+        });
+    }
+
+    #[test]
+    fn callback_never_runs_inline_even_for_local_ops() {
+        // A self-targeted put completes synchronously, but the callback
+        // still waits for the next progress quantum — there is no eager
+        // mode on the callback axis.
+        launch(RuntimeConfig::smp(1).with_segment_size(1 << 16), |u| {
+            let hit = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let p = u.new_::<u64>(0);
+            let h = std::sync::Arc::clone(&hit);
+            u.rput_with(
+                7,
+                p,
+                operation_cx::as_callback(move |_: ()| {
+                    h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }),
+            );
+            assert_eq!(
+                hit.load(std::sync::atomic::Ordering::Relaxed),
+                0,
+                "callback must not run inline on the injecting call"
+            );
+            u.progress();
+            assert_eq!(hit.load(std::sync::atomic::Ordering::Relaxed), 1);
+            let s = u.stats();
+            assert_eq!(s.callbacks_run, 1);
+            u.barrier();
+        });
+    }
+
+    #[test]
+    fn callback_composes_with_future_on_one_async_op() {
+        // `as_future | as_callback` hangs two waiters off one EventCore;
+        // both complete, and the callback sees the fetched value.
+        launch(RuntimeConfig::smp(2).with_segment_size(1 << 16), |u| {
+            let mine = u.new_::<u64>(u.rank_me() as u64 + 100);
+            let peer = u.broadcast(mine, 1);
+            u.barrier();
+            if u.rank_me() == 0 {
+                let got = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                let g = std::sync::Arc::clone(&got);
+                let (f, ()) = u.rget_with(
+                    peer,
+                    operation_cx::as_future()
+                        | operation_cx::as_callback(move |v: u64| {
+                            g.store(v, std::sync::atomic::Ordering::Relaxed);
+                        }),
+                );
+                assert_eq!(f.wait(), 101);
+                while got.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+                    u.progress();
+                }
+                assert_eq!(got.load(std::sync::atomic::Ordering::Relaxed), 101);
+            }
+            u.barrier();
+        });
+    }
+
+    #[test]
+    fn nested_enqueue_is_deferred_not_reentrant() {
+        // A callback that issues another callback-carrying op: the inner
+        // callback is enqueued during the drain, counted as deferred, and
+        // runs in the same (drain-until-empty) quantum — never reentrantly.
+        launch(RuntimeConfig::smp(1).with_segment_size(1 << 16), |u| {
+            let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let p = u.new_::<u64>(0);
+            let o = std::sync::Arc::clone(&order);
+            u.rput_with(
+                1,
+                p,
+                operation_cx::as_callback(move |_: ()| {
+                    o.lock().unwrap().push("outer-start");
+                    let o2 = std::sync::Arc::clone(&o);
+                    crate::runtime::api::rput_with_callback(2, p, move |_: ()| {
+                        o2.lock().unwrap().push("inner");
+                    });
+                    o.lock().unwrap().push("outer-end");
+                }),
+            );
+            u.progress();
+            assert_eq!(
+                *order.lock().unwrap(),
+                vec!["outer-start", "outer-end", "inner"],
+                "inner callback must run after the outer returns, same quantum"
+            );
+            let s = u.stats();
+            assert_eq!(s.callbacks_run, 2);
+            assert_eq!(s.callbacks_deferred, 1, "the nested enqueue was deferred");
+            u.barrier();
         });
     }
 

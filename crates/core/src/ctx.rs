@@ -13,14 +13,15 @@ use std::any::Any;
 use std::cell::{Cell as StdCell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gasnex::net::NetAction;
 use gasnex::{Batch, ClockMode, Coalescer, ConduitKind, EventCore, FlushReason, Push, Rank, World};
 
+use crate::continuation::{Callback, CallbackQueue, WorldShared};
 use crate::future::cell::{shared_ready_unit_cell, Cell};
 use crate::metrics::{MetricSeries, MetricsConfig};
-use crate::stats::{bump, Stats};
+use crate::stats::{add, bump, raise, Stats};
 use crate::trace::{CompletionPath, OpKind, RankTracer, TraceOp};
 use crate::version::LibVersion;
 
@@ -67,7 +68,17 @@ pub(crate) struct RankCtx {
     /// The pre-allocated ready cell shared by every ready `Future<()>`
     /// (when the version has the elision).
     pub ready_unit: Rc<Cell<()>>,
-    pub stats: Stats,
+    /// This rank's statistics bank — shared with the background progress
+    /// thread (which attributes callback runs it performs to the owning
+    /// rank), hence the `Arc`.
+    pub stats: Arc<Stats>,
+    /// Every rank's cross-thread-visible slot (stats, callback queue,
+    /// aggregation buffers), indexed by rank. `stats`/`callbacks`/`agg`
+    /// above are clones of this rank's slot.
+    pub shared: Arc<WorldShared>,
+    /// Completed continuation callbacks awaiting execution on behalf of
+    /// this rank.
+    pub callbacks: Arc<CallbackQueue>,
     /// Whether the conduit clock is wall time. Idle-efficiency time
     /// accounting (`parked_ns`/`spinning_ns`/`progress_ns`) reads `Instant`
     /// only when this is set; virtual-clock runs keep the counters at zero
@@ -78,6 +89,16 @@ pub(crate) struct RankCtx {
     pub watchdog_ms: u64,
     /// Re-entrancy guard: progress calls from inside progress are no-ops.
     in_progress: StdCell<bool>,
+    /// Set while this thread is executing a user continuation callback
+    /// (inside the quantum's drain). `wait_signal` checks it: a callback
+    /// that cannot park must not fall back to polling — progress is not
+    /// reentrant, so the poll could never deliver the badge.
+    pub(crate) in_callback: StdCell<bool>,
+    /// Whether this rank's quantum also age-flushes *other* ranks' overdue
+    /// aggregation buckets (the age-flush starvation fix). True only when
+    /// aggregation is on with a nonzero `max_age_ns`: age-0 configs keep
+    /// the owner-driven flushing, so their wire schedules are unchanged.
+    foreign_age_flush: bool,
     /// Lifecycle-trace gate: the single predictably-taken branch every
     /// instrumentation site checks. Off by default.
     pub trace_on: StdCell<bool>,
@@ -91,20 +112,40 @@ pub(crate) struct RankCtx {
     /// Sender-side aggregation buffers (`None` when the knob is off). The
     /// tag threaded through each buffered op is its trace span, so a batch
     /// flush can stamp every constituent's `NetInject` with the batch's
-    /// wire message id.
-    pub agg: RefCell<Option<Coalescer<TraceOp>>>,
+    /// wire message id. A clone of this rank's [`WorldShared`] slot: the
+    /// progress thread (and foreign quanta, under age-based flushing) may
+    /// flush overdue buckets, hence the mutex.
+    pub agg: Arc<Mutex<Option<Coalescer<TraceOp>>>>,
 }
 
 impl RankCtx {
     pub fn new(world: Arc<World>, me: Rank, version: LibVersion, watchdog_ms: u64) -> Rc<RankCtx> {
+        let shared = WorldShared::new(&world);
+        Self::with_shared(world, me, version, watchdog_ms, shared)
+    }
+
+    /// Build a rank context over pre-built shared slots (`launch` creates
+    /// one [`WorldShared`] and hands it to every rank and to the progress
+    /// threads; [`RankCtx::new`] is the single-rank convenience that builds
+    /// a private one).
+    pub fn with_shared(
+        world: Arc<World>,
+        me: Rank,
+        version: LibVersion,
+        watchdog_ms: u64,
+        shared: Arc<WorldShared>,
+    ) -> Rc<RankCtx> {
         let assume_all_local =
             world.config().conduit == ConduitKind::Smp && version.has_constexpr_is_local();
         let agg_cfg = world.config().agg;
-        let agg = agg_cfg
-            .enabled
-            .then(|| Coalescer::new(agg_cfg, world.ranks(), me));
         let wall_clock = world.config().net.clock == ClockMode::Wall;
         let clocks = Arc::clone(world.clocks());
+        let slot = &shared.slots[me.idx()];
+        let (stats, callbacks, agg) = (
+            Arc::clone(&slot.stats),
+            Arc::clone(&slot.callbacks),
+            Arc::clone(&slot.agg),
+        );
         Rc::new(RankCtx {
             world,
             me,
@@ -119,13 +160,17 @@ impl RankCtx {
             ready_unit: shared_ready_unit_cell(),
             wall_clock,
             watchdog_ms,
-            stats: Stats::default(),
+            stats,
+            shared,
+            callbacks,
             in_progress: StdCell::new(false),
+            in_callback: StdCell::new(false),
+            foreign_age_flush: agg_cfg.enabled && agg_cfg.max_age_ns > 0,
             trace_on: StdCell::new(false),
             tracer: RefCell::new(RankTracer::with_clocks(me.0, clocks)),
             metrics_on: StdCell::new(false),
             metrics: RefCell::new(MetricSeries::new(MetricsConfig::default())),
-            agg: RefCell::new(agg),
+            agg,
         })
     }
 
@@ -135,7 +180,7 @@ impl RankCtx {
     /// message ends up carrying it — its own, or the flushed batch's.
     pub fn inject_routed(&self, target: Rank, top: TraceOp, action: NetAction) {
         let pushed = {
-            let mut agg = self.agg.borrow_mut();
+            let mut agg = self.agg.lock().unwrap();
             match agg.as_mut() {
                 Some(a) => a.push(target.0 as usize, action, top, self.world.net()),
                 None => {
@@ -181,7 +226,7 @@ impl RankCtx {
     /// Explicitly drain every aggregation buffer (barriers, quiescence,
     /// user-requested flush). Returns the number of batches injected.
     pub fn agg_flush_explicit(&self) -> usize {
-        let batches = match self.agg.borrow_mut().as_mut() {
+        let batches = match self.agg.lock().unwrap().as_mut() {
             Some(a) => a.flush_all(self.world.net(), FlushReason::Explicit),
             None => return 0,
         };
@@ -275,10 +320,42 @@ impl RankCtx {
     }
 
     fn note_pending_highwater(&self) {
-        let pending = (self.event_waiters.borrow().len() + self.deferred.borrow().len()) as u64;
-        if pending > self.stats.pending_highwater.get() {
-            self.stats.pending_highwater.set(pending);
+        let pending = (self.event_waiters.borrow().len()
+            + self.deferred.borrow().len()
+            + self.callbacks.len()) as u64;
+        raise(&self.stats.pending_highwater, pending);
+    }
+
+    /// Enqueue a completed continuation for delivery by this rank's next
+    /// callback drain (its own quantum, or the progress thread) — never
+    /// inline on the caller.
+    pub fn enqueue_callback(&self, cb: Callback, top: TraceOp) {
+        let during_drain = self.callbacks.push(cb, top);
+        if during_drain || self.in_callback.get() {
+            bump(&self.stats.callbacks_deferred);
         }
+        self.note_pending_highwater();
+        self.world.wake_progress();
+    }
+
+    /// Drain this rank's callback FIFO (exclusive with the progress
+    /// thread). Each callback is the completion notification of one op:
+    /// it closes the op's trace span, feeds the latency histogram, and
+    /// counts in `callbacks_run`.
+    fn drain_callbacks(&self) -> usize {
+        let q = Arc::clone(&self.callbacks);
+        q.drain(|cb, top| {
+            bump(&self.stats.callbacks_run);
+            if self.trace_on.get() && !top.is_none() {
+                let ts = self.trace_now_ns();
+                let mut tracer = self.tracer.borrow_mut();
+                tracer.notify(top, CompletionPath::Deferred, ts);
+                tracer.callback_run(top, ts);
+            }
+            self.in_callback.set(true);
+            cb();
+            self.in_callback.set(false);
+        })
     }
 
     /// One progress quantum of the signal-driven engine:
@@ -330,9 +407,7 @@ impl RankCtx {
         // Every waiter still pending is one event the poll-scan engine
         // would have re-tested (and re-queued) this quantum.
         let residual = self.event_waiters.borrow().len() as u64;
-        self.stats
-            .polls_elided
-            .set(self.stats.polls_elided.get() + residual);
+        add(&self.stats.polls_elided, residual);
 
         // Deliver rank-local deferred notifications. Process at most the
         // entries present at entry (callbacks may enqueue more, handled next
@@ -364,13 +439,17 @@ impl RankCtx {
                 q.push_front(item);
             }
         }
+        // Run completed continuation callbacks — a drain-until-empty FIFO,
+        // so callbacks enqueued by callbacks still settle this quantum,
+        // never reentrantly.
+        n += self.drain_callbacks();
         // Flush aged aggregation buffers. An otherwise-idle quantum
         // (n == 0) flushes everything buffered: with no other traffic the
         // virtual clock cannot advance, so the age timeout alone could
         // never fire — the backstop keeps waits live. A flush is work
         // (n counts it), so quiescence keeps spinning until the buffers
         // and their in-flight batches drain.
-        let flushed = match self.agg.borrow_mut().as_mut() {
+        let flushed = match self.agg.lock().unwrap().as_mut() {
             Some(a) => {
                 if n == 0 {
                     a.flush_all(self.world.net(), FlushReason::Age)
@@ -381,6 +460,24 @@ impl RankCtx {
             None => Vec::new(),
         };
         n += self.trace_batches(&flushed);
+        // Age-flush starvation fix: under age-based flushing, also flush
+        // *other* ranks' overdue buckets — a sender that stopped calling
+        // progress() cannot advance its own age trigger. Foreign batches
+        // are injected (and counted as work) but not traced: the owner's
+        // tracer belongs to its thread. try_lock keeps owners and the
+        // progress thread from serializing on each other.
+        if self.foreign_age_flush {
+            for (r, slot) in self.shared.slots.iter().enumerate() {
+                if r == self.me.idx() {
+                    continue;
+                }
+                if let Ok(mut g) = slot.agg.try_lock() {
+                    if let Some(a) = g.as_mut() {
+                        n += a.flush_due(self.world.net()).len();
+                    }
+                }
+            }
+        }
         // Record only productive quanta: quiesce spins through millions of
         // idle ones, which would flood the ring with noise.
         if n > 0 && self.trace_on.get() {
@@ -397,10 +494,7 @@ impl RankCtx {
                 .maybe_sample(now, || crate::metrics::collect_values(self));
         }
         if let Some(start) = quantum_start {
-            let spent = start.elapsed().as_nanos() as u64;
-            self.stats
-                .progress_ns
-                .set(self.stats.progress_ns.get() + spent);
+            add(&self.stats.progress_ns, start.elapsed().as_nanos() as u64);
         }
         self.in_progress.set(false);
         n
@@ -410,18 +504,28 @@ impl RankCtx {
     /// level (used after a stats reset: a gauge is a level, not a count,
     /// so it restarts from "now", not from zero).
     pub fn reprime_pending_highwater(&self) {
-        let pending = (self.event_waiters.borrow().len() + self.deferred.borrow().len()) as u64;
-        self.stats.pending_highwater.set(pending);
+        let pending = (self.event_waiters.borrow().len()
+            + self.deferred.borrow().len()
+            + self.callbacks.len()) as u64;
+        self.stats
+            .pending_highwater
+            .store(pending, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Whether this rank has locally visible outstanding work.
     pub fn locally_idle(&self) -> bool {
         self.deferred.borrow().is_empty()
             && self.event_waiters.borrow().is_empty()
+            && self.callbacks.is_empty()
             && self.world.ready_queued(self.me) == 0
             && self.replies.borrow().is_empty()
             && self.world.ams_queued(self.me) == 0
-            && self.agg.borrow().as_ref().is_none_or(|a| a.buffered() == 0)
+            && self
+                .agg
+                .lock()
+                .unwrap()
+                .as_ref()
+                .is_none_or(|a| a.buffered() == 0)
     }
 }
 

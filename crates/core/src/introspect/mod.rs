@@ -77,7 +77,8 @@ impl Snapshot {
             pending_ops: ctx.tracer.borrow().open_spans(),
             agg_buckets: ctx
                 .agg
-                .borrow()
+                .lock()
+                .unwrap()
                 .as_ref()
                 .map(|a| a.snapshot_buckets(now))
                 .unwrap_or_default(),

@@ -48,6 +48,7 @@
 
 pub mod atomics;
 pub mod completion;
+mod continuation;
 mod ctx;
 pub mod dist_object;
 pub mod future;

@@ -282,7 +282,8 @@ pub fn analyze(ranks: &[RankTrace], net: &[NetTraceEvent]) -> CriticalPathReport
                 EventKind::Init
                 | EventKind::Drain { .. }
                 | EventKind::BatchFlush { .. }
-                | EventKind::Signal { .. } => {}
+                | EventKind::Signal { .. }
+                | EventKind::CallbackRun => {}
             }
         }
     }

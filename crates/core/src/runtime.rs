@@ -10,12 +10,13 @@ use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use gasnex::{GasnexConfig, NetConfig, Rank, Team, World};
+use gasnex::{ClockMode, GasnexConfig, NetConfig, Rank, Team, World};
 
+use crate::continuation::{ProgressWaker, WorldShared};
 use crate::ctx::{CtxGuard, RankCtx};
 use crate::future::Future;
 use crate::global_ptr::{GlobalPtr, LocalRef, SegValue};
-use crate::stats::StatsSnapshot;
+use crate::stats::{add, bump, raise, StatsSnapshot};
 use crate::version::LibVersion;
 
 /// Configuration of a `upcr` runtime: substrate layout plus which UPC++
@@ -32,6 +33,13 @@ pub struct RuntimeConfig {
     /// wall-clock parks arm the watchdog; virtual-clock waits poll
     /// deterministically and are bounded by quiescence instead.
     pub watchdog_ms: u64,
+    /// Spawn one background progress thread per simulated node, driving
+    /// `Conduit::poll`, coalescer age-flushes, and continuation-callback
+    /// drains on a parked-condvar cadence (woken by injections and
+    /// callback enqueues). Strict no-op — not even spawned — under
+    /// [`gasnex::ClockMode::Virtual`], so every chaos/differential
+    /// schedule stays byte-replayable.
+    pub progress_thread: bool,
 }
 
 /// Default [`RuntimeConfig::watchdog_ms`]: generous — a healthy signal
@@ -46,6 +54,7 @@ impl RuntimeConfig {
             gasnex: GasnexConfig::smp(ranks),
             version: LibVersion::V2021_3_6Eager,
             watchdog_ms: DEFAULT_WATCHDOG_MS,
+            progress_thread: false,
         }
     }
 
@@ -55,6 +64,7 @@ impl RuntimeConfig {
             gasnex: GasnexConfig::udp(ranks, ranks_per_node),
             version: LibVersion::V2021_3_6Eager,
             watchdog_ms: DEFAULT_WATCHDOG_MS,
+            progress_thread: false,
         }
     }
 
@@ -64,6 +74,7 @@ impl RuntimeConfig {
             gasnex: GasnexConfig::mpi(ranks, ranks_per_node),
             version: LibVersion::V2021_3_6Eager,
             watchdog_ms: DEFAULT_WATCHDOG_MS,
+            progress_thread: false,
         }
     }
 
@@ -104,6 +115,15 @@ impl RuntimeConfig {
         self.gasnex = self.gasnex.with_transport(transport);
         self
     }
+
+    /// Enable the per-node background progress thread (see
+    /// [`RuntimeConfig::progress_thread`]). Wall-clock only: under
+    /// [`gasnex::ClockMode::Virtual`] the flag is accepted but no thread
+    /// is spawned, keeping deterministic runs byte-replayable.
+    pub fn with_progress_thread(mut self, on: bool) -> Self {
+        self.progress_thread = on;
+        self
+    }
 }
 
 /// The per-rank runtime handle. Not `Send`: it belongs to its rank's thread,
@@ -127,16 +147,57 @@ where
 {
     cfg.gasnex.validate();
     let world = World::new(cfg.gasnex.clone());
+    let shared = WorldShared::new(&world);
     let version = cfg.version;
     let watchdog_ms = cfg.watchdog_ms;
     let ranks = cfg.gasnex.ranks;
+    // The background progress thread exists only on the wall clock: under
+    // the virtual clock it is a strict no-op (never spawned), so every
+    // seeded chaos/differential schedule stays byte-replayable.
+    let progress_threads_on = cfg.progress_thread && cfg.gasnex.net.clock == ClockMode::Wall;
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let waker = Arc::new(ProgressWaker::default());
+    if progress_threads_on {
+        let w = Arc::clone(&waker);
+        world
+            .net()
+            .set_progress_waker(Some(Arc::new(move || w.wake())));
+    }
     std::thread::scope(|s| {
+        let mut pthreads = Vec::new();
+        if progress_threads_on {
+            let topo = world.topology();
+            for node in 0..topo.nodes() {
+                let node_ranks: Vec<usize> = topo.node_ranks(node).map(|r| r as usize).collect();
+                let world = Arc::clone(&world);
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let waker = Arc::clone(&waker);
+                pthreads.push(s.spawn(move || {
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        progress_thread_loop(&world, &shared, &node_ranks, &stop, &waker);
+                    }));
+                    if run.is_err() {
+                        // A panicking user callback on this thread must not
+                        // leave the ranks hanging in barriers.
+                        world.abort();
+                    }
+                }));
+            }
+        }
         let mut handles = Vec::with_capacity(ranks);
         for r in 0..ranks {
             let world = Arc::clone(&world);
+            let shared = Arc::clone(&shared);
             let f = &f;
             handles.push(s.spawn(move || {
-                let ctx = RankCtx::new(Arc::clone(&world), Rank::from_idx(r), version, watchdog_ms);
+                let ctx = RankCtx::with_shared(
+                    Arc::clone(&world),
+                    Rank::from_idx(r),
+                    version,
+                    watchdog_ms,
+                    shared,
+                );
                 let _guard = CtxGuard::install(Rc::clone(&ctx));
                 let u = Upcr { ctx };
                 u.barrier();
@@ -156,11 +217,67 @@ where
                 }
             }));
         }
-        handles
+        // Collect every rank's result BEFORE re-raising any panic: the
+        // progress threads must be stopped and joined first, or an early
+        // resume_unwind would leave them running and hang the scope.
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        waker.wake();
+        for t in pthreads {
+            let _ = t.join();
+        }
+        if progress_threads_on {
+            world.net().set_progress_waker(None);
+        }
+        results
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
+}
+
+/// Body of one per-node background progress thread: poll the conduit,
+/// drain the node's continuation callbacks, flush overdue coalescer
+/// buckets, then park on the waker until the cadence elapses or an
+/// injection/enqueue wakes it. Poll and wakeup counts are attributed to
+/// the node's first rank.
+fn progress_thread_loop(
+    world: &Arc<World>,
+    shared: &WorldShared,
+    node_ranks: &[usize],
+    stop: &std::sync::atomic::AtomicBool,
+    waker: &ProgressWaker,
+) {
+    use std::sync::atomic::Ordering;
+    let home = &shared.slots[node_ranks[0]].stats;
+    let agg_cfg = world.config().agg;
+    let age_flush = agg_cfg.enabled && agg_cfg.max_age_ns > 0;
+    while !stop.load(Ordering::Acquire) && !world.is_aborted() {
+        bump(&home.progress_thread_polls);
+        let mut did = world.net().poll(world);
+        for &r in node_ranks {
+            let slot = &shared.slots[r];
+            // Untraced drain: the rank's tracer belongs to its own thread.
+            did += slot.callbacks.drain(|cb, _top| {
+                bump(&slot.stats.callbacks_run);
+                cb();
+            });
+            // The age-flush starvation fix: a bucket whose owner stopped
+            // calling progress() can never reach its age trigger by
+            // itself; flush it here. try_lock keeps the owner's own
+            // quantum from serializing against this thread.
+            if age_flush {
+                if let Ok(mut g) = slot.agg.try_lock() {
+                    if let Some(a) = g.as_mut() {
+                        did += a.flush_due(world.net()).len();
+                    }
+                }
+            }
+        }
+        if did == 0 && waker.wait(std::time::Duration::from_micros(100)) {
+            bump(&home.progress_thread_wakeups);
+        }
+    }
 }
 
 impl Upcr {
@@ -604,11 +721,9 @@ impl Upcr {
         bundle.net = self.ctx.world.net().take_trace();
         let asm = crate::trace::assemble(&bundle);
         let s = &self.ctx.stats;
-        s.hb_edges.set(s.hb_edges.get() + asm.hb_edges());
-        s.causal_violations
-            .set(s.causal_violations.get() + asm.violations);
-        s.causal_chain_depth
-            .set(s.causal_chain_depth.get().max(asm.chain_depth));
+        add(&s.hb_edges, asm.hb_edges());
+        add(&s.causal_violations, asm.violations);
+        raise(&s.causal_chain_depth, asm.chain_depth);
         self.barrier();
         Some((bundle, asm))
     }
@@ -716,6 +831,13 @@ pub mod api {
         });
     }
 
+    /// Blocking signal wait on the calling rank's context
+    /// ([`Upcr::wait_signal`]) — usable inside continuation callbacks and
+    /// RPC bodies, where no borrowed handle is available.
+    pub fn wait_signal(word: usize, mask: u64) -> u64 {
+        current().wait_signal(word, mask)
+    }
+
     /// Asynchronous scalar put on the calling rank's context
     /// ([`Upcr::rput`]).
     pub fn rput<T: SegValue>(val: T, dst: GlobalPtr<T>) -> Future<()> {
@@ -726,6 +848,21 @@ pub mod api {
     /// ([`Upcr::rget`]).
     pub fn rget<T: SegValue + CxValue>(src: GlobalPtr<T>) -> Future<T> {
         current().rget(src)
+    }
+
+    /// Scalar put with a continuation callback on the calling rank's
+    /// context — shorthand for `rput_with(val, dst,
+    /// operation_cx::as_callback(f))`, usable inside callbacks and RPC
+    /// bodies where no borrowed handle is available. The callback is
+    /// enqueued, never run inline; an enqueue made from inside a drain is
+    /// delivered by that same drain (see
+    /// [`crate::completion::operation_cx::as_callback`]).
+    pub fn rput_with_callback<T: SegValue, F: FnOnce(()) + Send + 'static>(
+        val: T,
+        dst: GlobalPtr<T>,
+        f: F,
+    ) {
+        current().rput_with(val, dst, crate::completion::operation_cx::as_callback(f));
     }
 
     /// RPC from the calling rank's context ([`Upcr::rpc`]).

@@ -42,7 +42,7 @@ use crate::ctx::RankCtx;
 use crate::future::Future;
 use crate::global_ptr::{GlobalPtr, SegValue};
 use crate::runtime::Upcr;
-use crate::stats::bump;
+use crate::stats::{add, bump};
 use crate::trace::OpKind;
 
 /// Validate a `(word, badge)` pair against the world's notification table.
@@ -239,7 +239,7 @@ impl Upcr {
                 let parked_at = std::time::Instant::now();
                 let fired = ev.park(watchdog);
                 let parked = parked_at.elapsed().as_nanos() as u64;
-                ctx.stats.parked_ns.set(ctx.stats.parked_ns.get() + parked);
+                add(&ctx.stats.parked_ns, parked);
                 if !fired {
                     // The watchdog fired: walk the wait graph and the
                     // flight recorder *while this waiter is still
@@ -261,19 +261,37 @@ impl Upcr {
                 nt.unreserve_park();
                 bump(&ctx.stats.park_wakeups);
             } else {
+                if ctx.in_callback.get() {
+                    // A completion callback runs *inside* a progress drain:
+                    // it can neither re-enter the progress engine (progress
+                    // is not reentrant) nor reserve a park slot that another
+                    // rank may need to drive the conduit. Waiting here would
+                    // hang forever — die with the stall diagnosis instead.
+                    let diagnosis =
+                        crate::introspect::diagnose_stall(&ctx.world, me.0, word, mask, 0);
+                    panic!(
+                        "wait_signal from a completion callback cannot poll \
+                         (progress is not reentrant) and no park slot is available\n{diagnosis}"
+                    );
+                }
                 bump(&ctx.stats.polls_while_parked);
                 if wall {
                     // Refused reservation: this rank burns CPU re-testing.
                     // Whatever part of the iteration was *not* inside the
                     // progress quantum is spinning time.
                     let t0 = std::time::Instant::now();
-                    let p0 = ctx.stats.progress_ns.get();
+                    let p0 = ctx
+                        .stats
+                        .progress_ns
+                        .load(std::sync::atomic::Ordering::Relaxed);
                     ctx.progress_quantum();
                     let spent = t0.elapsed().as_nanos() as u64;
-                    let in_progress = ctx.stats.progress_ns.get().saturating_sub(p0);
-                    ctx.stats
-                        .spinning_ns
-                        .set(ctx.stats.spinning_ns.get() + spent.saturating_sub(in_progress));
+                    let in_progress = ctx
+                        .stats
+                        .progress_ns
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                        .saturating_sub(p0);
+                    add(&ctx.stats.spinning_ns, spent.saturating_sub(in_progress));
                 } else {
                     ctx.progress_quantum();
                 }
@@ -457,6 +475,26 @@ mod tests {
             stats[0].signals, 1,
             "exactly rank 2's signal rode the conduit"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_signal from a completion callback")]
+    fn wait_signal_inside_a_callback_dies_with_diagnosis_instead_of_hanging() {
+        // Satellite regression: with ranks = 1 the park cap (ranks - 1 = 0)
+        // refuses every reservation, so a wait_signal issued from inside a
+        // completion callback can neither park nor poll (progress is not
+        // reentrant). It must panic with the stall diagnosis, not hang.
+        launch(RuntimeConfig::smp(1).with_segment_size(1 << 14), |u| {
+            let p = u.new_::<u64>(0);
+            u.rput_with(
+                5u64,
+                p,
+                crate::completion::operation_cx::as_callback(|_: ()| {
+                    crate::runtime::api::wait_signal(0, 0b1);
+                }),
+            );
+            u.progress();
+        });
     }
 
     #[test]

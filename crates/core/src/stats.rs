@@ -18,7 +18,7 @@
 //! `counter` (monotonic; `since` subtracts) or a `gauge` (a level such as a
 //! high-water mark; `since` reports the later sample unchanged).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use gasnex::FieldClass;
 
@@ -50,22 +50,25 @@ macro_rules! field_class {
 /// list.
 macro_rules! per_rank_stats {
     ($( $(#[$doc:meta])* $name:ident : $class:ident ),+ $(,)?) => {
-        /// Mutable per-rank counters (single-threaded; lives in the rank
-        /// context).
+        /// Mutable per-rank counters. Owned by the rank context but shared
+        /// (behind an `Arc`) with the optional background progress thread,
+        /// which attributes callback runs and its own poll/wakeup counts to
+        /// the rank they belong to — hence atomics. All accesses are
+        /// `Relaxed`: the counters are statistics, not synchronization.
         #[derive(Default)]
         pub(crate) struct Stats {
-            $( pub $name: Cell<u64>, )+
+            $( pub $name: AtomicU64, )+
         }
 
         impl Stats {
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
-                    $( $name: self.$name.get(), )+
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
                 }
             }
 
             pub fn reset(&self) {
-                $( self.$name.set(0); )+
+                $( self.$name.store(0, Ordering::Relaxed); )+
             }
         }
 
@@ -169,11 +172,40 @@ per_rank_stats! {
     /// High-water mark of the assembled causal chain depth (longest
     /// happens-before path, in hops).
     causal_chain_depth: gauge,
+    /// Continuation callbacks (`operation_cx::as_callback`) executed on
+    /// behalf of this rank — by its own progress quantum or by the
+    /// background progress thread. Each registered callback runs exactly
+    /// once, so at quiescence this equals the number of ops issued with a
+    /// callback completion.
+    callbacks_run: counter,
+    /// Callbacks enqueued while a callback drain was already running on
+    /// this rank's queue (i.e. from inside a user callback): they join the
+    /// same FIFO and are delivered by the same drain, never reentrantly.
+    callbacks_deferred: counter,
+    /// Poll iterations executed by the background progress thread on this
+    /// rank's node (attributed to the node's first rank; zero without
+    /// `--progress-thread` and always zero under the virtual clock).
+    progress_thread_polls: counter,
+    /// Times the background progress thread was woken from its parked
+    /// cadence by an injection or callback enqueue (vs. timing out).
+    progress_thread_wakeups: counter,
 }
 
 #[inline]
-pub(crate) fn bump(c: &Cell<u64>) {
-    c.set(c.get() + 1);
+pub(crate) fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Add `v` to a counter (time accounting and other bulk increments).
+#[inline]
+pub(crate) fn add(c: &AtomicU64, v: u64) {
+    c.fetch_add(v, Ordering::Relaxed);
+}
+
+/// Raise a gauge to at least `v` (high-water marks).
+#[inline]
+pub(crate) fn raise(c: &AtomicU64, v: u64) {
+    c.fetch_max(v, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -211,7 +243,7 @@ mod tests {
     fn fields_and_values_align() {
         let s = Stats::default();
         bump(&s.rputs);
-        s.pending_highwater.set(7);
+        s.pending_highwater.store(7, Ordering::Relaxed);
         let snap = s.snapshot();
         let fields = StatsSnapshot::FIELDS;
         let values = snap.values();
@@ -229,11 +261,54 @@ mod tests {
         // level exceeds the later one, `since` reports the later sample —
         // never a subtraction.
         let s = Stats::default();
-        s.pending_highwater.set(10);
+        s.pending_highwater.store(10, Ordering::Relaxed);
         let a = s.snapshot();
-        s.pending_highwater.set(4);
+        s.pending_highwater.store(4, Ordering::Relaxed);
         let b = s.snapshot();
         assert_eq!(b.since(&a).pending_highwater, 4);
         assert_eq!(a.since(&b).pending_highwater, 10);
+    }
+
+    #[test]
+    fn add_and_raise_helpers() {
+        let s = Stats::default();
+        add(&s.parked_ns, 40);
+        add(&s.parked_ns, 2);
+        raise(&s.pending_highwater, 9);
+        raise(&s.pending_highwater, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.parked_ns, 42);
+        assert_eq!(snap.pending_highwater, 9, "raise never lowers a gauge");
+    }
+
+    #[test]
+    fn continuation_counters_are_registered_and_reset() {
+        // The four continuation/progress-thread counters ride the same
+        // macro as everything else, so snapshot/reset/FIELDS must all see
+        // them (the PR-4/PR-8 reset-coverage pattern).
+        let s = Stats::default();
+        bump(&s.callbacks_run);
+        bump(&s.callbacks_deferred);
+        bump(&s.progress_thread_polls);
+        bump(&s.progress_thread_wakeups);
+        let snap = s.snapshot();
+        assert_eq!(snap.callbacks_run, 1);
+        assert_eq!(snap.callbacks_deferred, 1);
+        assert_eq!(snap.progress_thread_polls, 1);
+        assert_eq!(snap.progress_thread_wakeups, 1);
+        for name in [
+            "callbacks_run",
+            "callbacks_deferred",
+            "progress_thread_polls",
+            "progress_thread_wakeups",
+        ] {
+            let (_, class) = StatsSnapshot::FIELDS
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("missing field {name}"));
+            assert_eq!(*class, FieldClass::Counter);
+        }
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 }

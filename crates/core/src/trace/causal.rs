@@ -76,6 +76,8 @@ pub enum NodeClass {
     BatchFlush,
     /// Rank-side: `Signal` (badge consumption).
     RankSignal,
+    /// Rank-side: `CallbackRun` (continuation executed).
+    CallbackRun,
     /// Wire: `Inject`.
     WireInject,
     /// Wire: `Drop`.
@@ -378,6 +380,11 @@ fn rank_node(rank: u32, e: &super::TraceEvent) -> CausalNode {
             NodeClass::RankSignal,
             None,
             format!("signal word={word} badge={badge}"),
+        ),
+        EventKind::CallbackRun => (
+            NodeClass::CallbackRun,
+            None,
+            format!("callback {}#{}", e.op.kind.name(), e.op.id),
         ),
     };
     CausalNode {

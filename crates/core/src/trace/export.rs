@@ -110,6 +110,12 @@ fn push_rank_event(out: &mut String, rank: u32, e: &TraceEvent, first: &mut bool
             let args = format!("\"word\":{},\"badge\":{},\"seq\":{}", word, badge, e.seq);
             push_instant(out, "signal", pid, e.ts_ns, &args);
         }
+        EventKind::CallbackRun => {
+            let mut name = String::from("callback:");
+            name.push_str(e.op.kind.name());
+            let args = format!("\"op\":{},\"seq\":{}", e.op.id, e.seq);
+            push_instant(out, &name, pid, e.ts_ns, &args);
+        }
     }
 }
 

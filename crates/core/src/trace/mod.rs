@@ -148,6 +148,11 @@ pub enum EventKind {
     /// (a rank-level event: the badges may have been coalesced from many
     /// signal ops, so no single span owns the consumption).
     Signal { word: u32, badge: u64 },
+    /// A continuation callback (`operation_cx::as_callback`) for the owning
+    /// span started executing (recorded only for drains on the rank's own
+    /// thread; progress-thread runs are untraced — the tracer is
+    /// thread-local).
+    CallbackRun,
 }
 
 /// One recorded event. `seq` is a per-rank monotonic counter, so event
@@ -321,6 +326,13 @@ impl RankTracer {
     /// Record a `wait_signal` badge consumption.
     pub fn signal(&mut self, word: u32, badge: u64, ts_ns: u64) {
         self.push(ts_ns, TraceOp::NONE, EventKind::Signal { word, badge });
+    }
+
+    /// Record that `op`'s continuation callback ran.
+    pub fn callback_run(&mut self, op: TraceOp, ts_ns: u64) {
+        if !op.is_none() {
+            self.push(ts_ns, op, EventKind::CallbackRun);
+        }
     }
 
     /// Record an aggregation batch flush (a rank-level event; the

@@ -157,6 +157,17 @@ pub trait Conduit: Send + Sync {
     /// Record a coalescer buffer depth for the occupancy high-water gauge.
     fn note_agg_occupancy(&self, depth: usize);
 
+    /// Arm (or, with `None`, disarm) the progress-thread waker: injections
+    /// into this conduit call it so a parked background progress thread
+    /// notices new traffic promptly. At most one waker is armed at a time;
+    /// unarmed conduits pay one relaxed load per injection.
+    fn set_progress_waker(&self, waker: Option<std::sync::Arc<dyn Fn() + Send + Sync>>);
+
+    /// Invoke the armed progress waker, if any (no-op otherwise). Exposed
+    /// so layers above the conduit (callback enqueues, abort) can prod the
+    /// progress thread through the same hook.
+    fn wake_progress(&self);
+
     /// Downcast hook for tests and impl-specific tooling.
     fn as_any(&self) -> &dyn Any;
 }
@@ -255,6 +266,11 @@ pub(crate) struct ConduitCounters {
     /// Shared Lamport clock bank: the live `lclock_ticks` value is read
     /// from here so both conduit implementations report it uniformly.
     clocks: std::sync::Arc<LamportClocks>,
+    /// Whether a progress-thread waker is armed — one relaxed load gates
+    /// the injection hot path when no progress thread exists.
+    waker_armed: AtomicBool,
+    /// The armed waker (the background progress thread's condvar prod).
+    waker: Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl ConduitCounters {
@@ -268,6 +284,26 @@ impl ConduitCounters {
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
             clocks,
+            waker_armed: AtomicBool::new(false),
+            waker: Mutex::new(None),
+        }
+    }
+
+    /// Arm or disarm the progress-thread waker.
+    pub fn set_waker(&self, waker: Option<std::sync::Arc<dyn Fn() + Send + Sync>>) {
+        let armed = waker.is_some();
+        *self.waker.lock().unwrap() = waker;
+        self.waker_armed.store(armed, Ordering::Release);
+    }
+
+    /// Prod the armed waker, if any. One relaxed load when unarmed.
+    #[inline]
+    pub fn wake(&self) {
+        if self.waker_armed.load(Ordering::Relaxed) {
+            let w = self.waker.lock().unwrap().clone();
+            if let Some(w) = w {
+                w();
+            }
         }
     }
 

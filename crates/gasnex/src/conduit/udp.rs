@@ -465,6 +465,8 @@ impl UdpConduit {
             },
         );
         self.send_attempt(msg, 0, from_node, to_node, kind, route, lclock);
+        // New traffic: prod a parked progress thread (no-op when unarmed).
+        self.ctr.wake();
         msg
     }
 }
@@ -579,6 +581,14 @@ impl Conduit for UdpConduit {
 
     fn note_agg_occupancy(&self, depth: usize) {
         self.ctr.note_agg_occupancy(depth);
+    }
+
+    fn set_progress_waker(&self, waker: Option<std::sync::Arc<dyn Fn() + Send + Sync>>) {
+        self.ctr.set_waker(waker);
+    }
+
+    fn wake_progress(&self) {
+        self.ctr.wake();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -25,13 +25,16 @@ type Waiter = Box<dyn FnOnce() + Send>;
 /// Signalled (with release ordering) by whichever thread finishes the
 /// operation; observed (with acquire ordering) by the initiator, so any data
 /// written before the signal — e.g. an `rget` result landing in its slot —
-/// is visible after a successful test. An optional registered waiter is run
-/// exactly once, after the flag is set: either by the signalling thread, or
-/// immediately at registration when the signal already happened.
+/// is visible after a successful test. Registered waiters run exactly once
+/// each, after the flag is set: either by the signalling thread (in
+/// registration order), or immediately at registration when the signal
+/// already happened. Multiple waiters may be registered on one event — an
+/// operation can route a completion token *and* carry a continuation
+/// callback (`operation_cx::as_future | as_callback`).
 #[derive(Default)]
 pub struct EventCore {
     done: AtomicBool,
-    waiter: Mutex<Option<Waiter>>,
+    waiters: Mutex<Vec<Waiter>>,
 }
 
 impl std::fmt::Debug for EventCore {
@@ -48,20 +51,24 @@ impl EventCore {
     pub fn new() -> Arc<Self> {
         Arc::new(EventCore {
             done: AtomicBool::new(false),
-            waiter: Mutex::new(None),
+            waiters: Mutex::new(Vec::new()),
         })
     }
 
-    /// Mark the operation complete and run the registered waiter, if any.
-    /// May be called from any thread; calling it more than once is
-    /// idempotent (the waiter runs only on the first call that takes it).
+    /// Mark the operation complete and run the registered waiters, if any,
+    /// in registration order. May be called from any thread; calling it
+    /// more than once is idempotent (waiters run only on the first call
+    /// that takes them).
     pub fn signal(&self) {
-        self.done.store(true, Ordering::Release);
-        // The flag is published before the waiter is taken; on_signal
-        // checks the flag under the same lock, so a waiter is never lost:
-        // it is either taken here or run by the registering thread.
-        let w = self.waiter.lock().unwrap().take();
-        if let Some(w) = w {
+        // The flag is published while the lock is held; on_signal checks
+        // it under the same lock, so a waiter is never lost: every waiter
+        // is either taken here or run by the registering thread.
+        let taken = {
+            let mut slot = self.waiters.lock().unwrap();
+            self.done.store(true, Ordering::Release);
+            std::mem::take(&mut *slot)
+        };
+        for w in taken {
             w();
         }
     }
@@ -75,27 +82,29 @@ impl EventCore {
     /// Register a one-shot completion waiter.
     ///
     /// If the event has already been signalled, `w` runs immediately on the
-    /// calling thread; otherwise it runs on whichever thread signals. At
-    /// most one waiter may be registered per event — the engine registers
-    /// exactly one token route per operation.
+    /// calling thread; otherwise it runs on whichever thread signals, in
+    /// registration order after any earlier waiters. Any number of waiters
+    /// may be registered — the engine registers a token route, and a
+    /// continuation callback may ride the same event.
     pub fn on_signal(&self, w: impl FnOnce() + Send + 'static) {
-        let mut slot = self.waiter.lock().unwrap();
-        if self.done.load(Ordering::Acquire) {
-            drop(slot);
-            w();
-            return;
+        {
+            let mut slot = self.waiters.lock().unwrap();
+            // Checked under the same lock signal() publishes under, so a
+            // waiter registered after the signal fired always runs (below,
+            // immediately) and one registered before is always taken by
+            // signal() — no interleaving loses it.
+            if !self.done.load(Ordering::Acquire) {
+                slot.push(Box::new(w));
+                return;
+            }
         }
-        assert!(
-            slot.is_none(),
-            "EventCore supports a single registered waiter"
-        );
-        *slot = Some(Box::new(w));
+        w();
     }
 
-    /// Whether a waiter is currently registered and unsignalled (test and
-    /// quiescence diagnostics).
+    /// Whether any waiter is currently registered and unsignalled (test
+    /// and quiescence diagnostics).
     pub fn has_waiter(&self) -> bool {
-        self.waiter.lock().unwrap().is_some()
+        !self.waiters.lock().unwrap().is_empty()
     }
 
     /// Block the calling thread — zero CPU — until the event is signalled,
@@ -306,6 +315,73 @@ mod tests {
             // The signalling thread may still be inside signal(); joining
             // above guarantees it finished, so the waiter has run.
             assert_eq!(hits.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn multiple_waiters_run_in_registration_order() {
+        let core = EventCore::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let l = Arc::clone(&log);
+            core.on_signal(move || l.lock().unwrap().push(i));
+        }
+        assert!(core.has_waiter());
+        core.signal();
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+        assert!(!core.has_waiter());
+        // A waiter registered after the signal still runs immediately —
+        // alongside, not instead of, the earlier ones.
+        let l = Arc::clone(&log);
+        core.on_signal(move || l.lock().unwrap().push(99));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 99]);
+    }
+
+    #[test]
+    fn no_lost_wakeup_across_register_post_interleavings() {
+        // Property test for the registration/signal race: k waiters are
+        // registered from one thread while another signals at every
+        // possible point of the sequence (before, interleaved, after). In
+        // every interleaving each waiter must run exactly once — none lost
+        // (registered-after-signal must run immediately), none doubled.
+        const K: usize = 4;
+        for signal_at in 0..=K {
+            for _ in 0..100 {
+                let core = EventCore::new();
+                let hits: Arc<Vec<AtomicUsize>> =
+                    Arc::new((0..K).map(|_| AtomicUsize::new(0)).collect());
+                let c2 = Arc::clone(&core);
+                let gate = Arc::new(AtomicBool::new(false));
+                let g2 = Arc::clone(&gate);
+                let t = std::thread::spawn(move || {
+                    // Wait for the registering thread to reach signal_at.
+                    while !g2.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    c2.signal();
+                });
+                for i in 0..K {
+                    if i == signal_at {
+                        gate.store(true, Ordering::Release);
+                    }
+                    let h = Arc::clone(&hits);
+                    core.on_signal(move || {
+                        h[i].fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                if signal_at == K {
+                    gate.store(true, Ordering::Release);
+                }
+                t.join().unwrap();
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::SeqCst),
+                        1,
+                        "waiter {i} (signal raced at registration {signal_at}) \
+                         must run exactly once"
+                    );
+                }
+            }
         }
     }
 }

@@ -607,8 +607,12 @@ impl Conduit for SimNetwork {
             0
         };
         self.record(msg, 0, NetEventKind::Inject, lclock);
-        let mut q = self.queue.lock().unwrap();
-        self.schedule_attempt(&mut q, msg, 0, route, lclock, action);
+        {
+            let mut q = self.queue.lock().unwrap();
+            self.schedule_attempt(&mut q, msg, 0, route, lclock, action);
+        }
+        // New traffic: prod a parked progress thread (no-op when unarmed).
+        self.ctr.wake();
         msg
     }
 
@@ -829,6 +833,14 @@ impl Conduit for SimNetwork {
 
     fn note_agg_occupancy(&self, depth: usize) {
         self.ctr.note_agg_occupancy(depth);
+    }
+
+    fn set_progress_waker(&self, waker: Option<std::sync::Arc<dyn Fn() + Send + Sync>>) {
+        self.ctr.set_waker(waker);
+    }
+
+    fn wake_progress(&self) {
+        self.ctr.wake();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -109,6 +109,8 @@ impl World {
         // Parked waiters cannot poll the abort flag; wake them so they
         // observe it and unwind instead of hanging on their condvar.
         self.notify.wake_all();
+        // Same for a parked background progress thread.
+        self.net.wake_progress();
     }
 
     /// Whether a rank has died abnormally.
@@ -201,6 +203,14 @@ impl World {
     /// kind on the wire and both conduits count it in `NetStats::signals`.
     pub fn net_inject_signal(&self, from: Rank, to: Rank, action: NetAction) -> u64 {
         self.net.inject_signal_to(Some((from, to)), action)
+    }
+
+    /// Prod the background progress thread's waker, if one is armed (a
+    /// no-op otherwise). Called on completion-callback enqueues so a
+    /// parked thread notices new runnable work.
+    #[inline]
+    pub fn wake_progress(&self) {
+        self.net.wake_progress();
     }
 
     /// The notification-word table (badge coalescing + parked waiters).

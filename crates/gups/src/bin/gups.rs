@@ -26,6 +26,7 @@ struct Args {
     version: LibVersion,
     verify: bool,
     agg_flush: Option<usize>,
+    progress_thread: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     prom_out: Option<String>,
@@ -35,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gups [--variant NAME] [--ranks N] [--nodes N] [--log2-table N] [--batch N]\n\
          \x20           [--version eager|2021.3.0|2021.3.6-defer] [--verify] [--trace-out PATH]\n\
-         \x20           [--agg] [--agg-flush N] [--metrics-out PATH] [--prom-out PATH]\n\
+         \x20           [--agg] [--agg-flush N] [--progress-thread]\n\
+         \x20           [--metrics-out PATH] [--prom-out PATH]\n\
          variants: {}",
         Variant::ALL.map(|v| format!("{:?}", v.name())).join(", ")
     );
@@ -52,6 +54,7 @@ fn parse_args() -> Args {
         version: LibVersion::V2021_3_6Eager,
         verify: false,
         agg_flush: None,
+        progress_thread: false,
         trace_out: None,
         metrics_out: None,
         prom_out: None,
@@ -91,6 +94,8 @@ fn parse_args() -> Args {
                     .or(Some(upcr::AggConfig::default().flush_ops))
             }
             "--agg-flush" => args.agg_flush = Some(val().parse().unwrap_or_else(|_| usage())),
+            // Background progress thread per node (wall-clock runs only).
+            "--progress-thread" => args.progress_thread = true,
             "--trace-out" => args.trace_out = Some(val()),
             "--metrics-out" => args.metrics_out = Some(val()),
             "--prom-out" => args.prom_out = Some(val()),
@@ -113,7 +118,8 @@ fn main() -> ExitCode {
     let tracing = args.trace_out.is_some() || sampling;
     let mut rt = RuntimeConfig::udp(args.ranks, args.ranks_per_node)
         .with_version(args.version)
-        .with_segment_size((cfg.table_size() / args.ranks * 8 + (1 << 16)).next_power_of_two());
+        .with_segment_size((cfg.table_size() / args.ranks * 8 + (1 << 16)).next_power_of_two())
+        .with_progress_thread(args.progress_thread);
     if let Some(flush) = args.agg_flush {
         rt = rt.with_agg(upcr::AggConfig::enabled(flush));
     }

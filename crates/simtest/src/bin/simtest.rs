@@ -50,13 +50,15 @@ struct Args {
     check_notify: bool,
     watchdog_demo: bool,
     watchdog_ms: u64,
+    progress_thread: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small|signal-storm]\n\
+        "usage: simtest [--workload put-get-storm|atomic-storm|when-all-fan-in|gups-small|signal-storm|callback-storm]\n\
          \x20              [--seed N] [--plan none|drop-heavy|dup-reorder|combined]\n\
          \x20              [--version eager|2021.3.0|2021.3.6-defer] [--agg] [--agg-flush N]\n\
+         \x20              [--progress-thread]\n\
          \x20              [--trace-out PATH] [--causal-out PATH]\n\
          \x20              [--metrics-out PATH] [--prom-out PATH]\n\
          \x20              [--snapshot-out PATH] [--check-notify]\n\
@@ -80,6 +82,7 @@ fn parse_args() -> Args {
         check_notify: false,
         watchdog_demo: false,
         watchdog_ms: 700,
+        progress_thread: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,12 +90,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--workload" => {
                 let v = val();
-                // `Workload::ALL` deliberately excludes SignalStorm (its
-                // stability pins the pre-signal wire schedules); the bin
-                // still drives it for the signal/causal smoke jobs.
+                // `Workload::ALL` deliberately excludes SignalStorm and
+                // CallbackStorm (its stability pins the pre-existing wire
+                // schedules); the bin still drives them for the smoke jobs.
                 args.workload = Workload::ALL
                     .into_iter()
-                    .chain([Workload::SignalStorm])
+                    .chain([Workload::SignalStorm, Workload::CallbackStorm])
                     .find(|w| w.name() == v)
                     .unwrap_or_else(|| usage());
             }
@@ -119,6 +122,9 @@ fn parse_args() -> Args {
             "--prom-out" => args.prom_out = Some(val()),
             "--snapshot-out" => args.snapshot_out = Some(val()),
             "--check-notify" => args.check_notify = true,
+            // A no-op on the sim conduit's virtual clock by design; accepted
+            // so scripted sweeps can pass one flag set to both runners.
+            "--progress-thread" => args.progress_thread = true,
             "--watchdog-demo" => args.watchdog_demo = true,
             "--watchdog-ms" => args.watchdog_ms = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -157,6 +163,7 @@ fn main() -> ExitCode {
         plan,
         sample_metrics,
         agg,
+        args.progress_thread,
     );
     let (outcome, bundle, hists) = (observed.outcome, &observed.bundle, &observed.hists);
     println!(

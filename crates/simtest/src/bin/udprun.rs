@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! udprun [--ranks N] [--seed S] [--no-sim] [--signals] [--watchdog-ms N]
-//!        [--trace-out PATH]
+//!        [--progress-thread] [--trace-out PATH]
 //! ```
 //!
 //! With `--signals` the storm is replaced by the multi-process analogue of
@@ -233,6 +233,7 @@ fn main() {
             ranks,
             seed,
             !args.iter().any(|a| a == "--no-sim"),
+            args.iter().any(|a| a == "--progress-thread"),
             watchdog_ms,
             trace_out,
         );
@@ -690,6 +691,7 @@ fn parent(
     ranks: usize,
     seed: u64,
     verify_sim: bool,
+    progress_thread: bool,
     watchdog_ms: Option<u64>,
     trace_out: Option<String>,
 ) {
@@ -866,6 +868,24 @@ fn parent(
                 "{version:?} simulator digest diverged from the multi-process run"
             );
             println!("udprun: {version:?} sim digest matches");
+        }
+        if progress_thread {
+            // Fourth leg of the differential: the in-process runtime on the
+            // real kernel-socket conduit with the background progress
+            // thread actually running (wall clock), same digest required.
+            let (o, _) = simtest::run_with_options(
+                Workload::PutGetStorm,
+                LibVersion::V2021_3_6Eager,
+                seed,
+                None,
+                gasnex::Transport::UdpSocket,
+                true,
+            );
+            assert_eq!(
+                o.digest, digest,
+                "progress-thread UDP-conduit digest diverged from the multi-process run"
+            );
+            println!("udprun: progress-thread udp-conduit digest matches");
         }
     }
     println!("udprun: OK");

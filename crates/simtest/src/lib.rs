@@ -50,13 +50,20 @@ pub enum Workload {
     /// for the full badge mask. The counter proves exactly-once delivery
     /// (`Add` is duplicate-sensitive where the badge OR is duplicate-blind).
     SignalStorm,
+    /// Continuation-callback storm: every rank issues a put and a get to
+    /// every peer with `operation_cx::as_callback` completions, folding
+    /// each callback's observation into a commutative accumulator, and
+    /// asserts every callback ran exactly once (`callbacks_run` equals the
+    /// number of callback-carrying ops).
+    CallbackStorm,
 }
 
 impl Workload {
     /// The original golden-pinned workloads, in sweep order. Deliberately
-    /// excludes [`Workload::SignalStorm`]: the signal differential sweeps
-    /// it explicitly, and keeping this list stable proves the pre-signal
-    /// workloads' wire schedules (and digests) did not move.
+    /// excludes [`Workload::SignalStorm`] and [`Workload::CallbackStorm`]:
+    /// their own differential sweeps cover them explicitly, and keeping
+    /// this list stable proves the pre-existing workloads' wire schedules
+    /// (and digests) did not move.
     pub const ALL: [Workload; 4] = [
         Workload::PutGetStorm,
         Workload::AtomicStorm,
@@ -72,6 +79,7 @@ impl Workload {
             Workload::WhenAllFanIn => "when-all-fan-in",
             Workload::GupsSmall => "gups-small",
             Workload::SignalStorm => "signal-storm",
+            Workload::CallbackStorm => "callback-storm",
         }
     }
 }
@@ -257,6 +265,22 @@ pub fn run_with_snapshots(
     plan: Option<FaultPlan>,
     transport: Transport,
 ) -> (Outcome, Vec<(String, String)>) {
+    run_with_options(workload, version, seed, plan, transport, false)
+}
+
+/// The most general runner: choice of conduit *and* an optional background
+/// progress thread ([`upcr::RuntimeConfig::with_progress_thread`]). The
+/// thread is a strict no-op on the simulated (virtual-clock) conduit, so a
+/// thread-on sim run must be byte-identical to a thread-off one — the
+/// differential tests pin exactly that.
+pub fn run_with_options(
+    workload: Workload,
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    transport: Transport,
+    progress_thread: bool,
+) -> (Outcome, Vec<(String, String)>) {
     let net = match transport {
         Transport::Sim => net_for(plan),
         Transport::UdpSocket => net_for_udp(plan),
@@ -265,15 +289,10 @@ pub fn run_with_snapshots(
         .with_version(version)
         .with_segment_size(1 << 18)
         .with_net(net)
-        .with_transport(transport);
+        .with_transport(transport)
+        .with_progress_thread(progress_thread);
     let results = launch(rt, move |u| {
-        let digest = match workload {
-            Workload::PutGetStorm => put_get_storm(u, seed),
-            Workload::AtomicStorm => atomic_storm(u, seed),
-            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
-            Workload::GupsSmall => gups_small(u),
-            Workload::SignalStorm => signal_storm(u, seed),
-        };
+        let digest = run_workload(u, workload, seed);
         u.barrier();
         while u.net_stats().pending > 0 {
             u.progress();
@@ -289,6 +308,18 @@ pub fn run_with_snapshots(
     let snaps: Vec<(String, String)> = results.into_iter().map(|r| r.3).collect();
     check_rank_agreement(&per_rank, &snaps);
     (outcome_from(per_rank[0].0, per_rank[0].1, net), snaps)
+}
+
+/// Dispatch one workload body on the calling rank.
+fn run_workload(u: &Upcr, workload: Workload, seed: u64) -> u64 {
+    match workload {
+        Workload::PutGetStorm => put_get_storm(u, seed),
+        Workload::AtomicStorm => atomic_storm(u, seed),
+        Workload::WhenAllFanIn => when_all_fan_in(u, seed),
+        Workload::GupsSmall => gups_small(u),
+        Workload::SignalStorm => signal_storm(u, seed),
+        Workload::CallbackStorm => callback_storm(u, seed),
+    }
 }
 
 /// Hash a wire-level trace into one word (order-sensitive over every field
@@ -370,13 +401,7 @@ pub fn run_agg(
         rt = rt.with_agg(a);
     }
     let results = launch(rt, move |u| {
-        let digest = match workload {
-            Workload::PutGetStorm => put_get_storm(u, seed),
-            Workload::AtomicStorm => atomic_storm(u, seed),
-            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
-            Workload::GupsSmall => gups_small(u),
-            Workload::SignalStorm => signal_storm(u, seed),
-        };
+        let digest = run_workload(u, workload, seed);
         // Drain duplicate echoes so the reliability counters are final and
         // deterministic, then snapshot everything.
         u.barrier();
@@ -396,6 +421,54 @@ pub fn run_agg(
     (outcome_from(per_rank[0].0, per_rank[0].1, net), net)
 }
 
+/// Run the callback-storm workload and return, alongside the outcome, the
+/// world-summed continuation counters the bench gate pins:
+/// `(outcome, callbacks_run, ops_with_callbacks)`. The op count is the
+/// workload's analytic callback-carrying op total (every rank issues
+/// `2 * (RANKS - 1)` callback-completed ops); the run counter is the
+/// *measured* sum of every rank's `callbacks_run` stat, so losing or
+/// double-running a continuation anywhere in the world shows up as a
+/// nonzero `callback_loss` in `BENCH_signals.json`.
+pub fn run_callback_storm_counters(
+    version: LibVersion,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> (Outcome, u64, u64) {
+    let rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
+        .with_version(version)
+        .with_segment_size(1 << 18)
+        .with_net(net_for(plan));
+    let results = launch(rt, move |u| {
+        let digest = callback_storm(u, seed);
+        u.barrier();
+        while u.net_stats().pending > 0 {
+            u.progress();
+        }
+        u.barrier();
+        let s = u.stats();
+        let completions = u.allreduce_sum_u64(s.rputs + s.rgets + s.amos + s.rpcs);
+        let callbacks = u.allreduce_sum_u64(s.callbacks_run);
+        (
+            digest,
+            completions,
+            u.net_stats(),
+            callbacks,
+            quiesced_snapshot(u),
+        )
+    });
+    let net = results[0].2;
+    let callbacks = results[0].3;
+    let per_rank: Vec<(u64, u64)> = results.iter().map(|r| (r.0, r.1)).collect();
+    let snaps: Vec<(String, String)> = results.into_iter().map(|r| r.4).collect();
+    check_rank_agreement(&per_rank, &snaps);
+    let ops_with_callbacks = (RANKS * 2 * (RANKS - 1)) as u64;
+    (
+        outcome_from(per_rank[0].0, per_rank[0].1, net),
+        callbacks,
+        ops_with_callbacks,
+    )
+}
+
 /// Like [`run`], but with operation-lifecycle tracing enabled: returns the
 /// outcome plus the assembled trace bundle (every rank's span events and
 /// the world-global wire events) and the cross-rank merged latency
@@ -407,7 +480,7 @@ pub fn run_traced(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> (Outcome, upcr::TraceBundle, upcr::Histograms) {
-    let o = run_observed(workload, version, seed, plan, None, None);
+    let o = run_observed(workload, version, seed, plan, None, None, false);
     (o.outcome, o.bundle, o.hists)
 }
 
@@ -439,11 +512,13 @@ pub fn run_observed(
     plan: Option<FaultPlan>,
     metrics: Option<upcr::MetricsConfig>,
     agg: Option<AggConfig>,
+    progress_thread: bool,
 ) -> Observed {
     let mut rt = RuntimeConfig::udp(RANKS, RANKS_PER_NODE)
         .with_version(version)
         .with_segment_size(1 << 18)
-        .with_net(net_for(plan));
+        .with_net(net_for(plan))
+        .with_progress_thread(progress_thread);
     if let Some(a) = agg {
         rt = rt.with_agg(a);
     }
@@ -453,13 +528,7 @@ pub fn run_observed(
             u.metrics_config(cfg);
             u.metrics_enabled(true);
         }
-        let digest = match workload {
-            Workload::PutGetStorm => put_get_storm(u, seed),
-            Workload::AtomicStorm => atomic_storm(u, seed),
-            Workload::WhenAllFanIn => when_all_fan_in(u, seed),
-            Workload::GupsSmall => gups_small(u),
-            Workload::SignalStorm => signal_storm(u, seed),
-        };
+        let digest = run_workload(u, workload, seed);
         u.barrier();
         while u.net_stats().pending > 0 {
             u.progress();
@@ -782,6 +851,106 @@ fn signal_storm(u: &Upcr, seed: u64) -> u64 {
     // must not enter the cross-rank digest; the loop exit already proved
     // `seen == expected`.
     digest_arrays(u, base, words)
+}
+
+/// Continuation-callback storm. Each rank owns an array of `rank_n` words
+/// (slot `r` written only by rank `r`, so the image is race-free). Two
+/// waves, both completed through [`upcr::operation_cx::as_callback`]:
+///
+/// * **Put wave** — rank `r` writes `slot_val` into its slot on every
+///   peer; each put's callback XORs a per-op token into a local
+///   accumulator (XOR is commutative, so drain order — rank thread,
+///   signalling thread, or background progress thread — cannot change the
+///   result).
+/// * **Get wave** — after a barrier, rank `r` reads its own slot back
+///   from every peer with a value-carrying callback that XORs the fetched
+///   word into the same accumulator, proving the callback observed the
+///   landed data.
+///
+/// The rank drives `progress` until a shared counter shows every callback
+/// ran, then asserts `callbacks_run == ops_with_callbacks` — the
+/// exactly-once claim of the callback completion mode — and folds the
+/// accumulator into the digest. Callbacks touch only plain `Arc`-shared
+/// state (no runtime calls), so the workload is valid under the background
+/// progress thread, where a foreign thread may execute them.
+fn callback_storm(u: &Upcr, seed: u64) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let n = u.rank_n();
+    let me = u.rank_me();
+    let base = u.new_array::<u64>(n);
+    let bases = gather_ptrs(u, base);
+    u.barrier();
+    let ran = Arc::new(AtomicU64::new(0));
+    let acc = Arc::new(AtomicU64::new(0));
+    let expected_ops = 2 * (n - 1) as u64;
+    // Put wave: single-writer slots, callback folds a deterministic token.
+    for (t, b) in bases.iter().enumerate().take(n) {
+        if t == me {
+            continue;
+        }
+        let token = fold(fold(seed, 0xCA11), (t * n + me) as u64);
+        let (ran, acc) = (Arc::clone(&ran), Arc::clone(&acc));
+        u.rput_with(
+            slot_val(seed, t, me, 0),
+            b.add(me),
+            upcr::operation_cx::as_callback(move |_: ()| {
+                acc.fetch_xor(token, Ordering::Relaxed);
+                ran.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+    }
+    while ran.load(Ordering::Relaxed) < (n - 1) as u64 {
+        u.progress();
+    }
+    u.barrier();
+    // Get wave: value-carrying callbacks observe the landed puts.
+    for (t, b) in bases.iter().enumerate().take(n) {
+        if t == me {
+            continue;
+        }
+        let (ran, acc) = (Arc::clone(&ran), Arc::clone(&acc));
+        u.rget_with(
+            b.add(me),
+            upcr::operation_cx::as_callback(move |v: u64| {
+                acc.fetch_xor(v, Ordering::Relaxed);
+                ran.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+    }
+    while ran.load(Ordering::Relaxed) < expected_ops {
+        u.progress();
+    }
+    // Exactly-once: every callback-carrying op ran its continuation once.
+    assert_eq!(
+        u.stats().callbacks_run,
+        expected_ops,
+        "callbacks_run must equal the number of callback-carrying ops"
+    );
+    // The accumulator is a commutative fold of known values: each peer's
+    // token plus this rank's own slot value fetched back from each peer.
+    let mut want = 0u64;
+    for t in (0..n).filter(|&t| t != me) {
+        want ^= fold(fold(seed, 0xCA11), (t * n + me) as u64);
+        want ^= slot_val(seed, t, me, 0);
+    }
+    assert_eq!(
+        acc.load(Ordering::Relaxed),
+        want,
+        "callback-observed values diverged from the race-free image"
+    );
+    u.barrier();
+    // Fold the *global* accumulator image — the XOR over every rank's
+    // pinned `want` — so all ranks digest the same value (the per-rank
+    // assert above already ties each local accumulator to its share).
+    let mut all = 0u64;
+    for r in 0..n {
+        for t in (0..n).filter(|&t| t != r) {
+            all ^= fold(fold(seed, 0xCA11), (t * n + r) as u64);
+            all ^= slot_val(seed, t, r, 0);
+        }
+    }
+    fold(digest_arrays(u, base, n), all)
 }
 
 /// Small GUPS (atomic-xor variant — exact by construction): the digest is

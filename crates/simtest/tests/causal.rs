@@ -47,6 +47,7 @@ fn lamport_stamps_strictly_monotone_per_rank() {
         Some(combined_plan(42)),
         None,
         None,
+        false,
     );
     assert_eq!(o.bundle.ranks.len(), simtest::RANKS);
     for rt in &o.bundle.ranks {
@@ -252,7 +253,7 @@ fn flow_export_parses_and_carries_flow_events() {
 fn virtual_clock_runs_report_zero_violations_across_workloads() {
     for w in Workload::ALL.into_iter().chain([Workload::SignalStorm]) {
         for version in [LibVersion::V2021_3_6Eager, LibVersion::V2021_3_6Defer] {
-            let o = run_observed(w, version, 42, Some(combined_plan(42)), None, None);
+            let o = run_observed(w, version, 42, Some(combined_plan(42)), None, None, false);
             let asm = assemble(&o.bundle);
             assert_eq!(
                 asm.violations,
